@@ -1,0 +1,63 @@
+//! Ablation — amalgamation-factor sweep (the paper finds r ∈ [4, 6] best).
+//!
+//! For r = 0…12: supernode count, average width, storage padding over the
+//! static pattern, sequential factor time, and projected 8-processor
+//! parallel time (T3E).
+//!
+//! ```sh
+//! cargo run --release -p splu-bench --bin ablation_amalgamation
+//! ```
+
+use splu_bench::{rule, secs};
+use splu_core::{FactorOptions, SparseLuSolver};
+use splu_machine::T3E;
+use splu_order::ColumnOrdering;
+use splu_sched::{graph_schedule, simulate, TaskGraph};
+use splu_sparse::suite;
+use std::time::Instant;
+
+fn main() {
+    let spec = suite::by_name("sherman3").unwrap();
+    let a = spec.build();
+    println!("Ablation: amalgamation-factor sweep on {} (n = {})\n", spec.name, a.nrows());
+    println!(
+        "{:<4} {:>8} {:>9} {:>10} {:>9} {:>12}",
+        "r", "blocks", "avg w", "padding%", "seq time", "PT(8,T3E)"
+    );
+    println!("{}", rule(58));
+    for r in [0usize, 1, 2, 4, 6, 8, 12] {
+        let solver = SparseLuSolver::analyze(
+            &a,
+            FactorOptions {
+                block_size: 25,
+                amalgamation: r,
+                ordering: ColumnOrdering::MinDegreeAtA,
+                ..FactorOptions::default()
+            },
+        );
+        let static_nnz = solver.static_factor_nnz();
+        let padding =
+            100.0 * (solver.pattern.storage_entries() as f64 / static_nnz as f64 - 1.0);
+        let t0 = Instant::now();
+        let _lu = solver.factor().expect("nonsingular");
+        let t = t0.elapsed().as_secs_f64();
+        let g = TaskGraph::build(&solver.pattern);
+        let pt = simulate(&g, &graph_schedule(&g, 8, &T3E), &T3E).makespan;
+        println!(
+            "{:<4} {:>8} {:>9.2} {:>9.1}% {:>9} {:>12}",
+            r,
+            solver.pattern.nblocks(),
+            solver.pattern.part.avg_width(),
+            padding,
+            secs(t),
+            secs(pt),
+        );
+    }
+    println!("{}", rule(58));
+    println!(
+        "expected: moderate r merges the 1.5–2-column supernodes into larger\n\
+         blocks (better BLAS-3, fewer messages) at the cost of padded zeros;\n\
+         beyond r ≈ 6 padding grows faster than the granularity gain —\n\
+         the paper's 10–60 % sequential improvement window."
+    );
+}

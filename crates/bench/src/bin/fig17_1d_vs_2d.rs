@@ -1,0 +1,44 @@
+//! Fig. 17 — performance improvement of the 1D graph-scheduled code over
+//! the 2D asynchronous code: `1 − PT_RAPID / PT_2D` (T3E model), for the
+//! matrices solvable by both codes.
+//!
+//! ```sh
+//! cargo run --release -p splu-bench --bin fig17_1d_vs_2d
+//! ```
+
+use splu_bench::{analyze_default, build_default, rule};
+use splu_machine::{Grid, T3E};
+use splu_sched::{build_2d_model, graph_schedule, simulate, Mode2d, TaskGraph};
+use splu_sparse::suite;
+
+fn main() {
+    let procs = [4usize, 8, 16, 32];
+    println!("Fig. 17: 1 − PT_RAPID/PT_2D (positive = 1D graph-scheduled wins), T3E model\n");
+    print!("{:<10}", "matrix");
+    for p in procs {
+        print!(" {:>7}", format!("P={p}"));
+    }
+    println!();
+    println!("{}", rule(10 + 8 * procs.len()));
+
+    for name in suite::SMALL.iter().copied().chain(["goodwin"]) {
+        let spec = suite::by_name(name).unwrap();
+        let (a, _) = build_default(&spec);
+        let solver = analyze_default(&a);
+        let g1 = TaskGraph::build(&solver.pattern);
+        print!("{name:<10}");
+        for p in procs {
+            let t1 = simulate(&g1, &graph_schedule(&g1, p, &T3E), &T3E).makespan;
+            let m2 = build_2d_model(&solver.pattern, Grid::for_procs(p), &T3E, Mode2d::Async);
+            let t2 = simulate(&m2.graph, &m2.schedule, &T3E).makespan;
+            print!(" {:>6.1}%", 100.0 * (1.0 - t1 / t2));
+        }
+        println!();
+    }
+    println!("{}", rule(10 + 8 * procs.len()));
+    println!(
+        "paper's shape to check: the 1D RAPID code wins when memory permits\n\
+         (graph-scheduled ordering beats the simple 2D ordering), but the gap\n\
+         narrows where 2D's better load balance compensates (cf. Fig. 18)."
+    );
+}

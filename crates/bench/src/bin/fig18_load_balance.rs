@@ -1,0 +1,46 @@
+//! Fig. 18 — load balance factors of the 1D graph-scheduled mapping and
+//! the 2D block-cyclic mapping: `work_total / (P · work_max)` counting
+//! update work only.
+//!
+//! ```sh
+//! cargo run --release -p splu-bench --bin fig18_load_balance
+//! ```
+
+use splu_bench::{analyze_default, build_default, rule};
+use splu_machine::{Grid, T3E};
+use splu_sched::load_balance::{load_balance_factor, load_balance_factor_2d};
+use splu_sched::{graph_schedule, TaskGraph};
+use splu_sparse::suite;
+
+fn main() {
+    let p = 32usize;
+    println!("Fig. 18: load balance factors at P = {p} (1.0 = perfect)\n");
+    println!("{:<10} {:>8} {:>8}", "matrix", "1D", "2D");
+    println!("{}", rule(28));
+
+    let (mut sum1, mut sum2, mut count) = (0.0f64, 0.0f64, 0);
+    for name in suite::SMALL.iter().copied().chain(["goodwin", "e40r0100"]) {
+        let spec = suite::by_name(name).unwrap();
+        let (a, _) = build_default(&spec);
+        let solver = analyze_default(&a);
+        let g = TaskGraph::build(&solver.pattern);
+        let s = graph_schedule(&g, p, &T3E);
+        let f1 = load_balance_factor(&g, &s.proc_of, p, &T3E);
+        let f2 = load_balance_factor_2d(&solver.pattern, Grid::for_procs(p), &T3E);
+        println!("{name:<10} {f1:>8.3} {f2:>8.3}");
+        sum1 += f1;
+        sum2 += f2;
+        count += 1;
+    }
+    println!("{}", rule(28));
+    println!(
+        "mean:      {:>8.3} {:>8.3}",
+        sum1 / count as f64,
+        sum2 / count as f64
+    );
+    println!(
+        "\npaper's claim to check: the 2D block-cyclic mapping has the better load\n\
+         balance on most matrices, which partially compensates for its simpler\n\
+         task ordering (explains the narrow gaps in Fig. 17)."
+    );
+}

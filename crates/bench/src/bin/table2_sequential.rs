@@ -1,0 +1,79 @@
+//! Table 2 — sequential performance: S\* versus the SuperLU-like baseline.
+//!
+//! For each matrix: measured wall-clock factorization time of the S\*
+//! sequential code and of the Gilbert–Peierls baseline (same preprocessed
+//! matrix), the achieved MFLOPS (paper convention: baseline operation
+//! count / time — overestimated flops are not credited), the measured
+//! time ratio, and the §6.1 cost-model projection of the same ratio on
+//! Cray T3D and T3E (the paper's `(1−r)·w2 + r·w3` versus `(1+h)·w2`
+//! analysis with the *measured* BLAS-3 fraction `r` and ops ratio).
+//!
+//! ```sh
+//! cargo run --release -p splu-bench --bin table2_sequential
+//! ```
+
+use splu_bench::{analyze_default, baseline_on_permuted, build_default, rule, secs};
+use splu_machine::{T3D, T3E};
+use splu_sparse::suite;
+use std::time::Instant;
+
+fn main() {
+    println!("Table 2: sequential performance — S* vs SuperLU-like baseline");
+    println!("(host wall-clock; T3D/T3E ratio columns are cost-model projections, h = 0.82)\n");
+    println!(
+        "{:<10} | {:>9} {:>8} | {:>9} {:>8} | {:>7} {:>8} {:>8}",
+        "matrix", "S* time", "MFLOPS", "GP time", "MFLOPS", "ratio", "T3D-rat", "T3E-rat"
+    );
+    println!("{}", rule(86));
+
+    let names: Vec<&str> = suite::SMALL
+        .iter()
+        .copied()
+        .chain(["goodwin", "b33_5600", "dense1000"])
+        .collect();
+
+    for name in names {
+        let spec = suite::by_name(name).unwrap();
+        let (a, _) = build_default(&spec);
+        let solver = analyze_default(&a);
+
+        // S* numeric factorization (analysis excluded, as in the paper:
+        // S* times exclude symbolic preprocessing, which is static)
+        let t0 = Instant::now();
+        let lu = solver.factor().expect("nonsingular");
+        let t_sstar = t0.elapsed().as_secs_f64();
+
+        // baseline (includes its on-the-fly symbolic work, as SuperLU does)
+        let t0 = Instant::now();
+        let gp = baseline_on_permuted(&solver);
+        let t_gp = t0.elapsed().as_secs_f64();
+
+        let mflops_sstar = gp.flops as f64 / t_sstar / 1e6;
+        let mflops_gp = gp.flops as f64 / t_gp / 1e6;
+        let ratio = t_sstar / t_gp;
+
+        // §6.1 model projection with measured r and ops ratio
+        let r = lu.stats.blas3_fraction();
+        let ops_sstar = lu.stats.gemm_flops + lu.stats.other_flops;
+        let t3d = T3D.sequential_time(ops_sstar, r) / T3D.superlu_time(gp.flops, 0.82);
+        let t3e = T3E.sequential_time(ops_sstar, r) / T3E.superlu_time(gp.flops, 0.82);
+
+        println!(
+            "{:<10} | {:>9} {:>8.1} | {:>9} {:>8.1} | {:>7.2} {:>8.2} {:>8.2}",
+            name,
+            secs(t_sstar),
+            mflops_sstar,
+            secs(t_gp),
+            mflops_gp,
+            ratio,
+            t3d,
+            t3e
+        );
+    }
+    println!("{}", rule(86));
+    println!(
+        "paper's claim to check: S* stays competitive with the baseline despite the\n\
+         extra static flops (paper measures ratios ~0.4–2 across machines), and the\n\
+         BLAS-3 advantage makes the projected ratio smaller on T3E than on T3D."
+    );
+}

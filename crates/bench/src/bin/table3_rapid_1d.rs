@@ -1,0 +1,49 @@
+//! Table 3 — absolute performance (MFLOPS) of the 1D graph-scheduled
+//! ("RAPID") code for P = 2…64, on the T3D and T3E machine models.
+//!
+//! MFLOPS use the paper's formula: baseline operation count divided by
+//! the projected parallel time.
+//!
+//! ```sh
+//! cargo run --release -p splu-bench --bin table3_rapid_1d
+//! ```
+
+use splu_bench::{analyze_default, baseline_on_permuted, build_default, rule};
+use splu_machine::{T3D, T3E};
+use splu_sched::{graph_schedule, simulate, TaskGraph};
+use splu_sparse::suite;
+
+fn main() {
+    let procs = [2usize, 4, 8, 16, 32, 64];
+    println!("Table 3: absolute MFLOPS of the 1D graph-scheduled code (DES projection)");
+    println!("(large matrices scaled by {})\n", splu_bench::LARGE_SCALE);
+    for machine in [&T3D, &T3E] {
+        println!("== {} ==", machine.name);
+        print!("{:<10}", "matrix");
+        for p in procs {
+            print!(" {:>8}", format!("P={p}"));
+        }
+        println!();
+        println!("{}", rule(10 + 9 * procs.len()));
+        for name in suite::SMALL.iter().copied().chain(["goodwin", "e40r0100", "b33_5600"]) {
+            let spec = suite::by_name(name).unwrap();
+            let (a, _) = build_default(&spec);
+            let solver = analyze_default(&a);
+            let gp = baseline_on_permuted(&solver);
+            let g = TaskGraph::build(&solver.pattern);
+            print!("{name:<10}");
+            for p in procs {
+                let s = graph_schedule(&g, p, machine);
+                let t = simulate(&g, &s, machine).makespan;
+                print!(" {:>8.1}", gp.flops as f64 / t / 1e6);
+            }
+            println!();
+        }
+        println!();
+    }
+    println!(
+        "paper's shape to check: MFLOPS grow with P but saturate for the small\n\
+         matrices (limited parallelism near the end of elimination); T3E numbers\n\
+         roughly 3× the T3D numbers (the paper observes ~3× on upgrade)."
+    );
+}

@@ -1,0 +1,45 @@
+//! Table 7 — performance improvement of the asynchronous 2D code over the
+//! synchronous (global-barrier-per-stage) 2D code:
+//! `1 − PT_async / PT_sync` for P = 2…64, T3E model.
+//!
+//! ```sh
+//! cargo run --release -p splu-bench --bin table7_async_vs_sync
+//! ```
+
+use splu_bench::{analyze_default, build_default, rule};
+use splu_machine::{Grid, T3E};
+use splu_sched::{build_2d_model, simulate, Mode2d};
+use splu_sparse::suite;
+
+fn main() {
+    let procs = [2usize, 4, 8, 16, 32, 64];
+    println!("Table 7: improvement of 2D asynchronous over 2D synchronous (T3E model)");
+    println!("(1 − PT_async/PT_sync; large matrices scaled by {})\n", splu_bench::LARGE_SCALE);
+    print!("{:<10}", "matrix");
+    for p in procs {
+        print!(" {:>7}", format!("P={p}"));
+    }
+    println!();
+    println!("{}", rule(10 + 8 * procs.len()));
+
+    for name in suite::SMALL.iter().copied().chain(["goodwin", "e40r0100", "raefsky4", "vavasis3"]) {
+        let spec = suite::by_name(name).unwrap();
+        let (a, _) = build_default(&spec);
+        let solver = analyze_default(&a);
+        print!("{name:<10}");
+        for p in procs {
+            let grid = Grid::for_procs(p);
+            let ma = build_2d_model(&solver.pattern, grid, &T3E, Mode2d::Async);
+            let ms = build_2d_model(&solver.pattern, grid, &T3E, Mode2d::Barrier);
+            let ta = simulate(&ma.graph, &ma.schedule, &T3E).makespan;
+            let ts = simulate(&ms.graph, &ms.schedule, &T3E).makespan;
+            print!(" {:>6.1}%", 100.0 * (1.0 - ta / ts));
+        }
+        println!();
+    }
+    println!("{}", rule(10 + 8 * procs.len()));
+    println!(
+        "paper's shape to check: the asynchronous design wins everywhere and the\n\
+         advantage grows with the processor count (paper: ~3–35 %, larger at P ≥ 8)."
+    );
+}

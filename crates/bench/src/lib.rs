@@ -1,0 +1,113 @@
+//! `splu-bench` — experiment harnesses reproducing the paper's tables and
+//! figures.
+//!
+//! Each table/figure of the evaluation (§6) has a binary that regenerates
+//! it (`cargo run --release -p splu-bench --bin <name>`):
+//!
+//! | binary | reproduces |
+//! |--------|-----------|
+//! | `table1_matrices` | Table 1 — matrix statistics & overestimation ratios |
+//! | `table2_sequential` | Table 2 — sequential S\* vs baseline (+ T3D/T3E projection) |
+//! | `table3_rapid_1d` | Table 3 — 1D graph-scheduled MFLOPS, P = 2…64 |
+//! | `table4_amalgamation` | Table 4 — amalgamation improvement, P = 1…32 |
+//! | `table5_2d_t3d` | Table 5 — 2D code on large matrices (T3D model) |
+//! | `table6_2d_t3e` | Table 6 — 2D async on T3E, P = 8…128 |
+//! | `table7_async_vs_sync` | Table 7 — 2D async vs synchronous improvement |
+//! | `fig16_sched_compare` | Fig. 16 — CA vs graph scheduling |
+//! | `fig17_1d_vs_2d` | Fig. 17 — 1D RAPID vs 2D parallel time |
+//! | `fig18_load_balance` | Fig. 18 — load balance factors 1D vs 2D |
+//! | `fig_examples` | Figs. 2/4/9/11 — worked small examples |
+//! | `ablation_block_size` | block-size sweep (paper fixes 25) |
+//! | `ablation_amalgamation` | amalgamation-factor sweep (paper: r in 4..6) |
+//! | `ablation_aspect_ratio` | p_r : p_c sweep (paper: p_c/p_r = 2) |
+//! | `ablation_overlap_buffers` | Theorem 2 overlap degrees + §5.2 buffers |
+//! | `ablation_memory` | §5.2 per-processor storage & buffering, 1D vs 2D |
+//!
+//! Parallel *times* come from the discrete-event T3D/T3E machine model
+//! (`DESIGN.md` §3 — the build host exposes a single core, so wall-clock
+//! thread scaling is meaningless here; the thread backend is used for
+//! correctness and protocol/buffer instrumentation instead). MFLOPS
+//! follow the paper's formula: operation count of the SuperLU-like
+//! baseline divided by the S\* parallel time — overestimated flops are
+//! never credited.
+
+use splu_core::{FactorOptions, SparseLuSolver};
+use splu_sparse::suite::{self, MatrixSpec};
+use splu_sparse::CscMatrix;
+
+/// Default shrink factor for the LARGE suite matrices so every harness
+/// finishes in minutes on a laptop-class host (printed with each table).
+pub const LARGE_SCALE: f64 = 0.25;
+
+/// Build a suite matrix at the harness's default scale.
+pub fn build_default(spec: &MatrixSpec) -> (CscMatrix, f64) {
+    let scale = if suite::LARGE.contains(&spec.name) {
+        LARGE_SCALE
+    } else {
+        1.0
+    };
+    (spec.build_scaled(scale), scale)
+}
+
+/// Analyze with the paper's defaults (block 25, r = 4, min-degree AᵀA).
+pub fn analyze_default(a: &CscMatrix) -> SparseLuSolver {
+    SparseLuSolver::analyze(a, FactorOptions::default())
+}
+
+/// Baseline op count & factor nnz: the Gilbert–Peierls factorization of
+/// the *same preprocessed matrix* (same row/column permutations the S\*
+/// pipeline factors) — the fair denominator for every ratio in the paper.
+pub fn baseline_on_permuted(solver: &SparseLuSolver) -> splu_superlu::GpLu {
+    splu_superlu::gp_factor(&solver.permuted, 1.0).expect("baseline factorization failed")
+}
+
+/// Pretty horizontal rule for table output.
+pub fn rule(width: usize) -> String {
+    "-".repeat(width)
+}
+
+/// Format seconds in engineering style.
+pub fn secs(t: f64) -> String {
+    if t >= 1.0 {
+        format!("{t:.2}s")
+    } else if t >= 1e-3 {
+        format!("{:.1}ms", t * 1e3)
+    } else {
+        format!("{:.0}µs", t * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_build_scales_large_only() {
+        let small = suite::by_name("jpwh991").unwrap();
+        let (a, s) = build_default(&small);
+        assert_eq!(s, 1.0);
+        assert_eq!(a.nrows(), 991);
+        let large = suite::by_name("vavasis3").unwrap();
+        let (a, s) = build_default(&large);
+        assert_eq!(s, LARGE_SCALE);
+        assert!(a.nrows() < 41092 / 2);
+    }
+
+    #[test]
+    fn baseline_runs_on_permuted_matrix() {
+        let spec = suite::by_name("jpwh991").unwrap();
+        let (a, _) = build_default(&spec);
+        let solver = analyze_default(&a);
+        let gp = baseline_on_permuted(&solver);
+        assert!(gp.flops > 0);
+        assert!(gp.factor_nnz() > a.nnz());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(2.5), "2.50s");
+        assert_eq!(secs(0.0021), "2.1ms");
+        assert_eq!(secs(3.2e-5), "32µs");
+        assert_eq!(rule(3), "---");
+    }
+}

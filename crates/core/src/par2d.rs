@@ -1,0 +1,1108 @@
+//! 2D block-cyclic asynchronous sparse LU (§4.3, §5.2, Figs. 12–15).
+//!
+//! Processors form a `p_r × p_c` grid; block `A_ij` lives on
+//! `P_{i mod p_r, j mod p_c}`. A single `Factor(k)` is parallelized over
+//! the `p_r` processors of one grid column (distributed pivot search with
+//! subrow exchange), and a single update stage over all processors. The
+//! SPMD control flow follows Fig. 12:
+//!
+//! ```text
+//! if my column owns block 0 { Factor2D(0) }
+//! for k in 0..N {
+//!     ScaleSwap(k)                       // pivseq recv, delayed swaps,
+//!                                        // TRSM U_k,* + column multicast
+//!     if I own column k+1 { Update2D(k, k+1); Factor2D(k+1) }
+//!     for j in k+2.. owned { Update2D(k, j) }
+//! }
+//! ```
+//!
+//! In [`Sync2d::Async`] mode there is no global synchronization at all:
+//! processors pipeline across elimination stages, bounded by the overlap
+//! degrees of Theorem 2 (`p_c` across the machine, `min(p_r − 1, p_c)`
+//! within a processor column). [`Sync2d::Barrier`] adds the paper's
+//! ablation: a global barrier per stage (Table 7 compares the two).
+//!
+//! The factors are **bitwise identical** to the sequential code: the
+//! distributed pivot search reproduces the sequential tie-break exactly,
+//! and per-entry update contributions accumulate in the same stage order.
+
+use crate::seq::FactorStats;
+use crate::storage::BlockMatrix;
+use splu_kernels::{dgemm, dtrsm_left_lower_unit};
+use splu_machine::{run_machine, Grid, Message, ProcCtx};
+use splu_symbolic::BlockPattern;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+/// Synchronization mode for the 2D code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sync2d {
+    /// Fully asynchronous pipelined execution (the paper's main 2D code).
+    Async,
+    /// Global barrier after every elimination stage (Table 7's baseline).
+    Barrier,
+}
+
+/// One recorded `Update2D` execution interval (for Theorem 2's overlap
+/// analysis), in global logical-clock ticks.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateInterval {
+    /// Source stage `k`.
+    pub stage: u32,
+    /// Grid column of the executing processor.
+    pub proc_col: u32,
+    /// Logical start tick.
+    pub start: u64,
+    /// Logical end tick.
+    pub end: u64,
+}
+
+/// Result of a 2D factorization.
+pub struct Par2dResult {
+    /// Reassembled factored storage (host side).
+    pub blocks: BlockMatrix,
+    /// Per-block pivot sequences.
+    pub pivots: Vec<Vec<u32>>,
+    /// Merged statistics.
+    pub stats: FactorStats,
+    /// Wall-clock seconds of the parallel section.
+    pub elapsed: f64,
+    /// (messages, bytes) sent in total.
+    pub comm: (u64, u64),
+    /// Per-processor peak parked-message bytes (§5.2 buffer-space).
+    pub peak_buffer_bytes: Vec<u64>,
+    /// Update execution intervals for overlap analysis.
+    pub intervals: Vec<UpdateInterval>,
+}
+
+impl Par2dResult {
+    /// Measured stage-overlapping degree across all processors:
+    /// `max{k2 − k1 : Update2D(k1,*) and Update2D(k2,*) ran concurrently}`
+    /// (Theorem 2 bounds this by `p_c`).
+    pub fn overlap_degree(&self) -> u32 {
+        overlap_degree(&self.intervals, None)
+    }
+
+    /// Measured overlap degree within one processor-grid column
+    /// (Theorem 2 bounds this by `min(p_r − 1, p_c)`).
+    pub fn overlap_degree_within_col(&self, col: u32) -> u32 {
+        overlap_degree(&self.intervals, Some(col))
+    }
+}
+
+fn overlap_degree(iv: &[UpdateInterval], col: Option<u32>) -> u32 {
+    let mut best = 0u32;
+    for (a, x) in iv.iter().enumerate() {
+        if col.is_some_and(|c| x.proc_col != c) {
+            continue;
+        }
+        for y in &iv[a + 1..] {
+            if col.is_some_and(|c| y.proc_col != c) {
+                continue;
+            }
+            if x.start < y.end && y.start < x.end {
+                best = best.max(x.stage.abs_diff(y.stage));
+            }
+        }
+    }
+    best
+}
+
+// ---- message tags ----
+const K_CAND: u64 = 1;
+const K_PIVROW: u64 = 2;
+const K_PIVSEQ: u64 = 3;
+const K_LPANEL: u64 = 4;
+const K_UROW: u64 = 5;
+const K_SWAP: u64 = 6;
+
+fn tag(kind: u64, k: usize, x: usize, y: usize) -> u64 {
+    debug_assert!(k < 1 << 20 && x < 1 << 20 && y < 1 << 20);
+    (kind << 60) | ((k as u64) << 40) | ((x as u64) << 20) | y as u64
+}
+
+const NONE_ROW: u32 = u32::MAX;
+
+/// Per-processor block storage for the 2D mapping.
+struct Store2d {
+    pattern: Arc<BlockPattern>,
+    grid: Grid,
+    rno: usize,
+    cno: usize,
+    /// Global index → block id (cached; rebuilding it per access is O(n)).
+    block_of: Vec<u32>,
+    /// Owned blocks: `(i, j) → column-major panel`. Diagonal blocks are
+    /// `w × w`; L blocks `mask_rows × w`; U blocks `w_i × mask_cols`.
+    blocks: HashMap<(u32, u32), Vec<f64>>,
+}
+
+impl Store2d {
+    fn new(a: &splu_sparse::CscMatrix, pattern: Arc<BlockPattern>, grid: Grid, rank: usize) -> Self {
+        let (rno, cno) = grid.coords_of(rank);
+        let block_of = pattern.part.block_of_index();
+        let mut st = Self {
+            pattern,
+            grid,
+            rno,
+            cno,
+            block_of,
+            blocks: HashMap::new(),
+        };
+        let nb = st.pattern.nblocks();
+        // allocate owned blocks
+        for j in 0..nb {
+            if j % grid.pc != cno {
+                continue;
+            }
+            if j % grid.pr == rno {
+                let w = st.pattern.part.width(j);
+                st.blocks.insert((j as u32, j as u32), vec![0.0; w * w]);
+            }
+            for l in &st.pattern.l_blocks[j] {
+                if (l.i as usize) % grid.pr == rno {
+                    let w = st.pattern.part.width(j);
+                    st.blocks.insert((l.i, j as u32), vec![0.0; l.rows.len() * w]);
+                }
+            }
+        }
+        for k in 0..nb {
+            if k % grid.pr != rno {
+                continue;
+            }
+            let h = st.pattern.part.width(k);
+            for u in &st.pattern.u_blocks[k] {
+                if (u.j as usize) % grid.pc == cno {
+                    st.blocks
+                        .insert((k as u32, u.j), vec![0.0; h * u.cols.len()]);
+                }
+            }
+        }
+        // scatter owned entries of A
+        for (i, j, v) in a.iter() {
+            let (ib, jb) = (st.block_of[i] as usize, st.block_of[j] as usize);
+            if jb % grid.pc != cno || ib % grid.pr != rno {
+                continue;
+            }
+            st.write_entry(ib, jb, i, j, v);
+        }
+        st
+    }
+
+    fn lo(&self, b: usize) -> usize {
+        self.pattern.part.start(b)
+    }
+
+    fn width(&self, b: usize) -> usize {
+        self.pattern.part.width(b)
+    }
+
+    /// L block's present rows (global ids) from the pattern.
+    fn l_rows(&self, i: usize, j: usize) -> &[u32] {
+        &self.pattern.l_block(i, j).expect("L block in pattern").rows
+    }
+
+    /// U block's present cols (global ids) from the pattern.
+    fn u_cols(&self, k: usize, j: usize) -> &[u32] {
+        &self.pattern.u_block(k, j).expect("U block in pattern").cols
+    }
+
+    fn write_entry(&mut self, ib: usize, jb: usize, i: usize, j: usize, v: f64) {
+        use std::cmp::Ordering::*;
+        let w = self.width(jb);
+        match ib.cmp(&jb) {
+            Equal => {
+                let (li, lj) = (i - self.lo(ib), j - self.lo(jb));
+                self.blocks.get_mut(&(ib as u32, jb as u32)).unwrap()[li + lj * w] = v;
+            }
+            Greater => {
+                let rows = self.pattern.l_block(ib, jb).unwrap().rows.clone();
+                let p = rows.binary_search(&(i as u32)).expect("row in L mask");
+                let lj = j - self.lo(jb);
+                self.blocks.get_mut(&(ib as u32, jb as u32)).unwrap()[p + lj * rows.len()] = v;
+            }
+            Less => {
+                let cols = self.pattern.u_block(ib, jb).unwrap().cols.clone();
+                let p = cols.binary_search(&(j as u32)).expect("col in U mask");
+                let h = self.width(ib);
+                let li = i - self.lo(ib);
+                self.blocks.get_mut(&(ib as u32, jb as u32)).unwrap()[li + p * h] = v;
+            }
+        }
+    }
+
+    /// Read global row `g`'s subrow within column block `j` as a
+    /// full-width vector (zeros at non-mask positions). The block must be
+    /// owned; returns zeros if the block is structurally absent.
+    fn read_row_full(&self, j: usize, g: usize) -> Vec<f64> {
+        let w = self.width(j);
+        let mut out = vec![0.0; w];
+        let ib = self.block_of[g] as usize;
+        self.read_row_into(ib, j, g, &mut out);
+        out
+    }
+
+    fn read_row_into(&self, ib: usize, j: usize, g: usize, out: &mut [f64]) {
+        use std::cmp::Ordering::*;
+        let w = self.width(j);
+        let lo_j = self.lo(j);
+        match ib.cmp(&j) {
+            Equal => {
+                if let Some(p) = self.blocks.get(&(ib as u32, j as u32)) {
+                    let li = g - self.lo(ib);
+                    for c in 0..w {
+                        out[c] = p[li + c * w];
+                    }
+                }
+            }
+            Greater => {
+                if let Some(p) = self.blocks.get(&(ib as u32, j as u32)) {
+                    let rows = self.l_rows(ib, j);
+                    let rp = rows.binary_search(&(g as u32)).expect("row in mask");
+                    for c in 0..w {
+                        out[c] = p[rp + c * rows.len()];
+                    }
+                }
+            }
+            Less => {
+                if let Some(p) = self.blocks.get(&(ib as u32, j as u32)) {
+                    let cols = self.u_cols(ib, j);
+                    let h = self.width(ib);
+                    let li = g - self.lo(ib);
+                    for (cp, &gc) in cols.iter().enumerate() {
+                        out[gc as usize - lo_j] = p[li + cp * h];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Write a full-width subrow into global row `g` of column block `j`
+    /// (only mask positions are written; in debug builds, non-mask values
+    /// must be zero per the padding invariant).
+    fn write_row_full(&mut self, j: usize, g: usize, vals: &[f64]) {
+        use std::cmp::Ordering::*;
+        let w = self.width(j);
+        let lo_j = self.lo(j);
+        debug_assert_eq!(vals.len(), w);
+        let ib = self.block_of[g] as usize;
+        match ib.cmp(&j) {
+            Equal => {
+                let li = g - self.lo(ib);
+                if let Some(p) = self.blocks.get_mut(&(ib as u32, j as u32)) {
+                    for c in 0..w {
+                        p[li + c * w] = vals[c];
+                    }
+                }
+            }
+            Greater => {
+                let rows = self.l_rows(ib, j).to_vec();
+                if let Some(p) = self.blocks.get_mut(&(ib as u32, j as u32)) {
+                    let rp = rows.binary_search(&(g as u32)).expect("row in mask");
+                    for c in 0..w {
+                        p[rp + c * rows.len()] = vals[c];
+                    }
+                }
+            }
+            Less => {
+                let cols = self.u_cols(ib, j).to_vec();
+                let h = self.width(ib);
+                let li = g - self.lo(ib);
+                if let Some(p) = self.blocks.get_mut(&(ib as u32, j as u32)) {
+                    let mut mask_pos = 0usize;
+                    for (c, &v) in vals.iter().enumerate() {
+                        let gc = (lo_j + c) as u32;
+                        if mask_pos < cols.len() && cols[mask_pos] == gc {
+                            p[li + mask_pos * h] = v;
+                            mask_pos += 1;
+                        } else {
+                            debug_assert!(v == 0.0, "nonzero outside U mask at col {gc}");
+                        }
+                    }
+                } else {
+                    debug_assert!(
+                        vals.iter().all(|&v| v == 0.0),
+                        "nonzero subrow into absent block ({ib},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Whether this processor owns any storage for row `g` in column
+    /// block `j` (i.e. owns block `(block_of(g), j)` and it exists).
+    fn owns_row(&self, j: usize, g: usize) -> Option<usize> {
+        let ib = self.block_of[g] as usize;
+        if ib % self.grid.pr != self.rno || j % self.grid.pc != self.cno {
+            return None;
+        }
+        Some(ib)
+    }
+
+    fn block_exists(&self, ib: usize, j: usize) -> bool {
+        use std::cmp::Ordering::*;
+        match ib.cmp(&j) {
+            Equal => true,
+            Greater => self.pattern.l_block(ib, j).is_some(),
+            Less => self.pattern.u_block(ib, j).is_some(),
+        }
+    }
+}
+
+/// Factor `a` (already preprocessed) on a `grid` of thread-processors
+/// with classic partial pivoting.
+pub fn factor_par2d(
+    a: &splu_sparse::CscMatrix,
+    pattern: Arc<BlockPattern>,
+    grid: Grid,
+    mode: Sync2d,
+) -> Par2dResult {
+    factor_par2d_opts(a, pattern, grid, mode, 1.0)
+}
+
+/// 2D factorization with threshold pivoting (`threshold = 1.0` is classic
+/// partial pivoting; see [`crate::seq::factor_sequential_opts`]).
+pub fn factor_par2d_opts(
+    a: &splu_sparse::CscMatrix,
+    pattern: Arc<BlockPattern>,
+    grid: Grid,
+    mode: Sync2d,
+    threshold: f64,
+) -> Par2dResult {
+    assert!(threshold > 0.0 && threshold <= 1.0);
+    let nb = pattern.nblocks();
+    let clock = AtomicU64::new(0);
+    let barrier = Barrier::new(grid.nprocs());
+
+    let t0 = std::time::Instant::now();
+    type RankOut = (
+        Vec<((u32, u32), Vec<f64>)>,
+        Vec<(usize, Vec<u32>)>,
+        FactorStats,
+        u64,
+        Vec<UpdateInterval>,
+    );
+    let (outs, comm): (Vec<RankOut>, _) = run_machine(grid.nprocs(), |mut ctx: ProcCtx| {
+        let mut st = Store2d::new(a, pattern.clone(), grid, ctx.rank);
+        let (_rno, cno) = (st.rno, st.cno);
+        let mut stats = FactorStats::default();
+        let mut pivseqs: Vec<Option<Arc<Vec<u32>>>> = vec![None; nb];
+        let mut intervals: Vec<UpdateInterval> = Vec::new();
+        // caches of received panels
+        let mut lpanels: HashMap<(usize, usize), Message> = HashMap::new(); // (k, i)
+        let mut urows: HashMap<(usize, usize), Message> = HashMap::new(); // (k, j)
+        let mut temp: Vec<f64> = Vec::new();
+
+        if nb > 0 && cno == 0 {
+            let piv = factor2d(&mut ctx, &mut st, 0, threshold, &mut stats);
+            pivseqs[0] = Some(Arc::new(piv));
+        }
+        for k in 0..nb {
+            scale_swap(&mut ctx, &mut st, k, &mut pivseqs, &mut lpanels, &mut stats);
+            let next = k + 1;
+            if next < nb && next % grid.pc == cno {
+                if pattern.u_block(k, next).is_some() {
+                    update2d(
+                        &mut ctx, &mut st, k, next, &mut lpanels, &mut urows, &mut temp,
+                        &mut stats, &clock, &mut intervals,
+                    );
+                }
+                let piv = factor2d(&mut ctx, &mut st, next, threshold, &mut stats);
+                pivseqs[next] = Some(Arc::new(piv));
+            }
+            for u in &pattern.u_blocks[k] {
+                let j = u.j as usize;
+                if j >= k + 2 && j % grid.pc == cno {
+                    update2d(
+                        &mut ctx, &mut st, k, j, &mut lpanels, &mut urows, &mut temp,
+                        &mut stats, &clock, &mut intervals,
+                    );
+                }
+            }
+            if mode == Sync2d::Barrier {
+                barrier.wait();
+            }
+        }
+
+        let blocks: Vec<((u32, u32), Vec<f64>)> = st.blocks.into_iter().collect();
+        let pivs: Vec<(usize, Vec<u32>)> = pivseqs
+            .into_iter()
+            .enumerate()
+            .filter_map(|(k, p)| p.map(|p| (k, p.as_ref().clone())))
+            .collect();
+        (blocks, pivs, stats, ctx.max_pending_bytes, intervals)
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    // ---- host-side reassembly into packed ColBlock storage ----
+    let mut blocks = BlockMatrix::from_csc_filtered(a, pattern.clone(), |_| true);
+    // zero it first: we overwrite every stored panel from rank data
+    for cb in &mut blocks.cols {
+        cb.diag.fill(0.0);
+        cb.lpanel.fill(0.0);
+        for ub in &mut cb.ublocks {
+            ub.panel.fill(0.0);
+        }
+    }
+    let mut pivots: Vec<Vec<u32>> = vec![Vec::new(); nb];
+    let mut merged = FactorStats::default();
+    let mut peaks = Vec::new();
+    let mut all_intervals = Vec::new();
+    for (bks, pivs, stats, peak, ivs) in outs {
+        for ((i, j), panel) in bks {
+            let (i, j) = (i as usize, j as usize);
+            let cb = &mut blocks.cols[j];
+            use std::cmp::Ordering::*;
+            match i.cmp(&j) {
+                Equal => cb.diag.copy_from_slice(&panel),
+                Greater => {
+                    // locate the segment
+                    let seg = cb
+                        .lsegs
+                        .iter()
+                        .find(|s| s.iblock as usize == i)
+                        .expect("segment");
+                    let (s0, sl) = (seg.start as usize, seg.len as usize);
+                    let ld = cb.lrows.len();
+                    let w = cb.w as usize;
+                    for c in 0..w {
+                        cb.lpanel[s0 + c * ld..s0 + sl + c * ld]
+                            .copy_from_slice(&panel[c * sl..(c + 1) * sl]);
+                    }
+                }
+                Less => {
+                    let ub_idx = cb
+                        .ublocks
+                        .binary_search_by_key(&(i as u32), |u| u.k)
+                        .expect("ublock");
+                    cb.ublocks[ub_idx].panel.copy_from_slice(&panel);
+                }
+            }
+        }
+        for (k, p) in pivs {
+            if pivots[k].is_empty() {
+                pivots[k] = p;
+            }
+        }
+        merged.factor_tasks += stats.factor_tasks;
+        merged.update_tasks += stats.update_tasks;
+        merged.row_interchanges += stats.row_interchanges;
+        merged.gemm_flops += stats.gemm_flops;
+        merged.other_flops += stats.other_flops;
+        peaks.push(peak);
+        all_intervals.extend(ivs);
+    }
+    Par2dResult {
+        blocks,
+        pivots,
+        stats: merged,
+        elapsed,
+        comm,
+        peak_buffer_bytes: peaks,
+        intervals: all_intervals,
+    }
+}
+
+/// `Factor(k)` for the 2D code (Fig. 13): cooperative panel factorization
+/// by the processors of grid column `k mod p_c`. Returns the pivot
+/// sequence (identical on every participating processor).
+fn factor2d(
+    ctx: &mut ProcCtx,
+    st: &mut Store2d,
+    k: usize,
+    threshold: f64,
+    stats: &mut FactorStats,
+) -> Vec<u32> {
+    let grid = st.grid;
+    let (rno, cno) = (st.rno, st.cno);
+    debug_assert_eq!(cno, k % grid.pc);
+    // statistics are counted once per task, on the diagonal owner, so the
+    // merged numbers match the sequential code
+    if rno == k % grid.pr {
+        stats.factor_tasks += 1;
+    }
+    let w = st.width(k);
+    let lo = st.lo(k);
+    let diag_rno = k % grid.pr;
+    let i_am_diag = rno == diag_rno;
+    let mut piv_seq: Vec<u32> = Vec::with_capacity(w);
+
+    // owned L blocks of column k (sorted by block id, hence by global row)
+    let my_lblocks: Vec<usize> = st
+        .pattern
+        .l_blocks[k]
+        .iter()
+        .filter(|l| (l.i as usize) % grid.pr == rno)
+        .map(|l| l.i as usize)
+        .collect();
+
+    for t in 0..w {
+        // ---- local candidate: (abs, is_diag, global row) ----
+        let mut cand_row = NONE_ROW;
+        let mut cand_abs = -1.0f64;
+        let mut cand_diag = false;
+        if i_am_diag {
+            let p = &st.blocks[&(k as u32, k as u32)];
+            for r in t..w {
+                let a = p[r + t * w].abs();
+                if a > cand_abs {
+                    cand_abs = a;
+                    cand_row = (lo + r) as u32;
+                    cand_diag = true;
+                }
+            }
+        }
+        for &i in &my_lblocks {
+            let rows = st.l_rows(i, k).to_vec();
+            let p = &st.blocks[&(i as u32, k as u32)];
+            for (rp, &g) in rows.iter().enumerate() {
+                let a = p[rp + t * rows.len()].abs();
+                if a > cand_abs {
+                    cand_abs = a;
+                    cand_row = g;
+                    cand_diag = false;
+                }
+            }
+        }
+
+        let (piv_global, piv_subrow, old_m_subrow) = if i_am_diag {
+            // collect remote candidates
+            let mut best_row = cand_row;
+            let mut best_abs = cand_abs.max(0.0);
+            let mut best_diag = cand_diag;
+            let mut best_subrow: Option<Vec<f64>> = None;
+            for _ in 0..grid.pr - 1 {
+                let m = ctx.recv(tag(K_CAND, k, t, 0));
+                let row = m.ints[0];
+                if row == NONE_ROW {
+                    continue;
+                }
+                let a = m.floats[t].abs();
+                // comparator: (abs desc, diag pref desc, global row asc);
+                // remote candidates are never diag rows.
+                let better = a > best_abs
+                    || (a == best_abs && !best_diag && (best_row == NONE_ROW || row < best_row));
+                if better {
+                    best_row = row;
+                    best_abs = a;
+                    best_diag = false;
+                    best_subrow = Some(m.floats.to_vec());
+                }
+            }
+            assert!(
+                best_row != NONE_ROW && best_abs > 0.0,
+                "no nonzero pivot in column {}",
+                lo + t
+            );
+            // threshold pivoting: keep the diagonal row when close enough
+            // to the maximum (the diagonal row lives on this processor)
+            let diag_abs = st.blocks[&(k as u32, k as u32)][t + t * w].abs();
+            if diag_abs > 0.0 && diag_abs >= threshold * best_abs {
+                best_row = (lo + t) as u32;
+                best_subrow = None;
+            }
+            // old row m (diag row t)
+            let old_m = st.read_row_full(k, lo + t);
+            let pivrow = match &best_subrow {
+                Some(v) => v.clone(),
+                None => st.read_row_full(k, best_row as usize),
+            };
+            // broadcast pivot decision + both subrows down the column
+            let mut floats = pivrow.clone();
+            floats.extend_from_slice(&old_m);
+            ctx.multicast(
+                grid.my_col(ctx.rank),
+                Message::new(tag(K_PIVROW, k, t, 0), vec![best_row], floats),
+            );
+            (best_row as usize, pivrow, old_m)
+        } else {
+            // ship local candidate subrow to the diag owner
+            let floats = if cand_row == NONE_ROW {
+                Vec::new()
+            } else {
+                st.read_row_full(k, cand_row as usize)
+            };
+            ctx.send(
+                grid.rank_of(diag_rno, cno),
+                Message::new(tag(K_CAND, k, t, 0), vec![cand_row], floats),
+            );
+            let m = ctx.recv(tag(K_PIVROW, k, t, 0));
+            let piv = m.ints[0] as usize;
+            (
+                piv,
+                m.floats[..w].to_vec(),
+                m.floats[w..2 * w].to_vec(),
+            )
+        };
+
+        // ---- apply the interchange to owned storage ----
+        let row_m = lo + t;
+        if piv_global != row_m {
+            if i_am_diag {
+                stats.row_interchanges += 1;
+            }
+            if i_am_diag {
+                st.write_row_full(k, row_m, &piv_subrow);
+            }
+            if st.owns_row(k, piv_global).is_some() {
+                st.write_row_full(k, piv_global, &old_m_subrow);
+            }
+        }
+        piv_seq.push(piv_global as u32);
+
+        // ---- scale + rank-1 update of owned rows ----
+        let pv = piv_subrow[t];
+        if i_am_diag {
+            let p = st.blocks.get_mut(&(k as u32, k as u32)).unwrap();
+            for r in (t + 1)..w {
+                p[r + t * w] /= pv;
+            }
+            for c in (t + 1)..w {
+                let u = piv_subrow[c];
+                if u != 0.0 {
+                    for r in (t + 1)..w {
+                        let l = p[r + t * w];
+                        p[r + c * w] -= l * u;
+                    }
+                }
+            }
+            stats.other_flops += ((w - t - 1) + 2 * (w - t - 1) * (w - t - 1)) as u64;
+        }
+        for &i in &my_lblocks {
+            let nrows = st.l_rows(i, k).len();
+            let p = st.blocks.get_mut(&(i as u32, k as u32)).unwrap();
+            for r in 0..nrows {
+                p[r + t * nrows] /= pv;
+            }
+            for c in (t + 1)..w {
+                let u = piv_subrow[c];
+                if u != 0.0 {
+                    for r in 0..nrows {
+                        let l = p[r + t * nrows];
+                        p[r + c * nrows] -= l * u;
+                    }
+                }
+            }
+            stats.other_flops += (nrows + 2 * nrows * (w - t - 1)) as u64;
+        }
+    }
+
+    // ---- multicast pivot sequence + owned L blocks along my grid row ----
+    let row_dests: Vec<usize> = grid.my_row(ctx.rank).collect();
+    ctx.multicast(
+        row_dests.iter().copied(),
+        Message::new(tag(K_PIVSEQ, k, 0, 0), piv_seq.clone(), Vec::new()),
+    );
+    if i_am_diag {
+        let p = st.blocks[&(k as u32, k as u32)].clone();
+        ctx.multicast(
+            row_dests.iter().copied(),
+            Message::new(tag(K_LPANEL, k, k, 0), Vec::new(), p),
+        );
+    }
+    for &i in &my_lblocks {
+        let p = st.blocks[&(i as u32, k as u32)].clone();
+        ctx.multicast(
+            row_dests.iter().copied(),
+            Message::new(tag(K_LPANEL, k, i, 0), Vec::new(), p),
+        );
+    }
+    piv_seq
+}
+
+/// `ScaleSwap(k)` (Fig. 14): receive the pivot sequence, apply the delayed
+/// row interchanges to owned trailing blocks, TRSM the owned `U_k,*`
+/// blocks and multicast them down the grid columns.
+fn scale_swap(
+    ctx: &mut ProcCtx,
+    st: &mut Store2d,
+    k: usize,
+    pivseqs: &mut [Option<Arc<Vec<u32>>>],
+    lpanels: &mut HashMap<(usize, usize), Message>,
+    stats: &mut FactorStats,
+) {
+    let grid = st.grid;
+    let (rno, cno) = (st.rno, st.cno);
+    let lo = st.lo(k);
+    let w = st.width(k);
+
+    // (02) pivot sequence
+    if pivseqs[k].is_none() {
+        let m = ctx.recv(tag(K_PIVSEQ, k, 0, 0));
+        pivseqs[k] = Some(m.ints.clone());
+    }
+    let piv = pivseqs[k].clone().unwrap();
+
+    // (03-06) delayed interchanges on owned trailing column blocks j > k
+    // in my processor column; lexicographic (j, t) order on all procs.
+    let my_js: Vec<usize> = st
+        .pattern
+        .u_blocks[k]
+        .iter()
+        .map(|u| u.j as usize)
+        .filter(|&j| j % grid.pc == cno)
+        .collect();
+    for &j in &my_js {
+        for (t, &pg) in piv.iter().enumerate() {
+            let row_m = lo + t;
+            let pg = pg as usize;
+            if pg == row_m {
+                continue;
+            }
+            let ib_m = k; // row m lives in row block k
+            let ib_r = st.block_of[pg] as usize;
+            let own_m = ib_m % grid.pr == rno;
+            let own_r = ib_r % grid.pr == rno;
+            let m_exists = st.block_exists(ib_m, j);
+            let r_exists = st.block_exists(ib_r, j);
+            match (own_m, own_r) {
+                (true, true) => {
+                    // local swap via full-width rows
+                    let a = if m_exists {
+                        st.read_row_full(j, row_m)
+                    } else {
+                        vec![0.0; st.width(j)]
+                    };
+                    let b = if r_exists {
+                        st.read_row_full(j, pg)
+                    } else {
+                        vec![0.0; st.width(j)]
+                    };
+                    if m_exists {
+                        st.write_row_full(j, row_m, &b);
+                    } else {
+                        debug_assert!(b.iter().all(|&v| v == 0.0));
+                    }
+                    if r_exists {
+                        st.write_row_full(j, pg, &a);
+                    } else {
+                        debug_assert!(a.iter().all(|&v| v == 0.0));
+                    }
+                }
+                (true, false) => {
+                    let partner = grid.rank_of(ib_r % grid.pr, cno);
+                    if m_exists {
+                        let a = st.read_row_full(j, row_m);
+                        ctx.send(partner, Message::new(tag(K_SWAP, k, t, j), vec![], a));
+                    }
+                    if r_exists {
+                        let m = ctx.recv(tag(K_SWAP, k, t, j));
+                        if m_exists {
+                            st.write_row_full(j, row_m, &m.floats);
+                        } else {
+                            debug_assert!(m.floats.iter().all(|&v| v == 0.0));
+                        }
+                    } else if m_exists {
+                        // partner has nothing; my row must be zero
+                        let a = st.read_row_full(j, row_m);
+                        debug_assert!(a.iter().all(|&v| v == 0.0));
+                    }
+                }
+                (false, true) => {
+                    let partner = grid.rank_of(ib_m % grid.pr, cno);
+                    if r_exists {
+                        let b = st.read_row_full(j, pg);
+                        ctx.send(partner, Message::new(tag(K_SWAP, k, t, j), vec![], b));
+                    }
+                    if m_exists {
+                        let m = ctx.recv(tag(K_SWAP, k, t, j));
+                        if r_exists {
+                            st.write_row_full(j, pg, &m.floats);
+                        } else {
+                            debug_assert!(m.floats.iter().all(|&v| v == 0.0));
+                        }
+                    } else if r_exists {
+                        let b = st.read_row_full(j, pg);
+                        debug_assert!(b.iter().all(|&v| v == 0.0));
+                    }
+                }
+                (false, false) => {}
+            }
+        }
+    }
+
+    // (07-10) TRSM owned U_kj blocks with L_kk, multicast down the column
+    if rno == k % grid.pr && !my_js.is_empty() {
+        // need L_kk
+        let diag_key = (k as u32, k as u32);
+        let lkk: Vec<f64> = if st.blocks.contains_key(&diag_key) {
+            st.blocks[&diag_key].clone()
+        } else {
+            let m = lpanels
+                .entry((k, k))
+                .or_insert_with(|| ctx.recv(tag(K_LPANEL, k, k, 0)));
+            m.floats.to_vec()
+        };
+        for &j in &my_js {
+            let ncols = st.u_cols(k, j).len();
+            let p = st.blocks.get_mut(&(k as u32, j as u32)).unwrap();
+            dtrsm_left_lower_unit(w, ncols, &lkk, w, p, w);
+            stats.other_flops += (w * w * ncols) as u64;
+            // multicast down my grid column
+            let msg = Message::new(tag(K_UROW, k, j, 0), vec![], p.clone());
+            ctx.multicast(grid.my_col(ctx.rank), msg);
+        }
+    }
+}
+
+/// `Update2D(k, j)` (Fig. 15): update owned blocks `A_ij` using `L_ik`
+/// (row multicast) and `U_kj` (column multicast).
+#[allow(clippy::too_many_arguments)]
+fn update2d(
+    ctx: &mut ProcCtx,
+    st: &mut Store2d,
+    k: usize,
+    j: usize,
+    lpanels: &mut HashMap<(usize, usize), Message>,
+    urows: &mut HashMap<(usize, usize), Message>,
+    temp: &mut Vec<f64>,
+    stats: &mut FactorStats,
+    clock: &AtomicU64,
+    intervals: &mut Vec<UpdateInterval>,
+) {
+    let grid = st.grid;
+    let (rno, cno) = (st.rno, st.cno);
+    debug_assert_eq!(cno, j % grid.pc);
+    stats.update_tasks += 1;
+    let start = clock.fetch_add(1, Ordering::Relaxed);
+
+    // my destination row blocks: L rows of column k in row blocks ≡ rno
+    let my_segs: Vec<(usize, Vec<u32>)> = st
+        .pattern
+        .l_blocks[k]
+        .iter()
+        .filter(|l| (l.i as usize) % grid.pr == rno)
+        .map(|l| (l.i as usize, l.rows.clone()))
+        .collect();
+    if my_segs.is_empty() {
+        let end = clock.fetch_add(1, Ordering::Relaxed);
+        intervals.push(UpdateInterval {
+            stage: k as u32,
+            proc_col: cno as u32,
+            start,
+            end,
+        });
+        return;
+    }
+
+    // U_kj: local if I own it, else column multicast from (k mod pr, cno)
+    let wk = st.width(k);
+    let u_cols = st.u_cols(k, j).to_vec();
+    let nuc = u_cols.len();
+    let u_panel: Vec<f64> = if rno == k % grid.pr {
+        st.blocks[&(k as u32, j as u32)].clone()
+    } else {
+        let m = urows
+            .entry((k, j))
+            .or_insert_with(|| ctx.recv(tag(K_UROW, k, j, 0)));
+        m.floats.to_vec()
+    };
+
+    let lo_j = st.lo(j);
+    let wj = st.width(j);
+
+    for (i, rows) in &my_segs {
+        let i = *i;
+        let mrows = rows.len();
+        // L_ik: local if cno == k mod pc, else row multicast
+        let l_local = i as u32;
+        let l_panel: Vec<f64> = if cno == k % grid.pc {
+            st.blocks[&(l_local, k as u32)].clone()
+        } else {
+            let m = lpanels
+                .entry((k, i))
+                .or_insert_with(|| ctx.recv(tag(K_LPANEL, k, i, 0)));
+            m.floats.to_vec()
+        };
+        temp.clear();
+        temp.resize(mrows * nuc, 0.0);
+        dgemm(
+            mrows, nuc, wk, 1.0, &l_panel, mrows, &u_panel, wk, 0.0, temp, mrows,
+        );
+        stats.gemm_flops += (2 * mrows * nuc * wk) as u64;
+
+        // scatter-subtract into destination block (i, j)
+        use std::cmp::Ordering::*;
+        match i.cmp(&j) {
+            Equal => {
+                let dest = st.blocks.get_mut(&(i as u32, j as u32)).unwrap();
+                for (cp, &gc) in u_cols.iter().enumerate() {
+                    let dc = gc as usize - lo_j;
+                    for (rp, &g) in rows.iter().enumerate() {
+                        dest[(g as usize - lo_j) + dc * wj] -= temp[rp + cp * mrows];
+                    }
+                }
+            }
+            Greater => {
+                // a padded source row may be absent from the destination
+                // mask; its contribution is exactly zero and is skipped
+                let Some(lb) = st.pattern.l_block(i, j) else {
+                    debug_assert!(temp.iter().all(|&v| v == 0.0));
+                    continue;
+                };
+                let drows = lb.rows.clone();
+                let dest = st.blocks.get_mut(&(i as u32, j as u32)).unwrap();
+                let ldd = drows.len();
+                let mut rowmap: Vec<u32> = Vec::with_capacity(rows.len());
+                crate::seq::merge_positions(rows, &drows, &mut rowmap);
+                for (cp, &gc) in u_cols.iter().enumerate() {
+                    let dc = gc as usize - lo_j;
+                    for (rp, &dr) in rowmap.iter().enumerate() {
+                        if dr != u32::MAX {
+                            dest[dr as usize + dc * ldd] -= temp[rp + cp * mrows];
+                        } else {
+                            debug_assert_eq!(temp[rp + cp * mrows], 0.0);
+                        }
+                    }
+                }
+            }
+            Less => {
+                let Some(ub) = st.pattern.u_block(i, j) else {
+                    debug_assert!(temp.iter().all(|&v| v == 0.0));
+                    continue;
+                };
+                let dcols = ub.cols.clone();
+                let h = st.width(i);
+                let lo_i = st.lo(i);
+                let dest = st.blocks.get_mut(&(i as u32, j as u32)).unwrap();
+                let mut colmap: Vec<u32> = Vec::with_capacity(u_cols.len());
+                crate::seq::merge_positions(&u_cols, &dcols, &mut colmap);
+                for (cp, &dc) in colmap.iter().enumerate() {
+                    if dc == u32::MAX {
+                        debug_assert!(
+                            temp[cp * mrows..(cp + 1) * mrows].iter().all(|&v| v == 0.0)
+                        );
+                        continue;
+                    }
+                    for (rp, &g) in rows.iter().enumerate() {
+                        dest[(g as usize - lo_i) + dc as usize * h] -= temp[rp + cp * mrows];
+                    }
+                }
+            }
+        }
+    }
+    let end = clock.fetch_add(1, Ordering::Relaxed);
+    intervals.push(UpdateInterval {
+        stage: k as u32,
+        proc_col: cno as u32,
+        start,
+        end,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::factor_sequential;
+    use crate::solve::solve_factored;
+    use splu_sparse::gen::{self, ValueModel};
+    use splu_symbolic::{amalgamate, partition_supernodes, static_symbolic_factorization};
+
+    fn pattern_for(a: &splu_sparse::CscMatrix, r: usize, bsize: usize) -> Arc<BlockPattern> {
+        let s = static_symbolic_factorization(a);
+        let base = partition_supernodes(&s, bsize);
+        let part = amalgamate(&s, &base, r, bsize);
+        Arc::new(BlockPattern::build(&s, &part))
+    }
+
+    fn check_matches_sequential(a: &splu_sparse::CscMatrix, grid: Grid, mode: Sync2d) {
+        let pattern = pattern_for(a, 4, 6);
+        let mut seq = BlockMatrix::from_csc(a, pattern.clone());
+        let (piv_seq, _) = factor_sequential(&mut seq).unwrap();
+        let par = factor_par2d(a, pattern, grid, mode);
+        assert_eq!(par.pivots, piv_seq, "pivot sequences must match");
+        let n = a.ncols();
+        for i in 0..n {
+            for j in 0..n {
+                let s = seq.get_entry(i, j);
+                let p = par.blocks.get_entry(i, j);
+                assert!(
+                    s == p,
+                    "entry ({i},{j}): sequential {s} vs 2D {p} (grid {}x{})",
+                    grid.pr,
+                    grid.pc
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_1x1() {
+        let a = gen::grid2d(6, 6, 0.4, ValueModel::default());
+        check_matches_sequential(&a, Grid::new(1, 1), Sync2d::Async);
+    }
+
+    #[test]
+    fn matches_sequential_various_grids_async() {
+        let a = gen::grid2d(6, 6, 0.4, ValueModel::default());
+        for (pr, pc) in [(1, 2), (2, 1), (2, 2), (2, 3), (3, 2)] {
+            check_matches_sequential(&a, Grid::new(pr, pc), Sync2d::Async);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_barrier_mode() {
+        let a = gen::grid2d(6, 6, 0.4, ValueModel::default());
+        check_matches_sequential(&a, Grid::new(2, 2), Sync2d::Barrier);
+    }
+
+    #[test]
+    fn random_matrix_2d_solve() {
+        let a = gen::random_sparse(80, 4, 0.5, ValueModel::default());
+        let pattern = pattern_for(&a, 4, 8);
+        let par = factor_par2d(&a, pattern, Grid::new(2, 2), Sync2d::Async);
+        let n = a.ncols();
+        let xt: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).cos()).collect();
+        let b = a.matvec(&xt);
+        let x = solve_factored(&par.blocks, &par.pivots, &b);
+        let err = x
+            .iter()
+            .zip(&xt)
+            .fold(0.0f64, |m, (p, q)| m.max((p - q).abs()));
+        assert!(err < 1e-7, "solve error {err}");
+    }
+
+    #[test]
+    fn overlap_degree_respects_theorem2_bound() {
+        let a = gen::grid2d(9, 9, 0.4, ValueModel::default());
+        let pattern = pattern_for(&a, 4, 4);
+        let grid = Grid::new(2, 3);
+        let par = factor_par2d(&a, pattern, grid, Sync2d::Async);
+        let d = par.overlap_degree();
+        assert!(
+            d as usize <= grid.pc,
+            "overlap degree {d} exceeds Theorem 2 bound p_c = {}",
+            grid.pc
+        );
+    }
+
+    #[test]
+    fn barrier_mode_has_zero_stage_overlap() {
+        let a = gen::grid2d(8, 8, 0.4, ValueModel::default());
+        let pattern = pattern_for(&a, 4, 4);
+        let par = factor_par2d(&a, pattern, Grid::new(2, 2), Sync2d::Barrier);
+        assert_eq!(par.overlap_degree(), 0);
+    }
+
+    #[test]
+    fn stats_match_sequential_counts() {
+        // cooperative Factor2d must not multi-count tasks/interchanges
+        // across the p_r processors of a grid column
+        let a = gen::grid2d(7, 7, 0.4, ValueModel::default());
+        let pattern = pattern_for(&a, 4, 6);
+        let mut seq = BlockMatrix::from_csc(&a, pattern.clone());
+        let (_, seq_stats) = factor_sequential(&mut seq).unwrap();
+        let par = factor_par2d(&a, pattern, Grid::new(2, 2), Sync2d::Async);
+        assert_eq!(par.stats.factor_tasks, seq_stats.factor_tasks);
+        assert_eq!(par.stats.row_interchanges, seq_stats.row_interchanges);
+    }
+
+    #[test]
+    fn communication_volume_counted() {
+        let a = gen::grid2d(7, 7, 0.3, ValueModel::default());
+        let pattern = pattern_for(&a, 4, 6);
+        let par = factor_par2d(&a, pattern, Grid::new(2, 2), Sync2d::Async);
+        assert!(par.comm.0 > 0);
+        assert_eq!(par.peak_buffer_bytes.len(), 4);
+    }
+}

@@ -1,0 +1,620 @@
+//! Sequential S\* factorization: the partitioned algorithm of Figs. 6–8.
+//!
+//! ```text
+//! for k = 1 to N
+//!     Factor(k)                       // panel factorization + pivoting
+//!     for j = k+1 to N with U_kj ≠ 0
+//!         Update(k, j)                // swap, DTRSM, DGEMM
+//! ```
+//!
+//! `Factor(k)` works on the packed (diag + L) panel of column block `k`
+//! with BLAS-1/2 (pivot search, scaling, rank-1 updates) and records the
+//! pivot sequence; the row interchanges for the rest of the matrix are
+//! *delayed* and applied per column block at the start of `Update(k, j)` —
+//! equivalent to aggregating many small messages into one in the parallel
+//! codes.
+
+use crate::storage::BlockMatrix;
+use splu_kernels::{dgemm, dger, dtrsm_left_lower_unit};
+
+/// Statistics of a numeric factorization run.
+#[derive(Debug, Clone, Default)]
+pub struct FactorStats {
+    /// Number of `Factor(k)` tasks executed.
+    pub factor_tasks: usize,
+    /// Number of `Update(k, j)` tasks executed.
+    pub update_tasks: usize,
+    /// Rows actually interchanged (pivot ≠ diagonal).
+    pub row_interchanges: usize,
+    /// Flops spent in full-block DGEMM updates.
+    pub gemm_flops: u64,
+    /// Flops spent in panel factorization + TRSM + scatter paths.
+    pub other_flops: u64,
+}
+
+impl FactorStats {
+    /// Fraction of update flops performed by DGEMM (the paper's `r`).
+    pub fn blas3_fraction(&self) -> f64 {
+        let t = self.gemm_flops + self.other_flops;
+        if t == 0 {
+            0.0
+        } else {
+            self.gemm_flops as f64 / t as f64
+        }
+    }
+}
+
+/// Error: no nonzero pivot available in some column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NumericalSingularity {
+    /// Global column at which elimination broke down.
+    pub column: usize,
+}
+
+impl std::fmt::Display for NumericalSingularity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no nonzero pivot in column {}", self.column)
+    }
+}
+
+impl std::error::Error for NumericalSingularity {}
+
+/// Factorize `m` in place with classic partial pivoting. On success
+/// returns the per-block pivot sequences (`pivots[k][t]` = global row
+/// interchanged with row `S(k) + t` at that step) and run statistics.
+pub fn factor_sequential(
+    m: &mut BlockMatrix,
+) -> Result<(Vec<Vec<u32>>, FactorStats), NumericalSingularity> {
+    factor_sequential_opts(m, 1.0)
+}
+
+/// Factorize with *threshold* pivoting: the diagonal candidate is kept
+/// whenever its magnitude is within `threshold` of the column maximum
+/// (`threshold = 1.0` is classic partial pivoting; smaller values reduce
+/// row movement — any candidate row is structurally safe, since the
+/// static prediction covers every pivot sequence).
+pub fn factor_sequential_opts(
+    m: &mut BlockMatrix,
+    threshold: f64,
+) -> Result<(Vec<Vec<u32>>, FactorStats), NumericalSingularity> {
+    assert!(threshold > 0.0 && threshold <= 1.0);
+    let nb = m.pattern.nblocks();
+    let mut stats = FactorStats::default();
+    let mut pivots: Vec<Vec<u32>> = Vec::with_capacity(nb);
+    let mut scratch = UpdateScratch::default();
+    for k in 0..nb {
+        let piv = factor_block_opts(m, k, threshold, &mut stats)?;
+        pivots.push(piv);
+        let targets: Vec<usize> = m.pattern.update_targets(k).collect();
+        for j in targets {
+            update_block(m, k, j, &pivots[k], &mut stats, &mut scratch);
+        }
+    }
+    Ok((pivots, stats))
+}
+
+/// `Factor(k)` (Fig. 7) with classic partial pivoting.
+pub fn factor_block(
+    m: &mut BlockMatrix,
+    k: usize,
+    stats: &mut FactorStats,
+) -> Result<Vec<u32>, NumericalSingularity> {
+    factor_block_opts(m, k, 1.0, stats)
+}
+
+/// `Factor(k)` (Fig. 7): factorize the panel of column block `k` with
+/// (threshold) partial pivoting; interchanges are applied to column block
+/// `k` itself immediately and recorded for delayed application elsewhere.
+pub fn factor_block_opts(
+    m: &mut BlockMatrix,
+    k: usize,
+    threshold: f64,
+    stats: &mut FactorStats,
+) -> Result<Vec<u32>, NumericalSingularity> {
+    stats.factor_tasks += 1;
+    let cb = &mut m.cols[k];
+    let w = cb.w as usize;
+    let lo = cb.lo as usize;
+    let nl = cb.lrows.len();
+    let mut piv_seq: Vec<u32> = Vec::with_capacity(w);
+
+    for t in 0..w {
+        // ---- pivot search over column t: diag rows t..w + all L rows ----
+        let mut best_abs = cb.diag[t + t * w].abs();
+        #[allow(unused_mut)]
+        let mut best: (bool, usize) = (true, t); // (in_diag, row)
+        for r in (t + 1)..w {
+            let a = cb.diag[r + t * w].abs();
+            if a > best_abs {
+                best_abs = a;
+                best = (true, r);
+            }
+        }
+        for r in 0..nl {
+            let a = cb.lpanel[r + t * nl].abs();
+            if a > best_abs {
+                best_abs = a;
+                best = (false, r);
+            }
+        }
+        if best_abs == 0.0 {
+            return Err(NumericalSingularity { column: lo + t });
+        }
+        // threshold pivoting: keep the diagonal when close enough to the max
+        let diag_abs = cb.diag[t + t * w].abs();
+        if diag_abs > 0.0 && diag_abs >= threshold * best_abs {
+            best = (true, t);
+        }
+        // ---- interchange within column block k (full rows) ----
+        let piv_global = match best {
+            (true, r) => lo + r,
+            (false, r) => cb.lrows[r] as usize,
+        };
+        piv_seq.push(piv_global as u32);
+        if piv_global != lo + t {
+            stats.row_interchanges += 1;
+            match best {
+                (true, r) => {
+                    for c in 0..w {
+                        cb.diag.swap(t + c * w, r + c * w);
+                    }
+                }
+                (false, r) => {
+                    for c in 0..w {
+                        std::mem::swap(&mut cb.diag[t + c * w], &mut cb.lpanel[r + c * nl]);
+                    }
+                }
+            }
+        }
+        // ---- scale column t below the pivot ----
+        let pv = cb.diag[t + t * w];
+        for r in (t + 1)..w {
+            cb.diag[r + t * w] /= pv;
+        }
+        for r in 0..nl {
+            cb.lpanel[r + t * nl] /= pv;
+        }
+        stats.other_flops += (w - t - 1 + nl) as u64;
+        // ---- rank-1 update of the remaining columns ----
+        if t + 1 < w {
+            let ncols = w - t - 1;
+            // diag part: rows t+1..w, cols t+1..w
+            let urow: Vec<f64> = (t + 1..w).map(|c| cb.diag[t + c * w]).collect();
+            let lcol: Vec<f64> = (t + 1..w).map(|r| cb.diag[r + t * w]).collect();
+            {
+                // A[t+1.., t+1..] -= lcol * urow
+                let mrows = w - t - 1;
+                // operate on subpanel of diag with offset
+                // column c (global local col) starts at (t+1) + c*w
+                for (ci, c) in (t + 1..w).enumerate() {
+                    let u = urow[ci];
+                    if u != 0.0 {
+                        let col = &mut cb.diag[(t + 1) + c * w..w + c * w];
+                        for (ri, e) in col.iter_mut().enumerate() {
+                            *e -= lcol[ri] * u;
+                        }
+                    }
+                }
+                stats.other_flops += (2 * mrows * ncols) as u64;
+            }
+            if nl > 0 {
+                // L panel part: all nl rows, cols t+1..w:
+                // lpanel[:, c] -= lpanel[:, t] * diag[t, c]
+                let (head, tail) = cb.lpanel.split_at_mut((t + 1) * nl);
+                let lt = &head[t * nl..(t + 1) * nl];
+                dger(
+                    nl,
+                    ncols,
+                    -1.0,
+                    lt,
+                    &urow,
+                    tail,
+                    nl,
+                );
+                stats.other_flops += (2 * nl * ncols) as u64;
+            }
+        }
+    }
+    Ok(piv_seq)
+}
+
+/// Scratch buffers reused across `Update` calls to avoid per-task
+/// allocation (per the perf-book guidance on workhorse collections).
+#[derive(Default)]
+pub struct UpdateScratch {
+    temp: Vec<f64>,
+    rowmap: Vec<u32>,
+    colmap: Vec<u32>,
+}
+
+/// A read-only view of a factored column block's panel — either borrowed
+/// from local storage or reconstructed from a received message (the
+/// parallel codes' delayed-pivoting aggregated message carries exactly
+/// this: diag panel ++ L panel, plus the pivot sequence).
+pub struct PanelRef<'a> {
+    /// `w × w` diagonal panel (unit-lower L in the strict lower part).
+    pub diag: &'a [f64],
+    /// Packed L panel (`lrows.len() × w`, ld = lrows.len()).
+    pub lpanel: &'a [f64],
+    /// Global rows of the packed panel.
+    pub lrows: &'a [u32],
+    /// Segments of the packed panel per row block.
+    pub lsegs: &'a [crate::storage::LSeg],
+    /// Block width.
+    pub w: usize,
+}
+
+/// `Update(k, j)` using the locally stored panel of block `k`.
+pub fn update_block(
+    m: &mut BlockMatrix,
+    k: usize,
+    j: usize,
+    piv_seq: &[u32],
+    stats: &mut FactorStats,
+    scratch: &mut UpdateScratch,
+) {
+    // borrow dance: temporarily move column k's storage out so we can
+    // mutate column j while reading column k
+    let ck = std::mem::replace(
+        &mut m.cols[k],
+        crate::storage::ColBlock {
+            lo: 0,
+            w: 0,
+            diag: Vec::new(),
+            lrows: Arc::new(Vec::new()),
+            lpanel: Vec::new(),
+            lsegs: Vec::new(),
+            ublocks: Vec::new(),
+        },
+    );
+    let panel = PanelRef {
+        diag: &ck.diag,
+        lpanel: &ck.lpanel,
+        lrows: &ck.lrows,
+        lsegs: &ck.lsegs,
+        w: ck.w as usize,
+    };
+    update_block_with_panel(m, k, j, &panel, piv_seq, stats, scratch);
+    m.cols[k] = ck;
+}
+
+use std::sync::Arc;
+
+/// `Update(k, j)` (Fig. 8): apply the delayed interchanges of block `k` to
+/// column block `j`, triangular-solve `U_kj := L_kk⁻¹ U_kj`, then
+/// `A_ij -= L_ik · U_kj` for every nonzero `L_ik`. The factored panel of
+/// block `k` is supplied explicitly (local or received).
+pub fn update_block_with_panel(
+    m: &mut BlockMatrix,
+    k: usize,
+    j: usize,
+    panel: &PanelRef<'_>,
+    piv_seq: &[u32],
+    stats: &mut FactorStats,
+    scratch: &mut UpdateScratch,
+) {
+    stats.update_tasks += 1;
+    debug_assert!(k < j);
+    let lo_k = m.pattern.part.start(k);
+
+    // ---- 1. delayed row interchanges ----
+    for (t, &piv) in piv_seq.iter().enumerate() {
+        let row = lo_k + t;
+        if piv as usize != row {
+            m.swap_rows(j, row, piv as usize);
+        }
+    }
+
+    // ---- 2. U_kj := L_kk⁻¹ U_kj (unit-lower triangular solve) ----
+    let wk = panel.w;
+    debug_assert_eq!(wk, m.pattern.part.width(k));
+    // locate U block (k) in column block j
+    let Some(ub_idx) = m.cols[j]
+        .ublocks
+        .binary_search_by_key(&(k as u32), |u| u.k)
+        .ok()
+    else {
+        // U_kj may be numerically absent only if the pattern says so;
+        // callers only invoke update_block for present blocks.
+        panic!("update_block({k},{j}) called without a U block");
+    };
+    {
+        let ub = &mut m.cols[j].ublocks[ub_idx];
+        let ncols = ub.cols.len();
+        dtrsm_left_lower_unit(wk, ncols, panel.diag, wk, &mut ub.panel, wk);
+        stats.other_flops += (wk * wk * ncols) as u64;
+    }
+
+    // ---- 3. A_ij -= L_ik · U_kj for each L segment of block k ----
+    // The source U panel is cloned into scratch once: destinations can be
+    // other U blocks of the same column block, and the borrow checker
+    // cannot see they never alias U_kj itself.
+    let (u_cols, u_panel_copy, wk_h) = {
+        let ub = &m.cols[j].ublocks[ub_idx];
+        (ub.cols.clone(), ub.panel.clone(), ub.h as usize)
+    };
+    let nuc = u_cols.len();
+    if nuc == 0 {
+        return;
+    }
+
+    let nl = panel.lrows.len();
+    let lo_j = m.pattern.part.start(j);
+    let wj = m.pattern.part.width(j);
+
+    for seg in panel.lsegs {
+        let i = seg.iblock as usize;
+        let rows = &panel.lrows[seg.start as usize..(seg.start + seg.len) as usize];
+        let mrows = rows.len();
+        // temp = L_seg (mrows × wk) · U_kj (wk × nuc)
+        scratch.temp.clear();
+        scratch.temp.resize(mrows * nuc, 0.0);
+        {
+            // L segment is rows seg.start.. of lpanel (ld = nl)
+            let a = &panel.lpanel[seg.start as usize..];
+            dgemm(
+                mrows,
+                nuc,
+                wk_h,
+                1.0,
+                a,
+                nl,
+                &u_panel_copy,
+                wk_h,
+                0.0,
+                &mut scratch.temp,
+                mrows,
+            );
+        }
+        stats.gemm_flops += (2 * mrows * nuc * wk_h) as u64;
+
+        // scatter-subtract temp into destination block (i, j)
+        use std::cmp::Ordering::*;
+        match i.cmp(&j) {
+            Equal => {
+                // destination: diagonal panel of j; dest row = g - lo_j,
+                // dest col = global col - lo_j
+                let cj = &mut m.cols[j];
+                for (cpos, &gc) in u_cols.iter().enumerate() {
+                    let dc = gc as usize - lo_j;
+                    let tcol = &scratch.temp[cpos * mrows..(cpos + 1) * mrows];
+                    for (rpos, &g) in rows.iter().enumerate() {
+                        let dr = g as usize - lo_j;
+                        cj.diag[dr + dc * wj] -= tcol[rpos];
+                    }
+                }
+            }
+            Greater => {
+                // destination: packed L panel of column j. With
+                // amalgamation, a padded source row may have no slot in
+                // the destination mask — its contribution is provably
+                // exactly zero (padding never turns nonzero), so it is
+                // skipped (and checked in debug builds).
+                let cj = &mut m.cols[j];
+                let ldd = cj.lrows.len();
+                scratch.rowmap.clear();
+                merge_positions(rows, &cj.lrows, &mut scratch.rowmap);
+                for (cpos, &gc) in u_cols.iter().enumerate() {
+                    let dc = gc as usize - lo_j;
+                    let tcol = &scratch.temp[cpos * mrows..(cpos + 1) * mrows];
+                    let dcol = &mut cj.lpanel[dc * ldd..(dc + 1) * ldd];
+                    for (rpos, &dp) in scratch.rowmap.iter().enumerate() {
+                        if dp != u32::MAX {
+                            dcol[dp as usize] -= tcol[rpos];
+                        } else {
+                            debug_assert_eq!(tcol[rpos], 0.0, "nonzero into missing L row");
+                        }
+                    }
+                }
+            }
+            Less => {
+                // destination: U block (i, j) — full height, masked cols.
+                // The whole block (or individual columns) may be absent
+                // for pure-padding contributions, which are exactly zero.
+                let cj = &mut m.cols[j];
+                let Ok(db) = cj.ublocks.binary_search_by_key(&(i as u32), |u| u.k) else {
+                    debug_assert!(
+                        scratch.temp.iter().all(|&v| v == 0.0),
+                        "nonzero update into absent U block ({i},{j})"
+                    );
+                    continue;
+                };
+                let dest = &mut cj.ublocks[db];
+                let ldd = dest.h as usize;
+                let lo_i = dest.lo_k as usize;
+                scratch.colmap.clear();
+                merge_positions(&u_cols, &dest.cols, &mut scratch.colmap);
+                for (cpos, &dcp) in scratch.colmap.iter().enumerate() {
+                    let tcol = &scratch.temp[cpos * mrows..(cpos + 1) * mrows];
+                    if dcp == u32::MAX {
+                        debug_assert!(
+                            tcol.iter().all(|&v| v == 0.0),
+                            "nonzero into missing U col"
+                        );
+                        continue;
+                    }
+                    let dcol =
+                        &mut dest.panel[dcp as usize * ldd..(dcp as usize + 1) * ldd];
+                    for (rpos, &g) in rows.iter().enumerate() {
+                        dcol[g as usize - lo_i] -= tcol[rpos];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// For each element of `needles` (sorted), its position in `haystack`
+/// (sorted), or `u32::MAX` if absent. Linear merge.
+pub(crate) fn merge_positions(needles: &[u32], haystack: &[u32], out: &mut Vec<u32>) {
+    let mut p = 0usize;
+    for &g in needles {
+        while p < haystack.len() && haystack[p] < g {
+            p += 1;
+        }
+        if p < haystack.len() && haystack[p] == g {
+            out.push(p as u32);
+            p += 1;
+        } else {
+            out.push(u32::MAX);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::BlockMatrix;
+    use splu_sparse::gen::{self, ValueModel};
+    use splu_symbolic::{
+        amalgamate, partition_supernodes, static_symbolic_factorization, BlockPattern,
+    };
+    use std::sync::Arc;
+
+    pub(crate) fn build(a: &splu_sparse::CscMatrix, r: usize, bsize: usize) -> BlockMatrix {
+        let s = static_symbolic_factorization(a);
+        let base = partition_supernodes(&s, bsize);
+        let part = amalgamate(&s, &base, r, bsize);
+        let bp = Arc::new(BlockPattern::build(&s, &part));
+        BlockMatrix::from_csc(a, bp)
+    }
+
+    /// Reference: dense GEPP with block-delayed interchanges — at step `k`
+    /// the pivot row is swapped over columns `S(b)..n` where `b` is `k`'s
+    /// block (full rows within the current column block, per Fig. 7 line
+    /// 04; delayed/trailing for the rest). Produces the same working array
+    /// the block code produces (same pivot rule).
+    fn gepp_trailing(
+        a: &splu_kernels::DenseMat,
+        starts: &[usize],
+    ) -> (splu_kernels::DenseMat, Vec<u32>) {
+        let n = a.nrows();
+        let block_start_of = {
+            let mut v = vec![0usize; n];
+            for b in 0..starts.len() - 1 {
+                for k in starts[b]..starts[b + 1] {
+                    v[k] = starts[b];
+                }
+            }
+            v
+        };
+        let mut w = a.clone();
+        let mut piv = Vec::with_capacity(n);
+        for k in 0..n {
+            let mut p = k;
+            for i in (k + 1)..n {
+                if w[(i, k)].abs() > w[(p, k)].abs() {
+                    p = i;
+                }
+            }
+            piv.push(p as u32);
+            if p != k {
+                for j in block_start_of[k]..n {
+                    let t = w[(k, j)];
+                    w[(k, j)] = w[(p, j)];
+                    w[(p, j)] = t;
+                }
+            }
+            let d = w[(k, k)];
+            for i in (k + 1)..n {
+                w[(i, k)] /= d;
+            }
+            for j in (k + 1)..n {
+                let u = w[(k, j)];
+                if u != 0.0 {
+                    for i in (k + 1)..n {
+                        let l = w[(i, k)];
+                        w[(i, j)] -= l * u;
+                    }
+                }
+            }
+        }
+        (w, piv)
+    }
+
+    fn check_against_dense(a: &splu_sparse::CscMatrix, r: usize, bsize: usize) {
+        let n = a.ncols();
+        let mut m = build(a, r, bsize);
+        let starts = m.pattern.part.starts.clone();
+        let (pivots, _stats) = factor_sequential(&mut m).expect("factorization");
+        let (wref, pivref) = gepp_trailing(&a.to_dense(), &starts);
+        // same pivot sequence
+        let flat: Vec<u32> = pivots.iter().flatten().copied().collect();
+        assert_eq!(flat.len(), n);
+        for k in 0..n {
+            assert_eq!(flat[k], pivref[k], "pivot at step {k}");
+        }
+        // same factors (within roundoff)
+        let scale = wref.max_abs().max(1.0);
+        for i in 0..n {
+            for j in 0..n {
+                let got = m.get_entry(i, j);
+                let want = wref[(i, j)];
+                assert!(
+                    (got - want).abs() <= 1e-11 * scale,
+                    "entry ({i},{j}): got {got}, want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_small_matches_reference() {
+        let a = gen::dense_random(17, ValueModel::default());
+        check_against_dense(&a, 0, 5);
+    }
+
+    #[test]
+    fn sparse_random_matches_reference() {
+        for seed in 0..4 {
+            let a = gen::random_sparse(
+                50,
+                3,
+                0.5,
+                ValueModel {
+                    diag_scale: 1.0,
+                    seed,
+                },
+            );
+            check_against_dense(&a, 0, 8);
+        }
+    }
+
+    #[test]
+    fn grid_matches_reference_with_amalgamation() {
+        let a = gen::grid2d(7, 7, 0.4, ValueModel::default());
+        check_against_dense(&a, 4, 10);
+        check_against_dense(&a, 8, 25);
+    }
+
+    #[test]
+    fn block_size_one_matches_reference() {
+        let a = gen::random_sparse(30, 3, 0.6, ValueModel::default());
+        check_against_dense(&a, 0, 1);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let a = gen::grid2d(6, 6, 0.3, ValueModel::default());
+        let mut m = build(&a, 4, 8);
+        let (_piv, stats) = factor_sequential(&mut m).unwrap();
+        assert_eq!(stats.factor_tasks, m.pattern.nblocks());
+        assert!(stats.update_tasks > 0);
+        assert!(stats.gemm_flops > 0);
+        assert!(stats.blas3_fraction() > 0.0 && stats.blas3_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        use splu_sparse::CooMatrix;
+        // exactly-singular 2x2 with zero-free diagonal pattern
+        let mut c = CooMatrix::new(2, 2);
+        c.push(0, 0, 1.0);
+        c.push(0, 1, 1.0);
+        c.push(1, 0, 1.0);
+        c.push(1, 1, 1.0);
+        let a = c.to_csc();
+        let mut m = build(&a, 0, 2);
+        assert!(factor_sequential(&mut m).is_err());
+    }
+}

@@ -1,0 +1,564 @@
+//! Dense-block storage of the 2D-partitioned matrix.
+//!
+//! Each column block `J` owns:
+//!
+//! * the `w × w` **diagonal panel** (L's unit-lower part and U's upper part
+//!   packed together, unit diagonal implicit in L),
+//! * one **packed L panel**: all present subrows of all L blocks below the
+//!   diagonal, concatenated in increasing global-row order (each L block is
+//!   a contiguous segment) — `Factor(k)` treats diag + L panel as one tall
+//!   dense panel,
+//! * one **masked U panel** per U block `(K, J)` above the diagonal:
+//!   `width(K)` rows × (present subcolumns), per Theorem 1.
+//!
+//! Entries inside panels but outside the static pattern are *padding*:
+//! they start at exactly `0.0` and — a consequence of the static-structure
+//! closure property — remain exactly `0.0` through the whole factorization
+//! (every update contribution into them is a product with a structural
+//! zero). The pivot search can therefore safely scan whole packed panels,
+//! and the structure-safe row interchange ([`BlockMatrix::swap_rows`])
+//! asserts this invariant in debug builds.
+
+use splu_symbolic::{BlockPattern, UBlockKind};
+use std::sync::Arc;
+
+/// An L-panel segment: one L block's contiguous slice of the packed panel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LSeg {
+    /// Row-block index `I` (`> J`).
+    pub iblock: u32,
+    /// Start offset within the packed panel rows.
+    pub start: u32,
+    /// Number of subrows.
+    pub len: u32,
+}
+
+/// One stored U block `(k, j)`: `h × cols.len()` column-major panel.
+#[derive(Debug, Clone)]
+pub struct UBlockStore {
+    /// Row-block index `k` (`< j`).
+    pub k: u32,
+    /// First global row of block `k`.
+    pub lo_k: u32,
+    /// Height = width of row block `k`.
+    pub h: u32,
+    /// Present global column indices (sorted).
+    pub cols: Arc<Vec<u32>>,
+    /// Dense or column-sparse (all columns present or not).
+    pub kind: UBlockKind,
+    /// Column-major values, leading dimension `h`.
+    pub panel: Vec<f64>,
+}
+
+/// One column block's storage.
+#[derive(Debug, Clone)]
+pub struct ColBlock {
+    /// First global column.
+    pub lo: u32,
+    /// Width.
+    pub w: u32,
+    /// `w × w` diagonal panel, column-major.
+    pub diag: Vec<f64>,
+    /// Sorted global rows present in the packed L panel.
+    pub lrows: Arc<Vec<u32>>,
+    /// Packed L panel, `lrows.len() × w`, column-major (ld = lrows.len()).
+    pub lpanel: Vec<f64>,
+    /// L block segments within the packed panel.
+    pub lsegs: Vec<LSeg>,
+    /// U blocks above the diagonal, sorted by `k`.
+    pub ublocks: Vec<UBlockStore>,
+}
+
+/// Where a global row lives inside a given column block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowLoc {
+    /// Local row of the diagonal panel.
+    Diag(u32),
+    /// Packed row of the L panel.
+    L(u32),
+    /// `(ublock index, local row)` of a U panel.
+    U(u32, u32),
+    /// No storage for this row in this column block.
+    Absent,
+}
+
+/// The block matrix under (or after) factorization.
+#[derive(Debug, Clone)]
+pub struct BlockMatrix {
+    /// The block pattern this storage realizes.
+    pub pattern: Arc<BlockPattern>,
+    /// Per-column-block storage.
+    pub cols: Vec<ColBlock>,
+    /// Global index → block id.
+    pub block_of: Arc<Vec<u32>>,
+    /// Matrix order.
+    pub n: usize,
+}
+
+impl BlockMatrix {
+    /// Allocate the block storage for `pattern` and scatter the entries of
+    /// `a` into it (everything else is zero padding).
+    pub fn from_csc(a: &splu_sparse::CscMatrix, pattern: Arc<BlockPattern>) -> Self {
+        Self::from_csc_filtered(a, pattern, |_| true)
+    }
+
+    /// Distributed variant: allocate panel storage only for column blocks
+    /// where `owned(j)` holds (the 1D data mapping — §4.2: "all
+    /// submatrices of the same column block reside in the same
+    /// processor"). Metadata (row lists, masks, segments) is kept for
+    /// *every* block so received panels can be interpreted; unowned panels
+    /// are zero-length.
+    pub fn from_csc_filtered(
+        a: &splu_sparse::CscMatrix,
+        pattern: Arc<BlockPattern>,
+        owned: impl Fn(usize) -> bool,
+    ) -> Self {
+        let n = a.ncols();
+        assert_eq!(pattern.part.n(), n);
+        let block_of = Arc::new(pattern.part.block_of_index());
+        let nb = pattern.nblocks();
+
+        // Pre-assemble U block patterns per column block (they are stored
+        // by row block in BlockPattern).
+        let mut u_by_col: Vec<Vec<(u32, Arc<Vec<u32>>, UBlockKind)>> = vec![Vec::new(); nb];
+        for k in 0..nb {
+            for u in &pattern.u_blocks[k] {
+                u_by_col[u.j as usize].push((k as u32, Arc::new(u.cols.clone()), u.kind));
+            }
+        }
+
+        let mut cols: Vec<ColBlock> = Vec::with_capacity(nb);
+        for j in 0..nb {
+            let lo = pattern.part.start(j);
+            let w = pattern.part.width(j);
+            let mut lrows: Vec<u32> = Vec::new();
+            let mut lsegs: Vec<LSeg> = Vec::new();
+            for lb in &pattern.l_blocks[j] {
+                lsegs.push(LSeg {
+                    iblock: lb.i,
+                    start: lrows.len() as u32,
+                    len: lb.rows.len() as u32,
+                });
+                lrows.extend_from_slice(&lb.rows);
+            }
+            let is_owned = owned(j);
+            let ublocks = u_by_col[j]
+                .iter()
+                .map(|(k, colsv, kind)| {
+                    let lo_k = pattern.part.start(*k as usize) as u32;
+                    let h = pattern.part.width(*k as usize) as u32;
+                    UBlockStore {
+                        k: *k,
+                        lo_k,
+                        h,
+                        cols: colsv.clone(),
+                        kind: *kind,
+                        panel: if is_owned {
+                            vec![0.0; (h as usize) * colsv.len()]
+                        } else {
+                            Vec::new()
+                        },
+                    }
+                })
+                .collect();
+            cols.push(ColBlock {
+                lo: lo as u32,
+                w: w as u32,
+                diag: if is_owned { vec![0.0; w * w] } else { Vec::new() },
+                lrows: Arc::new(lrows.clone()),
+                lpanel: if is_owned {
+                    vec![0.0; lrows.len() * w]
+                } else {
+                    Vec::new()
+                },
+                lsegs,
+                ublocks,
+            });
+        }
+
+        let mut m = Self {
+            pattern,
+            cols,
+            block_of,
+            n,
+        };
+        // scatter A (owned columns only)
+        for (i, j, v) in a.iter() {
+            if owned(m.block_of(j)) {
+                m.set_entry(i, j, v);
+            }
+        }
+        m
+    }
+
+    /// Block id of a global index.
+    #[inline]
+    pub fn block_of(&self, g: usize) -> usize {
+        self.block_of[g] as usize
+    }
+
+    /// Locate global row `g` within column block `j`.
+    pub fn row_loc(&self, j: usize, g: usize) -> RowLoc {
+        let cb = &self.cols[j];
+        let ib = self.block_of(g);
+        match ib.cmp(&j) {
+            std::cmp::Ordering::Equal => RowLoc::Diag((g as u32) - cb.lo),
+            std::cmp::Ordering::Greater => match cb.lrows.binary_search(&(g as u32)) {
+                Ok(p) => RowLoc::L(p as u32),
+                Err(_) => RowLoc::Absent,
+            },
+            std::cmp::Ordering::Less => {
+                match cb.ublocks.binary_search_by_key(&(ib as u32), |u| u.k) {
+                    Ok(b) => RowLoc::U(b as u32, (g as u32) - cb.ublocks[b].lo_k),
+                    Err(_) => RowLoc::Absent,
+                }
+            }
+        }
+    }
+
+    /// Write one entry (used when scattering the input matrix).
+    ///
+    /// # Panics
+    /// Panics if `(i, j)` has no storage (outside the static pattern).
+    pub fn set_entry(&mut self, i: usize, j: usize, v: f64) {
+        let jb = self.block_of(j);
+        let loc = self.row_loc(jb, i);
+        let cb = &mut self.cols[jb];
+        let lc = j - cb.lo as usize;
+        match loc {
+            RowLoc::Diag(r) => {
+                let ld = cb.w as usize;
+                cb.diag[r as usize + lc * ld] = v;
+            }
+            RowLoc::L(r) => {
+                let ld = cb.lrows.len();
+                cb.lpanel[r as usize + lc * ld] = v;
+            }
+            RowLoc::U(b, r) => {
+                let ub = &mut cb.ublocks[b as usize];
+                let cpos = ub
+                    .cols
+                    .binary_search(&(j as u32))
+                    .unwrap_or_else(|_| panic!("entry ({i},{j}) outside U mask"));
+                let ld = ub.h as usize;
+                ub.panel[r as usize + cpos * ld] = v;
+            }
+            RowLoc::Absent => panic!("entry ({i},{j}) outside the static block pattern"),
+        }
+    }
+
+    /// Read one entry (0.0 if no storage). For tests and the solver.
+    pub fn get_entry(&self, i: usize, j: usize) -> f64 {
+        let jb = self.block_of(j);
+        let cb = &self.cols[jb];
+        let lc = j - cb.lo as usize;
+        match self.row_loc(jb, i) {
+            RowLoc::Diag(r) => cb.diag[r as usize + lc * cb.w as usize],
+            RowLoc::L(r) => cb.lpanel[r as usize + lc * cb.lrows.len()],
+            RowLoc::U(b, r) => {
+                let ub = &cb.ublocks[b as usize];
+                match ub.cols.binary_search(&(j as u32)) {
+                    Ok(cpos) => ub.panel[r as usize + cpos * ub.h as usize],
+                    Err(_) => 0.0,
+                }
+            }
+            RowLoc::Absent => 0.0,
+        }
+    }
+
+    /// Structure-safe interchange of global rows `r1` and `r2` within
+    /// column block `j` only (the delayed-pivoting primitive; the caller
+    /// applies it to each column block right of the pivot block, and to
+    /// the pivot block itself during `Factor`).
+    ///
+    /// Positions present on one side but not the other are asserted (debug)
+    /// to hold exact zeros, per the padding invariant.
+    pub fn swap_rows(&mut self, j: usize, r1: usize, r2: usize) {
+        if r1 == r2 {
+            return;
+        }
+        let loc1 = self.row_loc(j, r1);
+        let loc2 = self.row_loc(j, r2);
+        let cb = &mut self.cols[j];
+        swap_rows_in(cb, loc1, loc2);
+    }
+}
+
+/// Full-width row view: (base pointer offset, leading dimension) for
+/// Diag/L locations.
+fn full_row(cb: &ColBlock, loc: RowLoc) -> Option<(bool, usize, usize)> {
+    match loc {
+        RowLoc::Diag(r) => Some((true, r as usize, cb.w as usize)),
+        RowLoc::L(r) => Some((false, r as usize, cb.lrows.len())),
+        _ => None,
+    }
+}
+
+fn swap_rows_in(cb: &mut ColBlock, loc1: RowLoc, loc2: RowLoc) {
+    use RowLoc::*;
+    match (loc1, loc2) {
+        (Absent, Absent) => {}
+        (Absent, other) | (other, Absent) => {
+            // the stored side must be all zeros
+            debug_assert!(
+                row_is_zero(cb, other),
+                "swap with absent row but stored side nonzero"
+            );
+        }
+        (U(b1, r1), U(b2, r2)) if b1 == b2 => {
+            let ub = &mut cb.ublocks[b1 as usize];
+            let ld = ub.h as usize;
+            for c in 0..ub.cols.len() {
+                ub.panel.swap(r1 as usize + c * ld, r2 as usize + c * ld);
+            }
+        }
+        (U(b1, r1), U(b2, r2)) => {
+            // Rows in two different U panels (pivot row in block k, other
+            // candidate in a later row block I with k < I < j): swap over
+            // the mask intersection; exclusive mask positions must be zero.
+            let cols1 = cb.ublocks[b1 as usize].cols.clone();
+            let cols2 = cb.ublocks[b2 as usize].cols.clone();
+            let ld1 = cb.ublocks[b1 as usize].h as usize;
+            let ld2 = cb.ublocks[b2 as usize].h as usize;
+            let (mut p1, mut p2) = (0usize, 0usize);
+            while p1 < cols1.len() || p2 < cols2.len() {
+                let c1 = cols1.get(p1).copied();
+                let c2 = cols2.get(p2).copied();
+                match (c1, c2) {
+                    (Some(a1), Some(a2)) if a1 == a2 => {
+                        let i1 = r1 as usize + p1 * ld1;
+                        let i2 = r2 as usize + p2 * ld2;
+                        let v1 = cb.ublocks[b1 as usize].panel[i1];
+                        let v2 = cb.ublocks[b2 as usize].panel[i2];
+                        cb.ublocks[b1 as usize].panel[i1] = v2;
+                        cb.ublocks[b2 as usize].panel[i2] = v1;
+                        p1 += 1;
+                        p2 += 1;
+                    }
+                    (Some(a1), Some(a2)) if a1 < a2 => {
+                        debug_assert!(
+                            cb.ublocks[b1 as usize].panel[r1 as usize + p1 * ld1] == 0.0,
+                            "swap row nonzero at exclusive mask col {a1}"
+                        );
+                        p1 += 1;
+                    }
+                    (Some(_), Some(_)) | (None, Some(_)) => {
+                        debug_assert!(
+                            cb.ublocks[b2 as usize].panel[r2 as usize + p2 * ld2] == 0.0,
+                            "swap row nonzero at exclusive mask col"
+                        );
+                        p2 += 1;
+                    }
+                    (Some(_), None) => {
+                        debug_assert!(
+                            cb.ublocks[b1 as usize].panel[r1 as usize + p1 * ld1] == 0.0,
+                            "swap row nonzero at exclusive mask col"
+                        );
+                        p1 += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+        }
+        (a, b) => {
+            // at least one full-width side
+            let f1 = full_row(cb, a);
+            let f2 = full_row(cb, b);
+            match (f1, f2) {
+                (Some((d1, r1, ld1)), Some((d2, r2, ld2))) => {
+                    let w = cb.w as usize;
+                    for c in 0..w {
+                        let i1 = r1 + c * ld1;
+                        let i2 = r2 + c * ld2;
+                        if d1 == d2 {
+                            let p = if d1 { &mut cb.diag } else { &mut cb.lpanel };
+                            p.swap(i1, i2);
+                        } else {
+                            let (dslot, lslot) = if d1 { (i1, i2) } else { (i2, i1) };
+                            std::mem::swap(&mut cb.diag[dslot], &mut cb.lpanel[lslot]);
+                        }
+                    }
+                }
+                (Some((dg, rf, ldf)), None) | (None, Some((dg, rf, ldf))) => {
+                    // full-width vs U-masked row
+                    let uloc = if f1.is_none() { a } else { b };
+                    let U(bu, ru) = uloc else { unreachable!() };
+                    let lo = cb.lo as usize;
+                    // swap masked columns; non-mask columns of the
+                    // full-width row must be zero
+                    let (ub_cols, ld_u) = {
+                        let ub = &cb.ublocks[bu as usize];
+                        (ub.cols.clone(), ub.h as usize)
+                    };
+                    let mut mask_pos = 0usize;
+                    for c in 0..cb.w as usize {
+                        let gc = (lo + c) as u32;
+                        let fidx = rf + c * ldf;
+                        if mask_pos < ub_cols.len() && ub_cols[mask_pos] == gc {
+                            let uidx = ru as usize + mask_pos * ld_u;
+                            let fv = if dg { cb.diag[fidx] } else { cb.lpanel[fidx] };
+                            let uv = cb.ublocks[bu as usize].panel[uidx];
+                            if dg {
+                                cb.diag[fidx] = uv;
+                            } else {
+                                cb.lpanel[fidx] = uv;
+                            }
+                            cb.ublocks[bu as usize].panel[uidx] = fv;
+                            mask_pos += 1;
+                        } else {
+                            debug_assert!(
+                                (if dg { cb.diag[fidx] } else { cb.lpanel[fidx] }) == 0.0,
+                                "full-width row nonzero outside U mask at col {gc}"
+                            );
+                        }
+                    }
+                }
+                (None, None) => unreachable!("U/U handled above"),
+            }
+        }
+    }
+}
+
+fn row_is_zero(cb: &ColBlock, loc: RowLoc) -> bool {
+    match loc {
+        RowLoc::Absent => true,
+        RowLoc::Diag(r) => {
+            (0..cb.w as usize).all(|c| cb.diag[r as usize + c * cb.w as usize] == 0.0)
+        }
+        RowLoc::L(r) => {
+            (0..cb.w as usize).all(|c| cb.lpanel[r as usize + c * cb.lrows.len()] == 0.0)
+        }
+        RowLoc::U(b, r) => {
+            let ub = &cb.ublocks[b as usize];
+            (0..ub.cols.len()).all(|c| ub.panel[r as usize + c * ub.h as usize] == 0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splu_sparse::gen::{self, ValueModel};
+    use splu_symbolic::{amalgamate, partition_supernodes, static_symbolic_factorization};
+
+    fn build(a: &splu_sparse::CscMatrix, r: usize, bsize: usize) -> BlockMatrix {
+        let s = static_symbolic_factorization(a);
+        let base = partition_supernodes(&s, bsize);
+        let part = amalgamate(&s, &base, r, bsize);
+        let bp = Arc::new(BlockPattern::build(&s, &part));
+        BlockMatrix::from_csc(a, bp)
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip() {
+        let a = gen::random_sparse(70, 4, 0.5, ValueModel::default());
+        let m = build(&a, 4, 8);
+        for (i, j, v) in a.iter() {
+            assert_eq!(m.get_entry(i, j), v, "entry ({i},{j})");
+        }
+        // a padded position reads zero
+        let mut padded_checked = false;
+        for i in 0..70 {
+            for j in 0..70 {
+                if !a.is_stored(i, j) && m.get_entry(i, j) == 0.0 {
+                    padded_checked = true;
+                }
+            }
+        }
+        assert!(padded_checked);
+    }
+
+    #[test]
+    fn row_loc_consistency() {
+        let a = gen::grid2d(7, 7, 0.3, ValueModel::default());
+        let m = build(&a, 4, 6);
+        for j in 0..m.pattern.nblocks() {
+            let lo = m.pattern.part.start(j);
+            let hi = m.pattern.part.starts[j + 1];
+            // diagonal rows resolve to Diag
+            for g in lo..hi {
+                assert_eq!(m.row_loc(j, g), RowLoc::Diag((g - lo) as u32));
+            }
+            // every packed L row resolves back to L
+            for (p, &g) in m.cols[j].lrows.iter().enumerate() {
+                assert_eq!(m.row_loc(j, g as usize), RowLoc::L(p as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn lsegs_partition_lrows() {
+        let a = gen::random_sparse(90, 4, 0.4, ValueModel::default());
+        let m = build(&a, 4, 10);
+        for cb in &m.cols {
+            let mut expect = 0u32;
+            for seg in &cb.lsegs {
+                assert_eq!(seg.start, expect);
+                expect += seg.len;
+                // all rows of the segment belong to seg.iblock
+                for p in seg.start..seg.start + seg.len {
+                    assert_eq!(
+                        m.block_of(cb.lrows[p as usize] as usize) as u32,
+                        seg.iblock
+                    );
+                }
+            }
+            assert_eq!(expect as usize, cb.lrows.len());
+        }
+    }
+
+    #[test]
+    fn swap_full_width_rows() {
+        let a = gen::dense_random(12, ValueModel::default());
+        let mut m = build(&a, 0, 4);
+        let before: Vec<f64> = (0..12).map(|c| m.get_entry(1, c)).collect();
+        let before2: Vec<f64> = (0..12).map(|c| m.get_entry(6, c)).collect();
+        // swap rows 1 and 6 in every column block
+        for j in 0..m.pattern.nblocks() {
+            m.swap_rows(j, 1, 6);
+        }
+        for c in 0..12 {
+            assert_eq!(m.get_entry(6, c), before[c]);
+            assert_eq!(m.get_entry(1, c), before2[c]);
+        }
+    }
+
+    #[test]
+    fn swap_is_involution_for_candidate_pairs() {
+        let a = gen::grid2d(6, 6, 0.3, ValueModel::default());
+        let s = static_symbolic_factorization(&a);
+        let mut m = build(&a, 4, 5);
+        let orig = m.clone();
+        // rows 0 and s.lcols[0][1] are both candidates at step 0, so their
+        // static structures agree for all columns — a legal pivot pair.
+        let r1 = 0usize;
+        let r2 = s.lcols[0][1] as usize;
+        for jj in 0..m.pattern.nblocks() {
+            m.swap_rows(jj, r1, r2);
+            m.swap_rows(jj, r1, r2);
+        }
+        for i in 0..36 {
+            for c in 0..36 {
+                assert_eq!(m.get_entry(i, c), orig.get_entry(i, c));
+            }
+        }
+    }
+
+    #[test]
+    fn swap_moves_candidate_row_values() {
+        let a = gen::grid2d(5, 5, 0.3, ValueModel::default());
+        let s = static_symbolic_factorization(&a);
+        let mut m = build(&a, 4, 5);
+        let r1 = 0usize;
+        let r2 = s.lcols[0][1] as usize;
+        let row1: Vec<f64> = (0..25).map(|c| m.get_entry(r1, c)).collect();
+        let row2: Vec<f64> = (0..25).map(|c| m.get_entry(r2, c)).collect();
+        for jj in 0..m.pattern.nblocks() {
+            m.swap_rows(jj, r1, r2);
+        }
+        for c in 0..25 {
+            assert_eq!(m.get_entry(r1, c), row2[c], "col {c}");
+            assert_eq!(m.get_entry(r2, c), row1[c], "col {c}");
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! BLAS-3 matrix–matrix kernels (column-major, explicit leading dimension).
+//!
+//! [`dgemm`] is the kernel the whole S\* design funnels work into: the
+//! submatrix update `A_ij -= L_ik * U_kj` (line 12 of `Update(k, j)`,
+//! Fig. 8 of the paper) and the block triangular solve
+//! `U_kj = L_kk⁻¹ U_kj` (line 5, implemented by [`dtrsm_left_lower_unit`]).
+//!
+//! The implementation is a cache-friendly `j-k-i` loop with the innermost
+//! column access contiguous (an `axpy` per `(k, j)` pair), with a four-way
+//! unrolled `k` loop so the compiler can keep several accumulator streams in
+//! flight. On typical hardware this comfortably beats the [`crate::dgemv`]
+//! path per flop, which is the `w3 < w2` relation the paper's cost model
+//! (§6.1) relies on; the `blas_rates` criterion bench measures the actual
+//! ratio on the host machine.
+
+use crate::flops::{record, FlopClass};
+
+/// `C = alpha * A * B + beta * C`.
+///
+/// `A` is `m × k` (leading dimension `lda`), `B` is `k × n` (`ldb`),
+/// `C` is `m × n` (`ldc`); all column-major.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    debug_assert!(m == 0 || (lda >= m && ldc >= m));
+    debug_assert!(k == 0 || ldb >= k);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if beta != 1.0 {
+        for j in 0..n {
+            let col = &mut c[j * ldc..j * ldc + m];
+            if beta == 0.0 {
+                col.fill(0.0);
+            } else {
+                for v in col {
+                    *v *= beta;
+                }
+            }
+        }
+    }
+    if alpha == 0.0 || k == 0 {
+        return;
+    }
+    for j in 0..n {
+        let bcol = &b[j * ldb..j * ldb + k];
+        let ccol = &mut c[j * ldc..j * ldc + m];
+        let mut p = 0usize;
+        // Four-way unrolled over k: fuse four axpys into one pass over ccol.
+        while p + 4 <= k {
+            let (b0, b1, b2, b3) = (
+                alpha * bcol[p],
+                alpha * bcol[p + 1],
+                alpha * bcol[p + 2],
+                alpha * bcol[p + 3],
+            );
+            let a0 = &a[p * lda..p * lda + m];
+            let a1 = &a[(p + 1) * lda..(p + 1) * lda + m];
+            let a2 = &a[(p + 2) * lda..(p + 2) * lda + m];
+            let a3 = &a[(p + 3) * lda..(p + 3) * lda + m];
+            for i in 0..m {
+                ccol[i] += b0 * a0[i] + b1 * a1[i] + b2 * a2[i] + b3 * a3[i];
+            }
+            p += 4;
+        }
+        while p < k {
+            let bkj = alpha * bcol[p];
+            if bkj != 0.0 {
+                let acol = &a[p * lda..p * lda + m];
+                for i in 0..m {
+                    ccol[i] += bkj * acol[i];
+                }
+            }
+            p += 1;
+        }
+    }
+    record(FlopClass::Blas3, (2 * m * n * k) as u64);
+}
+
+/// The sparse-LU update form `C -= A * B` (i.e. `dgemm` with `alpha = -1`,
+/// `beta = 1`).
+#[inline]
+pub fn dgemm_update(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    dgemm(m, n, k, -1.0, a, lda, b, ldb, 1.0, c, ldc);
+}
+
+/// Solve `L X = B` in place (`B` is overwritten with `X`), where `L` is the
+/// unit lower triangle of the `m × m` panel `l` (column-major, leading
+/// dimension `ldl`) and `B` is `m × n` (column-major, leading dimension
+/// `ldb`). Only the strict lower part of `l` is referenced.
+///
+/// This is the BLAS-3 form of line 5 in `Update(k, j)` (Fig. 8): scaling a
+/// whole U block by the inverse of the diagonal supernode's unit-lower
+/// factor in one call.
+pub fn dtrsm_left_lower_unit(m: usize, n: usize, l: &[f64], ldl: usize, b: &mut [f64], ldb: usize) {
+    debug_assert!(ldl >= m.max(1) && ldb >= m.max(1));
+    for j in 0..n {
+        let bcol = &mut b[j * ldb..j * ldb + m];
+        for p in 0..m {
+            let xp = bcol[p];
+            if xp != 0.0 {
+                let lcol = &l[p * ldl..p * ldl + m];
+                for i in (p + 1)..m {
+                    bcol[i] -= lcol[i] * xp;
+                }
+            }
+        }
+    }
+    record(FlopClass::Blas3, (m * m * n) as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas2::dtrsv_lower_unit;
+    use crate::matrix::DenseMat;
+
+    fn dgemm_full(a: &DenseMat, b: &DenseMat, alpha: f64, beta: f64, c: &mut DenseMat) {
+        let (m, k, n) = (a.nrows(), a.ncols(), b.ncols());
+        let (lda, ldb, ldc) = (a.lda(), b.lda(), c.lda());
+        dgemm(
+            m,
+            n,
+            k,
+            alpha,
+            a.as_slice(),
+            lda,
+            b.as_slice(),
+            ldb,
+            beta,
+            c.as_mut_slice(),
+            ldc,
+        );
+    }
+
+    #[test]
+    fn dgemm_matches_oracle_various_shapes() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 2, 4), (5, 5, 5), (7, 4, 2), (8, 9, 3), (13, 6, 11)] {
+            let a = DenseMat::from_fn(m, k, |i, j| (i as f64 + 1.0) * 0.7 - j as f64 * 0.3);
+            let b = DenseMat::from_fn(k, n, |i, j| (j as f64 + 1.0) * 0.2 + i as f64 * 0.9);
+            let mut c = DenseMat::from_fn(m, n, |i, j| (i + j) as f64);
+            let oracle = {
+                let ab = a.matmul(&b);
+                DenseMat::from_fn(m, n, |i, j| 2.0 * ab[(i, j)] + 0.5 * c[(i, j)])
+            };
+            dgemm_full(&a, &b, 2.0, 0.5, &mut c);
+            assert!(
+                c.sub(&oracle).max_abs() < 1e-10,
+                "mismatch at shape ({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn dgemm_beta_zero_clears_nan() {
+        let a = DenseMat::identity(2);
+        let b = DenseMat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let mut c = DenseMat::from_fn(2, 2, |_, _| f64::NAN);
+        dgemm_full(&a, &b, 1.0, 0.0, &mut c);
+        assert!(c.sub(&b).max_abs() == 0.0);
+    }
+
+    #[test]
+    fn dgemm_k_zero_only_scales() {
+        let a = DenseMat::zeros(2, 0);
+        let b = DenseMat::zeros(0, 2);
+        let mut c = DenseMat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        dgemm_full(&a, &b, 1.0, 2.0, &mut c);
+        assert_eq!(c[(1, 1)], 8.0);
+    }
+
+    #[test]
+    fn dgemm_update_subtracts() {
+        let a = DenseMat::from_rows(&[vec![1.0], vec![2.0]]);
+        let b = DenseMat::from_rows(&[vec![3.0, 4.0]]);
+        let mut c = DenseMat::from_rows(&[vec![10.0, 10.0], vec![10.0, 10.0]]);
+        let ldc = c.lda();
+        dgemm_update(2, 2, 1, a.as_slice(), 2, b.as_slice(), 1, c.as_mut_slice(), ldc);
+        assert_eq!(c[(0, 0)], 7.0);
+        assert_eq!(c[(1, 1)], 2.0);
+    }
+
+    #[test]
+    fn dgemm_respects_leading_dimensions() {
+        // Embed a 2x2 problem in 5x5 storage.
+        let mut astore = vec![0.0; 25];
+        let mut bstore = vec![0.0; 25];
+        let mut cstore = vec![0.0; 25];
+        // A = [[1,2],[3,4]] col-major with lda=5
+        astore[0] = 1.0;
+        astore[1] = 3.0;
+        astore[5] = 2.0;
+        astore[6] = 4.0;
+        // B = I
+        bstore[0] = 1.0;
+        bstore[6] = 1.0;
+        dgemm(2, 2, 2, 1.0, &astore, 5, &bstore, 5, 0.0, &mut cstore, 5);
+        assert_eq!(cstore[0], 1.0);
+        assert_eq!(cstore[1], 3.0);
+        assert_eq!(cstore[5], 2.0);
+        assert_eq!(cstore[6], 4.0);
+        // cells outside the 2x2 target untouched
+        assert_eq!(cstore[2], 0.0);
+        assert_eq!(cstore[10], 0.0);
+    }
+
+    #[test]
+    fn trsm_matches_repeated_trsv() {
+        let m = 6;
+        let n = 4;
+        let l = DenseMat::from_fn(m, m, |i, j| {
+            if i > j {
+                ((i * 7 + j * 3) % 5) as f64 * 0.25 - 0.5
+            } else if i == j {
+                1.0
+            } else {
+                f64::NAN // must not be referenced
+            }
+        });
+        let b0 = DenseMat::from_fn(m, n, |i, j| (i as f64 - j as f64) * 0.5 + 1.0);
+        let mut b = b0.clone();
+        let ldb = b.lda();
+        dtrsm_left_lower_unit(m, n, l.as_slice(), m, b.as_mut_slice(), ldb);
+        for j in 0..n {
+            let mut x = b0.col(j).to_vec();
+            dtrsv_lower_unit(m, l.as_slice(), m, &mut x);
+            for i in 0..m {
+                assert!((b[(i, j)] - x[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn flop_counter_records_blas3() {
+        use crate::flops::{global, FlopClass};
+        let before = global().get(FlopClass::Blas3);
+        let a = DenseMat::identity(4);
+        let b = DenseMat::identity(4);
+        let mut c = DenseMat::zeros(4, 4);
+        dgemm_full(&a, &b, 1.0, 0.0, &mut c);
+        assert_eq!(global().get(FlopClass::Blas3) - before, 2 * 4 * 4 * 4);
+    }
+}

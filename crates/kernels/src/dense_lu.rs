@@ -1,0 +1,244 @@
+//! Dense Gaussian elimination with partial pivoting (GEPP).
+//!
+//! This is the algorithm of Fig. 1 of the paper, specialized to a dense
+//! matrix. It serves two roles in the reproduction:
+//!
+//! 1. **Correctness oracle** — every sparse factorization in the workspace
+//!    (the SuperLU-like baseline and all S\* variants) is checked against
+//!    this routine on small and medium problems: same pivot sequence given
+//!    the same tie-break rule, and `P A = L U` up to rounding.
+//! 2. **`dense1000` workload** — Table 2 of the paper includes a dense
+//!    1000×1000 matrix to show where the BLAS-3 advantage saturates.
+
+use crate::blas1::idamax;
+use crate::matrix::DenseMat;
+
+/// The result of a dense LU factorization with partial pivoting:
+/// `P A = L U`, with `L` unit lower triangular and `U` upper triangular,
+/// both packed into `lu` (the unit diagonal of `L` is implicit).
+#[derive(Debug, Clone)]
+pub struct DenseLu {
+    /// Packed `L\U` factors, column-major.
+    pub lu: DenseMat,
+    /// `perm[k]` is the row that was swapped into position `k` at step `k`
+    /// (LAPACK-style ipiv, expressed as absolute row indices).
+    pub ipiv: Vec<usize>,
+    /// Row permutation as a function: `row_perm[i]` = original row now
+    /// stored at position `i`.
+    pub row_perm: Vec<usize>,
+}
+
+/// Factorize `a` with partial pivoting. Returns `None` if an exactly zero
+/// pivot column is hit (matrix singular to working precision).
+///
+/// Ties in the pivot search are broken toward the smallest row index, the
+/// same deterministic rule used by all sparse codes in this workspace.
+pub fn dense_lu(a: &DenseMat) -> Option<DenseLu> {
+    assert_eq!(a.nrows(), a.ncols(), "dense_lu needs a square matrix");
+    let n = a.nrows();
+    let mut lu = a.clone();
+    let mut ipiv = vec![0usize; n];
+    let mut row_perm: Vec<usize> = (0..n).collect();
+
+    for k in 0..n {
+        // Pivot search in column k, rows k..n (line 02 of Fig. 1).
+        let col = lu.col(k);
+        let rel = idamax(&col[k..])?;
+        let piv = k + rel;
+        if lu[(piv, k)] == 0.0 {
+            return None; // singular (line 03)
+        }
+        ipiv[k] = piv;
+        if piv != k {
+            lu.swap_rows(k, piv); // line 04
+            row_perm.swap(k, piv);
+        }
+        // Scale (lines 05-07) and rank-1 update (lines 08-12).
+        let pivval = lu[(k, k)];
+        for i in (k + 1)..n {
+            lu[(i, k)] /= pivval;
+        }
+        for j in (k + 1)..n {
+            let ukj = lu[(k, j)];
+            if ukj != 0.0 {
+                for i in (k + 1)..n {
+                    let lik = lu[(i, k)];
+                    lu[(i, j)] -= lik * ukj;
+                }
+            }
+        }
+    }
+    Some(DenseLu { lu, ipiv, row_perm })
+}
+
+impl DenseLu {
+    /// Order of the factorized matrix.
+    pub fn n(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Extract `L` (unit lower triangular) as a full matrix.
+    pub fn l(&self) -> DenseMat {
+        let n = self.n();
+        DenseMat::from_fn(n, n, |i, j| {
+            if i == j {
+                1.0
+            } else if i > j {
+                self.lu[(i, j)]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Extract `U` (upper triangular) as a full matrix.
+    pub fn u(&self) -> DenseMat {
+        let n = self.n();
+        DenseMat::from_fn(n, n, |i, j| if i <= j { self.lu[(i, j)] } else { 0.0 })
+    }
+
+    /// Apply the row permutation `P` to a vector: returns `P b`.
+    pub fn apply_p(&self, b: &[f64]) -> Vec<f64> {
+        self.row_perm.iter().map(|&i| b[i]).collect()
+    }
+
+    /// `P` as an explicit permutation matrix (for small-problem testing).
+    pub fn p(&self) -> DenseMat {
+        let n = self.n();
+        let mut p = DenseMat::zeros(n, n);
+        for (i, &orig) in self.row_perm.iter().enumerate() {
+            p[(i, orig)] = 1.0;
+        }
+        p
+    }
+
+    /// Solve `A x = b` using the factorization: `L y = P b`, then `U x = y`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n();
+        assert_eq!(b.len(), n);
+        let mut x = self.apply_p(b);
+        crate::blas2::dtrsv_lower_unit(n, self.lu.as_slice(), n, &mut x);
+        crate::blas2::dtrsv_upper(n, self.lu.as_slice(), n, &mut x);
+        x
+    }
+}
+
+/// Factor-and-solve convenience: solves `A x = b` by dense GEPP.
+pub fn dense_solve(a: &DenseMat, b: &[f64]) -> Option<Vec<f64>> {
+    Some(dense_lu(a)?.solve(b))
+}
+
+/// Relative factorization residual `max|P A - L U| / max|A|`; a
+/// backward-stability smoke metric used throughout the test suites.
+pub fn factorization_residual(a: &DenseMat, f: &DenseLu) -> f64 {
+    let pa = f.p().matmul(a);
+    let lu = f.l().matmul(&f.u());
+    let denom = a.max_abs().max(f64::MIN_POSITIVE);
+    pa.sub(&lu).max_abs() / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded_matrix(n: usize, seed: u64) -> DenseMat {
+        // Small xorshift so the kernel crate stays dependency-free.
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        DenseMat::from_fn(n, n, |_, _| next())
+    }
+
+    #[test]
+    fn lu_of_identity_is_identity() {
+        let a = DenseMat::identity(5);
+        let f = dense_lu(&a).unwrap();
+        assert!(f.l().sub(&DenseMat::identity(5)).max_abs() == 0.0);
+        assert!(f.u().sub(&DenseMat::identity(5)).max_abs() == 0.0);
+        assert_eq!(f.row_perm, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pivoting_picks_largest_entry() {
+        // First column is [1, 3, -9]: pivot must be row 2.
+        let a = DenseMat::from_rows(&[
+            vec![1.0, 2.0, 0.0],
+            vec![3.0, 1.0, 1.0],
+            vec![-9.0, 0.0, 2.0],
+        ]);
+        let f = dense_lu(&a).unwrap();
+        assert_eq!(f.ipiv[0], 2);
+        assert!(factorization_residual(&a, &f) < 1e-14);
+    }
+
+    #[test]
+    fn random_matrices_factor_accurately() {
+        for n in [1, 2, 3, 7, 20, 50] {
+            let a = seeded_matrix(n, n as u64 + 1);
+            let f = dense_lu(&a).unwrap();
+            assert!(
+                factorization_residual(&a, &f) < 1e-12,
+                "residual too large at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let n = 30;
+        let a = seeded_matrix(n, 42);
+        let xtrue: Vec<f64> = (0..n).map(|i| (i as f64) * 0.1 - 1.0).collect();
+        let b = a.matvec(&xtrue);
+        let x = dense_solve(&a, &b).unwrap();
+        let err = x
+            .iter()
+            .zip(&xtrue)
+            .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()));
+        assert!(err < 1e-9, "solve error {err}");
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let a = DenseMat::zeros(3, 3);
+        assert!(dense_lu(&a).is_none());
+        // Rank-1 singular matrix
+        let a = DenseMat::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 4.0, 6.0],
+            vec![3.0, 6.0, 9.0],
+        ]);
+        assert!(dense_lu(&a).is_none());
+    }
+
+    #[test]
+    fn l_is_unit_lower_u_is_upper() {
+        let a = seeded_matrix(12, 7);
+        let f = dense_lu(&a).unwrap();
+        let (l, u) = (f.l(), f.u());
+        for i in 0..12 {
+            assert_eq!(l[(i, i)], 1.0);
+            for j in (i + 1)..12 {
+                assert_eq!(l[(i, j)], 0.0);
+                assert_eq!(u[(j, i)], 0.0);
+            }
+            // |L| <= 1 from partial pivoting
+            for j in 0..i {
+                assert!(l[(i, j)].abs() <= 1.0 + 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_matrix_is_consistent_with_apply_p() {
+        let a = seeded_matrix(9, 3);
+        let f = dense_lu(&a).unwrap();
+        let b: Vec<f64> = (0..9).map(|i| i as f64).collect();
+        let pb1 = f.apply_p(&b);
+        let pb2 = f.p().matvec(&b);
+        assert_eq!(pb1, pb2);
+    }
+}

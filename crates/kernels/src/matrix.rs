@@ -1,0 +1,295 @@
+//! Column-major dense matrix container.
+
+use std::fmt;
+
+/// A dense matrix stored in column-major order, matching the layout the
+/// BLAS-style kernels in this crate expect.
+///
+/// Element `(i, j)` lives at `data[i + j * nrows]`. The leading dimension is
+/// always `nrows` for an owned `DenseMat`; kernels that need to address a
+/// sub-panel take an explicit `lda` instead.
+#[derive(Clone, PartialEq)]
+pub struct DenseMat {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMat {
+    /// An `nrows × ncols` matrix of zeros.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a column-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != nrows * ncols`.
+    pub fn from_column_major(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            nrows * ncols,
+            "column-major data length mismatch"
+        );
+        Self { nrows, ncols, data }
+    }
+
+    /// Build from a row-major nested structure (convenient in tests).
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut m = Self::zeros(nrows, ncols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), ncols, "ragged row in from_rows");
+            for (j, &v) in r.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Build by evaluating `f(i, j)` at every position.
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(nrows, ncols);
+        for j in 0..ncols {
+            for i in 0..nrows {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Leading dimension (equals `nrows` for owned matrices).
+    #[inline]
+    pub fn lda(&self) -> usize {
+        self.nrows
+    }
+
+    /// The backing column-major slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The backing column-major slice, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Column `j` as a slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        debug_assert!(j < self.ncols);
+        &self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Column `j` as a mutable slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        debug_assert!(j < self.ncols);
+        &mut self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Matrix–vector product `self * x` (unoptimized; for tests and oracles).
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols);
+        let mut y = vec![0.0; self.nrows];
+        for j in 0..self.ncols {
+            let xj = x[j];
+            if xj != 0.0 {
+                for i in 0..self.nrows {
+                    y[i] += self[(i, j)] * xj;
+                }
+            }
+        }
+        y
+    }
+
+    /// Matrix–matrix product `self * rhs` (unoptimized; for tests/oracles).
+    pub fn matmul(&self, rhs: &DenseMat) -> DenseMat {
+        assert_eq!(self.ncols, rhs.nrows);
+        let mut c = DenseMat::zeros(self.nrows, rhs.ncols);
+        for j in 0..rhs.ncols {
+            for k in 0..self.ncols {
+                let b = rhs[(k, j)];
+                if b != 0.0 {
+                    for i in 0..self.nrows {
+                        c[(i, j)] += self[(i, k)] * b;
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> DenseMat {
+        DenseMat::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)])
+    }
+
+    /// Swap rows `r1` and `r2` in place.
+    pub fn swap_rows(&mut self, r1: usize, r2: usize) {
+        if r1 == r2 {
+            return;
+        }
+        for j in 0..self.ncols {
+            self.data.swap(r1 + j * self.nrows, r2 + j * self.nrows);
+        }
+    }
+
+    /// Max-absolute-value (infinity-ish) norm over all entries.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Elementwise difference `self - rhs`.
+    pub fn sub(&self, rhs: &DenseMat) -> DenseMat {
+        assert_eq!(self.nrows, rhs.nrows);
+        assert_eq!(self.ncols, rhs.ncols);
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        DenseMat::from_column_major(self.nrows, self.ncols, data)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &self.data[i + j * self.nrows]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &mut self.data[i + j * self.nrows]
+    }
+}
+
+impl fmt::Debug for DenseMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DenseMat {}x{} [", self.nrows, self.ncols)?;
+        for i in 0..self.nrows.min(12) {
+            write!(f, "  ")?;
+            for j in 0..self.ncols.min(12) {
+                write!(f, "{:10.4} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_index() {
+        let mut m = DenseMat::zeros(3, 2);
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 2);
+        m[(2, 1)] = 5.0;
+        assert_eq!(m[(2, 1)], 5.0);
+        assert_eq!(m.as_slice()[2 + 1 * 3], 5.0);
+    }
+
+    #[test]
+    fn identity_matvec_is_identity() {
+        let m = DenseMat::identity(4);
+        let x = vec![1.0, -2.0, 3.0, 0.5];
+        assert_eq!(m.matvec(&x), x);
+    }
+
+    #[test]
+    fn from_rows_matches_layout() {
+        let m = DenseMat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m[(1, 1)], 4.0);
+        // column-major layout
+        assert_eq!(m.as_slice(), &[1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn matmul_against_hand_computation() {
+        let a = DenseMat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = DenseMat::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = DenseMat::from_fn(3, 5, |i, j| (i * 10 + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(4, 2)], a[(2, 4)]);
+    }
+
+    #[test]
+    fn swap_rows_moves_all_columns() {
+        let mut a = DenseMat::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        a.swap_rows(0, 1);
+        assert_eq!(a[(0, 0)], 4.0);
+        assert_eq!(a[(0, 2)], 6.0);
+        assert_eq!(a[(1, 1)], 2.0);
+    }
+
+    #[test]
+    fn norms() {
+        let a = DenseMat::from_rows(&[vec![3.0, 0.0], vec![0.0, -4.0]]);
+        assert_eq!(a.max_abs(), 4.0);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rows_panic() {
+        DenseMat::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,150 @@
+//! 2D processor-grid arithmetic (§4.3 of the paper).
+//!
+//! `p` processors are viewed as a `p_r × p_c` grid; submatrix block
+//! `A_ij` is assigned to processor `P_{i mod p_r, j mod p_c}`. The paper
+//! sets `p_c / p_r = 2` in practice ("setting p_r ≤ p_c + 1 always leads
+//! to better performance").
+
+/// A `p_r × p_c` processor grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid {
+    /// Rows of the grid.
+    pub pr: usize,
+    /// Columns of the grid.
+    pub pc: usize,
+}
+
+impl Grid {
+    /// A grid with the given shape.
+    pub fn new(pr: usize, pc: usize) -> Self {
+        assert!(pr >= 1 && pc >= 1);
+        Self { pr, pc }
+    }
+
+    /// The paper's preferred shape for `p` processors: `p = p_r × p_c`
+    /// with `p_c / p_r ≈ 2` (exact factorization of `p`; for powers of
+    /// two this gives e.g. 64 → 4×16? no — 64 → p_r=4? Let's see:
+    /// p_r ≤ p_c and p_c/p_r closest to 2).
+    pub fn for_procs(p: usize) -> Self {
+        assert!(p >= 1);
+        let mut best = Grid::new(1, p);
+        let mut best_score = f64::INFINITY;
+        for pr in 1..=p {
+            if !p.is_multiple_of(pr) {
+                continue;
+            }
+            let pc = p / pr;
+            if pr > pc + 1 {
+                break;
+            }
+            let score = (pc as f64 / pr as f64 - 2.0).abs();
+            if score < best_score {
+                best_score = score;
+                best = Grid::new(pr, pc);
+            }
+        }
+        best
+    }
+
+    /// Total processors.
+    pub fn nprocs(&self) -> usize {
+        self.pr * self.pc
+    }
+
+    /// Rank of the processor at `(row, col)` coordinates.
+    pub fn rank_of(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.pr && col < self.pc);
+        row * self.pc + col
+    }
+
+    /// Coordinates of `rank`.
+    pub fn coords_of(&self, rank: usize) -> (usize, usize) {
+        debug_assert!(rank < self.nprocs());
+        (rank / self.pc, rank % self.pc)
+    }
+
+    /// Owner rank of block `(i, j)`.
+    pub fn owner_of_block(&self, i: usize, j: usize) -> usize {
+        self.rank_of(i % self.pr, j % self.pc)
+    }
+
+    /// Ranks of the processor column holding block-column `j`.
+    pub fn col_ranks(&self, j: usize) -> impl Iterator<Item = usize> + '_ {
+        let c = j % self.pc;
+        (0..self.pr).map(move |r| self.rank_of(r, c))
+    }
+
+    /// Ranks of the processor row holding block-row `i`.
+    pub fn row_ranks(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        let r = i % self.pr;
+        (0..self.pc).map(move |c| self.rank_of(r, c))
+    }
+
+    /// Ranks in the same grid row as `rank` (for row multicasts).
+    pub fn my_row(&self, rank: usize) -> impl Iterator<Item = usize> + '_ {
+        let (r, _) = self.coords_of(rank);
+        (0..self.pc).map(move |c| self.rank_of(r, c))
+    }
+
+    /// Ranks in the same grid column as `rank` (for column multicasts).
+    pub fn my_col(&self, rank: usize) -> impl Iterator<Item = usize> + '_ {
+        let (_, c) = self.coords_of(rank);
+        (0..self.pr).map(move |r| self.rank_of(r, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_coord_roundtrip() {
+        let g = Grid::new(3, 5);
+        for rank in 0..15 {
+            let (r, c) = g.coords_of(rank);
+            assert_eq!(g.rank_of(r, c), rank);
+        }
+    }
+
+    #[test]
+    fn owner_is_cyclic() {
+        let g = Grid::new(2, 4);
+        assert_eq!(g.owner_of_block(0, 0), g.owner_of_block(2, 4));
+        assert_eq!(g.owner_of_block(1, 3), g.owner_of_block(3, 7));
+        assert_ne!(g.owner_of_block(0, 0), g.owner_of_block(1, 0));
+    }
+
+    #[test]
+    fn for_procs_prefers_1_to_2_aspect() {
+        assert_eq!(Grid::for_procs(2), Grid::new(1, 2));
+        assert_eq!(Grid::for_procs(8), Grid::new(2, 4));
+        assert_eq!(Grid::for_procs(32), Grid::new(4, 8));
+        assert_eq!(Grid::for_procs(128), Grid::new(8, 16));
+        // odd counts still factor
+        let g = Grid::for_procs(12);
+        assert_eq!(g.nprocs(), 12);
+        assert!(g.pr <= g.pc);
+    }
+
+    #[test]
+    fn row_and_col_rank_sets() {
+        let g = Grid::new(2, 3);
+        let col0: Vec<usize> = g.col_ranks(0).collect();
+        assert_eq!(col0, vec![0, 3]);
+        let row1: Vec<usize> = g.row_ranks(1).collect();
+        assert_eq!(row1, vec![3, 4, 5]);
+        let myrow: Vec<usize> = g.my_row(4).collect();
+        assert_eq!(myrow, vec![3, 4, 5]);
+        let mycol: Vec<usize> = g.my_col(4).collect();
+        assert_eq!(mycol, vec![1, 4]);
+    }
+
+    #[test]
+    fn square_counts() {
+        let g = Grid::for_procs(16);
+        assert_eq!(g.nprocs(), 16);
+        // 16 = 2×8 (ratio 4) or 4×4 (ratio 1): |1-2|=1 < |4-2|=2 → 4×4?
+        // score for 2×8: |4-2| = 2; for 4×4: |1-2| = 1 → picks 4×4.
+        assert_eq!((g.pr, g.pc), (4, 4));
+    }
+}

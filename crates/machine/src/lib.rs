@@ -1,0 +1,29 @@
+//! `splu-machine` — the distributed-memory machine substrate.
+//!
+//! The paper's experiments run on Cray T3D and T3E systems using the
+//! `shmem` one-sided communication library. Neither machine (nor MPI) is
+//! available here, so this crate provides the substitution described in
+//! `DESIGN.md` §3:
+//!
+//! * [`runtime`] — a **real** shared-nothing message-passing runtime:
+//!   each simulated processor is an OS thread that owns its data partition
+//!   and communicates only through typed mailboxes (crossbeam channels).
+//!   Message payloads travel as `Arc`s — the receiving processor reads the
+//!   sender's buffer without copying, mirroring the paper's remote-memory
+//!   access (`shmem_put`) data path with its "no copying/buffering during
+//!   a data transfer" property. Tag-matched receives let the SPMD codes
+//!   express the asynchronous protocols of Figs. 10 and 12–15 directly.
+//! * [`model`] — the **cost model** of the paper's two machines (per-flop
+//!   BLAS-1/2/3 rates, message latency α and per-word cost β), used by the
+//!   discrete-event schedule simulator in `splu-sched` to project T3D/T3E
+//!   numbers for processor counts beyond the host's core count.
+//! * [`grid`] — the 2D processor-grid arithmetic (`p = p_r × p_c`,
+//!   block `(i, j)` owned by `P_{i mod p_r, j mod p_c}`).
+
+pub mod grid;
+pub mod model;
+pub mod runtime;
+
+pub use grid::Grid;
+pub use model::{MachineModel, T3D, T3E};
+pub use runtime::{run_machine, CommStats, Message, ProcCtx};

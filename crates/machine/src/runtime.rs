@@ -1,0 +1,351 @@
+//! Thread-per-processor message-passing runtime.
+//!
+//! Semantics follow the one-sided model the paper's RAPID system relies
+//! on: sends never block and never copy (payloads are `Arc`-shared),
+//! receives are tag-matched and block until the matching message arrives.
+//! Out-of-order arrivals park in a per-processor pending map, which is
+//! what permits the 2D code's multi-stage pipelining (different update
+//! stages in flight concurrently, Theorem 2).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tag reserved for failure propagation: when a processor panics, this
+/// message wakes every peer so blocked receives turn into clean panics
+/// instead of a process-wide hang.
+pub const POISON_TAG: u64 = u64::MAX;
+
+/// A tagged message. Payloads are shared, so a multicast of a large panel
+/// costs one allocation total (the RMA-like zero-copy property).
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Match key; protocols encode (kind, step, …) into it.
+    pub tag: u64,
+    /// Integer payload (pivot sequences, row ids, …).
+    pub ints: Arc<Vec<u32>>,
+    /// Floating-point payload (panels).
+    pub floats: Arc<Vec<f64>>,
+}
+
+impl Message {
+    /// Build a message; wraps the payloads in `Arc`s.
+    pub fn new(tag: u64, ints: Vec<u32>, floats: Vec<f64>) -> Self {
+        Self {
+            tag,
+            ints: Arc::new(ints),
+            floats: Arc::new(floats),
+        }
+    }
+
+    /// Payload size in bytes (for communication-volume accounting).
+    pub fn nbytes(&self) -> u64 {
+        (self.ints.len() * 4 + self.floats.len() * 8) as u64
+    }
+}
+
+/// Aggregate communication counters for one run.
+#[derive(Debug, Default)]
+pub struct CommStats {
+    /// Messages sent (multicast counts once per destination).
+    pub messages: AtomicU64,
+    /// Bytes sent (payload bytes × destinations).
+    pub bytes: AtomicU64,
+}
+
+impl CommStats {
+    /// (messages, bytes) snapshot.
+    pub fn snapshot(&self) -> (u64, u64) {
+        (
+            self.messages.load(Ordering::Relaxed),
+            self.bytes.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Per-processor context handed to the SPMD closure.
+pub struct ProcCtx {
+    /// This processor's rank in `0..nprocs`.
+    pub rank: usize,
+    /// Total processor count.
+    pub nprocs: usize,
+    senders: Arc<Vec<Sender<Message>>>,
+    receiver: Receiver<Message>,
+    pending: HashMap<u64, VecDeque<Message>>,
+    pending_bytes: u64,
+    /// High-water mark of parked message bytes — the §5.2 "buffer space"
+    /// statistic (Cbuffer/Rbuffer occupancy) for this processor.
+    pub max_pending_bytes: u64,
+    stats: Arc<CommStats>,
+}
+
+impl ProcCtx {
+    fn park(&mut self, m: Message) {
+        self.pending_bytes += m.nbytes();
+        self.max_pending_bytes = self.max_pending_bytes.max(self.pending_bytes);
+        self.pending.entry(m.tag).or_default().push_back(m);
+    }
+
+    /// Send `msg` to `dest` (never blocks; zero-copy).
+    pub fn send(&self, dest: usize, msg: Message) {
+        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(msg.nbytes(), Ordering::Relaxed);
+        self.senders[dest]
+            .send(msg)
+            .expect("receiver hung up — a processor panicked");
+    }
+
+    /// Send to every rank in `dests` except self (a multicast; payload
+    /// shared, accounting counts each destination).
+    pub fn multicast<I: IntoIterator<Item = usize>>(&self, dests: I, msg: Message) {
+        for d in dests {
+            if d != self.rank {
+                self.send(d, msg.clone());
+            }
+        }
+    }
+
+    /// Blocking tag-matched receive. Messages with other tags are parked
+    /// until their own `recv` call.
+    pub fn recv(&mut self, tag: u64) -> Message {
+        if let Entry::Occupied(mut e) = self.pending.entry(tag) {
+            if let Some(m) = e.get_mut().pop_front() {
+                if e.get().is_empty() {
+                    e.remove();
+                }
+                self.pending_bytes -= m.nbytes();
+                return m;
+            }
+        }
+        loop {
+            let m = self
+                .receiver
+                .recv()
+                .expect("channel closed while waiting — a processor panicked");
+            if m.tag == POISON_TAG {
+                panic!("a peer processor failed; aborting this processor");
+            }
+            if m.tag == tag {
+                return m;
+            }
+            self.park(m);
+        }
+    }
+
+    /// Non-blocking probe: take a message with `tag` if one has arrived.
+    pub fn try_recv(&mut self, tag: u64) -> Option<Message> {
+        // drain the channel into pending first
+        while let Ok(m) = self.receiver.try_recv() {
+            if m.tag == POISON_TAG {
+                panic!("a peer processor failed; aborting this processor");
+            }
+            self.park(m);
+        }
+        match self.pending.entry(tag) {
+            Entry::Occupied(mut e) => {
+                let m = e.get_mut().pop_front();
+                if e.get().is_empty() {
+                    e.remove();
+                }
+                if let Some(m) = &m {
+                    self.pending_bytes -= m.nbytes();
+                }
+                m
+            }
+            Entry::Vacant(_) => None,
+        }
+    }
+
+    /// Shared communication counters.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+}
+
+/// Run an SPMD program on `nprocs` simulated processors (OS threads).
+/// Returns each rank's result, plus aggregate communication statistics.
+///
+/// # Panics
+/// Propagates any processor panic.
+pub fn run_machine<F, R>(nprocs: usize, f: F) -> (Vec<R>, (u64, u64))
+where
+    F: Fn(ProcCtx) -> R + Sync,
+    R: Send,
+{
+    assert!(nprocs >= 1);
+    let mut senders = Vec::with_capacity(nprocs);
+    let mut receivers = Vec::with_capacity(nprocs);
+    for _ in 0..nprocs {
+        let (s, r) = unbounded();
+        senders.push(s);
+        receivers.push(r);
+    }
+    // Keep a clone of every receiver alive until all processors have
+    // joined: a processor that finishes early must not close its mailbox
+    // while slower processors still multicast to it (messages it never
+    // needed to consume — e.g. row-multicast panels).
+    let keepalive: Vec<Receiver<Message>> = receivers.clone();
+    let senders = Arc::new(senders);
+    let stats = Arc::new(CommStats::default());
+
+    let mut results: Vec<Option<R>> = (0..nprocs).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nprocs);
+        for (rank, receiver) in receivers.into_iter().enumerate() {
+            let ctx = ProcCtx {
+                rank,
+                nprocs,
+                senders: senders.clone(),
+                receiver,
+                pending: HashMap::new(),
+                pending_bytes: 0,
+                max_pending_bytes: 0,
+                stats: stats.clone(),
+            };
+            let f = &f;
+            let poison_senders = senders.clone();
+            handles.push(scope.spawn(move || {
+                let rank = ctx.rank;
+                match catch_unwind(AssertUnwindSafe(|| f(ctx))) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        // wake every blocked peer before unwinding, so a
+                        // single failure (e.g. a singular matrix) becomes a
+                        // clean propagated panic instead of a hang
+                        for (d, s) in poison_senders.iter().enumerate() {
+                            if d != rank {
+                                let _ = s.send(Message::new(POISON_TAG, vec![], vec![]));
+                            }
+                        }
+                        resume_unwind(e)
+                    }
+                }
+            }));
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            results[rank] = Some(h.join().expect("processor panicked"));
+        }
+        drop(keepalive);
+    });
+    (
+        results.into_iter().map(|r| r.unwrap()).collect(),
+        stats.snapshot(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_proc_runs() {
+        let (res, (msgs, _)) = run_machine(1, |ctx| ctx.rank * 10);
+        assert_eq!(res, vec![0]);
+        assert_eq!(msgs, 0);
+    }
+
+    #[test]
+    fn ring_pass() {
+        let n = 6;
+        let (res, (msgs, bytes)) = run_machine(n, |mut ctx| {
+            let next = (ctx.rank + 1) % ctx.nprocs;
+            ctx.send(next, Message::new(7, vec![ctx.rank as u32], vec![]));
+            let m = ctx.recv(7);
+            m.ints[0]
+        });
+        for (rank, &got) in res.iter().enumerate() {
+            assert_eq!(got as usize, (rank + n - 1) % n);
+        }
+        assert_eq!(msgs, n as u64);
+        assert_eq!(bytes, 4 * n as u64);
+    }
+
+    #[test]
+    fn tag_matching_reorders() {
+        let (res, _) = run_machine(2, |mut ctx| {
+            if ctx.rank == 0 {
+                // send tag 2 first, then tag 1
+                ctx.send(1, Message::new(2, vec![22], vec![]));
+                ctx.send(1, Message::new(1, vec![11], vec![]));
+                0
+            } else {
+                // receive tag 1 first — tag 2 must park
+                let a = ctx.recv(1).ints[0];
+                let b = ctx.recv(2).ints[0];
+                assert_eq!((a, b), (11, 22));
+                1
+            }
+        });
+        assert_eq!(res, vec![0, 1]);
+    }
+
+    #[test]
+    fn multicast_shares_payload() {
+        let (res, (msgs, _)) = run_machine(4, |mut ctx| {
+            if ctx.rank == 0 {
+                let m = Message::new(5, vec![], vec![1.0; 1000]);
+                ctx.multicast(1..4, m);
+                0.0
+            } else {
+                ctx.recv(5).floats[999]
+            }
+        });
+        assert_eq!(res[1..], [1.0, 1.0, 1.0]);
+        assert_eq!(msgs, 3);
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let (res, _) = run_machine(2, |mut ctx| {
+            if ctx.rank == 0 {
+                ctx.send(1, Message::new(9, vec![1], vec![]));
+                true
+            } else {
+                // poll until it arrives
+                loop {
+                    if let Some(m) = ctx.try_recv(9) {
+                        return m.ints[0] == 1;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        assert!(res[0] && res[1]);
+    }
+
+    #[test]
+    fn peer_panic_propagates_instead_of_hanging() {
+        // rank 0 panics while rank 1 blocks on a receive that will never be
+        // satisfied: the poison broadcast must wake rank 1 so run_machine
+        // panics promptly instead of deadlocking.
+        let result = std::panic::catch_unwind(|| {
+            run_machine(2, |mut ctx| {
+                if ctx.rank == 0 {
+                    panic!("simulated numerical failure");
+                } else {
+                    let _ = ctx.recv(42); // would block forever without poison
+                }
+                0u32
+            })
+        });
+        assert!(result.is_err(), "panic must propagate to the caller");
+    }
+
+    #[test]
+    fn fifo_within_tag() {
+        let (res, _) = run_machine(2, |mut ctx| {
+            if ctx.rank == 0 {
+                for i in 0..10u32 {
+                    ctx.send(1, Message::new(3, vec![i], vec![]));
+                }
+                vec![]
+            } else {
+                (0..10).map(|_| ctx.recv(3).ints[0]).collect::<Vec<_>>()
+            }
+        });
+        assert_eq!(res[1], (0..10).collect::<Vec<u32>>());
+    }
+}

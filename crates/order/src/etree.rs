@@ -1,0 +1,134 @@
+//! Elimination-tree utilities shared by the symbolic and scheduling layers.
+
+/// Sentinel for "no parent" (tree root).
+pub const NO_PARENT: usize = usize::MAX;
+
+/// Compute a postorder of a forest given by `parent` (roots have
+/// [`NO_PARENT`]). Children are visited in increasing index order, so the
+/// postorder is deterministic.
+pub fn postorder(parent: &[usize]) -> Vec<usize> {
+    let n = parent.len();
+    // Build child lists (increasing order because we iterate 0..n).
+    let mut first_child = vec![NO_PARENT; n];
+    let mut next_sibling = vec![NO_PARENT; n];
+    for v in (0..n).rev() {
+        let p = parent[v];
+        if p != NO_PARENT {
+            next_sibling[v] = first_child[p];
+            first_child[p] = v;
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut stack: Vec<(usize, bool)> = Vec::new();
+    for root in 0..n {
+        if parent[root] != NO_PARENT {
+            continue;
+        }
+        stack.push((root, false));
+        while let Some((v, expanded)) = stack.pop() {
+            if expanded {
+                order.push(v);
+            } else {
+                stack.push((v, true));
+                // push children (reverse to visit smallest first)
+                let mut kids = Vec::new();
+                let mut c = first_child[v];
+                while c != NO_PARENT {
+                    kids.push(c);
+                    c = next_sibling[c];
+                }
+                for &k in kids.iter().rev() {
+                    stack.push((k, false));
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Depth of each node in the forest (roots at depth 0).
+pub fn depths(parent: &[usize]) -> Vec<usize> {
+    let n = parent.len();
+    let mut depth = vec![usize::MAX; n];
+    for v in 0..n {
+        if depth[v] != usize::MAX {
+            continue;
+        }
+        // walk up collecting the path, then unwind
+        let mut path = vec![v];
+        let mut u = v;
+        while parent[u] != NO_PARENT && depth[parent[u]] == usize::MAX {
+            u = parent[u];
+            path.push(u);
+        }
+        let mut d = if parent[u] == NO_PARENT {
+            0
+        } else {
+            depth[parent[u]] + 1
+        };
+        for &w in path.iter().rev() {
+            depth[w] = d;
+            d += 1;
+        }
+    }
+    depth
+}
+
+/// Height of the forest (max depth + 1; 0 for an empty forest). A proxy for
+/// the critical-path length of elimination-tree parallelism.
+pub fn height(parent: &[usize]) -> usize {
+    depths(parent).iter().map(|&d| d + 1).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn postorder_of_chain() {
+        // 0 -> 1 -> 2 -> 3 (parent pointers upward)
+        let parent = vec![1, 2, 3, NO_PARENT];
+        assert_eq!(postorder(&parent), vec![0, 1, 2, 3]);
+        assert_eq!(depths(&parent), vec![3, 2, 1, 0]);
+        assert_eq!(height(&parent), 4);
+    }
+
+    #[test]
+    fn postorder_visits_children_before_parents() {
+        //      4
+        //     / \
+        //    2   3
+        //   / \
+        //  0   1
+        let parent = vec![2, 2, 4, 4, NO_PARENT];
+        let po = postorder(&parent);
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 5];
+            for (i, &v) in po.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        for v in 0..5 {
+            if parent[v] != NO_PARENT {
+                assert!(pos[v] < pos[parent[v]]);
+            }
+        }
+        assert_eq!(po.len(), 5);
+    }
+
+    #[test]
+    fn forest_with_multiple_roots() {
+        let parent = vec![NO_PARENT, 0, NO_PARENT, 2];
+        let po = postorder(&parent);
+        assert_eq!(po.len(), 4);
+        assert_eq!(depths(&parent), vec![0, 1, 0, 1]);
+        assert_eq!(height(&parent), 2);
+    }
+
+    #[test]
+    fn empty_forest() {
+        assert!(postorder(&[]).is_empty());
+        assert_eq!(height(&[]), 0);
+    }
+}

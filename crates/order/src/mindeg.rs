@@ -1,0 +1,504 @@
+//! Minimum-degree fill-reducing ordering on a symmetric pattern.
+//!
+//! The paper orders columns with "the multiple minimum degree ordering for
+//! `AᵀA`" (§3.1). This module implements a quotient-graph minimum-degree
+//! ordering in the George–Liu / MMD / AMD family with the standard
+//! structural optimizations:
+//!
+//! * **quotient graph** — eliminated variables become *elements* (cliques
+//!   represented by their variable lists) instead of explicit fill edges,
+//! * **element absorption** — elements adjacent to the pivot are absorbed
+//!   into the newly created element, keeping element lists short,
+//! * **supervariable merging** — variables with identical quotient-graph
+//!   adjacency (detected by hashing within each new element, then verified
+//!   exactly) are merged and eliminated together (mass elimination),
+//! * **approximate external degree** — the AMD-style upper bound
+//!   `d(u) ≤ |adj(u)| + Σ_e |L_e \ u|`, maintained incrementally; cheap
+//!   and empirically within a few percent of exact-degree MMD fill.
+//!
+//! The input is any symmetric [`Pattern`] (for the LU pipeline, the pattern
+//! of `AᵀA` from [`splu_sparse::pattern::ata_pattern`]). The output
+//! permutation maps old indices to elimination positions.
+
+use splu_sparse::pattern::Pattern;
+use splu_sparse::Perm;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+const NONE: u32 = u32::MAX;
+
+/// Statistics from a minimum-degree run.
+#[derive(Debug, Clone, Default)]
+pub struct MinDegreeStats {
+    /// Number of supervariable merges performed.
+    pub merges: usize,
+    /// Number of elements absorbed.
+    pub absorbed: usize,
+    /// Number of pivot selections (elimination steps over supervariables).
+    pub steps: usize,
+}
+
+struct MdState {
+    /// Variable-variable adjacency (pruned as elements cover pairs).
+    adj: Vec<Vec<u32>>,
+    /// Elements adjacent to each variable.
+    elems: Vec<Vec<u32>>,
+    /// Variable list of each element (indexed by the pivot variable that
+    /// created it); empty if absorbed or never created.
+    elem_vars: Vec<Vec<u32>>,
+    /// Element alive flags.
+    elem_alive: Vec<bool>,
+    /// Variable status: alive, merged into another, or eliminated.
+    merged_into: Vec<u32>,
+    eliminated: Vec<bool>,
+    /// Supervariable weights (number of original variables represented).
+    weight: Vec<u32>,
+    /// Approximate external degree (in original-variable units).
+    degree: Vec<u32>,
+    /// Scratch marker.
+    mark: Vec<u32>,
+    stamp: u32,
+}
+
+impl MdState {
+    fn find(&self, mut v: u32) -> u32 {
+        while self.merged_into[v as usize] != NONE {
+            v = self.merged_into[v as usize];
+        }
+        v
+    }
+
+    fn next_stamp(&mut self) -> u32 {
+        self.stamp += 1;
+        self.stamp
+    }
+}
+
+/// Compute a minimum-degree ordering of a symmetric pattern.
+///
+/// Returns the permutation (old index → elimination position) and run
+/// statistics. Diagonal entries in the pattern are ignored; the pattern is
+/// assumed symmetric (use [`splu_sparse::pattern::ata_pattern`] /
+/// [`splu_sparse::pattern::at_plus_a_pattern`] to symmetrize).
+pub fn min_degree(p: &Pattern) -> (Perm, MinDegreeStats) {
+    assert_eq!(p.nrows(), p.ncols(), "min_degree needs a square pattern");
+    let n = p.ncols();
+    let mut stats = MinDegreeStats::default();
+    if n == 0 {
+        return (Perm::identity(0), stats);
+    }
+
+    let mut st = MdState {
+        adj: (0..n)
+            .map(|j| {
+                p.col(j)
+                    .iter()
+                    .copied()
+                    .filter(|&i| i as usize != j)
+                    .collect()
+            })
+            .collect(),
+        elems: vec![Vec::new(); n],
+        elem_vars: vec![Vec::new(); n],
+        elem_alive: vec![false; n],
+        merged_into: vec![NONE; n],
+        eliminated: vec![false; n],
+        weight: vec![1; n],
+        degree: vec![0; n],
+        mark: vec![0; n],
+        stamp: 0,
+    };
+    for v in 0..n {
+        st.degree[v] = st.adj[v].len() as u32;
+    }
+
+    // Lazy min-heap of (degree, variable); stale entries are skipped.
+    let mut heap: BinaryHeap<Reverse<(u32, u32)>> = (0..n as u32)
+        .map(|v| Reverse((st.degree[v as usize], v)))
+        .collect();
+
+    let mut order: Vec<u32> = Vec::with_capacity(n); // supervariable pivots
+    let mut position = vec![NONE; n];
+    let mut next_pos = 0usize;
+
+    while next_pos < n {
+        // Pop the (live) minimum-degree supervariable.
+        let v = loop {
+            let Reverse((d, v)) = heap.pop().expect("heap exhausted early");
+            let vu = v as usize;
+            if st.eliminated[vu] || st.merged_into[vu] != NONE {
+                continue;
+            }
+            if d != st.degree[vu] {
+                // stale entry; reinsert with the fresh key
+                heap.push(Reverse((st.degree[vu], v)));
+                continue;
+            }
+            break v;
+        };
+        let vu = v as usize;
+        stats.steps += 1;
+
+        // ---- Form the new element L_v = Reach(v). ----
+        let stamp = st.next_stamp();
+        st.mark[vu] = stamp;
+        let mut lv: Vec<u32> = Vec::new();
+        // variable neighbors
+        for idx in 0..st.adj[vu].len() {
+            let w = st.find(st.adj[vu][idx]);
+            let wu = w as usize;
+            if !st.eliminated[wu] && st.mark[wu] != stamp {
+                st.mark[wu] = stamp;
+                lv.push(w);
+            }
+        }
+        // variables of adjacent elements
+        for eidx in 0..st.elems[vu].len() {
+            let e = st.elems[vu][eidx] as usize;
+            if !st.elem_alive[e] {
+                continue;
+            }
+            for idx in 0..st.elem_vars[e].len() {
+                let w = st.find(st.elem_vars[e][idx]);
+                let wu = w as usize;
+                if !st.eliminated[wu] && st.mark[wu] != stamp {
+                    st.mark[wu] = stamp;
+                    lv.push(w);
+                }
+            }
+            // absorb e into the new element
+            st.elem_alive[e] = false;
+            st.elem_vars[e] = Vec::new();
+            stats.absorbed += 1;
+        }
+        st.elems[vu].clear();
+
+        // ---- Eliminate v (and everything merged into it). ----
+        st.eliminated[vu] = true;
+        order.push(v);
+        position[vu] = next_pos as u32;
+        next_pos += st.weight[vu] as usize;
+
+        if lv.is_empty() {
+            continue;
+        }
+
+        // Create the element named v.
+        st.elem_vars[vu] = lv.clone();
+        st.elem_alive[vu] = true;
+
+        // ---- Update each u in L_v. ----
+        // `lv_mark` lets the pruning pass test membership in L_v ∪ {v}.
+        for &u in &lv {
+            let uu = u as usize;
+            // prune var-adjacency: drop v, dead vars, anything inside L_v
+            // (covered by the new element), and duplicates via find().
+            let prune_stamp_members = stamp; // marks identify L_v ∪ {v}
+            let mut kept: Vec<u32> = Vec::with_capacity(st.adj[uu].len());
+            let ks = st.next_stamp();
+            for idx in 0..st.adj[uu].len() {
+                let w = st.find(st.adj[uu][idx]);
+                let wu = w as usize;
+                if w == u || st.eliminated[wu] {
+                    continue;
+                }
+                if st.mark[wu] == prune_stamp_members {
+                    continue; // inside L_v: covered by element v
+                }
+                if st.mark[wu] == ks {
+                    continue; // duplicate after merging
+                }
+                st.mark[wu] = ks;
+                kept.push(w);
+            }
+            // note: ks invalidated the lv marks for pruned nodes; restore
+            // below by re-marking L_v for the next u.
+            st.adj[uu] = kept;
+            // element list: drop dead, add v
+            st.elems[uu].retain(|&e| st.elem_alive[e as usize]);
+            if !st.elems[uu].contains(&v) {
+                st.elems[uu].push(v);
+            }
+            // re-mark L_v ∪ {v} for the next iteration's pruning test
+            st.mark[vu] = stamp;
+            for &w in &lv {
+                st.mark[w as usize] = stamp;
+            }
+        }
+
+        // ---- Approximate degrees + supervariable detection. ----
+        let lv_weight: u32 = lv.iter().map(|&w| st.weight[w as usize]).sum();
+        // hash of quotient adjacency for indistinguishability detection
+        let mut buckets: std::collections::HashMap<u64, Vec<u32>> =
+            std::collections::HashMap::new();
+        for &u in &lv {
+            let uu = u as usize;
+            // degree bound: |adj(u)| + Σ_e (|L_e| - weight(u) overlap);
+            // cheap form: var part + element-size sum (counting weights).
+            let var_part: u32 = st.adj[uu]
+                .iter()
+                .map(|&w| st.weight[st.find(w) as usize])
+                .sum();
+            let mut elem_part: u32 = 0;
+            let es = st.next_stamp();
+            for &e in &st.elems[uu] {
+                let eu = e as usize;
+                if st.elem_alive[eu] && st.mark[eu] != es {
+                    st.mark[eu] = es;
+                    if eu == vu {
+                        elem_part += lv_weight - st.weight[uu];
+                    } else {
+                        elem_part += st
+                            .elem_vars[eu]
+                            .iter()
+                            .map(|&w| {
+                                let f = st.find(w);
+                                if f == u || st.eliminated[f as usize] {
+                                    0
+                                } else {
+                                    st.weight[f as usize]
+                                }
+                            })
+                            .sum::<u32>();
+                    }
+                }
+            }
+            st.degree[uu] = var_part + elem_part;
+            heap.push(Reverse((st.degree[uu], u)));
+
+            // hash adjacency for supervariable detection
+            let mut h: u64 = 0xcbf29ce484222325;
+            let mix = |x: u64, h: &mut u64| {
+                *h = (*h ^ x).wrapping_mul(0x100000001b3);
+            };
+            let mut elem_ids: Vec<u32> = st
+                .elems[uu]
+                .iter()
+                .copied()
+                .filter(|&e| st.elem_alive[e as usize])
+                .collect();
+            elem_ids.sort_unstable();
+            let mut var_ids: Vec<u32> = st.adj[uu].iter().map(|&w| st.find(w)).collect();
+            var_ids.sort_unstable();
+            var_ids.dedup();
+            for &e in &elem_ids {
+                mix(e as u64 + 1, &mut h);
+            }
+            mix(u64::MAX, &mut h);
+            for &w in &var_ids {
+                mix(w as u64 + 1, &mut h);
+            }
+            buckets.entry(h).or_default().push(u);
+        }
+
+        // merge indistinguishable variables (verified exactly)
+        for (_, group) in buckets {
+            if group.len() < 2 {
+                continue;
+            }
+            let mut reps: Vec<u32> = Vec::new();
+            'cand: for &u in &group {
+                if st.merged_into[u as usize] != NONE {
+                    continue;
+                }
+                for &r in &reps {
+                    if quotient_adj_equal(&st, r, u) {
+                        // merge u into r
+                        let (ru, uu) = (r as usize, u as usize);
+                        st.weight[ru] += st.weight[uu];
+                        st.merged_into[uu] = r;
+                        st.adj[uu] = Vec::new();
+                        st.elems[uu] = Vec::new();
+                        st.degree[ru] = st.degree[ru].saturating_sub(st.weight[uu]);
+                        heap.push(Reverse((st.degree[ru], r)));
+                        stats.merges += 1;
+                        continue 'cand;
+                    }
+                }
+                reps.push(u);
+            }
+        }
+    }
+
+    // Expand supervariable order into per-variable positions: a merged
+    // variable is placed right after its representative.
+    let mut new_of_old = vec![usize::MAX; n];
+    // collect members of each representative
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for u in 0..n as u32 {
+        let r = {
+            // find ultimate representative
+            let mut x = u;
+            while st.merged_into[x as usize] != NONE {
+                x = st.merged_into[x as usize];
+            }
+            x
+        };
+        if r != u {
+            members[r as usize].push(u);
+        }
+    }
+    for &v in &order {
+        let vu = v as usize;
+        let mut pos = position[vu] as usize;
+        new_of_old[vu] = pos;
+        pos += 1;
+        for &m in &members[vu] {
+            new_of_old[m as usize] = pos;
+            pos += 1;
+        }
+    }
+    (Perm::from_new_of_old(new_of_old), stats)
+}
+
+/// Exact comparison of two variables' quotient-graph adjacency
+/// (element lists and pruned variable lists), used to verify hash matches.
+fn quotient_adj_equal(st: &MdState, a: u32, b: u32) -> bool {
+    let (au, bu) = (a as usize, b as usize);
+    let norm_elems = |u: usize| {
+        let mut v: Vec<u32> = st.elems[u]
+            .iter()
+            .copied()
+            .filter(|&e| st.elem_alive[e as usize])
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    if norm_elems(au) != norm_elems(bu) {
+        return false;
+    }
+    let norm_vars = |u: usize, other: u32| {
+        let mut v: Vec<u32> = st.adj[u]
+            .iter()
+            .map(|&w| st.find(w))
+            .filter(|&w| w != u as u32 && w != other && !st.eliminated[w as usize])
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    norm_vars(au, b) == norm_vars(bu, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splu_sparse::gen::{self, ValueModel};
+    use splu_sparse::pattern::{at_plus_a_pattern, cholesky_fill_count, Pattern};
+    use splu_sparse::CooMatrix;
+
+    fn sym_pattern(edges: &[(usize, usize)], n: usize) -> Pattern {
+        let mut c = CooMatrix::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 1.0);
+        }
+        for &(i, j) in edges {
+            c.push(i, j, 1.0);
+            c.push(j, i, 1.0);
+        }
+        Pattern::from_csc(&c.to_csc())
+    }
+
+    fn apply_and_count(p: &Pattern, perm: &Perm) -> usize {
+        // permute the pattern symmetrically and count Cholesky fill
+        let n = p.ncols();
+        let mut c = CooMatrix::new(n, n);
+        for j in 0..n {
+            for &i in p.col(j) {
+                c.push(perm.new_of_old(i as usize), perm.new_of_old(j), 1.0);
+            }
+        }
+        let pp = Pattern::from_csc(&c.to_csc());
+        cholesky_fill_count(&pp).0
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let (p0, _) = min_degree(&sym_pattern(&[], 0));
+        assert_eq!(p0.len(), 0);
+        let (p1, _) = min_degree(&sym_pattern(&[], 1));
+        assert_eq!(p1.len(), 1);
+    }
+
+    #[test]
+    fn output_is_a_permutation() {
+        let a = gen::random_sparse(150, 4, 0.5, ValueModel::default());
+        let p = at_plus_a_pattern(&a);
+        let (perm, _) = min_degree(&p);
+        let mut seen = vec![false; 150];
+        for old in 0..150 {
+            let newp = perm.new_of_old(old);
+            assert!(!seen[newp]);
+            seen[newp] = true;
+        }
+    }
+
+    #[test]
+    fn star_graph_eliminates_leaves_first() {
+        // Star: hub 0 connected to all. MD must not pick the hub first.
+        let n = 12;
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (0usize, i)).collect();
+        let p = sym_pattern(&edges, n);
+        let (perm, _) = min_degree(&p);
+        // hub must be eliminated last or second-to-last (when two nodes
+        // remain, both have degree 1 and the tie may go either way)
+        assert!(perm.new_of_old(0) >= n - 2);
+        // star ordered leaves-first has zero fill
+        assert_eq!(apply_and_count(&p, &perm), 2 * n - 1);
+    }
+
+    #[test]
+    fn path_graph_no_fill() {
+        let n = 30;
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let p = sym_pattern(&edges, n);
+        let (perm, _) = min_degree(&p);
+        // MD on a path always finds a fill-free ordering: nnz(L) = 2n - 1.
+        assert_eq!(apply_and_count(&p, &perm), 2 * n - 1);
+    }
+
+    #[test]
+    fn grid_fill_beats_natural_substantially() {
+        let a = gen::grid2d(14, 14, 0.0, ValueModel::default());
+        let p = at_plus_a_pattern(&a);
+        let natural = cholesky_fill_count(&p).0;
+        let (perm, stats) = min_degree(&p);
+        let md = apply_and_count(&p, &perm);
+        assert!(
+            (md as f64) < 0.8 * natural as f64,
+            "MD fill {md} vs natural {natural}"
+        );
+        assert!(stats.steps <= 14 * 14);
+    }
+
+    #[test]
+    fn dense_block_mass_eliminates() {
+        // A clique: all variables are indistinguishable; supervariable
+        // merging should collapse the whole thing into few steps.
+        let n = 20;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                edges.push((i, j));
+            }
+        }
+        let p = sym_pattern(&edges, n);
+        let (perm, stats) = min_degree(&p);
+        assert!(stats.merges > 0, "clique should trigger supervariable merges");
+        assert!(stats.steps < n, "mass elimination should shorten the run");
+        // any ordering of a clique has full fill; just verify it's a perm
+        let _ = apply_and_count(&p, &perm);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = gen::grid2d(9, 11, 0.0, ValueModel::default());
+        let p = at_plus_a_pattern(&a);
+        let (p1, _) = min_degree(&p);
+        let (p2, _) = min_degree(&p);
+        for i in 0..p.ncols() {
+            assert_eq!(p1.new_of_old(i), p2.new_of_old(i));
+        }
+    }
+}

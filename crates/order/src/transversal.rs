@@ -1,0 +1,240 @@
+//! Maximum transversal (Duff's algorithm, MC21-style).
+//!
+//! Finds a maximum matching between columns and rows of a sparse pattern so
+//! that the matched entries can be permuted onto the diagonal. The paper
+//! (§3.1) permutes rows "using a transversal obtained from Duff's algorithm
+//! to make A have a zero-free diagonal" — a hard precondition of the static
+//! symbolic factorization (without it the overestimate becomes "too
+//! generous", and the theory of §3 assumes `a_kk ≠ 0`).
+//!
+//! The implementation is the classic augmenting-path search with a
+//! cheap-assignment fast path, O(n · nnz) worst case and near-linear on the
+//! matrices in this workspace.
+
+use splu_sparse::{CscMatrix, Perm};
+
+/// Result of the maximum-transversal search.
+#[derive(Debug, Clone)]
+pub struct Transversal {
+    /// `row_of_col[j]` = row matched to column `j`, or `u32::MAX` if the
+    /// column is unmatched (structurally singular matrix).
+    pub row_of_col: Vec<u32>,
+    /// Number of matched columns.
+    pub size: usize,
+}
+
+/// Compute a maximum transversal of the pattern of `a`.
+pub fn max_transversal(a: &CscMatrix) -> Transversal {
+    const NONE: u32 = u32::MAX;
+    let n = a.ncols();
+    let nrows = a.nrows();
+    let mut row_of_col = vec![NONE; n];
+    let mut col_of_row = vec![NONE; nrows];
+
+    // Phase 1: cheap assignment — greedily match each column to the first
+    // free row in its list.
+    for j in 0..n {
+        for &i in a.col(j).0 {
+            if col_of_row[i as usize] == NONE {
+                col_of_row[i as usize] = j as u32;
+                row_of_col[j] = i;
+                break;
+            }
+        }
+    }
+
+    // Phase 2: augmenting path (iterative DFS) for unmatched columns.
+    // visited[row] = current column stamp to avoid revisiting.
+    let mut visited = vec![NONE; nrows];
+    // DFS stack of (column, position within its row list).
+    let mut stack: Vec<(u32, usize)> = Vec::new();
+    // path of rows chosen per stack level.
+    let mut chosen: Vec<u32> = Vec::new();
+
+    for j0 in 0..n {
+        if row_of_col[j0] != NONE {
+            continue;
+        }
+        stack.clear();
+        chosen.clear();
+        stack.push((j0 as u32, 0));
+        let stamp = j0 as u32;
+        let mut augmented = false;
+
+        'dfs: while !stack.is_empty() {
+            // Advance the top frame by one candidate row, recording the
+            // action to take once the mutable borrow of `stack` ends.
+            enum Step {
+                Backtrack,
+                Augment(u32),
+                Descend(u32, u32),
+            }
+            let step = {
+                let top = stack.last_mut().expect("nonempty");
+                let j = top.0;
+                let rows = a.col(j as usize).0;
+                let mut step = Step::Backtrack;
+                while top.1 < rows.len() {
+                    let i = rows[top.1];
+                    top.1 += 1;
+                    if visited[i as usize] == stamp {
+                        continue;
+                    }
+                    visited[i as usize] = stamp;
+                    let owner = col_of_row[i as usize];
+                    step = if owner == NONE {
+                        Step::Augment(i)
+                    } else {
+                        Step::Descend(i, owner)
+                    };
+                    break;
+                }
+                step
+            };
+            match step {
+                Step::Backtrack => {
+                    stack.pop();
+                    chosen.pop();
+                }
+                Step::Augment(i) => {
+                    // Found a free row: unwind the path, flipping matches.
+                    chosen.push(i);
+                    for level in (0..stack.len()).rev() {
+                        let (cj, _) = stack[level];
+                        let ri = chosen[level];
+                        row_of_col[cj as usize] = ri;
+                        col_of_row[ri as usize] = cj;
+                    }
+                    augmented = true;
+                    break 'dfs;
+                }
+                Step::Descend(i, owner) => {
+                    // Row taken: try to re-match its owner deeper.
+                    chosen.push(i);
+                    stack.push((owner, 0));
+                }
+            }
+        }
+        let _ = augmented;
+    }
+
+    let size = row_of_col.iter().filter(|&&r| r != NONE).count();
+    Transversal { row_of_col, size }
+}
+
+/// Produce a row permutation that moves the transversal onto the diagonal:
+/// row `row_of_col[j]` is sent to position `j`. Returns `None` if the
+/// matrix is structurally singular (no full transversal exists).
+pub fn zero_free_row_perm(a: &CscMatrix) -> Option<Perm> {
+    assert_eq!(a.nrows(), a.ncols(), "transversal permutation needs square A");
+    let t = max_transversal(a);
+    if t.size != a.ncols() {
+        return None;
+    }
+    // new_of_old: old row r -> the column it is matched to.
+    let mut new_of_old = vec![usize::MAX; a.nrows()];
+    for (j, &r) in t.row_of_col.iter().enumerate() {
+        new_of_old[r as usize] = j;
+    }
+    Some(Perm::from_new_of_old(new_of_old))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splu_sparse::gen::{self, ValueModel};
+    use splu_sparse::CooMatrix;
+
+    #[test]
+    fn identity_matches_trivially() {
+        let a = CscMatrix::identity(5);
+        let t = max_transversal(&a);
+        assert_eq!(t.size, 5);
+        for (j, &r) in t.row_of_col.iter().enumerate() {
+            assert_eq!(r as usize, j);
+        }
+    }
+
+    #[test]
+    fn shifted_matrix_needs_full_permutation() {
+        let a = gen::shift_rows(&gen::grid2d(6, 6, 0.0, ValueModel::default()), 7);
+        assert!(!a.has_zero_free_diagonal());
+        let p = zero_free_row_perm(&a).unwrap();
+        assert!(a.permute_rows(&p).has_zero_free_diagonal());
+    }
+
+    #[test]
+    fn augmenting_path_case() {
+        // Needs augmentation: col0 -> {0}, col1 -> {0,1}: cheap pass gives
+        // col0=0, col1=1 directly; make it harder:
+        // col0 -> {1}, col1 -> {0, 1}, col2 -> {1, 2}
+        let mut c = CooMatrix::new(3, 3);
+        c.push(1, 0, 1.0);
+        c.push(0, 1, 1.0);
+        c.push(1, 1, 1.0);
+        c.push(1, 2, 1.0);
+        c.push(2, 2, 1.0);
+        let a = c.to_csc();
+        let t = max_transversal(&a);
+        assert_eq!(t.size, 3);
+        let p = zero_free_row_perm(&a).unwrap();
+        assert!(a.permute_rows(&p).has_zero_free_diagonal());
+    }
+
+    #[test]
+    fn structurally_singular_detected() {
+        // column 2 empty
+        let mut c = CooMatrix::new(3, 3);
+        c.push(0, 0, 1.0);
+        c.push(1, 1, 1.0);
+        let a = c.to_csc();
+        assert_eq!(max_transversal(&a).size, 2);
+        assert!(zero_free_row_perm(&a).is_none());
+    }
+
+    #[test]
+    fn two_columns_sharing_one_row_is_singular() {
+        let mut c = CooMatrix::new(2, 2);
+        c.push(0, 0, 1.0);
+        c.push(0, 1, 1.0);
+        let a = c.to_csc();
+        assert_eq!(max_transversal(&a).size, 1);
+        assert!(zero_free_row_perm(&a).is_none());
+    }
+
+    #[test]
+    fn random_matrices_with_diagonal_always_full() {
+        for seed in 0..5 {
+            let a = gen::random_sparse(
+                120,
+                3,
+                0.3,
+                ValueModel {
+                    diag_scale: 1.0,
+                    seed,
+                },
+            );
+            let t = max_transversal(&a);
+            assert_eq!(t.size, 120, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn hard_bipartite_chain() {
+        // Chain structure where every cheap match must be displaced:
+        // col j -> rows {j+1} for j < n-1, col n-1 -> all rows.
+        let n = 40;
+        let mut c = CooMatrix::new(n, n);
+        for j in 0..n - 1 {
+            c.push(j + 1, j, 1.0);
+        }
+        for i in 0..n {
+            c.push(i, n - 1, 1.0);
+        }
+        let a = c.to_csc();
+        let t = max_transversal(&a);
+        assert_eq!(t.size, n);
+        let p = zero_free_row_perm(&a).unwrap();
+        assert!(a.permute_rows(&p).has_zero_free_diagonal());
+    }
+}

@@ -1,0 +1,89 @@
+//! Text Gantt charts (Fig. 11 of the paper).
+
+use crate::sim::SimResult;
+use crate::taskgraph::TaskGraph;
+use std::fmt::Write as _;
+
+/// Render a simulation result as a text Gantt chart, one line per
+/// processor, `width` character cells across the makespan.
+pub fn render_gantt(g: &TaskGraph, r: &SimResult, width: usize) -> String {
+    let nprocs = r.busy.len();
+    let span = r.makespan.max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    let _ = writeln!(out, "makespan: {:.3e} s", r.makespan);
+    for p in 0..nprocs {
+        let mut cells = vec![' '; width];
+        let mut labels: Vec<(usize, String)> = Vec::new();
+        for rec in &r.records {
+            if rec.proc as usize != p {
+                continue;
+            }
+            let c0 = ((rec.start / span) * width as f64).floor() as usize;
+            let c1 = (((rec.finish / span) * width as f64).ceil() as usize).min(width);
+            for cell in cells.iter_mut().take(c1).skip(c0) {
+                *cell = '█';
+            }
+            labels.push((c0, format!("{}", g.tasks[rec.task as usize])));
+        }
+        labels.sort();
+        let bar: String = cells.into_iter().collect();
+        let seq = labels
+            .iter()
+            .map(|(_, l)| l.as_str())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(out, "P{p:<3}|{bar}| {seq}");
+    }
+    out
+}
+
+/// Render the per-processor task sequences only (compact Fig.-11 form).
+pub fn render_sequences(g: &TaskGraph, r: &SimResult) -> String {
+    let nprocs = r.busy.len();
+    let mut out = String::new();
+    for p in 0..nprocs {
+        let mut recs: Vec<_> = r
+            .records
+            .iter()
+            .filter(|rec| rec.proc as usize == p)
+            .collect();
+        recs.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        let seq = recs
+            .iter()
+            .map(|rec| format!("{}[{:.1}-{:.1}]", g.tasks[rec.task as usize], rec.start, rec.finish))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(out, "P{p}: {seq}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::ca_schedule;
+    use crate::sim::simulate;
+    use crate::taskgraph::TaskGraph;
+    use splu_machine::T3D;
+    use splu_sparse::gen::{self, ValueModel};
+    use splu_symbolic::{
+        amalgamate, partition_supernodes, static_symbolic_factorization, BlockPattern,
+    };
+    use std::sync::Arc;
+
+    #[test]
+    fn renders_all_processors_and_tasks() {
+        let a = gen::grid2d(5, 5, 0.3, ValueModel::default());
+        let s = static_symbolic_factorization(&a);
+        let base = partition_supernodes(&s, 8);
+        let part = amalgamate(&s, &base, 4, 8);
+        let g = TaskGraph::build(&Arc::new(BlockPattern::build(&s, &part)));
+        let r = simulate(&g, &ca_schedule(&g, 3), &T3D);
+        let chart = render_gantt(&g, &r, 60);
+        assert_eq!(chart.lines().count(), 4); // header + 3 procs
+        assert!(chart.contains("P0"));
+        assert!(chart.contains("F(1)"));
+        let seqs = render_sequences(&g, &r);
+        assert_eq!(seqs.lines().count(), 3);
+    }
+}

@@ -1,0 +1,478 @@
+//! Discrete-event model of the 2D block-cyclic algorithm (§5.2).
+//!
+//! The thread backend in `splu-core::par2d` validates the 2D protocol
+//! bit-for-bit, but cannot measure parallel time beyond the host's cores.
+//! This module builds a task-graph model of the same algorithm so the
+//! generic simulator ([`crate::sim`]) can project T3D/T3E times for the
+//! paper's processor counts (Tables 5–7):
+//!
+//! * `PF(k, r)` — processor row `r`'s share of the cooperative panel
+//!   factorization of block `k` (scale + rank-1 work on its rows, plus
+//!   the per-step pivot gather/broadcast latency on the diagonal owner);
+//! * `PFdone(k)` — zero-cost completion marker on the diagonal owner
+//!   (pivot sequence available; the per-step lockstep of the distributed
+//!   pivot search is approximated by this single join);
+//! * `LSend(k, r)` — zero-cost task on `(r, k mod p_c)` whose outgoing
+//!   edges carry row `r`'s L panels along the grid row;
+//! * `SST(k, j)` — delayed swap + TRSM of `U_kj` on its owner, its output
+//!   multicast down the grid column;
+//! * `U2D(k, j, r)` — processor row `r`'s share of `Update2D(k, j)`.
+//!
+//! Per-processor orders mirror the SPMD program of Fig. 12; the barrier
+//! variant inserts a zero-cost global join per stage (Table 7's
+//! synchronous baseline).
+
+use crate::sim::Schedule;
+use crate::taskgraph::{TaskGraph, TaskKind};
+use splu_machine::{Grid, MachineModel};
+use splu_symbolic::BlockPattern;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The 2D model: a generic task graph plus the matching schedule.
+pub struct Model2d {
+    /// Task graph (costs in flops; `TaskKind` labels reuse `Factor`/`Update`
+    /// with sub-task granularity — see `label` for exact roles).
+    pub graph: TaskGraph,
+    /// The program-order schedule on the `p_r × p_c` grid.
+    pub schedule: Schedule,
+    /// Human-readable role of each task.
+    pub label: Vec<String>,
+}
+
+/// Synchronization variant to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode2d {
+    /// Fully asynchronous pipelined execution.
+    Async,
+    /// Global barrier after every elimination stage.
+    Barrier,
+}
+
+/// Build the 2D model for `pattern` on `grid` under `model`.
+pub fn build_2d_model(
+    pattern: &Arc<BlockPattern>,
+    grid: Grid,
+    model: &MachineModel,
+    mode: Mode2d,
+) -> Model2d {
+    let nb = pattern.nblocks();
+    let part = &pattern.part;
+    let (pr, pc) = (grid.pr, grid.pc);
+
+    struct Builder {
+        tasks: Vec<TaskKind>,
+        label: Vec<String>,
+        flops: Vec<(u64, u64)>,
+        extra_secs: Vec<f64>,
+        msg_words: Vec<u64>,
+        proc: Vec<u32>,
+        succs: Vec<Vec<u32>>,
+        preds: Vec<Vec<u32>>,
+    }
+    impl Builder {
+        fn task(
+            &mut self,
+            kind: TaskKind,
+            label: String,
+            proc: usize,
+            b2: u64,
+            b3: u64,
+            msg_words: u64,
+        ) -> u32 {
+            let id = self.tasks.len() as u32;
+            self.tasks.push(kind);
+            self.label.push(label);
+            self.flops.push((b2, b3));
+            self.extra_secs.push(0.0);
+            self.msg_words.push(msg_words);
+            self.proc.push(proc as u32);
+            self.succs.push(Vec::new());
+            self.preds.push(Vec::new());
+            id
+        }
+        fn edge(&mut self, a: u32, b: u32) {
+            if !self.succs[a as usize].contains(&b) {
+                self.succs[a as usize].push(b);
+                self.preds[b as usize].push(a);
+            }
+        }
+    }
+    let mut b = Builder {
+        tasks: Vec::new(),
+        label: Vec::new(),
+        flops: Vec::new(),
+        extra_secs: Vec::new(),
+        msg_words: Vec::new(),
+        proc: Vec::new(),
+        succs: Vec::new(),
+        preds: Vec::new(),
+    };
+
+    // ---- per-stage bookkeeping ----
+    // rows of column block k owned by grid row r (L panel heights)
+    let l_height = |k: usize, r: usize| -> u64 {
+        pattern.l_blocks[k]
+            .iter()
+            .filter(|l| (l.i as usize) % pr == r)
+            .map(|l| l.rows.len() as u64)
+            .sum()
+    };
+    // last update stage touching column block j before stage k
+    let mut prev_stage: Vec<Vec<usize>> = vec![Vec::new(); nb]; // per j: stages in order
+    for k in 0..nb {
+        for u in &pattern.u_blocks[k] {
+            prev_stage[u.j as usize].push(k);
+        }
+    }
+
+    let mut pf: HashMap<(usize, usize), u32> = HashMap::new(); // (k, r)
+    let mut pfdone: Vec<u32> = vec![u32::MAX; nb];
+    let mut lsend: HashMap<(usize, usize), u32> = HashMap::new(); // (k, r)
+    let mut sst: HashMap<(usize, usize), u32> = HashMap::new(); // (k, j)
+    let mut u2d: HashMap<(usize, usize, usize), u32> = HashMap::new(); // (k, j, r)
+
+    // ---- create tasks ----
+    for k in 0..nb {
+        let w = part.width(k) as u64;
+        let kc = k % pc;
+        let kr = k % pr;
+        let diag_proc = grid.rank_of(kr, kc);
+
+        // PF(k, r): share of the panel factorization
+        let mut participants: Vec<usize> = (0..pr)
+            .filter(|&r| r == kr || l_height(k, r) > 0)
+            .collect();
+        if participants.is_empty() {
+            participants.push(kr);
+        }
+        for &r in &participants {
+            let nl = l_height(k, r);
+            let own_diag = r == kr;
+            // Σ_t (scale + rank-1) over owned rows
+            let mut b2 = 0u64;
+            for t in 0..w {
+                let diag_rows = if own_diag { w - t - 1 } else { 0 };
+                let rows = diag_rows + nl;
+                b2 += rows + 2 * rows * (w - t - 1);
+            }
+            let id = b.task(
+                TaskKind::Factor(k as u32),
+                format!("PF({k},{r})"),
+                grid.rank_of(r, kc),
+                b2,
+                0,
+                // candidate subrows to the diag owner (w steps × w words)
+                w * w,
+            );
+            // distributed pivot search latency: per step, a gather and a
+            // broadcast along the column (only when pr > 1)
+            if pr > 1 {
+                b.extra_secs[id as usize] +=
+                    w as f64 * 2.0 * (model.alpha + w as f64 * model.beta);
+            }
+            pf.insert((k, r), id);
+        }
+        // PFdone(k) on the diagonal owner
+        let done = b.task(
+            TaskKind::Factor(k as u32),
+            format!("PFdone({k})"),
+            diag_proc,
+            0,
+            0,
+            w, // pivot sequence along the grid row
+        );
+        pfdone[k] = done;
+        for &r in &participants {
+            b.edge(pf[&(k, r)], done);
+        }
+        // LSend(k, r): L panels along the grid row (only if needed later)
+        for &r in &participants {
+            let nl = l_height(k, r);
+            let vol = if r == kr { w * w + nl * w } else { nl * w };
+            let id = b.task(
+                TaskKind::Factor(k as u32),
+                format!("LSend({k},{r})"),
+                grid.rank_of(r, kc),
+                0,
+                0,
+                vol.max(1),
+            );
+            b.edge(done, id);
+            lsend.insert((k, r), id);
+        }
+
+        // SST(k, j) + U2D(k, j, r)
+        for u in &pattern.u_blocks[k] {
+            let j = u.j as usize;
+            let nuc = u.cols.len() as u64;
+            let trsm = w * w * nuc;
+            let trsm3 = (trsm as f64 * (w as f64 / crate::taskgraph::BLAS3_REF_WIDTH).min(1.0)) as u64;
+            let sst_id = b.task(
+                TaskKind::Update(k as u32, u.j),
+                format!("SST({k},{j})"),
+                grid.rank_of(kr, j % pc),
+                trsm - trsm3,
+                trsm3, // TRSM at width-dependent rate
+                w * nuc, // U panel down the column
+            );
+            b.edge(done, sst_id);
+            sst.insert((k, j), sst_id);
+
+            for r in 0..pr {
+                let nl = l_height(k, r);
+                if nl == 0 {
+                    continue;
+                }
+                let gemm = 2 * nl * w * nuc;
+                let gemm3 =
+                    (gemm as f64 * (w as f64 / crate::taskgraph::BLAS3_REF_WIDTH).min(1.0)) as u64;
+                let uid = b.task(
+                    TaskKind::Update(k as u32, u.j),
+                    format!("U2D({k},{j},{r})"),
+                    grid.rank_of(r, j % pc),
+                    gemm - gemm3,
+                    gemm3,
+                    w.max(1),
+                );
+                b.edge(sst_id, uid);
+                if let Some(&ls) = lsend.get(&(k, r)) {
+                    b.edge(ls, uid);
+                }
+                u2d.insert((k, j, r), uid);
+            }
+        }
+    }
+
+    // ---- cross-stage dependences ----
+    for j in 0..nb {
+        let stages = &prev_stage[j];
+        // chain same-destination updates per grid row; last feeds PF(j, r)
+        for r in 0..pr {
+            let mut last: Option<u32> = None;
+            for &k in stages {
+                if let Some(&uid) = u2d.get(&(k, j, r)) {
+                    if let Some(prev) = last {
+                        b.edge(prev, uid);
+                    }
+                    last = Some(uid);
+                }
+            }
+            if let Some(prev) = last {
+                if let Some(&pfid) = pf.get(&(j, r)) {
+                    b.edge(prev, pfid);
+                }
+            }
+        }
+        // SST(k, j) must see the updates of earlier stages into U(k, j):
+        // those land on grid row (k % pr); chain U2D(k', j, k%pr) → SST(k, j)
+        for (si, &k) in stages.iter().enumerate() {
+            if si > 0 {
+                let kprev = stages[si - 1];
+                if let Some(&uprev) = u2d.get(&(kprev, j, k % pr)) {
+                    b.edge(uprev, sst[&(k, j)]);
+                }
+            }
+        }
+    }
+
+    // ---- barrier variant ----
+    if mode == Mode2d::Barrier {
+        let mut stage_tasks: Vec<Vec<u32>> = vec![Vec::new(); nb];
+        for (&(k, j, _r), &uid) in &u2d {
+            let _ = j;
+            stage_tasks[k].push(uid);
+        }
+        for (&(k, _j), &sid) in &sst {
+            stage_tasks[k].push(sid);
+        }
+        let mut prev_barrier: Option<u32> = None;
+        for k in 0..nb {
+            let bid = b.task(
+                TaskKind::Factor(k as u32),
+                format!("Barrier({k})"),
+                0,
+                0,
+                0,
+                1,
+            );
+            for &t in &stage_tasks[k] {
+                b.edge(t, bid);
+            }
+            b.edge(pfdone[k], bid);
+            if let Some(pb) = prev_barrier {
+                b.edge(pb, bid);
+            }
+            // everything in stage k+1 depends on the barrier
+            if k + 1 < nb {
+                for &t in &stage_tasks[k + 1] {
+                    b.edge(bid, t);
+                }
+                for r in 0..pr {
+                    if let Some(&pfid) = pf.get(&(k + 1, r)) {
+                        b.edge(bid, pfid);
+                    }
+                }
+            }
+            prev_barrier = Some(bid);
+        }
+    }
+
+    // ---- assemble TaskGraph ----
+    let n = b.tasks.len();
+    let mut graph = TaskGraph {
+        tasks: b.tasks,
+        succs: b.succs,
+        preds: b.preds,
+        flops: b.flops,
+        owner_block: vec![0; n],
+        msg_words: b.msg_words,
+        nblocks: nb,
+        factor_task: pfdone.clone(),
+    };
+    // fold the extra per-task seconds into flops via the model's w2 rate
+    for t in 0..n {
+        if b.extra_secs[t] > 0.0 {
+            let extra_flops = (b.extra_secs[t] / model.w2).ceil() as u64;
+            graph.flops[t].0 += extra_flops;
+        }
+    }
+
+    // ---- per-processor program order ----
+    // Mirror Fig. 12's SPMD loop; within a proc, tasks sorted by
+    // (stage k, phase, j) where phase orders PF < PFdone < LSend < SST <
+    // compute-ahead U2D/PF(k+1) < remaining U2D. Instead of hand-coding
+    // phases we use a stable global order by construction index filtered
+    // per proc — tasks were created in program order per stage, and the
+    // compute-ahead reordering is reproduced by hoisting U2D(k, k+1, ·)
+    // and PF(k+1, ·): we approximate by leaving construction order, which
+    // interleaves identically except for the hoist; the hoist is then
+    // applied explicitly.
+    let nprocs = grid.nprocs();
+    let mut order: Vec<Vec<u32>> = vec![Vec::new(); nprocs];
+    // construction order is (k ascending; PF, PFdone, LSend, SST/U2D by j)
+    for t in 0..n as u32 {
+        order[b.proc[t as usize] as usize].push(t);
+    }
+    // hoist: for each proc, move U2D(k, k+1, r) and PF(k+1, r) right after
+    // stage-k SST tasks — construction order already places PF(k+1, ·)
+    // after all stage-k tasks, so hoist U2D(k, k+1, ·) before other
+    // stage-k U2D on the same proc.
+    for ord in order.iter_mut() {
+        ord.sort_by_key(|&t| {
+            let tu = t as usize;
+            let (stage, phase, jj) = decode(&graph.tasks[tu], &b.label[tu]);
+            (stage, phase, jj, t)
+        });
+    }
+
+    fn decode(kind: &TaskKind, label: &str) -> (u32, u8, u32) {
+        match kind {
+            TaskKind::Factor(k) => {
+                // PF/PFdone/LSend of stage k happen "within" stage k-1's
+                // iteration for k > 0 (compute-ahead), but ordering them at
+                // the start of stage k is equivalent for the simulator
+                // (they additionally wait on their dependences).
+                let phase = if label.starts_with("PF(") {
+                    0
+                } else if label.starts_with("PFdone") {
+                    1
+                } else if label.starts_with("Barrier") {
+                    7
+                } else {
+                    2 // LSend
+                };
+                (*k, phase, 0)
+            }
+            TaskKind::Update(k, j) => {
+                // compute-ahead: U2D(k, k+1) before other stage-k updates
+                let phase = if label.starts_with("SST") {
+                    3
+                } else if *j == *k + 1 {
+                    4
+                } else {
+                    5
+                };
+                (*k, phase, *j)
+            }
+        }
+    }
+
+    let schedule = Schedule {
+        proc_of: b.proc,
+        order,
+    };
+    Model2d {
+        graph,
+        schedule,
+        label: b.label,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate;
+    use splu_machine::{Grid, T3D, T3E};
+    use splu_sparse::gen::{self, ValueModel};
+    use splu_symbolic::{
+        amalgamate, partition_supernodes, static_symbolic_factorization, BlockPattern,
+    };
+
+    fn pattern_for(n: usize) -> Arc<BlockPattern> {
+        let a = gen::grid2d(n, n, 0.3, ValueModel::default());
+        let s = static_symbolic_factorization(&a);
+        let base = partition_supernodes(&s, 8);
+        let part = amalgamate(&s, &base, 4, 8);
+        Arc::new(BlockPattern::build(&s, &part))
+    }
+
+    #[test]
+    fn model_simulates_on_all_grids() {
+        let p = pattern_for(10);
+        for (pr, pc) in [(1, 1), (1, 2), (2, 2), (2, 4), (4, 4)] {
+            let m = build_2d_model(&p, Grid::new(pr, pc), &T3E, Mode2d::Async);
+            let r = simulate(&m.graph, &m.schedule, &T3E);
+            assert!(r.makespan > 0.0, "grid {pr}x{pc}");
+        }
+    }
+
+    #[test]
+    fn async_beats_barrier() {
+        // Table 7's point: asynchronous overlap wins, more with more procs.
+        let p = pattern_for(14);
+        for procs in [4usize, 16] {
+            let g = Grid::for_procs(procs);
+            let ma = build_2d_model(&p, g, &T3E, Mode2d::Async);
+            let mb = build_2d_model(&p, g, &T3E, Mode2d::Barrier);
+            let ta = simulate(&ma.graph, &ma.schedule, &T3E).makespan;
+            let tb = simulate(&mb.graph, &mb.schedule, &T3E).makespan;
+            assert!(
+                ta < tb,
+                "async ({ta}) must beat barrier ({tb}) at P={procs}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_processors_help() {
+        let p = pattern_for(16);
+        let t4 = {
+            let m = build_2d_model(&p, Grid::for_procs(4), &T3D, Mode2d::Async);
+            simulate(&m.graph, &m.schedule, &T3D).makespan
+        };
+        let t16 = {
+            let m = build_2d_model(&p, Grid::for_procs(16), &T3D, Mode2d::Async);
+            simulate(&m.graph, &m.schedule, &T3D).makespan
+        };
+        assert!(t16 < t4, "t16={t16} t4={t4}");
+    }
+
+    #[test]
+    fn single_proc_equals_total_work() {
+        let p = pattern_for(8);
+        let m = build_2d_model(&p, Grid::new(1, 1), &T3D, Mode2d::Async);
+        let r = simulate(&m.graph, &m.schedule, &T3D);
+        assert!((r.makespan - m.graph.total_work(&T3D)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,123 @@
+//! Load-balance factor (Fig. 18 of the paper).
+//!
+//! `lbf = work_total / (P · work_max)`, counting only the updating work
+//! ("because it is the major part of the computation"). A factor of 1.0
+//! is perfect balance. The paper uses this to explain why the 2D code
+//! closes part of its gap to the graph-scheduled 1D code: 2D block-cyclic
+//! mapping balances better, compensating for its simpler task ordering.
+
+use crate::taskgraph::{TaskGraph, TaskKind};
+use splu_machine::MachineModel;
+
+/// Compute the load-balance factor of a task→processor mapping.
+pub fn load_balance_factor(
+    g: &TaskGraph,
+    proc_of: &[u32],
+    nprocs: usize,
+    model: &MachineModel,
+) -> f64 {
+    assert_eq!(proc_of.len(), g.len());
+    let mut work = vec![0.0f64; nprocs];
+    for (t, kind) in g.tasks.iter().enumerate() {
+        if matches!(kind, TaskKind::Update(..)) {
+            work[proc_of[t] as usize] += g.cost(t, model);
+        }
+    }
+    let total: f64 = work.iter().sum();
+    let wmax = work.iter().fold(0.0f64, |m, &w| m.max(w));
+    if wmax <= 0.0 {
+        1.0
+    } else {
+        total / (nprocs as f64 * wmax)
+    }
+}
+
+/// Load-balance factor of the 2D block-cyclic mapping: update task
+/// `U(k, j)` is split across the processor column owning `j`, with each
+/// processor row getting the L segments it owns. We account it at block
+/// granularity: the cost of updating destination block `(i, j)` goes to
+/// processor `(i mod p_r, j mod p_c)`.
+pub fn load_balance_factor_2d(
+    pattern: &splu_symbolic::BlockPattern,
+    grid: splu_machine::Grid,
+    model: &MachineModel,
+) -> f64 {
+    let nb = pattern.nblocks();
+    let mut work = vec![0.0f64; grid.nprocs()];
+    for k in 0..nb {
+        let wk = pattern.part.width(k) as u64;
+        for u in &pattern.u_blocks[k] {
+            let j = u.j as usize;
+            let nuc = u.cols.len() as u64;
+            for l in &pattern.l_blocks[k] {
+                let i = l.i as usize;
+                let flops = 2 * l.rows.len() as u64 * wk * nuc;
+                work[grid.owner_of_block(i, j)] += model.compute_time(0, 0, flops);
+            }
+        }
+    }
+    let total: f64 = work.iter().sum();
+    let wmax = work.iter().fold(0.0f64, |m, &w| m.max(w));
+    if wmax <= 0.0 {
+        1.0
+    } else {
+        total / (grid.nprocs() as f64 * wmax)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::ca_schedule;
+    use crate::taskgraph::TaskGraph;
+    use splu_machine::{Grid, T3D};
+    use splu_sparse::gen::{self, ValueModel};
+    use splu_symbolic::{
+        amalgamate, partition_supernodes, static_symbolic_factorization, BlockPattern,
+    };
+    use std::sync::Arc;
+
+    fn setup(n: usize) -> (Arc<BlockPattern>, TaskGraph) {
+        let a = gen::grid2d(n, n, 0.3, ValueModel::default());
+        let s = static_symbolic_factorization(&a);
+        let base = partition_supernodes(&s, 8);
+        let part = amalgamate(&s, &base, 4, 8);
+        let p = Arc::new(BlockPattern::build(&s, &part));
+        let g = TaskGraph::build(&p);
+        (p, g)
+    }
+
+    #[test]
+    fn perfect_on_one_proc() {
+        let (_, g) = setup(6);
+        let s = ca_schedule(&g, 1);
+        assert!((load_balance_factor(&g, &s.proc_of, 1, &T3D) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_by_one() {
+        let (p, g) = setup(10);
+        for np in [2usize, 4, 8] {
+            let s = ca_schedule(&g, np);
+            let f = load_balance_factor(&g, &s.proc_of, np, &T3D);
+            assert!(f > 0.0 && f <= 1.0 + 1e-12, "1D P={np}: {f}");
+            let f2 = load_balance_factor_2d(&p, Grid::for_procs(np), &T3D);
+            assert!(f2 > 0.0 && f2 <= 1.0 + 1e-12, "2D P={np}: {f2}");
+        }
+    }
+
+    #[test]
+    fn two_d_balances_better_at_scale() {
+        // The paper's Fig. 18 finding: the 2D block-cyclic mapping has a
+        // better load balance factor than the 1D mapping on most matrices.
+        let (p, g) = setup(14);
+        let np = 8;
+        let s = ca_schedule(&g, np);
+        let f1 = load_balance_factor(&g, &s.proc_of, np, &T3D);
+        let f2 = load_balance_factor_2d(&p, Grid::for_procs(np), &T3D);
+        assert!(
+            f2 > f1 * 0.95,
+            "2D ({f2}) should be comparable or better than 1D ({f1})"
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Coordinate (triplet) format builder.
+
+use crate::csc::CscMatrix;
+
+/// A sparse matrix under construction, as a list of `(row, col, value)`
+/// triplets. Duplicate coordinates are *summed* on conversion to CSC, the
+/// usual finite-element assembly convention.
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// An empty `nrows × ncols` builder.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// An empty builder with room reserved for `cap` triplets.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of triplets recorded so far (before duplicate merging).
+    pub fn ntriplets(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Record `A[i, j] += v`.
+    ///
+    /// # Panics
+    /// Panics if `i` or `j` is out of bounds.
+    pub fn push(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.nrows, "row {i} out of bounds ({})", self.nrows);
+        assert!(j < self.ncols, "col {j} out of bounds ({})", self.ncols);
+        self.rows.push(i as u32);
+        self.cols.push(j as u32);
+        self.vals.push(v);
+    }
+
+    /// Convert to CSC, summing duplicates and dropping exact zeros that
+    /// result from cancellation only if `drop_zeros` is set. Entries pushed
+    /// as literal `0.0` are *kept* by default because symbolic codes treat
+    /// explicitly stored zeros as structural nonzeros.
+    pub fn to_csc(&self) -> CscMatrix {
+        self.to_csc_inner(false)
+    }
+
+    /// Like [`CooMatrix::to_csc`], but drops entries whose merged value is
+    /// exactly zero.
+    pub fn to_csc_drop_zeros(&self) -> CscMatrix {
+        self.to_csc_inner(true)
+    }
+
+    fn to_csc_inner(&self, drop_zeros: bool) -> CscMatrix {
+        // Counting sort by column, then sort rows within each column and
+        // merge duplicates.
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.cols {
+            counts[c as usize + 1] += 1;
+        }
+        for j in 0..self.ncols {
+            counts[j + 1] += counts[j];
+        }
+        let mut next = counts.clone();
+        let nnz = self.vals.len();
+        let mut ri = vec![0u32; nnz];
+        let mut vv = vec![0.0f64; nnz];
+        for k in 0..nnz {
+            let c = self.cols[k] as usize;
+            let slot = next[c];
+            next[c] += 1;
+            ri[slot] = self.rows[k];
+            vv[slot] = self.vals[k];
+        }
+        // Sort each column segment by row and merge duplicates in place.
+        let mut col_ptr = vec![0usize; self.ncols + 1];
+        let mut out_ri: Vec<u32> = Vec::with_capacity(nnz);
+        let mut out_vv: Vec<f64> = Vec::with_capacity(nnz);
+        let mut idx: Vec<usize> = Vec::new();
+        for j in 0..self.ncols {
+            let (s, e) = (counts[j], counts[j + 1]);
+            idx.clear();
+            idx.extend(s..e);
+            idx.sort_unstable_by_key(|&k| ri[k]);
+            let mut p = 0;
+            while p < idx.len() {
+                let row = ri[idx[p]];
+                let mut v = vv[idx[p]];
+                let mut q = p + 1;
+                while q < idx.len() && ri[idx[q]] == row {
+                    v += vv[idx[q]];
+                    q += 1;
+                }
+                if !(drop_zeros && v == 0.0) {
+                    out_ri.push(row);
+                    out_vv.push(v);
+                }
+                p = q;
+            }
+            col_ptr[j + 1] = out_ri.len();
+        }
+        CscMatrix::from_parts(self.nrows, self.ncols, col_ptr, out_ri, out_vv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_builder_gives_empty_csc() {
+        let a = CooMatrix::new(3, 4).to_csc();
+        assert_eq!(a.nrows(), 3);
+        assert_eq!(a.ncols(), 4);
+        assert_eq!(a.nnz(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut c = CooMatrix::new(2, 2);
+        c.push(0, 0, 1.0);
+        c.push(0, 0, 2.0);
+        c.push(1, 1, 5.0);
+        let a = c.to_csc();
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.get(0, 0), 3.0);
+        assert_eq!(a.get(1, 1), 5.0);
+    }
+
+    #[test]
+    fn rows_sorted_within_columns() {
+        let mut c = CooMatrix::new(4, 1);
+        c.push(3, 0, 3.0);
+        c.push(0, 0, 0.5);
+        c.push(2, 0, 2.0);
+        let a = c.to_csc();
+        let (rows, vals) = a.col(0);
+        assert_eq!(rows, &[0, 2, 3]);
+        assert_eq!(vals, &[0.5, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn explicit_zero_kept_cancellation_droppable() {
+        let mut c = CooMatrix::new(2, 2);
+        c.push(0, 0, 0.0); // explicit zero — structural
+        c.push(1, 0, 1.0);
+        c.push(1, 0, -1.0); // cancels
+        assert_eq!(c.to_csc().nnz(), 2);
+        assert_eq!(c.to_csc_drop_zeros().nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_panics() {
+        CooMatrix::new(2, 2).push(2, 0, 1.0);
+    }
+}

@@ -1,0 +1,391 @@
+//! Compressed sparse column storage.
+
+use crate::coo::CooMatrix;
+use crate::perm::Perm;
+use splu_kernels::DenseMat;
+
+/// A sparse matrix in compressed sparse column (CSC) format.
+///
+/// Row indices are sorted and unique within each column. Explicitly stored
+/// zeros are legal and treated as *structural* nonzeros by the symbolic
+/// machinery (the static symbolic factorization must not depend on values).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Assemble from raw CSC arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays are inconsistent (wrong lengths, unsorted or
+    /// duplicate rows in a column, out-of-range indices).
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(col_ptr.len(), ncols + 1, "col_ptr length");
+        assert_eq!(col_ptr[0], 0, "col_ptr[0]");
+        assert_eq!(*col_ptr.last().unwrap(), row_idx.len(), "col_ptr end");
+        assert_eq!(row_idx.len(), values.len(), "row/value length");
+        for j in 0..ncols {
+            assert!(col_ptr[j] <= col_ptr[j + 1], "col_ptr monotone");
+            let seg = &row_idx[col_ptr[j]..col_ptr[j + 1]];
+            for w in seg.windows(2) {
+                assert!(w[0] < w[1], "rows unsorted/duplicated in column {j}");
+            }
+            if let Some(&last) = seg.last() {
+                assert!((last as usize) < nrows, "row index out of range");
+            }
+        }
+        Self {
+            nrows,
+            ncols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        Self::from_parts(
+            n,
+            n,
+            (0..=n).collect(),
+            (0..n as u32).collect(),
+            vec![1.0; n],
+        )
+    }
+
+    /// Build from a dense matrix, storing every entry with `|a_ij| > 0` —
+    /// plus the diagonal if `keep_diag` is set (useful for test fixtures).
+    pub fn from_dense(a: &DenseMat, keep_diag: bool) -> Self {
+        let mut coo = CooMatrix::new(a.nrows(), a.ncols());
+        for j in 0..a.ncols() {
+            for i in 0..a.nrows() {
+                let v = a[(i, j)];
+                if v != 0.0 || (keep_diag && i == j) {
+                    coo.push(i, j, v);
+                }
+            }
+        }
+        coo.to_csc()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Column pointer array (length `ncols + 1`).
+    #[inline]
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// All row indices, column-segmented by [`CscMatrix::col_ptr`].
+    #[inline]
+    pub fn row_indices(&self) -> &[u32] {
+        &self.row_idx
+    }
+
+    /// All values, column-segmented by [`CscMatrix::col_ptr`].
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The rows and values of column `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> (&[u32], &[f64]) {
+        let (s, e) = (self.col_ptr[j], self.col_ptr[j + 1]);
+        (&self.row_idx[s..e], &self.values[s..e])
+    }
+
+    /// Value at `(i, j)`, `0.0` if not stored. O(log nnz(col j)).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (rows, vals) = self.col(j);
+        match rows.binary_search(&(i as u32)) {
+            Ok(p) => vals[p],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Whether `(i, j)` is structurally nonzero (stored).
+    pub fn is_stored(&self, i: usize, j: usize) -> bool {
+        let (rows, _) = self.col(j);
+        rows.binary_search(&(i as u32)).is_ok()
+    }
+
+    /// Whether every diagonal entry is structurally present.
+    ///
+    /// The static symbolic factorization requires a zero-free diagonal
+    /// (§3.1); `splu-order`'s transversal produces a row permutation that
+    /// establishes it.
+    pub fn has_zero_free_diagonal(&self) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        (0..self.ncols).all(|j| self.is_stored(j, j))
+    }
+
+    /// `y = A x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols);
+        let mut y = vec![0.0; self.nrows];
+        for j in 0..self.ncols {
+            let xj = x[j];
+            if xj != 0.0 {
+                let (rows, vals) = self.col(j);
+                for (&i, &v) in rows.iter().zip(vals) {
+                    y[i as usize] += v * xj;
+                }
+            }
+        }
+        y
+    }
+
+    /// `y = Aᵀ x`.
+    pub fn matvec_transpose(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.nrows);
+        let mut y = vec![0.0; self.ncols];
+        for j in 0..self.ncols {
+            let (rows, vals) = self.col(j);
+            let mut acc = 0.0;
+            for (&i, &v) in rows.iter().zip(vals) {
+                acc += v * x[i as usize];
+            }
+            y[j] = acc;
+        }
+        y
+    }
+
+    /// The transpose, in CSC (equivalently, this matrix reinterpreted as
+    /// compressed sparse *row*).
+    pub fn transpose(&self) -> CscMatrix {
+        let mut counts = vec![0usize; self.nrows + 1];
+        for &i in &self.row_idx {
+            counts[i as usize + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            counts[i + 1] += counts[i];
+        }
+        let mut next = counts.clone();
+        let mut ri = vec![0u32; self.nnz()];
+        let mut vv = vec![0.0; self.nnz()];
+        for j in 0..self.ncols {
+            let (rows, vals) = self.col(j);
+            for (&i, &v) in rows.iter().zip(vals) {
+                let slot = next[i as usize];
+                next[i as usize] += 1;
+                ri[slot] = j as u32;
+                vv[slot] = v;
+            }
+        }
+        // Column j of A is scanned in increasing j, so each transposed
+        // column's rows come out already sorted.
+        CscMatrix::from_parts(self.ncols, self.nrows, counts, ri, vv)
+    }
+
+    /// Densify (small matrices / tests only).
+    pub fn to_dense(&self) -> DenseMat {
+        let mut d = DenseMat::zeros(self.nrows, self.ncols);
+        for j in 0..self.ncols {
+            let (rows, vals) = self.col(j);
+            for (&i, &v) in rows.iter().zip(vals) {
+                d[(i as usize, j)] = v;
+            }
+        }
+        d
+    }
+
+    /// Apply a row permutation: returns `B` with `B[r, j] = A[prow.old_of_new(r), j]`
+    /// — i.e. `B = P A` where row `old` of `A` becomes row `prow.new_of_old(old)`.
+    pub fn permute_rows(&self, prow: &Perm) -> CscMatrix {
+        assert_eq!(prow.len(), self.nrows);
+        let mut coo = CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz());
+        for j in 0..self.ncols {
+            let (rows, vals) = self.col(j);
+            for (&i, &v) in rows.iter().zip(vals) {
+                coo.push(prow.new_of_old(i as usize), j, v);
+            }
+        }
+        coo.to_csc()
+    }
+
+    /// Apply a column permutation: column `old` of `A` becomes column
+    /// `pcol.new_of_old(old)` of the result (`B = A Pᵀ` in matrix terms).
+    pub fn permute_cols(&self, pcol: &Perm) -> CscMatrix {
+        assert_eq!(pcol.len(), self.ncols);
+        let mut col_ptr = vec![0usize; self.ncols + 1];
+        let mut ri = Vec::with_capacity(self.nnz());
+        let mut vv = Vec::with_capacity(self.nnz());
+        for newj in 0..self.ncols {
+            let oldj = pcol.old_of_new(newj);
+            let (rows, vals) = self.col(oldj);
+            ri.extend_from_slice(rows);
+            vv.extend_from_slice(vals);
+            col_ptr[newj + 1] = ri.len();
+        }
+        CscMatrix::from_parts(self.nrows, self.ncols, col_ptr, ri, vv)
+    }
+
+    /// Apply both permutations: `B = P A Qᵀ` with
+    /// `B[prow.new_of_old(i), pcol.new_of_old(j)] = A[i, j]`.
+    pub fn permute(&self, prow: &Perm, pcol: &Perm) -> CscMatrix {
+        self.permute_rows(prow).permute_cols(pcol)
+    }
+
+    /// Infinity norm of the matrix (max absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        let mut rowsum = vec![0.0f64; self.nrows];
+        for j in 0..self.ncols {
+            let (rows, vals) = self.col(j);
+            for (&i, &v) in rows.iter().zip(vals) {
+                rowsum[i as usize] += v.abs();
+            }
+        }
+        rowsum.iter().fold(0.0f64, |m, &v| m.max(v))
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.values.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Iterate over all stored `(row, col, value)` entries in column order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.ncols).flat_map(move |j| {
+            let (rows, vals) = self.col(j);
+            rows.iter()
+                .zip(vals)
+                .map(move |(&i, &v)| (i as usize, j, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CscMatrix {
+        // [ 1 0 2 ]
+        // [ 0 3 0 ]
+        // [ 4 0 5 ]
+        let mut c = CooMatrix::new(3, 3);
+        c.push(0, 0, 1.0);
+        c.push(2, 0, 4.0);
+        c.push(1, 1, 3.0);
+        c.push(0, 2, 2.0);
+        c.push(2, 2, 5.0);
+        c.to_csc()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let a = sample();
+        assert_eq!(a.nnz(), 5);
+        assert_eq!(a.get(2, 0), 4.0);
+        assert_eq!(a.get(1, 0), 0.0);
+        assert!(a.is_stored(1, 1));
+        assert!(!a.is_stored(0, 1));
+        assert!(a.has_zero_free_diagonal());
+    }
+
+    #[test]
+    fn matvec_and_transpose_matvec_agree_with_dense() {
+        let a = sample();
+        let d = a.to_dense();
+        let x = vec![1.0, -2.0, 0.5];
+        assert_eq!(a.matvec(&x), d.matvec(&x));
+        assert_eq!(a.matvec_transpose(&x), d.transpose().matvec(&x));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = sample();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(0, 2), 4.0);
+        assert_eq!(a.transpose().get(2, 0), a.get(0, 2));
+    }
+
+    #[test]
+    fn permute_rows_moves_entries() {
+        let a = sample();
+        // cycle rows: 0->1, 1->2, 2->0
+        let p = Perm::from_new_of_old(vec![1, 2, 0]);
+        let b = a.permute_rows(&p);
+        assert_eq!(b.get(1, 0), a.get(0, 0));
+        assert_eq!(b.get(0, 0), a.get(2, 0));
+        assert_eq!(b.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn permute_cols_moves_columns() {
+        let a = sample();
+        let p = Perm::from_new_of_old(vec![2, 0, 1]); // old col 0 -> new col 2
+        let b = a.permute_cols(&p);
+        assert_eq!(b.get(0, 2), a.get(0, 0));
+        assert_eq!(b.get(2, 2), a.get(2, 0));
+    }
+
+    #[test]
+    fn permute_is_pa_qt() {
+        let a = sample();
+        let pr = Perm::from_new_of_old(vec![2, 0, 1]);
+        let pc = Perm::from_new_of_old(vec![1, 2, 0]);
+        let b = a.permute(&pr, &pc);
+        for (i, j, v) in a.iter() {
+            assert_eq!(b.get(pr.new_of_old(i), pc.new_of_old(j)), v);
+        }
+    }
+
+    #[test]
+    fn identity_has_unit_diagonal() {
+        let i = CscMatrix::identity(4);
+        assert_eq!(i.nnz(), 4);
+        assert!(i.has_zero_free_diagonal());
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.matvec(&x), x);
+    }
+
+    #[test]
+    fn norms() {
+        let a = sample();
+        assert_eq!(a.max_abs(), 5.0);
+        assert_eq!(a.norm_inf(), 9.0); // row 2: |4| + |5|
+    }
+
+    #[test]
+    #[should_panic]
+    fn unsorted_rows_rejected() {
+        CscMatrix::from_parts(2, 1, vec![0, 2], vec![1, 0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_row_rejected() {
+        CscMatrix::from_parts(2, 1, vec![0, 1], vec![5], vec![1.0]);
+    }
+}

@@ -1,0 +1,358 @@
+//! Synthetic sparse matrix generators.
+//!
+//! The paper evaluates on Harwell–Boeing matrices from oil-reservoir
+//! simulation (`orsreg1`, `saylr4`, `sherman3/5`), circuit simulation
+//! (`jpwh991`), fluid flow (`lnsp3937`, `lns3937`, `goodwin`, `e40r0100`,
+//! `ex11`, `raefsky4`), structures/FEM (`b33_5600`, `af23560`), and PDE
+//! solvers (`vavasis3`), plus a dense matrix. These generators produce
+//! matrices of the same *structural classes* — stencil graphs, banded FEM
+//! patterns, block fluid-flow coupling, random circuit patterns — with
+//! deterministic seeds, so every experiment in the workspace is
+//! reproducible without shipping the original files (see `DESIGN.md` §3).
+//!
+//! All generators guarantee a structurally zero-free diagonal (the paper
+//! permutes rows with Duff's transversal to establish one; our matrices
+//! start with one, and the transversal code is exercised by dedicated tests
+//! that destroy the diagonal first).
+
+use crate::coo::CooMatrix;
+use crate::csc::CscMatrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Value model shared by the generators.
+///
+/// Off-diagonal values are uniform in `[-1, 1]`; the diagonal value is
+/// `diag_scale * (1 + u)` with `u` uniform in `[0, 1]`, so diagonals are
+/// nonzero but *not* dominant by default — partial pivoting stays
+/// genuinely exercised (rows do get swapped), while pivot growth remains
+/// moderate.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueModel {
+    /// Scale of diagonal entries relative to off-diagonals.
+    pub diag_scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ValueModel {
+    fn default() -> Self {
+        Self {
+            diag_scale: 1.0,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl ValueModel {
+    fn rng(&self) -> SmallRng {
+        SmallRng::seed_from_u64(self.seed)
+    }
+}
+
+fn offdiag(rng: &mut SmallRng) -> f64 {
+    loop {
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        if v.abs() > 1e-3 {
+            return v;
+        }
+    }
+}
+
+fn diagval(rng: &mut SmallRng, vm: &ValueModel) -> f64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    vm.diag_scale * (1.0 + u) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 }
+}
+
+/// 2D convection–diffusion operator on an `nx × ny` grid (5-point stencil),
+/// the structural class of the oil-reservoir matrices (`orsreg1`, `saylr4`,
+/// `sherman*`). `convection` skews the east/west and north/south couplings,
+/// making the *values* nonsymmetric while the pattern stays symmetric
+/// (symmetry number 1.0, like `sherman3`/`orsreg1`/`saylr4` in Table 1).
+pub fn grid2d(nx: usize, ny: usize, convection: f64, vm: ValueModel) -> CscMatrix {
+    let n = nx * ny;
+    let mut rng = vm.rng();
+    let mut coo = CooMatrix::with_capacity(n, n, 5 * n);
+    let idx = |x: usize, y: usize| x + y * nx;
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            coo.push(i, i, diagval(&mut rng, &vm) + 4.0 * vm.diag_scale);
+            let c = offdiag(&mut rng);
+            if x > 0 {
+                coo.push(i, idx(x - 1, y), -1.0 - convection * c.abs());
+            }
+            if x + 1 < nx {
+                coo.push(i, idx(x + 1, y), -1.0 + convection * c.abs());
+            }
+            let c2 = offdiag(&mut rng);
+            if y > 0 {
+                coo.push(i, idx(x, y - 1), -1.0 - convection * c2.abs());
+            }
+            if y + 1 < ny {
+                coo.push(i, idx(x, y + 1), -1.0 + convection * c2.abs());
+            }
+        }
+    }
+    coo.to_csc()
+}
+
+/// 3D convection–diffusion operator on an `nx × ny × nz` grid (7-point
+/// stencil) — the 3D reservoir / FEM volume class (`saylr4`-like density,
+/// `ex11`-like provenance).
+pub fn grid3d(nx: usize, ny: usize, nz: usize, convection: f64, vm: ValueModel) -> CscMatrix {
+    let n = nx * ny * nz;
+    let mut rng = vm.rng();
+    let mut coo = CooMatrix::with_capacity(n, n, 7 * n);
+    let idx = |x: usize, y: usize, z: usize| x + nx * (y + ny * z);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = idx(x, y, z);
+                coo.push(i, i, diagval(&mut rng, &vm) + 6.0 * vm.diag_scale);
+                let mut couple = |xi: isize, yi: isize, zi: isize, rng: &mut SmallRng| {
+                    if xi >= 0
+                        && yi >= 0
+                        && zi >= 0
+                        && (xi as usize) < nx
+                        && (yi as usize) < ny
+                        && (zi as usize) < nz
+                    {
+                        let j = idx(xi as usize, yi as usize, zi as usize);
+                        let skew = convection * offdiag(rng).abs();
+                        let sign = if j < i { -1.0 - skew } else { -1.0 + skew };
+                        coo.push(i, j, sign);
+                    }
+                };
+                let (xi, yi, zi) = (x as isize, y as isize, z as isize);
+                couple(xi - 1, yi, zi, &mut rng);
+                couple(xi + 1, yi, zi, &mut rng);
+                couple(xi, yi - 1, zi, &mut rng);
+                couple(xi, yi + 1, zi, &mut rng);
+                couple(xi, yi, zi - 1, &mut rng);
+                couple(xi, yi, zi + 1, &mut rng);
+            }
+        }
+    }
+    coo.to_csc()
+}
+
+/// Random sparse matrix with a target *pattern* symmetry: each off-diagonal
+/// entry `(i, j)` is mirrored to `(j, i)` with probability `sym_frac`.
+/// This is the circuit-simulation class (`jpwh991`: symmetry ≈ 1, random
+/// pattern; more nonsymmetric variants model `lnsp3937`-style matrices).
+pub fn random_sparse(n: usize, avg_per_col: usize, sym_frac: f64, vm: ValueModel) -> CscMatrix {
+    assert!(n > 0);
+    let mut rng = vm.rng();
+    let mut coo = CooMatrix::with_capacity(n, n, n * (avg_per_col + 1));
+    for j in 0..n {
+        coo.push(j, j, diagval(&mut rng, &vm));
+        // average avg_per_col off-diagonals per column
+        let cnt = rng.gen_range(avg_per_col.saturating_sub(1)..=avg_per_col + 1);
+        for _ in 0..cnt {
+            let i = rng.gen_range(0..n);
+            if i == j {
+                continue;
+            }
+            let v = offdiag(&mut rng);
+            coo.push(i, j, v);
+            if rng.gen_bool(sym_frac) {
+                coo.push(j, i, offdiag(&mut rng));
+            }
+        }
+    }
+    coo.to_csc()
+}
+
+/// Block "fluid-flow" structure: a block-tridiagonal backbone of variable
+/// block sizes with extra random long-range block couplings — the
+/// structural class of `goodwin` / `e40r0100` / `raefsky4` (FEM fluid
+/// meshes with dense local blocks).
+pub fn block_fluid(
+    nblocks: usize,
+    min_bs: usize,
+    max_bs: usize,
+    extra_coupling: f64,
+    vm: ValueModel,
+) -> CscMatrix {
+    assert!(min_bs >= 1 && max_bs >= min_bs);
+    let mut rng = vm.rng();
+    let sizes: Vec<usize> = (0..nblocks)
+        .map(|_| rng.gen_range(min_bs..=max_bs))
+        .collect();
+    let starts: Vec<usize> = sizes
+        .iter()
+        .scan(0usize, |acc, &s| {
+            let v = *acc;
+            *acc += s;
+            Some(v)
+        })
+        .collect();
+    let n: usize = sizes.iter().sum();
+    let mut coo = CooMatrix::with_capacity(n, n, n * (max_bs + 4));
+
+    let dense_block =
+        |coo: &mut CooMatrix, bi: usize, bj: usize, density: f64, rng: &mut SmallRng, vm: &ValueModel| {
+            for jj in 0..sizes[bj] {
+                for ii in 0..sizes[bi] {
+                    let (i, j) = (starts[bi] + ii, starts[bj] + jj);
+                    if i == j {
+                        coo.push(i, j, diagval(rng, vm) + vm.diag_scale);
+                    } else if rng.gen_bool(density) {
+                        coo.push(i, j, offdiag(rng));
+                    }
+                }
+            }
+        };
+
+    for b in 0..nblocks {
+        dense_block(&mut coo, b, b, 0.9, &mut rng, &vm);
+        if b + 1 < nblocks {
+            dense_block(&mut coo, b + 1, b, 0.35, &mut rng, &vm);
+            dense_block(&mut coo, b, b + 1, 0.35, &mut rng, &vm);
+        }
+        // occasional long-range coupling (mesh folds / periodic boundaries)
+        if extra_coupling > 0.0 && rng.gen_bool(extra_coupling.min(1.0)) {
+            let other = rng.gen_range(0..nblocks);
+            if other != b {
+                dense_block(&mut coo, other, b, 0.15, &mut rng, &vm);
+            }
+        }
+    }
+    coo.to_csc()
+}
+
+/// Banded matrix with given half-bandwidth and in-band fill density — the
+/// truncated-stiffness-matrix class (`b33_5600` is BCSSTK33 truncated;
+/// `af23560` is a similar band structure).
+pub fn banded(n: usize, half_bw: usize, density: f64, vm: ValueModel) -> CscMatrix {
+    let mut rng = vm.rng();
+    let mut coo = CooMatrix::with_capacity(n, n, n * (2 * half_bw + 1) / 2);
+    for j in 0..n {
+        coo.push(j, j, diagval(&mut rng, &vm) + vm.diag_scale);
+        let lo = j.saturating_sub(half_bw);
+        let hi = (j + half_bw).min(n - 1);
+        for i in lo..=hi {
+            if i != j && rng.gen_bool(density) {
+                coo.push(i, j, offdiag(&mut rng));
+            }
+        }
+    }
+    coo.to_csc()
+}
+
+/// Fully dense random matrix of order `n` (the paper's `dense1000`).
+pub fn dense_random(n: usize, vm: ValueModel) -> CscMatrix {
+    let mut rng = vm.rng();
+    let mut coo = CooMatrix::with_capacity(n, n, n * n);
+    for j in 0..n {
+        for i in 0..n {
+            let v = if i == j {
+                diagval(&mut rng, &vm) + vm.diag_scale
+            } else {
+                offdiag(&mut rng)
+            };
+            coo.push(i, j, v);
+        }
+    }
+    coo.to_csc()
+}
+
+/// Destroy the zero-free diagonal of a matrix by cyclically shifting its
+/// rows (used by transversal tests: the result needs row permutation before
+/// symbolic factorization is applicable).
+pub fn shift_rows(a: &CscMatrix, shift: usize) -> CscMatrix {
+    let n = a.nrows();
+    let p = crate::perm::Perm::from_new_of_old((0..n).map(|i| (i + shift) % n).collect());
+    a.permute_rows(&p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::structural_symmetry;
+
+    #[test]
+    fn grid2d_basic_properties() {
+        let a = grid2d(10, 7, 0.5, ValueModel::default());
+        assert_eq!(a.nrows(), 70);
+        assert!(a.has_zero_free_diagonal());
+        // interior nodes have 5 entries: nnz between 3n and 5n
+        assert!(a.nnz() > 3 * 70 && a.nnz() <= 5 * 70);
+        // pattern symmetric
+        assert!((structural_symmetry(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid2d_values_nonsymmetric() {
+        let a = grid2d(5, 5, 0.8, ValueModel::default());
+        let mut found = false;
+        for (i, j, v) in a.iter() {
+            if i != j && (a.get(j, i) - v).abs() > 1e-9 {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "convection should break value symmetry");
+    }
+
+    #[test]
+    fn grid3d_shape() {
+        let a = grid3d(4, 3, 2, 0.3, ValueModel::default());
+        assert_eq!(a.nrows(), 24);
+        assert!(a.has_zero_free_diagonal());
+        assert!((structural_symmetry(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_sparse_symmetry_knob() {
+        let vm = ValueModel::default();
+        let sym = random_sparse(300, 5, 1.0, vm);
+        let asym = random_sparse(300, 5, 0.0, vm);
+        assert!(structural_symmetry(&sym) < structural_symmetry(&asym));
+        assert!(sym.has_zero_free_diagonal());
+        assert!(asym.has_zero_free_diagonal());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let vm = ValueModel {
+            diag_scale: 1.0,
+            seed: 99,
+        };
+        assert_eq!(random_sparse(50, 4, 0.5, vm), random_sparse(50, 4, 0.5, vm));
+        assert_eq!(grid2d(6, 6, 0.2, vm), grid2d(6, 6, 0.2, vm));
+    }
+
+    #[test]
+    fn block_fluid_has_blocks() {
+        let a = block_fluid(10, 4, 8, 0.3, ValueModel::default());
+        assert!(a.nrows() >= 40 && a.nrows() <= 80);
+        assert!(a.has_zero_free_diagonal());
+        // denser than a stencil
+        assert!(a.nnz() as f64 / a.nrows() as f64 > 3.0);
+    }
+
+    #[test]
+    fn banded_respects_bandwidth() {
+        let a = banded(50, 3, 0.8, ValueModel::default());
+        for (i, j, _) in a.iter() {
+            assert!((i as isize - j as isize).unsigned_abs() <= 3);
+        }
+        assert!(a.has_zero_free_diagonal());
+    }
+
+    #[test]
+    fn dense_random_is_dense() {
+        let a = dense_random(12, ValueModel::default());
+        assert_eq!(a.nnz(), 144);
+    }
+
+    #[test]
+    fn shift_rows_breaks_diagonal() {
+        let a = grid2d(4, 4, 0.0, ValueModel::default());
+        let b = shift_rows(&a, 1);
+        assert!(!b.has_zero_free_diagonal());
+        assert_eq!(b.nnz(), a.nnz());
+    }
+}

@@ -1,0 +1,216 @@
+//! Matrix Market coordinate-format I/O.
+//!
+//! The paper's benchmark matrices are Harwell–Boeing / Matrix-Market files;
+//! this module lets users run the full pipeline on real files when they
+//! have them, while the bundled experiments use the synthetic
+//! [`crate::suite`] stand-ins.
+
+use crate::coo::CooMatrix;
+use crate::csc::CscMatrix;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors from Matrix Market parsing.
+#[derive(Debug)]
+pub enum MmError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem with the file, with a human-readable message.
+    Parse(String),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::Parse(m) => write!(f, "Matrix Market parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<io::Error> for MmError {
+    fn from(e: io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MmError {
+    MmError::Parse(msg.into())
+}
+
+/// Read a Matrix Market `coordinate` matrix from a reader.
+///
+/// Supports `real` / `integer` values and `general` / `symmetric` symmetry
+/// (symmetric entries are mirrored); `pattern` matrices get value `1.0`.
+pub fn read_matrix_market<R: Read>(r: R) -> Result<CscMatrix, MmError> {
+    let mut lines = BufReader::new(r).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("empty file"))??
+        .to_lowercase();
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(parse_err("missing %%MatrixMarket header"));
+    }
+    if fields[2] != "coordinate" {
+        return Err(parse_err(format!("unsupported format {}", fields[2])));
+    }
+    let value_kind = fields[3];
+    if !matches!(value_kind, "real" | "integer" | "pattern") {
+        return Err(parse_err(format!("unsupported field {value_kind}")));
+    }
+    let symmetry = fields[4];
+    if !matches!(symmetry, "general" | "symmetric" | "skew-symmetric") {
+        return Err(parse_err(format!("unsupported symmetry {symmetry}")));
+    }
+
+    // Skip comments and blank lines until the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(t.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| parse_err("missing size line"))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| parse_err("bad size line")))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(parse_err("size line needs `rows cols nnz`"));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: usize = it
+            .next()
+            .ok_or_else(|| parse_err("short entry line"))?
+            .parse()
+            .map_err(|_| parse_err("bad row index"))?;
+        let j: usize = it
+            .next()
+            .ok_or_else(|| parse_err("short entry line"))?
+            .parse()
+            .map_err(|_| parse_err("bad col index"))?;
+        let v: f64 = match value_kind {
+            "pattern" => 1.0,
+            _ => it
+                .next()
+                .ok_or_else(|| parse_err("missing value"))?
+                .parse()
+                .map_err(|_| parse_err("bad value"))?,
+        };
+        if i == 0 || j == 0 || i > nrows || j > ncols {
+            return Err(parse_err(format!("entry ({i},{j}) out of range")));
+        }
+        coo.push(i - 1, j - 1, v);
+        match symmetry {
+            "symmetric" if i != j => coo.push(j - 1, i - 1, v),
+            "skew-symmetric" if i != j => coo.push(j - 1, i - 1, -v),
+            _ => {}
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(format!("expected {nnz} entries, found {seen}")));
+    }
+    Ok(coo.to_csc())
+}
+
+/// Read a Matrix Market file from disk.
+pub fn read_matrix_market_file(path: impl AsRef<Path>) -> Result<CscMatrix, MmError> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+/// Write a matrix in Matrix Market `coordinate real general` format.
+pub fn write_matrix_market<W: Write>(w: &mut W, a: &CscMatrix) -> io::Result<()> {
+    let mut s = String::new();
+    let _ = writeln!(s, "%%MatrixMarket matrix coordinate real general");
+    let _ = writeln!(s, "% written by splu-sparse");
+    let _ = writeln!(s, "{} {} {}", a.nrows(), a.ncols(), a.nnz());
+    for (i, j, v) in a.iter() {
+        let _ = writeln!(s, "{} {} {:.17e}", i + 1, j + 1, v);
+    }
+    w.write_all(s.as_bytes())
+}
+
+/// Write a matrix to a Matrix Market file on disk.
+pub fn write_matrix_market_file(path: impl AsRef<Path>, a: &CscMatrix) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    write_matrix_market(&mut f, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_general() {
+        let mut coo = CooMatrix::new(3, 4);
+        coo.push(0, 0, 1.5);
+        coo.push(2, 1, -2.25);
+        coo.push(1, 3, 1e-30);
+        let a = coo.to_csc();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a).unwrap();
+        let b = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn symmetric_entries_are_mirrored() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    % comment\n\
+                    3 3 3\n\
+                    1 1 2.0\n\
+                    3 1 5.0\n\
+                    2 2 1.0\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.get(2, 0), 5.0);
+        assert_eq!(a.get(0, 2), 5.0);
+    }
+
+    #[test]
+    fn pattern_matrices_get_unit_values() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 1\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(read_matrix_market("hello\n".as_bytes()).is_err());
+        assert!(
+            read_matrix_market("%%MatrixMarket matrix array real general\n".as_bytes()).is_err()
+        );
+    }
+
+    #[test]
+    fn wrong_count_rejected() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! `splu-sparse` — sparse matrix substrate for the S\* sparse LU system.
+//!
+//! Provides the storage formats, permutations, pattern algebra, I/O and
+//! workload generators that the ordering, symbolic-factorization and
+//! numerical crates build on:
+//!
+//! * [`CooMatrix`] — triplet builder (duplicates summed),
+//! * [`CscMatrix`] — compressed sparse column storage, the interchange
+//!   format of the whole workspace,
+//! * [`Perm`] — permutations with row/column application to CSC matrices,
+//! * [`pattern`] — structure-only operations: the pattern of `AᵀA`
+//!   (used by the fill-reducing ordering and by the Cholesky-factor upper
+//!   bound of Table 1), `Aᵀ+A`, structural symmetry statistics,
+//! * [`io`] — Matrix Market coordinate format read/write,
+//! * [`hb`] — Harwell–Boeing reader (the original matrices' format),
+//! * [`gen`] — synthetic matrix generators (grid stencils, random patterns
+//!   with target structural symmetry, block "fluid-flow" structures, dense),
+//! * [`suite`] — the paper's benchmark matrix table (Table 1) realized as
+//!   deterministic synthetic stand-ins, since the original Harwell–Boeing
+//!   files are not shipped; see `DESIGN.md` §3 for the substitution
+//!   rationale.
+
+pub mod coo;
+pub mod csc;
+pub mod gen;
+pub mod hb;
+pub mod io;
+pub mod pattern;
+pub mod perm;
+pub mod suite;
+
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use perm::Perm;

@@ -1,0 +1,454 @@
+//! Structure-only (symbolic) matrix operations.
+//!
+//! The static symbolic factorization and the fill-reducing ordering operate
+//! on nonzero *patterns*, never on values. This module provides the pattern
+//! algebra the paper relies on:
+//!
+//! * [`ata_pattern`] — the pattern of `AᵀA`, on which the multiple minimum
+//!   degree ordering is computed (§3.1) and whose Cholesky factor bounds the
+//!   static L/U structures (Table 1's `AᵀA` column),
+//! * [`at_plus_a_pattern`] — the pattern of `Aᵀ + A` (the alternative
+//!   ordering target SuperLU uses for matrices like `memplus`),
+//! * [`structural_symmetry`] — the paper's "symmetry number" statistic,
+//! * [`cholesky_fill_count`] — nnz of the Cholesky factor `L_c` of a
+//!   symmetric pattern (symbolic factorization only).
+
+use crate::csc::CscMatrix;
+
+/// A value-free sparse pattern in CSC layout (rows sorted per column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    nrows: usize,
+    ncols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+}
+
+impl Pattern {
+    /// Extract the pattern of a CSC matrix (every stored entry, including
+    /// explicit zeros, is structural).
+    pub fn from_csc(a: &CscMatrix) -> Self {
+        Self {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            col_ptr: a.col_ptr().to_vec(),
+            row_idx: a.row_indices().to_vec(),
+        }
+    }
+
+    /// Assemble from raw parts.
+    ///
+    /// # Panics
+    /// Panics on inconsistent arrays (delegates to [`CscMatrix::from_parts`]
+    /// validation rules).
+    pub fn from_parts(nrows: usize, ncols: usize, col_ptr: Vec<usize>, row_idx: Vec<u32>) -> Self {
+        // Reuse CscMatrix validation by constructing a dummy-value matrix.
+        let vals = vec![0.0; row_idx.len()];
+        let m = CscMatrix::from_parts(nrows, ncols, col_ptr, row_idx, vals);
+        Self {
+            nrows,
+            ncols,
+            col_ptr: m.col_ptr().to_vec(),
+            row_idx: m.row_indices().to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of structural entries.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Rows of column `j` (sorted).
+    pub fn col(&self, j: usize) -> &[u32] {
+        &self.row_idx[self.col_ptr[j]..self.col_ptr[j + 1]]
+    }
+
+    /// Whether `(i, j)` is present.
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        self.col(j).binary_search(&(i as u32)).is_ok()
+    }
+
+    /// Column pointers.
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// All row indices.
+    pub fn row_indices(&self) -> &[u32] {
+        &self.row_idx
+    }
+}
+
+/// Pattern of `AᵀA` for a (possibly rectangular) `A`, diagonal included.
+///
+/// Column `j` of `AᵀA` is the union of the column sets of all rows that have
+/// an entry in column `j`; equivalently every row of `A` forms a clique
+/// among the columns it touches. Cost is `O(Σ_i nnz(row i)²)` before
+/// deduplication, which is fine for the stencil-like matrices in this
+/// workspace.
+pub fn ata_pattern(a: &CscMatrix) -> Pattern {
+    let n = a.ncols();
+    let at = a.transpose(); // rows of A as columns of Aᵀ
+    let mut mark = vec![u32::MAX; n];
+    let mut col_ptr = vec![0usize; n + 1];
+    let mut rows_out: Vec<u32> = Vec::new();
+    // For column j: union of cols(row i) over i in struct(A[:, j]).
+    for j in 0..n {
+        let start = rows_out.len();
+        for &i in a.col(j).0 {
+            for &k in at.col(i as usize).0 {
+                if mark[k as usize] != j as u32 {
+                    mark[k as usize] = j as u32;
+                    rows_out.push(k);
+                }
+            }
+        }
+        // Guarantee the diagonal: AᵀA always has it structurally when the
+        // column is nonempty; add it for empty columns too so downstream
+        // symmetric algorithms see a zero-free diagonal.
+        if mark[j] != j as u32 {
+            mark[j] = j as u32;
+            rows_out.push(j as u32);
+        }
+        rows_out[start..].sort_unstable();
+        col_ptr[j + 1] = rows_out.len();
+    }
+    Pattern::from_parts(n, n, col_ptr, rows_out)
+}
+
+/// Pattern of `Aᵀ + A` for square `A`, diagonal included.
+pub fn at_plus_a_pattern(a: &CscMatrix) -> Pattern {
+    assert_eq!(a.nrows(), a.ncols(), "Aᵀ+A needs a square matrix");
+    let n = a.ncols();
+    let at = a.transpose();
+    let mut col_ptr = vec![0usize; n + 1];
+    let mut rows_out: Vec<u32> = Vec::new();
+    for j in 0..n {
+        let (r1, _) = a.col(j);
+        let (r2, _) = at.col(j);
+        // merge two sorted lists + diagonal
+        let (mut p, mut q) = (0, 0);
+        let start = rows_out.len();
+        let push = |v: u32, out: &mut Vec<u32>| {
+            if out.len() == start || *out.last().unwrap() != v {
+                out.push(v);
+            }
+        };
+        let mut diag_done = false;
+        loop {
+            let next = match (r1.get(p), r2.get(q)) {
+                (Some(&x), Some(&y)) => {
+                    if x <= y {
+                        p += 1;
+                        x
+                    } else {
+                        q += 1;
+                        y
+                    }
+                }
+                (Some(&x), None) => {
+                    p += 1;
+                    x
+                }
+                (None, Some(&y)) => {
+                    q += 1;
+                    y
+                }
+                (None, None) => break,
+            };
+            if !diag_done && next >= j as u32 {
+                if next > j as u32 {
+                    push(j as u32, &mut rows_out);
+                }
+                diag_done = true;
+            }
+            push(next, &mut rows_out);
+        }
+        if !diag_done {
+            push(j as u32, &mut rows_out);
+        }
+        col_ptr[j + 1] = rows_out.len();
+    }
+    Pattern::from_parts(n, n, col_ptr, rows_out)
+}
+
+/// The paper's structural "symmetry number" (Table 1, column `A / (A∩Aᵀ)`-ish):
+/// we define it as `nnz(A ∪ Aᵀ) / nnz(A)`.
+///
+/// A structurally symmetric matrix scores exactly 1.0; a matrix whose
+/// pattern shares nothing with its transpose (apart from the diagonal)
+/// approaches 2.0. The bigger the number, the more nonsymmetric the
+/// structure — matching the table's convention that "the bigger the
+/// symmetry number is, the more nonsymmetric the original matrix is".
+pub fn structural_symmetry(a: &CscMatrix) -> f64 {
+    assert_eq!(a.nrows(), a.ncols());
+    let union = at_plus_a_pattern(a);
+    // at_plus_a adds the diagonal; subtract any diagonal entries that are
+    // absent from both A and Aᵀ to keep the statistic faithful.
+    let mut union_nnz = union.nnz();
+    for j in 0..a.ncols() {
+        if !a.is_stored(j, j) {
+            union_nnz -= 1;
+        }
+    }
+    union_nnz as f64 / a.nnz() as f64
+}
+
+/// Symbolic Cholesky factorization of a symmetric pattern: returns the
+/// number of nonzeros in the factor `L_c` (diagonal included) and the
+/// elimination tree parent array (`usize::MAX` for roots).
+///
+/// Used for Table 1's "Cholesky factor of `AᵀA`" upper bound: per George &
+/// Ng, `struct(L_c(AᵀA))` bounds the static L and U structures for *any*
+/// pivot sequence, but the bound "is not very tight".
+///
+/// The implementation is Liu-style: it computes the elimination tree with
+/// path compression, then counts each column's structure by walking row
+/// subtrees with marks — `O(nnz(L))` time, `O(n)` extra space.
+pub fn cholesky_fill_count(p: &Pattern) -> (usize, Vec<usize>) {
+    assert_eq!(p.nrows(), p.ncols(), "cholesky needs square pattern");
+    let n = p.ncols();
+    const NONE: usize = usize::MAX;
+    let mut parent = vec![NONE; n];
+    let mut ancestor = vec![NONE; n];
+    // Liu's elimination tree algorithm.
+    for i in 0..n {
+        for &jj in p.col(i) {
+            let mut j = jj as usize;
+            if j >= i {
+                break; // sorted; only strictly-lower part (row i, col j<i)
+            }
+            // walk from j to the root of its current subtree
+            while j != NONE && j < i {
+                let next = ancestor[j];
+                ancestor[j] = i; // path compression
+                if next == NONE {
+                    parent[j] = i;
+                    break;
+                }
+                j = next;
+            }
+        }
+    }
+    // Column counts by row-subtree marking.
+    let mut colcount = vec![1usize; n]; // diagonal
+    let mut mark = vec![NONE; n];
+    for i in 0..n {
+        mark[i] = i;
+        for &jj in p.col(i) {
+            let mut j = jj as usize;
+            if j >= i {
+                break;
+            }
+            while mark[j] != i {
+                mark[j] = i;
+                colcount[j] += 1; // row i appears in column j of L
+                j = parent[j];
+                if j == NONE {
+                    break;
+                }
+            }
+        }
+    }
+    (colcount.iter().sum(), parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use splu_kernels::DenseMat;
+
+    fn arrow(n: usize) -> CscMatrix {
+        // Arrowhead: dense first row & column + diagonal.
+        let mut c = CooMatrix::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 2.0);
+            if i > 0 {
+                c.push(i, 0, 1.0);
+                c.push(0, i, 1.0);
+            }
+        }
+        c.to_csc()
+    }
+
+    fn pattern_of_dense_bool(d: &[Vec<bool>]) -> Pattern {
+        let n = d.len();
+        let mut c = CooMatrix::new(n, n);
+        for (i, row) in d.iter().enumerate() {
+            for (j, &b) in row.iter().enumerate() {
+                if b {
+                    c.push(i, j, 1.0);
+                }
+            }
+        }
+        Pattern::from_csc(&c.to_csc())
+    }
+
+    #[test]
+    fn ata_pattern_matches_dense_oracle() {
+        let mut c = CooMatrix::new(4, 4);
+        for &(i, j) in &[(0, 0), (1, 0), (1, 1), (2, 2), (3, 2), (0, 3), (3, 3)] {
+            c.push(i, j, 1.0);
+        }
+        let a = c.to_csc();
+        let p = ata_pattern(&a);
+        // dense oracle
+        let d = a.to_dense();
+        let ata = d.transpose().matmul(&d);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expected = ata[(i, j)] != 0.0 || i == j;
+                assert_eq!(p.contains(i, j), expected, "at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn ata_pattern_is_symmetric() {
+        let a = arrow(6);
+        let p = ata_pattern(&a);
+        for j in 0..6 {
+            for &i in p.col(j) {
+                assert!(p.contains(j, i as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn at_plus_a_unions_both_triangles() {
+        let mut c = CooMatrix::new(3, 3);
+        c.push(0, 0, 1.0);
+        c.push(1, 1, 1.0);
+        c.push(2, 2, 1.0);
+        c.push(2, 0, 1.0); // lower only
+        let a = c.to_csc();
+        let p = at_plus_a_pattern(&a);
+        assert!(p.contains(2, 0));
+        assert!(p.contains(0, 2));
+        assert_eq!(p.nnz(), 5);
+    }
+
+    #[test]
+    fn symmetry_number_is_one_for_symmetric_pattern() {
+        let a = arrow(5);
+        assert!((structural_symmetry(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry_number_grows_with_asymmetry() {
+        // Strictly upper bidiagonal + diagonal: each off-diag entry is
+        // unmatched.
+        let mut c = CooMatrix::new(4, 4);
+        for i in 0..4 {
+            c.push(i, i, 1.0);
+        }
+        for i in 0..3 {
+            c.push(i, i + 1, 1.0);
+        }
+        let a = c.to_csc();
+        // union has 4 diag + 3 upper + 3 lower = 10; nnz(A) = 7
+        assert!((structural_symmetry(&a) - 10.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_fill_tridiagonal_has_no_fill() {
+        let n = 8;
+        let t = pattern_of_dense_bool(
+            &(0..n)
+                .map(|i| {
+                    (0..n)
+                        .map(|j| (i as isize - j as isize).abs() <= 1)
+                        .collect()
+                })
+                .collect::<Vec<_>>(),
+        );
+        let (nnz_l, parent) = cholesky_fill_count(&t);
+        // tridiagonal L: n diagonal + (n-1) subdiagonal
+        assert_eq!(nnz_l, 2 * n - 1);
+        for j in 0..n - 1 {
+            assert_eq!(parent[j], j + 1);
+        }
+        assert_eq!(parent[n - 1], usize::MAX);
+    }
+
+    #[test]
+    fn cholesky_fill_arrow_reversed_fills_completely() {
+        // Arrowhead with the hub eliminated FIRST causes complete fill.
+        let n = 6;
+        let a = arrow(n);
+        let p = Pattern::from_csc(&a);
+        let (nnz_l, _) = cholesky_fill_count(&p);
+        // hub first: L column 0 is full, and the rank-1 clique fills the rest
+        assert_eq!(nnz_l, n * (n + 1) / 2);
+        // hub LAST: no fill — reversed arrowhead
+        let rev = crate::perm::Perm::from_new_of_old((0..n).map(|i| (n - 1) - i).collect());
+        let ar = a.permute(&rev, &rev);
+        let (nnz_l2, _) = cholesky_fill_count(&Pattern::from_csc(&ar));
+        assert_eq!(nnz_l2, n + (n - 1)); // diagonal + last dense row
+    }
+
+    #[test]
+    fn cholesky_fill_matches_dense_elimination_oracle() {
+        // brute-force symbolic elimination on a random-ish symmetric pattern
+        let n = 10;
+        let mut d = vec![vec![false; n]; n];
+        for i in 0..n {
+            d[i][i] = true;
+        }
+        let edges = [(1, 0), (4, 2), (5, 0), (6, 3), (7, 4), (8, 1), (9, 6), (5, 4), (7, 2)];
+        for &(i, j) in &edges {
+            d[i][j] = true;
+            d[j][i] = true;
+        }
+        let p = pattern_of_dense_bool(&d);
+        let (nnz_l, _) = cholesky_fill_count(&p);
+        // oracle: right-looking symbolic elimination
+        let mut f = d.clone();
+        let mut count = 0;
+        for k in 0..n {
+            for i in k..n {
+                if f[i][k] {
+                    count += 1;
+                }
+            }
+            for i in (k + 1)..n {
+                if f[i][k] {
+                    for j in (k + 1)..n {
+                        if f[j][k] {
+                            f[i][j] = true;
+                            f[j][i] = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(nnz_l, count);
+    }
+
+    #[test]
+    fn ata_of_identity_is_identity() {
+        let a = CscMatrix::identity(5);
+        let p = ata_pattern(&a);
+        assert_eq!(p.nnz(), 5);
+    }
+
+    #[test]
+    fn pattern_from_dense_roundtrip() {
+        let d = DenseMat::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0]]);
+        let a = CscMatrix::from_dense(&d, false);
+        let p = Pattern::from_csc(&a);
+        assert!(p.contains(0, 0) && p.contains(1, 1));
+        assert!(!p.contains(1, 0));
+    }
+}

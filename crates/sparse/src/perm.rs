@@ -1,0 +1,172 @@
+//! Permutations.
+
+/// A permutation of `0..n`, stored in *scatter* form: `new_of_old[old]`
+/// gives the new position of element `old`.
+///
+/// The inverse (*gather*) view `old_of_new` is materialized lazily-never:
+/// both directions are stored so each lookup is O(1); permutations in this
+/// workspace are built once and applied many times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Perm {
+    new_of_old: Vec<u32>,
+    old_of_new: Vec<u32>,
+}
+
+impl Perm {
+    /// The identity permutation on `0..n`.
+    pub fn identity(n: usize) -> Self {
+        let v: Vec<u32> = (0..n as u32).collect();
+        Self {
+            new_of_old: v.clone(),
+            old_of_new: v,
+        }
+    }
+
+    /// Build from scatter form (`p[old] = new`).
+    ///
+    /// # Panics
+    /// Panics if `p` is not a permutation of `0..p.len()`.
+    pub fn from_new_of_old(p: Vec<usize>) -> Self {
+        let n = p.len();
+        let mut inv = vec![u32::MAX; n];
+        for (old, &new) in p.iter().enumerate() {
+            assert!(new < n, "permutation image {new} out of range");
+            assert!(inv[new] == u32::MAX, "duplicate image {new} in permutation");
+            inv[new] = old as u32;
+        }
+        Self {
+            new_of_old: p.into_iter().map(|v| v as u32).collect(),
+            old_of_new: inv,
+        }
+    }
+
+    /// Build from gather form (`p[new] = old`), e.g. an elimination order
+    /// where `p[k]` is the original index eliminated at step `k`.
+    pub fn from_old_of_new(p: Vec<usize>) -> Self {
+        Self::from_new_of_old_inverse(p)
+    }
+
+    fn from_new_of_old_inverse(p: Vec<usize>) -> Self {
+        let n = p.len();
+        let mut fwd = vec![u32::MAX; n];
+        for (new, &old) in p.iter().enumerate() {
+            assert!(old < n, "permutation image {old} out of range");
+            assert!(fwd[old] == u32::MAX, "duplicate image {old} in permutation");
+            fwd[old] = new as u32;
+        }
+        Self {
+            new_of_old: fwd,
+            old_of_new: p.into_iter().map(|v| v as u32).collect(),
+        }
+    }
+
+    /// Size of the permuted set.
+    pub fn len(&self) -> usize {
+        self.new_of_old.len()
+    }
+
+    /// Whether the permutation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.new_of_old.is_empty()
+    }
+
+    /// New position of element `old`.
+    #[inline]
+    pub fn new_of_old(&self, old: usize) -> usize {
+        self.new_of_old[old] as usize
+    }
+
+    /// Original element at new position `new`.
+    #[inline]
+    pub fn old_of_new(&self, new: usize) -> usize {
+        self.old_of_new[new] as usize
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Perm {
+        Perm {
+            new_of_old: self.old_of_new.clone(),
+            old_of_new: self.new_of_old.clone(),
+        }
+    }
+
+    /// Composition: apply `self` first, then `after`
+    /// (`result.new_of_old(x) = after.new_of_old(self.new_of_old(x))`).
+    pub fn then(&self, after: &Perm) -> Perm {
+        assert_eq!(self.len(), after.len());
+        Perm::from_new_of_old(
+            (0..self.len())
+                .map(|old| after.new_of_old(self.new_of_old(old)))
+                .collect(),
+        )
+    }
+
+    /// Apply to a vector: `out[new_of_old(i)] = v[i]`.
+    pub fn apply_vec<T: Clone>(&self, v: &[T]) -> Vec<T> {
+        assert_eq!(v.len(), self.len());
+        let mut out: Vec<T> = v.to_vec();
+        for (old, x) in v.iter().enumerate() {
+            out[self.new_of_old(old)] = x.clone();
+        }
+        out
+    }
+
+    /// Whether this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.new_of_old
+            .iter()
+            .enumerate()
+            .all(|(i, &p)| i as u32 == p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrip() {
+        let p = Perm::identity(5);
+        assert!(p.is_identity());
+        assert_eq!(p.new_of_old(3), 3);
+        assert_eq!(p.inverse(), p);
+    }
+
+    #[test]
+    fn scatter_gather_consistency() {
+        let p = Perm::from_new_of_old(vec![2, 0, 1]);
+        assert_eq!(p.new_of_old(0), 2);
+        assert_eq!(p.old_of_new(2), 0);
+        let q = Perm::from_old_of_new(vec![1, 2, 0]);
+        assert_eq!(q.new_of_old(1), 0);
+        assert_eq!(q.old_of_new(0), 1);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = Perm::from_new_of_old(vec![3, 1, 0, 2]);
+        assert!(p.then(&p.inverse()).is_identity());
+        assert!(p.inverse().then(&p).is_identity());
+    }
+
+    #[test]
+    fn composition_order() {
+        let p = Perm::from_new_of_old(vec![1, 2, 0]); // 0->1->2->0
+        let q = Perm::from_new_of_old(vec![0, 2, 1]); // swap 1,2
+        let r = p.then(&q);
+        // 0 -p-> 1 -q-> 2
+        assert_eq!(r.new_of_old(0), 2);
+    }
+
+    #[test]
+    fn apply_vec_scatters() {
+        let p = Perm::from_new_of_old(vec![2, 0, 1]);
+        assert_eq!(p.apply_vec(&['a', 'b', 'c']), vec!['b', 'c', 'a']);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_permutation_rejected() {
+        Perm::from_new_of_old(vec![0, 0, 1]);
+    }
+}

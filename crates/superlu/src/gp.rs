@@ -1,0 +1,435 @@
+//! Gilbert–Peierls left-looking sparse LU with partial pivoting.
+//!
+//! For each column `j`:
+//!
+//! 1. **Symbolic**: the nonzero pattern of `x = L⁻¹ A(:, j)` is the set of
+//!    nodes reachable from `pattern(A(:, j))` in the graph of the
+//!    already-computed `L` columns (a depth-first search producing a
+//!    topological order);
+//! 2. **Numeric**: a sparse triangular solve over that pattern;
+//! 3. **Pivot**: the entry of maximum magnitude among not-yet-pivotal rows
+//!    (threshold-relaxable), row-interchange recorded in a permutation;
+//! 4. Split `x` into `U(:, j)` (pivotal rows) and `L(:, j)` (scaled).
+//!
+//! Time is O(flops(L U)) — proportional to the actual arithmetic — which is
+//! what makes this the right oracle for "operation count obtained from
+//! SuperLU" in the paper's MFLOPS accounting.
+
+use splu_sparse::{CscMatrix, Perm};
+
+/// The factorization failed because no acceptable pivot exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SingularError {
+    /// Column at which factorization broke down.
+    pub column: usize,
+}
+
+impl std::fmt::Display for SingularError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is numerically singular at column {}", self.column)
+    }
+}
+
+impl std::error::Error for SingularError {}
+
+/// Result of a Gilbert–Peierls factorization: `P A = L U`.
+#[derive(Debug, Clone)]
+pub struct GpLu {
+    /// Unit lower-triangular factor (unit diagonal stored explicitly),
+    /// rows in *pivotal* (permuted) coordinates.
+    pub l: CscMatrix,
+    /// Upper-triangular factor including the diagonal.
+    pub u: CscMatrix,
+    /// Row permutation: `row_perm.new_of_old(orig) = pivotal position`.
+    pub row_perm: Perm,
+    /// Exact multiply/add/divide count of the numeric factorization —
+    /// the paper's "operation count obtained from SuperLU".
+    pub flops: u64,
+}
+
+impl GpLu {
+    /// nnz(L) + nnz(U) counting the unit diagonal once (the paper's
+    /// "factor entries" statistic).
+    pub fn factor_nnz(&self) -> usize {
+        self.l.nnz() + self.u.nnz() - self.l.ncols()
+    }
+}
+
+/// Factorize with partial pivoting. `threshold` in `(0, 1]` relaxes the
+/// pivot choice (1.0 = classic partial pivoting: always take the largest
+/// magnitude; `t < 1` accepts the diagonal candidate if it is within factor
+/// `t` of the largest, reducing fill disturbance).
+pub fn gp_factor(a: &CscMatrix, threshold: f64) -> Result<GpLu, SingularError> {
+    assert_eq!(a.nrows(), a.ncols(), "gp_factor needs a square matrix");
+    assert!(threshold > 0.0 && threshold <= 1.0);
+    let n = a.ncols();
+
+    // L columns under construction (pivotal row coordinates are assigned
+    // lazily; storage keeps ORIGINAL row ids plus a pinv map).
+    const EMPTY: u32 = u32::MAX;
+    let mut pinv = vec![EMPTY; n]; // original row -> pivotal position
+    let mut perm = vec![EMPTY; n]; // pivotal position -> original row
+
+    // L in original-row ids (excluding the unit diagonal):
+    let mut l_cols_rows: Vec<Vec<u32>> = Vec::with_capacity(n);
+    let mut l_cols_vals: Vec<Vec<f64>> = Vec::with_capacity(n);
+    // U in pivotal-row ids (excluding the diagonal), plus diagonal values:
+    let mut u_cols_rows: Vec<Vec<u32>> = Vec::with_capacity(n);
+    let mut u_cols_vals: Vec<Vec<f64>> = Vec::with_capacity(n);
+    let mut u_diag: Vec<f64> = Vec::with_capacity(n);
+
+    let mut flops = 0u64;
+
+    // workspaces
+    let mut x = vec![0.0f64; n]; // scatter by original row id
+    let mut stack: Vec<(u32, usize)> = Vec::new();
+    let mut topo: Vec<u32> = Vec::new(); // original row ids, topo order
+    let mut visited = vec![u32::MAX; n]; // stamp per column j
+
+    for j in 0..n {
+        let stamp = j as u32;
+        // ---- symbolic: reach of pattern(A(:, j)) through L ----
+        topo.clear();
+        let (arows, avals) = a.col(j);
+        for &r0 in arows {
+            if visited[r0 as usize] == stamp {
+                continue;
+            }
+            // iterative DFS from r0
+            stack.clear();
+            stack.push((r0, 0));
+            visited[r0 as usize] = stamp;
+            while let Some(&(r, pos0)) = stack.last() {
+                let pr = pinv[r as usize];
+                let kids: &[u32] = if pr == EMPTY {
+                    &[]
+                } else {
+                    &l_cols_rows[pr as usize]
+                };
+                let mut pos = pos0;
+                let mut descend: Option<u32> = None;
+                while pos < kids.len() {
+                    let c = kids[pos];
+                    pos += 1;
+                    if visited[c as usize] != stamp {
+                        visited[c as usize] = stamp;
+                        descend = Some(c);
+                        break;
+                    }
+                }
+                stack.last_mut().unwrap().1 = pos;
+                match descend {
+                    Some(c) => stack.push((c, 0)),
+                    None => topo.push(stack.pop().unwrap().0),
+                }
+            }
+        }
+        // topo now lists rows children-first; the triangular solve needs
+        // parents (earlier pivots) first → iterate in reverse.
+
+        // ---- numeric: sparse triangular solve ----
+        for (&r, &v) in arows.iter().zip(avals) {
+            x[r as usize] = v;
+        }
+        for &r in topo.iter().rev() {
+            let pr = pinv[r as usize];
+            if pr == EMPTY {
+                continue;
+            }
+            let xk = x[r as usize];
+            if xk != 0.0 {
+                let rows = &l_cols_rows[pr as usize];
+                let vals = &l_cols_vals[pr as usize];
+                for (&rr, &lv) in rows.iter().zip(vals) {
+                    x[rr as usize] -= lv * xk;
+                }
+                flops += 2 * rows.len() as u64;
+            }
+        }
+
+        // ---- pivot among non-pivotal rows ----
+        let mut best: Option<u32> = None;
+        let mut best_abs = 0.0f64;
+        let mut diag_candidate: Option<(u32, f64)> = None;
+        for &r in &topo {
+            if pinv[r as usize] == EMPTY {
+                let a = x[r as usize].abs();
+                if a > best_abs {
+                    best_abs = a;
+                    best = Some(r);
+                } else if best.is_none() {
+                    best = Some(r);
+                }
+                if r as usize == j {
+                    diag_candidate = Some((r, a));
+                }
+            }
+        }
+        let Some(mut piv) = best else {
+            return Err(SingularError { column: j });
+        };
+        if best_abs == 0.0 {
+            // cleanup scatter before bailing
+            for &r in &topo {
+                x[r as usize] = 0.0;
+            }
+            return Err(SingularError { column: j });
+        }
+        // threshold pivoting: prefer the diagonal row if acceptable
+        if let Some((dr, da)) = diag_candidate {
+            if da >= threshold * best_abs && da > 0.0 {
+                piv = dr;
+            }
+        }
+        let pv = x[piv as usize];
+        pinv[piv as usize] = j as u32;
+        perm[j] = piv;
+        u_diag.push(pv);
+
+        // ---- split x into U (pivotal rows) and L (non-pivotal) ----
+        let mut urows: Vec<u32> = Vec::new();
+        let mut uvals: Vec<f64> = Vec::new();
+        let mut lrows: Vec<u32> = Vec::new();
+        let mut lvals: Vec<f64> = Vec::new();
+        for &r in &topo {
+            let ru = r as usize;
+            let v = x[ru];
+            x[ru] = 0.0;
+            if r == piv {
+                continue;
+            }
+            let pr = pinv[ru];
+            if pr != EMPTY {
+                if v != 0.0 {
+                    urows.push(pr);
+                    uvals.push(v);
+                }
+            } else if v != 0.0 {
+                lrows.push(r);
+                lvals.push(v / pv);
+            }
+        }
+        flops += lvals.len() as u64; // the scaling divisions
+        l_cols_rows.push(lrows);
+        l_cols_vals.push(lvals);
+        u_cols_rows.push(urows);
+        u_cols_vals.push(uvals);
+    }
+
+    // ---- assemble CSC factors in pivotal coordinates ----
+    let row_perm = Perm::from_old_of_new(perm.iter().map(|&r| r as usize).collect());
+    let mut lp = vec![0usize; n + 1];
+    let mut lr: Vec<u32> = Vec::new();
+    let mut lval: Vec<f64> = Vec::new();
+    for j in 0..n {
+        // unit diagonal first (pivotal row j), then scaled entries mapped
+        // to pivotal coordinates
+        let mut entries: Vec<(u32, f64)> = vec![(j as u32, 1.0)];
+        for (&r, &v) in l_cols_rows[j].iter().zip(&l_cols_vals[j]) {
+            entries.push((row_perm.new_of_old(r as usize) as u32, v));
+        }
+        entries.sort_unstable_by_key(|e| e.0);
+        for (r, v) in entries {
+            lr.push(r);
+            lval.push(v);
+        }
+        lp[j + 1] = lr.len();
+    }
+    let l = CscMatrix::from_parts(n, n, lp, lr, lval);
+
+    let mut up = vec![0usize; n + 1];
+    let mut ur: Vec<u32> = Vec::new();
+    let mut uval: Vec<f64> = Vec::new();
+    for j in 0..n {
+        let mut entries: Vec<(u32, f64)> = u_cols_rows[j]
+            .iter()
+            .zip(&u_cols_vals[j])
+            .map(|(&r, &v)| (r, v))
+            .collect();
+        entries.push((j as u32, u_diag[j]));
+        entries.sort_unstable_by_key(|e| e.0);
+        for (r, v) in entries {
+            ur.push(r);
+            uval.push(v);
+        }
+        up[j + 1] = ur.len();
+    }
+    let u = CscMatrix::from_parts(n, n, up, ur, uval);
+
+    Ok(GpLu {
+        l,
+        u,
+        row_perm,
+        flops,
+    })
+}
+
+/// Solve `A x = b` given a Gilbert–Peierls factorization.
+pub fn gp_solve(f: &GpLu, b: &[f64]) -> Vec<f64> {
+    let n = f.l.ncols();
+    assert_eq!(b.len(), n);
+    // y = P b
+    let mut y: Vec<f64> = (0..n).map(|i| b[f.row_perm.old_of_new(i)]).collect();
+    // L y' = y (unit lower, forward)
+    for j in 0..n {
+        let yj = y[j];
+        if yj != 0.0 {
+            let (rows, vals) = f.l.col(j);
+            for (&r, &v) in rows.iter().zip(vals) {
+                if r as usize > j {
+                    y[r as usize] -= v * yj;
+                }
+            }
+        }
+    }
+    // U x = y' (backward)
+    for j in (0..n).rev() {
+        let (rows, vals) = f.u.col(j);
+        // diagonal is the last entry ≤ j; find it
+        let dpos = rows.binary_search(&(j as u32)).expect("diag present");
+        y[j] /= vals[dpos];
+        let xj = y[j];
+        if xj != 0.0 {
+            for (&r, &v) in rows.iter().zip(vals) {
+                if (r as usize) < j {
+                    y[r as usize] -= v * xj;
+                }
+            }
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splu_kernels::{dense_lu, DenseMat};
+    use splu_sparse::gen::{self, ValueModel};
+
+    fn residual(a: &CscMatrix, f: &GpLu) -> f64 {
+        // max |P A - L U| / max|A|
+        let pa = a.permute_rows(&f.row_perm).to_dense();
+        let lu = f.l.to_dense().matmul(&f.u.to_dense());
+        pa.sub(&lu).max_abs() / a.max_abs()
+    }
+
+    #[test]
+    fn identity_factors_trivially() {
+        let a = CscMatrix::identity(6);
+        let f = gp_factor(&a, 1.0).unwrap();
+        assert_eq!(f.l.nnz(), 6);
+        assert_eq!(f.u.nnz(), 6);
+        assert_eq!(f.flops, 0);
+        assert!(f.row_perm.is_identity());
+    }
+
+    #[test]
+    fn random_sparse_factors_accurately() {
+        for seed in 0..5 {
+            let a = gen::random_sparse(
+                80,
+                4,
+                0.5,
+                ValueModel {
+                    diag_scale: 1.0,
+                    seed,
+                },
+            );
+            let f = gp_factor(&a, 1.0).unwrap();
+            assert!(residual(&a, &f) < 1e-11, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn grid_factors_and_solves() {
+        let a = gen::grid2d(9, 8, 0.5, ValueModel::default());
+        let n = a.ncols();
+        let f = gp_factor(&a, 1.0).unwrap();
+        assert!(residual(&a, &f) < 1e-11);
+        let xt: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
+        let b = a.matvec(&xt);
+        let x = gp_solve(&f, &b);
+        let err = x
+            .iter()
+            .zip(&xt)
+            .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()));
+        assert!(err < 1e-8, "solve error {err}");
+    }
+
+    #[test]
+    fn matches_dense_lu_pivot_sequence_on_dense_input() {
+        // On a dense matrix with threshold 1.0 the pivot choice (max
+        // magnitude, first-index tie-break) must match dense GEPP.
+        let a = gen::dense_random(15, ValueModel::default());
+        let f = gp_factor(&a, 1.0).unwrap();
+        let d = dense_lu(&a.to_dense()).unwrap();
+        for i in 0..15 {
+            assert_eq!(f.row_perm.old_of_new(i), d.row_perm[i], "pivot row {i}");
+        }
+        assert!(residual(&a, &f) < 1e-12);
+    }
+
+    #[test]
+    fn partial_pivoting_bounds_l() {
+        let a = gen::random_sparse(60, 5, 0.3, ValueModel::default());
+        let f = gp_factor(&a, 1.0).unwrap();
+        for v in f.l.values() {
+            assert!(v.abs() <= 1.0 + 1e-14);
+        }
+    }
+
+    #[test]
+    fn threshold_pivoting_prefers_diagonal() {
+        // With threshold 0.001 the (structurally safe) diagonal is taken
+        // almost always; the permutation should be close to identity.
+        let a = gen::grid2d(6, 6, 0.2, ValueModel::default());
+        let f = gp_factor(&a, 0.001).unwrap();
+        let id_count = (0..36)
+            .filter(|&i| f.row_perm.new_of_old(i) == i)
+            .count();
+        assert!(id_count > 30, "only {id_count} rows unmoved");
+        assert!(residual(&a, &f) < 1e-9);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        // second column linearly dependent (equal) to first with same pattern
+        let d = DenseMat::from_rows(&[
+            vec![1.0, 1.0, 0.0],
+            vec![2.0, 2.0, 0.0],
+            vec![0.0, 0.0, 3.0],
+        ]);
+        let a = CscMatrix::from_dense(&d, false);
+        assert!(gp_factor(&a, 1.0).is_err());
+    }
+
+    #[test]
+    fn flops_match_structure_formula() {
+        // flops = Σ_k [ nnzL_k + 2·Σ cmods ] — verify against the standard
+        // column formula computed from the factors themselves:
+        // Σ_j ( nnzL(:,j)' + Σ_{k: U(k,j)≠0} 2·nnzL(:,k)' ) with ' = strict.
+        let a = gen::random_sparse(50, 3, 0.5, ValueModel::default());
+        let f = gp_factor(&a, 1.0).unwrap();
+        let strict_l: Vec<u64> = (0..50)
+            .map(|j| (f.l.col(j).0.len() - 1) as u64)
+            .collect();
+        let mut expect = 0u64;
+        for j in 0..50 {
+            expect += strict_l[j]; // scaling divisions
+            let (rows, vals) = f.u.col(j);
+            for (&k, &v) in rows.iter().zip(vals) {
+                if (k as usize) < j && v != 0.0 {
+                    expect += 2 * strict_l[k as usize];
+                }
+            }
+        }
+        assert_eq!(f.flops, expect);
+    }
+
+    #[test]
+    fn factor_nnz_counts_diagonal_once() {
+        let a = CscMatrix::identity(4);
+        let f = gp_factor(&a, 1.0).unwrap();
+        assert_eq!(f.factor_nnz(), 4);
+    }
+}

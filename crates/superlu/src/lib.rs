@@ -1,0 +1,29 @@
+//! `splu-superlu` — a SuperLU-like sequential sparse LU baseline.
+//!
+//! The paper compares S\* against SuperLU, the highly optimized sequential
+//! supernodal code of Demmel, Eisenstat, Gilbert, Li & Liu, which performs
+//! symbolic factorization *on the fly* as pivots are chosen. This crate
+//! provides that baseline role:
+//!
+//! * [`gp_factor`] — a Gilbert–Peierls left-looking sparse LU with partial
+//!   pivoting and symmetric pruning: per column, a depth-first reach over
+//!   the current L structure gives the exact fill, then a sparse triangular
+//!   solve computes the values. This produces the **exact** `L`/`U`
+//!   nonzero counts and operation counts that the paper's statistics use:
+//!   Table 1's "factor entries SuperLU" column, Table 2's baseline times,
+//!   and the MFLOPS formula ("operation count obtained from SuperLU"
+//!   divided by the S\* parallel time).
+//! * [`supernode_stats`] — post-factorization detection of supernodes in
+//!   the computed `L` (the structures SuperLU would exploit with BLAS-2),
+//!   used by the Fig. 3 comparison harness.
+//!
+//! Full SuperLU also aggregates columns into panels for cache reuse; the
+//! per-flop cost model of §6.1 captures that difference via the measured
+//! BLAS-2 rate (`w2`), which is how our Table 2 reproduction projects
+//! T3D/T3E numbers.
+
+mod gp;
+mod stats;
+
+pub use gp::{gp_factor, gp_solve, GpLu, SingularError};
+pub use stats::{supernode_stats, SupernodeStats};

@@ -1,0 +1,484 @@
+//! Static symbolic factorization (George & Ng's scheme, §3.1 of the paper).
+//!
+//! At step `k`, the set of *candidate pivot rows* is
+//! `P_k = { i ≥ k : a_ik is structurally nonzero in A^(k-1) }`.
+//! Any of these rows may be chosen by partial pivoting, so the structure of
+//! every candidate row is replaced by the union of all candidate
+//! structures (restricted to columns ≥ k). After `n` steps the accumulated
+//! pattern accommodates the fill of *any* pivot sequence.
+//!
+//! The production implementation ([`static_symbolic_factorization`])
+//! exploits the observation at the heart of Theorem 1: after step `k`, all
+//! candidate rows share one structure. Rows are therefore kept in *groups*
+//! with a shared structure object; step `k` merges the groups reachable
+//! from column `k` (found through a column→group index) into one new
+//! group. Every structure is built once and consumed once, so total work
+//! and memory are `O(nnz(F))` — the size of the predicted factors — rather
+//! than `O(n · nnz(F))` for the textbook row-by-row version. The textbook
+//! version is kept as [`naive_symbolic_factorization`] and the two are
+//! cross-checked in the test suite.
+
+use splu_sparse::CscMatrix;
+
+/// The predicted static structures of the L and U factors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticStructure {
+    /// `lcols[k]`: sorted rows of static L column `k` (diagonal included):
+    /// exactly the candidate pivot row set `P_k`.
+    pub lcols: Vec<Vec<u32>>,
+    /// `urows[k]`: sorted columns of static U row `k` (diagonal included):
+    /// the union structure `U_k` at step `k`.
+    pub urows: Vec<Vec<u32>>,
+}
+
+impl StaticStructure {
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.lcols.len()
+    }
+
+    /// Total predicted factor entries, counting the diagonal once
+    /// (the paper's "factor entries" statistic for S\* in Table 1).
+    pub fn factor_nnz(&self) -> usize {
+        let l: usize = self.lcols.iter().map(|c| c.len()).sum();
+        let u: usize = self.urows.iter().map(|r| r.len()).sum();
+        l + u - self.n() // diagonal counted in both
+    }
+
+    /// Predicted floating-point operations for an LU factorization that
+    /// touches every static entry: `Σ_k nnzL_k + 2 · nnzL_k · nnzU_k`
+    /// where `nnzL_k` excludes and `nnzU_k` excludes the diagonal.
+    pub fn predicted_flops(&self) -> u64 {
+        (0..self.n())
+            .map(|k| {
+                let l = (self.lcols[k].len() - 1) as u64;
+                let u = (self.urows[k].len() - 1) as u64;
+                l + 2 * l * u
+            })
+            .sum()
+    }
+
+    /// Whether `(i, j)` is in the static pattern (L ∪ U).
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        if i >= j {
+            self.lcols[j].binary_search(&(i as u32)).is_ok()
+        } else {
+            self.urows[i].binary_search(&(j as u32)).is_ok()
+        }
+    }
+}
+
+/// Group-based static symbolic factorization.
+///
+/// # Panics
+/// Panics if the matrix is not square or lacks a structurally zero-free
+/// diagonal (run `splu_order::preprocess` first).
+pub fn static_symbolic_factorization(a: &CscMatrix) -> StaticStructure {
+    assert_eq!(a.nrows(), a.ncols(), "symbolic factorization needs square A");
+    assert!(
+        a.has_zero_free_diagonal(),
+        "static symbolic factorization requires a zero-free diagonal"
+    );
+    let n = a.ncols();
+    let at = a.transpose(); // rows of A
+
+    // Row groups. Each live group owns a sorted structure (columns) and a
+    // list of unfinished member rows. `col_index[c]` lists group ids whose
+    // structure contains column c (appended at group creation).
+    struct Group {
+        structure: Vec<u32>,
+        rows: Vec<u32>,
+        alive: bool,
+    }
+    let mut groups: Vec<Group> = (0..n)
+        .map(|i| Group {
+            structure: at.col(i).0.to_vec(),
+            rows: vec![i as u32],
+            alive: true,
+        })
+        .collect();
+    let mut col_index: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (gid, g) in groups.iter().enumerate() {
+        for &c in &g.structure {
+            col_index[c as usize].push(gid as u32);
+        }
+    }
+    let mut finished = vec![false; n];
+
+    let mut lcols: Vec<Vec<u32>> = Vec::with_capacity(n);
+    let mut urows: Vec<Vec<u32>> = Vec::with_capacity(n);
+    let mut cand: Vec<u32> = Vec::new(); // candidate group ids (deduped)
+
+    for k in 0..n {
+        // Gather candidate groups through the column index. A group may be
+        // listed multiple times across creations of its members, but a
+        // group is consumed (killed) at its first candidacy, so each listed
+        // id is processed O(1) times.
+        cand.clear();
+        for &gid in &col_index[k] {
+            let g = &groups[gid as usize];
+            if g.alive && !cand.contains(&gid) {
+                cand.push(gid);
+            }
+        }
+        debug_assert!(
+            cand.iter()
+                .any(|&gid| groups[gid as usize].rows.contains(&(k as u32))),
+            "row {k} must be a candidate at step {k} (zero-free diagonal)"
+        );
+
+        // P_k = all unfinished rows of candidate groups.
+        let mut pk: Vec<u32> = Vec::new();
+        for &gid in &cand {
+            pk.extend(groups[gid as usize].rows.iter().copied());
+        }
+        pk.sort_unstable();
+
+        // U_k = union of candidate structures, restricted to columns ≥ k.
+        let uk = union_ge(&cand.iter().map(|&g| groups[g as usize].structure.as_slice()).collect::<Vec<_>>(), k as u32);
+
+        // Retire the candidate groups; move their unfinished rows (minus
+        // row k, which is now finished) into a fresh group with structure
+        // U_k.
+        finished[k] = true;
+        let new_rows: Vec<u32> = pk.iter().copied().filter(|&r| r != k as u32).collect();
+        for &gid in &cand {
+            let g = &mut groups[gid as usize];
+            g.alive = false;
+            g.rows = Vec::new();
+            g.structure = Vec::new();
+        }
+        if !new_rows.is_empty() {
+            let gid = groups.len() as u32;
+            for &c in &uk {
+                if c as usize > k {
+                    col_index[c as usize].push(gid);
+                }
+            }
+            groups.push(Group {
+                structure: uk.clone(),
+                rows: new_rows,
+                alive: true,
+            });
+        }
+
+        lcols.push(pk);
+        urows.push(uk);
+    }
+
+    StaticStructure { lcols, urows }
+}
+
+/// k-way union of sorted lists, keeping only entries `≥ lo`.
+fn union_ge(lists: &[&[u32]], lo: u32) -> Vec<u32> {
+    match lists.len() {
+        0 => vec![],
+        1 => {
+            let s = lists[0];
+            let start = s.partition_point(|&c| c < lo);
+            s[start..].to_vec()
+        }
+        _ => {
+            // binary-merge reduction; candidate counts are small in practice
+            let mut acc = {
+                let s = lists[0];
+                s[s.partition_point(|&c| c < lo)..].to_vec()
+            };
+            let mut buf: Vec<u32> = Vec::new();
+            for s in &lists[1..] {
+                let s = &s[s.partition_point(|&c| c < lo)..];
+                buf.clear();
+                buf.reserve(acc.len() + s.len());
+                let (mut i, mut j) = (0, 0);
+                while i < acc.len() && j < s.len() {
+                    match acc[i].cmp(&s[j]) {
+                        std::cmp::Ordering::Less => {
+                            buf.push(acc[i]);
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            buf.push(s[j]);
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            buf.push(acc[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                buf.extend_from_slice(&acc[i..]);
+                buf.extend_from_slice(&s[j..]);
+                std::mem::swap(&mut acc, &mut buf);
+            }
+            acc
+        }
+    }
+}
+
+/// Textbook reference implementation: simulate the per-row structure
+/// updates literally (`O(n · nnz(F))`). Used to validate the group-based
+/// implementation; exported for tests and the figure-reproduction harness.
+pub fn naive_symbolic_factorization(a: &CscMatrix) -> StaticStructure {
+    assert_eq!(a.nrows(), a.ncols());
+    assert!(a.has_zero_free_diagonal());
+    let n = a.ncols();
+    let at = a.transpose();
+    let mut rows: Vec<Vec<u32>> = (0..n).map(|i| at.col(i).0.to_vec()).collect();
+
+    let mut lcols = Vec::with_capacity(n);
+    let mut urows = Vec::with_capacity(n);
+    for k in 0..n {
+        let ku = k as u32;
+        let cand: Vec<u32> = (k..n)
+            .filter(|&i| rows[i].binary_search(&ku).is_ok())
+            .map(|i| i as u32)
+            .collect();
+        let uk = union_ge(
+            &cand.iter().map(|&i| rows[i as usize].as_slice()).collect::<Vec<_>>(),
+            ku,
+        );
+        for &i in &cand {
+            let iu = i as usize;
+            // keep the (< k) prefix, replace the rest with U_k
+            let cut = rows[iu].partition_point(|&c| c < ku);
+            rows[iu].truncate(cut);
+            rows[iu].extend_from_slice(&uk);
+        }
+        lcols.push(cand);
+        urows.push(uk);
+    }
+    StaticStructure { lcols, urows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splu_sparse::gen::{self, ValueModel};
+    use splu_sparse::{CooMatrix, CscMatrix, Perm};
+
+    fn from_bool(rows: &[&[u8]]) -> CscMatrix {
+        let n = rows.len();
+        let mut c = CooMatrix::new(n, n);
+        for (i, r) in rows.iter().enumerate() {
+            for (j, &b) in r.iter().enumerate() {
+                if b != 0 {
+                    c.push(i, j, 1.0 + (i * n + j) as f64 * 0.1);
+                }
+            }
+        }
+        c.to_csc()
+    }
+
+    #[test]
+    fn fig2_style_5x5_example() {
+        // A 5×5 sparse matrix in the spirit of Fig. 2 of the paper; the
+        // first steps generate fill through candidate-row unions, and the
+        // structure stabilizes before the last steps.
+        let a = from_bool(&[
+            &[1, 0, 1, 0, 0],
+            &[1, 1, 0, 0, 0],
+            &[0, 0, 1, 1, 0],
+            &[0, 1, 0, 1, 1],
+            &[1, 0, 0, 0, 1],
+        ]);
+        let s = static_symbolic_factorization(&a);
+        let r = naive_symbolic_factorization(&a);
+        assert_eq!(s, r);
+        // Step 1: candidates are rows {0, 1, 4} (nonzeros in column 0);
+        // union of their structures = {0, 1, 2, 4}.
+        assert_eq!(s.lcols[0], vec![0, 1, 4]);
+        assert_eq!(s.urows[0], vec![0, 1, 2, 4]);
+        // every original entry is contained in the prediction
+        for (i, j, _) in a.iter() {
+            assert!(s.contains(i, j), "original entry ({i},{j}) missing");
+        }
+    }
+
+    #[test]
+    fn group_and_naive_agree_on_random_matrices() {
+        for seed in 0..8 {
+            let a = gen::random_sparse(
+                60,
+                3,
+                0.5,
+                ValueModel {
+                    diag_scale: 1.0,
+                    seed,
+                },
+            );
+            let s = static_symbolic_factorization(&a);
+            let r = naive_symbolic_factorization(&a);
+            assert_eq!(s, r, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn group_and_naive_agree_on_grids() {
+        let a = gen::grid2d(7, 8, 0.4, ValueModel::default());
+        assert_eq!(
+            static_symbolic_factorization(&a),
+            naive_symbolic_factorization(&a)
+        );
+    }
+
+    #[test]
+    fn dense_matrix_predicts_full_factors() {
+        let a = gen::dense_random(10, ValueModel::default());
+        let s = static_symbolic_factorization(&a);
+        for k in 0..10 {
+            assert_eq!(s.lcols[k].len(), 10 - k);
+            assert_eq!(s.urows[k].len(), 10 - k);
+        }
+        assert_eq!(s.factor_nnz(), 100);
+    }
+
+    /// Dense GEPP with the S\*-style *delayed trailing interchange*: at step
+    /// `k` the pivot row is swapped with row `k` only in columns `k..n`
+    /// (the already-computed L part stays in its slot, exactly as in the
+    /// paper's `ScaleSwap`). Returns the working array holding packed L\U
+    /// in slot coordinates.
+    fn gepp_trailing_swap(a: &splu_kernels::DenseMat) -> splu_kernels::DenseMat {
+        let n = a.nrows();
+        let mut w = a.clone();
+        for k in 0..n {
+            // pivot search over column k, rows k..n
+            let mut piv = k;
+            for i in (k + 1)..n {
+                if w[(i, k)].abs() > w[(piv, k)].abs() {
+                    piv = i;
+                }
+            }
+            assert!(w[(piv, k)] != 0.0, "singular at step {k}");
+            if piv != k {
+                for j in k..n {
+                    let t = w[(k, j)];
+                    w[(k, j)] = w[(piv, j)];
+                    w[(piv, j)] = t;
+                }
+            }
+            let d = w[(k, k)];
+            for i in (k + 1)..n {
+                w[(i, k)] /= d;
+            }
+            for j in (k + 1)..n {
+                let ukj = w[(k, j)];
+                if ukj != 0.0 {
+                    for i in (k + 1)..n {
+                        let lik = w[(i, k)];
+                        w[(i, j)] -= lik * ukj;
+                    }
+                }
+            }
+        }
+        w
+    }
+
+    #[test]
+    fn structure_covers_actual_lu_under_any_pivoting() {
+        // The defining property (George & Ng): for ANY pivot sequence, the
+        // actual fill (in slot coordinates, with the S*-style delayed
+        // trailing interchange) is contained in the static prediction. We
+        // exercise it over several random value assignments of one pattern.
+        let base = gen::random_sparse(40, 3, 0.4, ValueModel::default());
+        let s = static_symbolic_factorization(&base);
+        let n = 40;
+        for seed in 0..6u64 {
+            // reassign values randomly on the same pattern
+            let mut c = CooMatrix::new(n, n);
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+            };
+            for (i, j, _) in base.iter() {
+                let v = if i == j { 2.0 + next().abs() } else { next() };
+                c.push(i, j, v);
+            }
+            let w = gepp_trailing_swap(&c.to_csc().to_dense());
+            for k in 0..n {
+                for i in (k + 1)..n {
+                    assert!(
+                        w[(i, k)].abs() < 1e-13 || s.contains(i, k),
+                        "L entry ({i},{k}) not covered, seed {seed}"
+                    );
+                }
+                for j in (k + 1)..n {
+                    assert!(
+                        w[(k, j)].abs() < 1e-13 || s.contains(k, j),
+                        "U entry ({k},{j}) not covered, seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem1_candidate_rows_share_u_structure() {
+        // After step k, all rows of P_k have identical structures ≥ k:
+        // verified via the naive implementation's internals being equal to
+        // U_k — here we check the group invariant indirectly: L-column
+        // nesting within supernodes.
+        let a = gen::grid2d(6, 6, 0.3, ValueModel::default());
+        let s = static_symbolic_factorization(&a);
+        let n = s.n();
+        for k in 0..n - 1 {
+            // if P_{k+1} == P_k \ {k}, then U_{k+1} == U_k \ {k}
+            let pk_minus: Vec<u32> = s.lcols[k].iter().copied().filter(|&r| r != k as u32).collect();
+            if pk_minus == s.lcols[k + 1] {
+                let uk_minus: Vec<u32> = s.urows[k]
+                    .iter()
+                    .copied()
+                    .filter(|&c| c != k as u32)
+                    .collect();
+                assert_eq!(uk_minus, s.urows[k + 1], "supernode U nesting at {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn tridiagonal_has_no_extra_fill() {
+        let n = 12;
+        let mut c = CooMatrix::new(n, n);
+        for i in 0..n {
+            c.push(i, i, 2.0);
+            if i > 0 {
+                c.push(i, i - 1, -1.0);
+                c.push(i - 1, i, -1.0);
+            }
+        }
+        let s = static_symbolic_factorization(&c.to_csc());
+        // With partial pivoting, row k+1 (carrying an entry in column k+2)
+        // may be swapped up, so the static U gains a second superdiagonal —
+        // the classic GEPP band widening. L stays bidiagonal.
+        for k in 0..n {
+            assert!(s.lcols[k].len() <= 2, "L col {k}");
+            assert!(s.urows[k].len() <= 3, "U row {k}");
+            assert_eq!(s.lcols[k][0], k as u32);
+        }
+        assert_eq!(s.factor_nnz(), 4 * n - 4);
+    }
+
+    #[test]
+    fn factor_nnz_and_flops_monotone_under_worse_ordering() {
+        // reversing a good ordering of a grid should not reduce fill
+        let a = gen::grid2d(8, 8, 0.0, ValueModel::default());
+        let n = a.ncols();
+        let s1 = static_symbolic_factorization(&a);
+        let rev = Perm::from_new_of_old((0..n).map(|i| n - 1 - i).collect());
+        let ar = a.permute(&rev, &rev);
+        let s2 = static_symbolic_factorization(&ar);
+        // reversal of a symmetric-pattern grid is symmetric: equal fill
+        assert_eq!(s1.factor_nnz(), s2.factor_nnz());
+        assert!(s1.predicted_flops() > 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn missing_diagonal_panics() {
+        let a = gen::shift_rows(&gen::grid2d(4, 4, 0.0, ValueModel::default()), 1);
+        static_symbolic_factorization(&a);
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: factor a nonsymmetric sparse matrix with partial pivoting
+//! and solve a linear system, using the full S\* pipeline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sstar::prelude::*;
+use sstar::sparse::gen::{self, ValueModel};
+
+fn main() {
+    // A nonsymmetric convection–diffusion operator on a 40×40 grid
+    // (the structural class of the paper's oil-reservoir matrices).
+    let a = gen::grid2d(40, 40, 0.6, ValueModel::default());
+    let n = a.ncols();
+    println!("matrix: {} × {}, {} nonzeros", n, n, a.nnz());
+
+    // 1. Analyze: Duff transversal → minimum degree on AᵀA → static
+    //    symbolic factorization → 2D L/U supernode partition → amalgamation.
+    let t = std::time::Instant::now();
+    let solver = SparseLuSolver::analyze(&a, FactorOptions::default());
+    println!(
+        "analyze:  {:>9.3?}  (static factor entries: {}, {} blocks, avg supernode {:.1})",
+        t.elapsed(),
+        solver.static_factor_nnz(),
+        solver.pattern.nblocks(),
+        solver.pattern.part.avg_width(),
+    );
+
+    // 2. Numeric factorization with partial pivoting (BLAS-3 dominated).
+    let t = std::time::Instant::now();
+    let lu = solver.factor().expect("matrix is nonsingular");
+    println!(
+        "factor:   {:>9.3?}  (BLAS-3 fraction: {:.1} %, {} row interchanges)",
+        t.elapsed(),
+        100.0 * lu.stats.blas3_fraction(),
+        lu.stats.row_interchanges,
+    );
+
+    // 3. Solve A x = b for a known solution.
+    let x_true: Vec<f64> = (0..n).map(|i| ((i % 23) as f64) * 0.25 - 2.0).collect();
+    let b = a.matvec(&x_true);
+    let t = std::time::Instant::now();
+    let x = lu.solve(&b);
+    let err = x
+        .iter()
+        .zip(&x_true)
+        .fold(0.0f64, |m, (p, q)| m.max((p - q).abs()));
+    println!("solve:    {:>9.3?}  (max error {err:.3e})", t.elapsed());
+
+    // 4. Residual check against the original matrix.
+    let ax = a.matvec(&x);
+    let r = ax
+        .iter()
+        .zip(&b)
+        .fold(0.0f64, |m, (p, q)| m.max((p - q).abs()));
+    println!("residual: ‖Ax − b‖∞ = {r:.3e}");
+    // forward error depends on conditioning; the backward residual is the
+    // stability guarantee of partial pivoting
+    assert!(err < 1e-5, "solution should be accurate");
+    assert!(r < 1e-10 * a.norm_inf(), "solve should be backward stable");
+}

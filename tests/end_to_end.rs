@@ -1,0 +1,130 @@
+//! End-to-end integration tests: the full S\* pipeline against independent
+//! oracles (dense GEPP, the Gilbert–Peierls baseline) across matrix
+//! classes, orderings and partitioning options.
+
+use sstar::prelude::*;
+use sstar::sparse::gen::{self, ValueModel};
+use sstar::sparse::CscMatrix;
+
+fn max_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).fold(0.0f64, |m, (p, q)| m.max((p - q).abs()))
+}
+
+fn solve_and_check(a: &CscMatrix, options: FactorOptions, tol: f64) {
+    let n = a.ncols();
+    let xt: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) * 0.5 - 3.0).collect();
+    let b = a.matvec(&xt);
+    let solver = SparseLuSolver::analyze(a, options);
+    let lu = solver.factor().expect("nonsingular");
+    let x = lu.solve(&b);
+    // forward error
+    assert!(max_err(&x, &xt) < tol, "forward error too large");
+    // backward residual
+    let r = max_err(&a.matvec(&x), &b);
+    assert!(r < 1e-9 * a.norm_inf().max(1.0), "residual {r} too large");
+}
+
+#[test]
+fn all_matrix_classes_solve() {
+    let vm = ValueModel::default();
+    let cases: Vec<(&str, CscMatrix)> = vec![
+        ("grid2d", gen::grid2d(12, 11, 0.5, vm)),
+        ("grid3d", gen::grid3d(6, 5, 4, 0.4, vm)),
+        ("random", gen::random_sparse(200, 4, 0.5, vm)),
+        ("block_fluid", gen::block_fluid(20, 5, 9, 0.3, vm)),
+        ("banded", gen::banded(150, 8, 0.5, vm)),
+        ("dense", gen::dense_random(60, vm)),
+    ];
+    for (name, a) in cases {
+        solve_and_check(&a, FactorOptions::default(), 1e-5);
+        println!("{name} ok");
+    }
+}
+
+#[test]
+fn all_orderings_solve() {
+    let a = gen::grid2d(10, 10, 0.4, ValueModel::default());
+    for ordering in [
+        ColumnOrdering::Natural,
+        ColumnOrdering::MinDegreeAtA,
+        ColumnOrdering::ReverseCuthillMcKee,
+    ] {
+        solve_and_check(
+            &a,
+            FactorOptions {
+                ordering,
+                ..FactorOptions::default()
+            },
+            1e-6,
+        );
+    }
+}
+
+#[test]
+fn partitioning_options_solve() {
+    let a = gen::random_sparse(150, 4, 0.6, ValueModel::default());
+    for (block_size, amalgamation) in [(1, 0), (4, 0), (8, 2), (25, 4), (25, 10), (64, 6)] {
+        solve_and_check(
+            &a,
+            FactorOptions {
+                block_size,
+                amalgamation,
+                ordering: ColumnOrdering::MinDegreeAtA,
+                ..FactorOptions::default()
+            },
+            1e-5,
+        );
+    }
+}
+
+#[test]
+fn agrees_with_gp_baseline_solution() {
+    let a = gen::grid3d(5, 5, 4, 0.5, ValueModel::default());
+    let n = a.ncols();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+    let x1 = sstar::core::pipeline::lu_solve(&a, &b, FactorOptions::default()).unwrap();
+    let gp = sstar::superlu::gp_factor(&a, 1.0).unwrap();
+    let x2 = sstar::superlu::gp_solve(&gp, &b);
+    assert!(max_err(&x1, &x2) < 1e-8, "pipelines disagree");
+}
+
+#[test]
+fn agrees_with_dense_oracle() {
+    let a = gen::random_sparse(80, 4, 0.5, ValueModel::default());
+    let n = a.ncols();
+    let b: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+    let x1 = sstar::core::pipeline::lu_solve(&a, &b, FactorOptions::default()).unwrap();
+    let x2 = sstar::kernels::dense_solve(&a.to_dense(), &b).unwrap();
+    assert!(max_err(&x1, &x2) < 1e-8, "dense oracle disagrees");
+}
+
+#[test]
+fn shifted_diagonal_handled_by_transversal() {
+    let a = gen::shift_rows(&gen::grid2d(9, 9, 0.4, ValueModel::default()), 17);
+    assert!(!a.has_zero_free_diagonal());
+    solve_and_check(&a, FactorOptions::default(), 1e-6);
+}
+
+#[test]
+fn singular_matrix_rejected() {
+    use sstar::sparse::CooMatrix;
+    let mut c = CooMatrix::new(3, 3);
+    for i in 0..3 {
+        for j in 0..3 {
+            c.push(i, j, 1.0);
+        }
+    }
+    let a = c.to_csc();
+    let solver = SparseLuSolver::analyze(&a, FactorOptions::default());
+    assert!(solver.factor().is_err());
+}
+
+#[test]
+fn matrix_market_roundtrip_through_pipeline() {
+    let a = gen::random_sparse(60, 3, 0.5, ValueModel::default());
+    let mut buf = Vec::new();
+    sstar::sparse::io::write_matrix_market(&mut buf, &a).unwrap();
+    let a2 = sstar::sparse::io::read_matrix_market(&buf[..]).unwrap();
+    assert_eq!(a, a2);
+    solve_and_check(&a2, FactorOptions::default(), 1e-6);
+}

@@ -1,0 +1,95 @@
+//! Equilibration: badly scaled systems are solved accurately once rows
+//! and columns are scaled to unit maximum before factorization.
+
+use sstar::core::pipeline::equilibrate;
+use sstar::prelude::*;
+use sstar::sparse::gen::{self, ValueModel};
+use sstar::sparse::{CooMatrix, CscMatrix};
+
+/// A grid operator with rows/columns scaled by wildly varying powers.
+fn badly_scaled(n_side: usize) -> CscMatrix {
+    let a = gen::grid2d(n_side, n_side, 0.4, ValueModel::default());
+    let n = a.ncols();
+    let mut c = CooMatrix::new(n, n);
+    for (i, j, v) in a.iter() {
+        let ri = 10f64.powi((i % 13) as i32 - 6);
+        let cj = 10f64.powi((j % 11) as i32 - 5);
+        c.push(i, j, v * ri * cj);
+    }
+    c.to_csc()
+}
+
+#[test]
+fn equilibrate_produces_unit_row_and_col_maxima() {
+    let a = badly_scaled(8);
+    let (b, r, c) = equilibrate(&a);
+    assert_eq!(r.len(), a.nrows());
+    assert_eq!(c.len(), a.ncols());
+    let n = b.ncols();
+    let mut rmax = vec![0.0f64; n];
+    let mut cmax = vec![0.0f64; n];
+    for (i, j, v) in b.iter() {
+        rmax[i] = rmax[i].max(v.abs());
+        cmax[j] = cmax[j].max(v.abs());
+    }
+    for j in 0..n {
+        assert!((cmax[j] - 1.0).abs() < 1e-12, "col {j}: {}", cmax[j]);
+        // row maxima end up ≤ 1 after the column pass and stay positive
+        assert!(rmax[j] > 0.0 && rmax[j] <= 1.0 + 1e-12, "row {j}: {}", rmax[j]);
+    }
+}
+
+#[test]
+fn equilibrated_solve_beats_or_matches_raw_on_bad_scaling() {
+    let a = badly_scaled(10);
+    let n = a.ncols();
+    let xt: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) * 0.4 - 1.2).collect();
+    let b = a.matvec(&xt);
+
+    let solve = |equilibrate: bool| {
+        let solver = SparseLuSolver::analyze(
+            &a,
+            FactorOptions {
+                equilibrate,
+                ..FactorOptions::default()
+            },
+        );
+        let lu = solver.factor().unwrap();
+        let x = lu.solve(&b);
+        x.iter()
+            .zip(&xt)
+            .map(|(p, q)| ((p - q) / q.abs().max(1.0)).abs())
+            .fold(0.0f64, f64::max)
+    };
+    let err_eq = solve(true);
+    let err_raw = solve(false);
+    assert!(err_eq < 1e-4, "equilibrated error {err_eq}");
+    assert!(
+        err_eq <= err_raw * 10.0,
+        "equilibration should not hurt: {err_eq} vs {err_raw}"
+    );
+}
+
+#[test]
+fn equilibration_is_identity_safe_on_well_scaled_input() {
+    let a = gen::random_sparse(100, 4, 0.5, ValueModel::default());
+    let n = a.ncols();
+    let xt: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).cos()).collect();
+    let b = a.matvec(&xt);
+    for eq in [false, true] {
+        let x = sstar::core::pipeline::lu_solve(
+            &a,
+            &b,
+            FactorOptions {
+                equilibrate: eq,
+                ..FactorOptions::default()
+            },
+        )
+        .unwrap();
+        let err = x
+            .iter()
+            .zip(&xt)
+            .fold(0.0f64, |m, (p, q)| m.max((p - q).abs()));
+        assert!(err < 1e-6, "eq={eq}: error {err}");
+    }
+}

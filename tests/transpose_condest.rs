@@ -1,0 +1,109 @@
+//! Transpose solves and the 1-norm condition estimator.
+
+use sstar::prelude::*;
+use sstar::sparse::gen::{self, ValueModel};
+
+fn max_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).fold(0.0f64, |m, (p, q)| m.max((p - q).abs()))
+}
+
+#[test]
+fn transpose_solve_matches_dense_oracle() {
+    for (i, a) in [
+        gen::grid2d(9, 8, 0.5, ValueModel::default()),
+        gen::random_sparse(120, 4, 0.5, ValueModel::default()),
+        gen::block_fluid(10, 5, 8, 0.3, ValueModel::default()),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let n = a.ncols();
+        let xt: Vec<f64> = (0..n).map(|j| ((j % 13) as f64) * 0.3 - 1.8).collect();
+        let b = a.matvec_transpose(&xt); // b = Aᵀ x
+        let solver = SparseLuSolver::analyze(a, FactorOptions::default());
+        let lu = solver.factor().unwrap();
+        let x = lu.solve_transpose(&b);
+        let err = max_err(&x, &xt);
+        assert!(err < 1e-7, "case {i}: transpose solve error {err}");
+        // oracle: dense solve of the transposed system
+        let xd = sstar::kernels::dense_solve(&a.to_dense().transpose(), &b).unwrap();
+        assert!(max_err(&x, &xd) < 1e-7, "case {i}: oracle disagrees");
+    }
+}
+
+#[test]
+fn transpose_solve_with_equilibration_and_threshold() {
+    let a = gen::grid2d(8, 8, 0.4, ValueModel::default());
+    let n = a.ncols();
+    let xt: Vec<f64> = (0..n).map(|j| (j as f64 * 0.23).sin()).collect();
+    let b = a.matvec_transpose(&xt);
+    let solver = SparseLuSolver::analyze(
+        &a,
+        FactorOptions {
+            equilibrate: true,
+            pivot_threshold: 0.3,
+            ..FactorOptions::default()
+        },
+    );
+    let lu = solver.factor().unwrap();
+    let x = lu.solve_transpose(&b);
+    assert!(max_err(&x, &xt) < 1e-7);
+}
+
+#[test]
+fn condest_identity_is_one() {
+    let a = sstar::sparse::CscMatrix::identity(30);
+    let solver = SparseLuSolver::analyze(&a, FactorOptions::default());
+    let lu = solver.factor().unwrap();
+    let k = lu.condest(&a);
+    assert!((k - 1.0).abs() < 1e-12, "κ(I) = {k}");
+}
+
+#[test]
+fn condest_tracks_diagonal_scaling() {
+    // diag(1, 1, ..., 1, 1e6): κ₁ = 1e6 exactly
+    use sstar::sparse::CooMatrix;
+    let n = 20;
+    let mut c = CooMatrix::new(n, n);
+    for i in 0..n {
+        c.push(i, i, if i == n - 1 { 1e6 } else { 1.0 });
+    }
+    let a = c.to_csc();
+    let solver = SparseLuSolver::analyze(&a, FactorOptions::default());
+    let lu = solver.factor().unwrap();
+    let k = lu.condest(&a);
+    assert!((k / 1e6 - 1.0).abs() < 1e-9, "κ = {k}, want 1e6");
+}
+
+#[test]
+fn condest_lower_bounds_true_condition_on_random() {
+    let a = gen::random_sparse(60, 4, 0.5, ValueModel::default());
+    let solver = SparseLuSolver::analyze(&a, FactorOptions::default());
+    let lu = solver.factor().unwrap();
+    let est = lu.condest(&a);
+    // the estimator never exceeds the true κ₁ and is ≥ 1 by definition
+    assert!(est >= 1.0, "κ estimate {est} < 1");
+    // true κ₁ via dense inverse columns
+    let n = a.ncols();
+    let d = a.to_dense();
+    let f = sstar::kernels::dense_lu(&d).unwrap();
+    let mut inv_norm = 0.0f64;
+    for j in 0..n {
+        let mut e = vec![0.0; n];
+        e[j] = 1.0;
+        let col = f.solve(&e);
+        inv_norm = inv_norm.max(col.iter().map(|v| v.abs()).sum());
+    }
+    let mut colsum = vec![0.0f64; n];
+    for (_, j, v) in a.iter() {
+        colsum[j] += v.abs();
+    }
+    let norm_a = colsum.iter().fold(0.0f64, |m, &v| m.max(v));
+    let true_k = norm_a * inv_norm;
+    assert!(
+        est <= true_k * (1.0 + 1e-9),
+        "estimate {est} exceeds true κ₁ {true_k}"
+    );
+    // Higham's estimator is almost always within a small factor
+    assert!(est >= true_k / 10.0, "estimate {est} far below κ₁ {true_k}");
+}
