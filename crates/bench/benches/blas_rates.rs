@@ -1,4 +1,4 @@
-//! Criterion bench — DGEMM vs DGEMV rates at the paper's block size.
+//! Bench — DGEMM vs DGEMV rates at the paper's block size.
 //!
 //! §6 of the paper motivates the whole S\* design with the kernel gap at
 //! block size 25: on T3D, DGEMM reaches 103 MFLOPS vs DGEMV's 85; on T3E,
@@ -6,63 +6,68 @@
 //! TRSM) on the host so `w3 < w2` can be verified for the machine the
 //! tests actually run on.
 //!
+//! Uses the std-only `splu_bench::stopwatch` harness (the build
+//! environment cannot fetch criterion).
+//!
 //! ```sh
 //! cargo bench -p splu-bench --bench blas_rates
 //! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use splu_bench::stopwatch::report;
 use splu_kernels::{dgemm, dgemv, dtrsm_left_lower_unit, DenseMat};
 use std::hint::black_box;
 
-fn kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("block25");
+fn main() {
     let n = 25usize;
     let a = DenseMat::from_fn(n, n, |i, j| ((i * 7 + j * 3) % 11) as f64 * 0.1 - 0.5);
     let b = DenseMat::from_fn(n, n, |i, j| ((i * 5 + j) % 13) as f64 * 0.1 - 0.6);
     let x: Vec<f64> = (0..n).map(|i| (i as f64) * 0.01 - 0.1).collect();
 
-    group.throughput(Throughput::Elements((2 * n * n * n) as u64));
-    group.bench_function(BenchmarkId::new("dgemm", n), |bench| {
-        let mut cmat = DenseMat::zeros(n, n);
-        bench.iter(|| {
-            dgemm(
-                n,
+    println!("block size {n} kernel rates (paper §6: w3 < w2 expected)");
+
+    let gemm_flops = (2 * n * n * n) as u64;
+    let mut cmat = DenseMat::zeros(n, n);
+    let gemm = report("dgemm", gemm_flops, || {
+        dgemm(
+            n,
+            n,
+            n,
+            1.0,
+            black_box(a.as_slice()),
+            n,
+            black_box(b.as_slice()),
+            n,
+            0.0,
+            cmat.as_mut_slice(),
+            n,
+        );
+        black_box(cmat.as_slice()[0])
+    });
+
+    // n DGEMV calls = same flops as one DGEMM
+    let mut y = vec![0.0f64; n];
+    let gemv = report("dgemv_xN", gemm_flops, || {
+        for _ in 0..n {
+            dgemv(
                 n,
                 n,
                 1.0,
                 black_box(a.as_slice()),
                 n,
-                black_box(b.as_slice()),
-                n,
+                black_box(&x),
                 0.0,
-                cmat.as_mut_slice(),
-                n,
+                &mut y,
             );
-            black_box(cmat.as_slice()[0])
-        })
+        }
+        black_box(y[0])
     });
 
-    // n DGEMV calls = same flops as one DGEMM
-    group.bench_function(BenchmarkId::new("dgemv_xN", n), |bench| {
-        let mut y = vec![0.0f64; n];
-        bench.iter(|| {
-            for _ in 0..n {
-                dgemv(n, n, 1.0, black_box(a.as_slice()), n, black_box(&x), 0.0, &mut y);
-            }
-            black_box(y[0])
-        })
+    let mut rhs = b.clone();
+    report("dtrsm", (n * n * n) as u64, || {
+        dtrsm_left_lower_unit(n, n, black_box(a.as_slice()), n, rhs.as_mut_slice(), n);
+        black_box(rhs.as_slice()[0])
     });
 
-    group.throughput(Throughput::Elements((n * n * n) as u64));
-    group.bench_function(BenchmarkId::new("dtrsm", n), |bench| {
-        let mut rhs = b.clone();
-        bench.iter(|| {
-            dtrsm_left_lower_unit(n, n, black_box(a.as_slice()), n, rhs.as_mut_slice(), n);
-            black_box(rhs.as_slice()[0])
-        })
-    });
-    group.finish();
+    let ratio = gemv.median_secs / gemm.median_secs;
+    println!("dgemm speedup over columnwise dgemv: {ratio:.2}x");
 }
-
-criterion_group!(benches, kernels);
-criterion_main!(benches);

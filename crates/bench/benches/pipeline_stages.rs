@@ -1,13 +1,16 @@
-//! Criterion bench — the S\* pipeline stage costs on a suite matrix:
+//! Bench — the S\* pipeline stage costs on a suite matrix:
 //! preprocessing (transversal + ordering), static symbolic factorization,
 //! block-pattern construction, numeric factorization, and a triangular
 //! solve.
+//!
+//! Uses the std-only `splu_bench::stopwatch` harness (the build
+//! environment cannot fetch criterion).
 //!
 //! ```sh
 //! cargo bench -p splu-bench --bench pipeline_stages
 //! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use splu_bench::stopwatch::report;
 use splu_core::{FactorOptions, SparseLuSolver};
 use splu_order::ColumnOrdering;
 use splu_sparse::suite;
@@ -16,52 +19,41 @@ use splu_symbolic::{
 };
 use std::hint::black_box;
 
-fn stages(c: &mut Criterion) {
+fn main() {
     let spec = suite::by_name("orsreg1").unwrap();
     let a = spec.build();
-    let mut group = c.benchmark_group("orsreg1");
-    group.sample_size(10);
+    println!(
+        "orsreg1 pipeline stage times (n={}, nnz={})",
+        a.ncols(),
+        a.nnz()
+    );
 
-    group.bench_function("preprocess", |b| {
-        b.iter(|| {
-            let (m, _, _) = splu_order::preprocess(black_box(&a), ColumnOrdering::MinDegreeAtA);
-            black_box(m.nnz())
-        })
+    report("preprocess", 0, || {
+        let (m, _, _) = splu_order::preprocess(black_box(&a), ColumnOrdering::MinDegreeAtA);
+        black_box(m.nnz())
     });
 
     let (permuted, _, _) = splu_order::preprocess(&a, ColumnOrdering::MinDegreeAtA);
-    group.bench_function("static_symbolic", |b| {
-        b.iter(|| {
-            let s = static_symbolic_factorization(black_box(&permuted));
-            black_box(s.factor_nnz())
-        })
+    report("static_symbolic", 0, || {
+        let s = static_symbolic_factorization(black_box(&permuted));
+        black_box(s.factor_nnz())
     });
 
     let s = static_symbolic_factorization(&permuted);
-    group.bench_function("partition+blocks", |b| {
-        b.iter(|| {
-            let base = partition_supernodes(black_box(&s), 25);
-            let part = amalgamate(&s, &base, 4, 25);
-            let bp = BlockPattern::build(&s, &part);
-            black_box(bp.storage_entries())
-        })
+    report("partition+blocks", 0, || {
+        let base = partition_supernodes(black_box(&s), 25);
+        let part = amalgamate(&s, &base, 4, 25);
+        let bp = BlockPattern::build(&s, &part);
+        black_box(bp.storage_entries())
     });
 
     let solver = SparseLuSolver::analyze(&a, FactorOptions::default());
-    group.bench_function("numeric_factor", |b| {
-        b.iter(|| {
-            let lu = solver.factor().expect("nonsingular");
-            black_box(lu.stats.row_interchanges)
-        })
+    report("numeric_factor", 0, || {
+        let lu = solver.factor().expect("nonsingular");
+        black_box(lu.stats.row_interchanges)
     });
 
     let lu = solver.factor().unwrap();
     let rhs: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.1).sin()).collect();
-    group.bench_function("solve", |b| {
-        b.iter(|| black_box(lu.solve(black_box(&rhs))))
-    });
-    group.finish();
+    report("solve", 0, || black_box(lu.solve(black_box(&rhs))));
 }
-
-criterion_group!(benches, stages);
-criterion_main!(benches);

@@ -19,7 +19,11 @@ use std::time::Instant;
 fn main() {
     let spec = suite::by_name("sherman3").unwrap();
     let a = spec.build();
-    println!("Ablation: amalgamation-factor sweep on {} (n = {})\n", spec.name, a.nrows());
+    println!(
+        "Ablation: amalgamation-factor sweep on {} (n = {})\n",
+        spec.name,
+        a.nrows()
+    );
     println!(
         "{:<4} {:>8} {:>9} {:>10} {:>9} {:>12}",
         "r", "blocks", "avg w", "padding%", "seq time", "PT(8,T3E)"
@@ -36,8 +40,7 @@ fn main() {
             },
         );
         let static_nnz = solver.static_factor_nnz();
-        let padding =
-            100.0 * (solver.pattern.storage_entries() as f64 / static_nnz as f64 - 1.0);
+        let padding = 100.0 * (solver.pattern.storage_entries() as f64 / static_nnz as f64 - 1.0);
         let t0 = Instant::now();
         let _lu = solver.factor().expect("nonsingular");
         let t = t0.elapsed().as_secs_f64();

@@ -37,7 +37,12 @@ fn main() {
             }
             let best = results.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
             for (g, t) in &results {
-                println!("{:<10} {:>12} {:>9.0}%", g, secs(*t), 100.0 * (t / best - 1.0));
+                println!(
+                    "{:<10} {:>12} {:>9.0}%",
+                    g,
+                    secs(*t),
+                    100.0 * (t / best - 1.0)
+                );
             }
             println!();
         }

@@ -21,7 +21,11 @@ use std::time::Instant;
 fn main() {
     let spec = suite::by_name("sherman5").unwrap();
     let a = spec.build();
-    println!("Ablation: block-size sweep on {} (n = {})\n", spec.name, a.nrows());
+    println!(
+        "Ablation: block-size sweep on {} (n = {})\n",
+        spec.name,
+        a.nrows()
+    );
     println!(
         "{:<6} {:>9} {:>10} {:>8} {:>9} {:>12}",
         "bsize", "seq time", "storage", "blas3", "blocks", "PT(16,T3E)"

@@ -13,8 +13,8 @@
 //! ```
 
 use splu_bench::{analyze_default, rule};
-use splu_core::par2d::{factor_par2d, Sync2d};
 use splu_core::par1d::{factor_par1d, Strategy1d};
+use splu_core::par2d::{factor_par2d, Sync2d};
 use splu_machine::{Grid, T3E};
 use splu_sparse::suite;
 use splu_symbolic::BlockPattern;
@@ -50,7 +50,11 @@ fn main() {
         let solver = analyze_default(&a);
         let pattern = &solver.pattern;
         let nb = pattern.nblocks();
-        let s1: usize = (0..nb).map(|j| col_block_entries(pattern, j)).collect::<Vec<_>>().iter().sum();
+        let s1: usize = (0..nb)
+            .map(|j| col_block_entries(pattern, j))
+            .collect::<Vec<_>>()
+            .iter()
+            .sum();
 
         // 1D cyclic: per-proc = sum of owned column blocks
         let mut per1 = vec![0usize; p];
@@ -85,7 +89,12 @@ fn main() {
             p,
             Strategy1d::GraphScheduled(T3E),
         );
-        let r2 = factor_par2d(&solver.permuted, solver.pattern.clone(), grid, Sync2d::Async);
+        let r2 = factor_par2d(
+            &solver.permuted,
+            solver.pattern.clone(),
+            grid,
+            Sync2d::Async,
+        );
         let buf1 = *r1.peak_buffer_bytes.iter().max().unwrap() / 1024;
         let buf2 = *r2.peak_buffer_bytes.iter().max().unwrap() / 1024;
 

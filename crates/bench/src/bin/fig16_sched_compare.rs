@@ -31,7 +31,11 @@ fn main() {
     };
     let zerocopy = SimOptions::default();
 
-    for name in suite::SMALL.iter().copied().chain(["goodwin", "e40r0100", "b33_5600"]) {
+    for name in suite::SMALL
+        .iter()
+        .copied()
+        .chain(["goodwin", "e40r0100", "b33_5600"])
+    {
         let spec = suite::by_name(name).unwrap();
         let (a, _) = build_default(&spec);
         let solver = analyze_default(&a);

@@ -76,9 +76,11 @@ fn main() {
             s5.urows[k].iter().map(|c| c + 1).collect::<Vec<_>>()
         );
     }
-    show_pattern("\npredicted pattern (x = original, + = fill):", 5, |i, j| {
-        (a5.is_stored(i, j), s5.contains(i, j))
-    });
+    show_pattern(
+        "\npredicted pattern (x = original, + = fill):",
+        5,
+        |i, j| (a5.is_stored(i, j), s5.contains(i, j)),
+    );
 
     // ---- Fig. 4: L/U supernode partitioning of a 7×7 example ----
     println!("\n== Fig. 4: L/U supernode partitioning, 7×7 example ==\n");
@@ -93,10 +95,7 @@ fn main() {
     ]);
     let s7 = static_symbolic_factorization(&a7);
     let part = amalgamate(&s7, &partition_supernodes(&s7, 25), 0, 25);
-    println!(
-        "supernode partition: {:?} (block boundaries)",
-        part.starts
-    );
+    println!("supernode partition: {:?} (block boundaries)", part.starts);
     let bp = Arc::new(BlockPattern::build(&s7, &part));
     show_pattern("static pattern with blocks:", 7, |i, j| {
         (a7.is_stored(i, j), s7.contains(i, j))

@@ -14,7 +14,10 @@ use splu_sparse::suite;
 fn main() {
     let procs = [2usize, 4, 8, 16, 32, 64];
     println!("Table 7: improvement of 2D asynchronous over 2D synchronous (T3E model)");
-    println!("(1 − PT_async/PT_sync; large matrices scaled by {})\n", splu_bench::LARGE_SCALE);
+    println!(
+        "(1 − PT_async/PT_sync; large matrices scaled by {})\n",
+        splu_bench::LARGE_SCALE
+    );
     print!("{:<10}", "matrix");
     for p in procs {
         print!(" {:>7}", format!("P={p}"));
@@ -22,7 +25,11 @@ fn main() {
     println!();
     println!("{}", rule(10 + 8 * procs.len()));
 
-    for name in suite::SMALL.iter().copied().chain(["goodwin", "e40r0100", "raefsky4", "vavasis3"]) {
+    for name in suite::SMALL
+        .iter()
+        .copied()
+        .chain(["goodwin", "e40r0100", "raefsky4", "vavasis3"])
+    {
         let spec = suite::by_name(name).unwrap();
         let (a, _) = build_default(&spec);
         let solver = analyze_default(&a);

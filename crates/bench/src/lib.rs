@@ -35,6 +35,8 @@ use splu_core::{FactorOptions, SparseLuSolver};
 use splu_sparse::suite::{self, MatrixSpec};
 use splu_sparse::CscMatrix;
 
+pub mod stopwatch;
+
 /// Default shrink factor for the LARGE suite matrices so every harness
 /// finishes in minutes on a laptop-class host (printed with each table).
 pub const LARGE_SCALE: f64 = 0.25;

@@ -1,0 +1,115 @@
+//! A minimal wall-clock bench harness (std-only; the build environment
+//! cannot fetch criterion). Adaptive iteration count, median-of-samples
+//! reporting, optional throughput in Mflop/s.
+//!
+//! Not a statistics engine: good enough to rank kernels (the §6 `w3 <
+//! w2` check) and to spot order-of-magnitude regressions, which is all
+//! the paper-reproduction harnesses need.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Samples collected for one benchmark.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name.
+    pub name: String,
+    /// Median seconds per iteration.
+    pub median_secs: f64,
+    /// Minimum seconds per iteration across samples.
+    pub min_secs: f64,
+    /// Iterations per sample that were actually timed.
+    pub iters: u64,
+}
+
+impl Measurement {
+    /// Mflop/s at `flops` floating-point operations per iteration.
+    pub fn mflops(&self, flops: u64) -> f64 {
+        flops as f64 / self.median_secs / 1e6
+    }
+}
+
+/// Time `f`, returning per-iteration statistics. Runs a warmup, sizes
+/// the iteration count so one sample takes ≳10 ms, then takes 9 samples.
+pub fn time<R>(name: &str, mut f: impl FnMut() -> R) -> Measurement {
+    // warmup + calibration: find iters such that a sample is >= ~10 ms
+    let mut iters: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if dt >= 0.01 || iters >= 1 << 20 {
+            break;
+        }
+        // aim past 10 ms with headroom
+        iters = if dt <= 0.0 {
+            iters * 16
+        } else {
+            (iters as f64 * (0.015 / dt).clamp(2.0, 16.0)) as u64
+        };
+    }
+    let mut samples = Vec::with_capacity(9);
+    for _ in 0..9 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        samples.push(t0.elapsed().as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Measurement {
+        name: name.to_string(),
+        median_secs: samples[samples.len() / 2],
+        min_secs: samples[0],
+        iters,
+    }
+}
+
+/// Time `f` and print one report line; returns the measurement. With
+/// `flops > 0` the line includes an Mflop/s rate.
+pub fn report<R>(name: &str, flops: u64, f: impl FnMut() -> R) -> Measurement {
+    let m = time(name, f);
+    if flops > 0 {
+        println!(
+            "{:<24} {:>12} {:>10.1} Mflop/s   ({} iters/sample)",
+            m.name,
+            crate::secs(m.median_secs),
+            m.mflops(flops),
+            m.iters
+        );
+    } else {
+        println!(
+            "{:<24} {:>12}   ({} iters/sample)",
+            m.name,
+            crate::secs(m.median_secs),
+            m.iters
+        );
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_is_positive_and_ordered() {
+        let m = time("noop", || 1u64 + black_box(1));
+        assert!(m.median_secs > 0.0);
+        assert!(m.min_secs <= m.median_secs);
+        assert!(m.iters >= 1);
+    }
+
+    #[test]
+    fn mflops_scales_with_flop_count() {
+        let m = Measurement {
+            name: "x".into(),
+            median_secs: 1e-3,
+            min_secs: 1e-3,
+            iters: 10,
+        };
+        assert!((m.mflops(1_000_000) - 1000.0).abs() < 1e-9);
+    }
+}

@@ -24,9 +24,12 @@
 //! solves; per-processor peak memory and communication volume are
 //! reported for the §5.2 space-complexity comparison.
 
-use crate::seq::{factor_block_opts, update_block_with_panel, FactorStats, PanelRef, UpdateScratch};
+use crate::seq::{
+    factor_block_opts, update_block_with_panel, FactorStats, PanelRef, UpdateScratch,
+};
 use crate::storage::BlockMatrix;
-use splu_machine::{run_machine, Message, ProcCtx};
+use splu_machine::{run_machine, run_machine_traced, Message, ProcCtx};
+use splu_probe::Collector;
 use splu_sched::{ca_schedule, graph_schedule, Schedule, TaskGraph, TaskKind};
 use splu_symbolic::BlockPattern;
 use std::sync::Arc;
@@ -137,6 +140,25 @@ pub fn factor_par1d_opts(
     factor_with_schedule(a, pattern, &graph, &schedule, threshold)
 }
 
+/// Like [`factor_par1d_opts`], but recording a flight-recorder timeline
+/// per processor into `collector` (`panel-factor`/`update` spans plus
+/// the runtime's communication marks).
+pub fn factor_par1d_traced(
+    a: &splu_sparse::CscMatrix,
+    pattern: Arc<BlockPattern>,
+    nprocs: usize,
+    strategy: Strategy1d,
+    threshold: f64,
+    collector: &Collector,
+) -> Par1dResult {
+    let graph = TaskGraph::build(&pattern);
+    let schedule = match strategy {
+        Strategy1d::ComputeAhead => ca_schedule(&graph, nprocs),
+        Strategy1d::GraphScheduled(model) => graph_schedule(&graph, nprocs, &model),
+    };
+    factor_with_schedule_impl(a, pattern, &graph, &schedule, threshold, Some(collector))
+}
+
 /// Execute an explicit (mapping, order) schedule.
 pub fn factor_with_schedule(
     a: &splu_sparse::CscMatrix,
@@ -144,6 +166,17 @@ pub fn factor_with_schedule(
     graph: &TaskGraph,
     schedule: &Schedule,
     threshold: f64,
+) -> Par1dResult {
+    factor_with_schedule_impl(a, pattern, graph, schedule, threshold, None)
+}
+
+fn factor_with_schedule_impl(
+    a: &splu_sparse::CscMatrix,
+    pattern: Arc<BlockPattern>,
+    graph: &TaskGraph,
+    schedule: &Schedule,
+    threshold: f64,
+    collector: Option<&Collector>,
 ) -> Par1dResult {
     schedule.validate(graph);
     let nprocs = schedule.nprocs();
@@ -176,12 +209,11 @@ pub fn factor_with_schedule(
         u64,
         f64,
     );
-    let (outs, comm): (Vec<RankOut>, (u64, u64)) = run_machine(nprocs, |mut ctx: ProcCtx| {
+    let spmd = |mut ctx: ProcCtx| {
         // Each rank allocates only its owned column blocks' panels; the
         // shared pattern supplies all metadata.
-        let mut m = BlockMatrix::from_csc_filtered(a, pattern.clone(), |b| {
-            owner[b] as usize == ctx.rank
-        });
+        let mut m =
+            BlockMatrix::from_csc_filtered(a, pattern.clone(), |b| owner[b] as usize == ctx.rank);
         let mut stats = FactorStats::default();
         let mut scratch = UpdateScratch::default();
         let mut pivots: Vec<(usize, Vec<u32>)> = Vec::new();
@@ -193,10 +225,12 @@ pub fn factor_with_schedule(
             match graph.tasks[t as usize] {
                 TaskKind::Factor(k) => {
                     let k = k as usize;
+                    let span_start = ctx.probe().now();
                     let tb = std::time::Instant::now();
                     let piv = factor_block_opts(&mut m, k, threshold, &mut stats)
                         .expect("matrix numerically singular");
                     busy += tb.elapsed().as_secs_f64();
+                    ctx.probe().span_at("panel-factor", k as u32, span_start);
                     // ship the factored panel + pivots to updaters
                     let msg = pack_panel(&m, k, &piv);
                     ctx.multicast(panel_dests[k].iter().copied(), msg.clone());
@@ -213,6 +247,7 @@ pub fn factor_with_schedule(
                     }
                     let rp = received[k].take().unwrap();
                     let piv = rp.msg.ints.clone();
+                    let span_start = ctx.probe().now();
                     let tb = std::time::Instant::now();
                     update_block_with_panel(
                         &mut m,
@@ -224,6 +259,7 @@ pub fn factor_with_schedule(
                         &mut scratch,
                     );
                     busy += tb.elapsed().as_secs_f64();
+                    ctx.probe().span_at("update", k as u32, span_start);
                     received[k] = Some(rp);
                 }
             }
@@ -251,7 +287,11 @@ pub fn factor_with_schedule(
             })
             .collect();
         (blocks, pivots, stats, ctx.max_pending_bytes, busy)
-    });
+    };
+    let (outs, comm): (Vec<RankOut>, (u64, u64)) = match collector {
+        Some(c) => run_machine_traced(nprocs, c, spmd),
+        None => run_machine(nprocs, spmd),
+    };
     let elapsed = t0.elapsed().as_secs_f64();
 
     // reassemble
@@ -303,11 +343,7 @@ mod tests {
         Arc::new(BlockPattern::build(&s, &part))
     }
 
-    fn check_matches_sequential(
-        a: &splu_sparse::CscMatrix,
-        nprocs: usize,
-        strategy: Strategy1d,
-    ) {
+    fn check_matches_sequential(a: &splu_sparse::CscMatrix, nprocs: usize, strategy: Strategy1d) {
         let pattern = pattern_for(a, 4, 8);
         let mut seq = BlockMatrix::from_csc(a, pattern.clone());
         let (piv_seq, _) = factor_sequential(&mut seq).unwrap();

@@ -29,7 +29,8 @@
 use crate::seq::FactorStats;
 use crate::storage::BlockMatrix;
 use splu_kernels::{dgemm, dtrsm_left_lower_unit};
-use splu_machine::{run_machine, Grid, Message, ProcCtx};
+use splu_machine::{run_machine, run_machine_traced, Grid, Message, ProcCtx};
+use splu_probe::Collector;
 use splu_symbolic::BlockPattern;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -138,7 +139,12 @@ struct Store2d {
 }
 
 impl Store2d {
-    fn new(a: &splu_sparse::CscMatrix, pattern: Arc<BlockPattern>, grid: Grid, rank: usize) -> Self {
+    fn new(
+        a: &splu_sparse::CscMatrix,
+        pattern: Arc<BlockPattern>,
+        grid: Grid,
+        rank: usize,
+    ) -> Self {
         let (rno, cno) = grid.coords_of(rank);
         let block_of = pattern.part.block_of_index();
         let mut st = Self {
@@ -162,7 +168,8 @@ impl Store2d {
             for l in &st.pattern.l_blocks[j] {
                 if (l.i as usize) % grid.pr == rno {
                     let w = st.pattern.part.width(j);
-                    st.blocks.insert((l.i, j as u32), vec![0.0; l.rows.len() * w]);
+                    st.blocks
+                        .insert((l.i, j as u32), vec![0.0; l.rows.len() * w]);
                 }
             }
         }
@@ -369,6 +376,32 @@ pub fn factor_par2d_opts(
     mode: Sync2d,
     threshold: f64,
 ) -> Par2dResult {
+    factor_par2d_impl(a, pattern, grid, mode, threshold, None)
+}
+
+/// Like [`factor_par2d_opts`], but every simulated processor records a
+/// flight-recorder timeline into `collector`: one span per paper-named
+/// stage (`panel-factor`, `scale-swap` with nested `row-swap`, `update`),
+/// pivot-search/fill counters, and the runtime's communication marks.
+pub fn factor_par2d_traced(
+    a: &splu_sparse::CscMatrix,
+    pattern: Arc<BlockPattern>,
+    grid: Grid,
+    mode: Sync2d,
+    threshold: f64,
+    collector: &Collector,
+) -> Par2dResult {
+    factor_par2d_impl(a, pattern, grid, mode, threshold, Some(collector))
+}
+
+fn factor_par2d_impl(
+    a: &splu_sparse::CscMatrix,
+    pattern: Arc<BlockPattern>,
+    grid: Grid,
+    mode: Sync2d,
+    threshold: f64,
+    collector: Option<&Collector>,
+) -> Par2dResult {
     assert!(threshold > 0.0 && threshold <= 1.0);
     let nb = pattern.nblocks();
     let clock = AtomicU64::new(0);
@@ -382,7 +415,7 @@ pub fn factor_par2d_opts(
         u64,
         Vec<UpdateInterval>,
     );
-    let (outs, comm): (Vec<RankOut>, _) = run_machine(grid.nprocs(), |mut ctx: ProcCtx| {
+    let spmd = |mut ctx: ProcCtx| {
         let mut st = Store2d::new(a, pattern.clone(), grid, ctx.rank);
         let (_rno, cno) = (st.rno, st.cno);
         let mut stats = FactorStats::default();
@@ -392,6 +425,15 @@ pub fn factor_par2d_opts(
         let mut lpanels: HashMap<(usize, usize), Message> = HashMap::new(); // (k, i)
         let mut urows: HashMap<(usize, usize), Message> = HashMap::new(); // (k, j)
         let mut temp: Vec<f64> = Vec::new();
+
+        if ctx.rank == 0 {
+            // static fill predicted by the symbolic phase (Table 1's
+            // overestimation statistic), recorded once per run
+            ctx.probe().count(
+                "fill_entries",
+                (pattern.storage_entries() as u64).saturating_sub(a.nnz() as u64),
+            );
+        }
 
         if nb > 0 && cno == 0 {
             let piv = factor2d(&mut ctx, &mut st, 0, threshold, &mut stats);
@@ -403,8 +445,16 @@ pub fn factor_par2d_opts(
             if next < nb && next % grid.pc == cno {
                 if pattern.u_block(k, next).is_some() {
                     update2d(
-                        &mut ctx, &mut st, k, next, &mut lpanels, &mut urows, &mut temp,
-                        &mut stats, &clock, &mut intervals,
+                        &mut ctx,
+                        &mut st,
+                        k,
+                        next,
+                        &mut lpanels,
+                        &mut urows,
+                        &mut temp,
+                        &mut stats,
+                        &clock,
+                        &mut intervals,
                     );
                 }
                 let piv = factor2d(&mut ctx, &mut st, next, threshold, &mut stats);
@@ -414,8 +464,16 @@ pub fn factor_par2d_opts(
                 let j = u.j as usize;
                 if j >= k + 2 && j % grid.pc == cno {
                     update2d(
-                        &mut ctx, &mut st, k, j, &mut lpanels, &mut urows, &mut temp,
-                        &mut stats, &clock, &mut intervals,
+                        &mut ctx,
+                        &mut st,
+                        k,
+                        j,
+                        &mut lpanels,
+                        &mut urows,
+                        &mut temp,
+                        &mut stats,
+                        &clock,
+                        &mut intervals,
                     );
                 }
             }
@@ -431,7 +489,11 @@ pub fn factor_par2d_opts(
             .filter_map(|(k, p)| p.map(|p| (k, p.as_ref().clone())))
             .collect();
         (blocks, pivs, stats, ctx.max_pending_bytes, intervals)
-    });
+    };
+    let (outs, comm): (Vec<RankOut>, _) = match collector {
+        Some(c) => run_machine_traced(grid.nprocs(), c, spmd),
+        None => run_machine(grid.nprocs(), spmd),
+    };
     let elapsed = t0.elapsed().as_secs_f64();
 
     // ---- host-side reassembly into packed ColBlock storage ----
@@ -516,6 +578,7 @@ fn factor2d(
     let grid = st.grid;
     let (rno, cno) = (st.rno, st.cno);
     debug_assert_eq!(cno, k % grid.pc);
+    let span_start = ctx.probe().now();
     // statistics are counted once per task, on the diagonal owner, so the
     // merged numbers match the sequential code
     if rno == k % grid.pr {
@@ -526,11 +589,10 @@ fn factor2d(
     let diag_rno = k % grid.pr;
     let i_am_diag = rno == diag_rno;
     let mut piv_seq: Vec<u32> = Vec::with_capacity(w);
+    let mut searched_rows: u64 = 0;
 
     // owned L blocks of column k (sorted by block id, hence by global row)
-    let my_lblocks: Vec<usize> = st
-        .pattern
-        .l_blocks[k]
+    let my_lblocks: Vec<usize> = st.pattern.l_blocks[k]
         .iter()
         .filter(|l| (l.i as usize) % grid.pr == rno)
         .map(|l| l.i as usize)
@@ -543,6 +605,7 @@ fn factor2d(
         let mut cand_diag = false;
         if i_am_diag {
             let p = &st.blocks[&(k as u32, k as u32)];
+            searched_rows += (w - t) as u64;
             for r in t..w {
                 let a = p[r + t * w].abs();
                 if a > cand_abs {
@@ -555,6 +618,7 @@ fn factor2d(
         for &i in &my_lblocks {
             let rows = st.l_rows(i, k).to_vec();
             let p = &st.blocks[&(i as u32, k as u32)];
+            searched_rows += rows.len() as u64;
             for (rp, &g) in rows.iter().enumerate() {
                 let a = p[rp + t * rows.len()].abs();
                 if a > cand_abs {
@@ -628,11 +692,7 @@ fn factor2d(
             );
             let m = ctx.recv(tag(K_PIVROW, k, t, 0));
             let piv = m.ints[0] as usize;
-            (
-                piv,
-                m.floats[..w].to_vec(),
-                m.floats[w..2 * w].to_vec(),
-            )
+            (piv, m.floats[..w].to_vec(), m.floats[w..2 * w].to_vec())
         };
 
         // ---- apply the interchange to owned storage ----
@@ -707,6 +767,8 @@ fn factor2d(
             Message::new(tag(K_LPANEL, k, i, 0), Vec::new(), p),
         );
     }
+    ctx.probe().count("pivot_search_rows", searched_rows);
+    ctx.probe().span_at("panel-factor", k as u32, span_start);
     piv_seq
 }
 
@@ -725,6 +787,7 @@ fn scale_swap(
     let (rno, cno) = (st.rno, st.cno);
     let lo = st.lo(k);
     let w = st.width(k);
+    let span_start = ctx.probe().now();
 
     // (02) pivot sequence
     if pivseqs[k].is_none() {
@@ -735,13 +798,12 @@ fn scale_swap(
 
     // (03-06) delayed interchanges on owned trailing column blocks j > k
     // in my processor column; lexicographic (j, t) order on all procs.
-    let my_js: Vec<usize> = st
-        .pattern
-        .u_blocks[k]
+    let my_js: Vec<usize> = st.pattern.u_blocks[k]
         .iter()
         .map(|u| u.j as usize)
         .filter(|&j| j % grid.pc == cno)
         .collect();
+    let swap_start = ctx.probe().now();
     for &j in &my_js {
         for (t, &pg) in piv.iter().enumerate() {
             let row_m = lo + t;
@@ -820,6 +882,7 @@ fn scale_swap(
             }
         }
     }
+    ctx.probe().span_at("row-swap", k as u32, swap_start);
 
     // (07-10) TRSM owned U_kj blocks with L_kk, multicast down the column
     if rno == k % grid.pr && !my_js.is_empty() {
@@ -843,6 +906,7 @@ fn scale_swap(
             ctx.multicast(grid.my_col(ctx.rank), msg);
         }
     }
+    ctx.probe().span_at("scale-swap", k as u32, span_start);
 }
 
 /// `Update2D(k, j)` (Fig. 15): update owned blocks `A_ij` using `L_ik`
@@ -864,17 +928,15 @@ fn update2d(
     let (rno, cno) = (st.rno, st.cno);
     debug_assert_eq!(cno, j % grid.pc);
     stats.update_tasks += 1;
-    let start = clock.fetch_add(1, Ordering::Relaxed);
 
     // my destination row blocks: L rows of column k in row blocks ≡ rno
-    let my_segs: Vec<(usize, Vec<u32>)> = st
-        .pattern
-        .l_blocks[k]
+    let my_segs: Vec<(usize, Vec<u32>)> = st.pattern.l_blocks[k]
         .iter()
         .filter(|l| (l.i as usize) % grid.pr == rno)
         .map(|l| (l.i as usize, l.rows.clone()))
         .collect();
     if my_segs.is_empty() {
+        let start = clock.fetch_add(1, Ordering::Relaxed);
         let end = clock.fetch_add(1, Ordering::Relaxed);
         intervals.push(UpdateInterval {
             stage: k as u32,
@@ -884,6 +946,26 @@ fn update2d(
         });
         return;
     }
+
+    // gather remote inputs before opening the interval: Theorem 2 bounds
+    // the stages simultaneously *in processing*, so the recorded interval
+    // must cover the update's compute, not the blocking waits for its
+    // operands (which would stretch it across arbitrarily many ticks on
+    // an oversubscribed host)
+    if rno != k % grid.pr {
+        urows
+            .entry((k, j))
+            .or_insert_with(|| ctx.recv(tag(K_UROW, k, j, 0)));
+    }
+    if cno != k % grid.pc {
+        for (i, _) in &my_segs {
+            lpanels
+                .entry((k, *i))
+                .or_insert_with(|| ctx.recv(tag(K_LPANEL, k, *i, 0)));
+        }
+    }
+    let span_start = ctx.probe().now();
+    let start = clock.fetch_add(1, Ordering::Relaxed);
 
     // U_kj: local if I own it, else column multicast from (k mod pr, cno)
     let wk = st.width(k);
@@ -969,9 +1051,7 @@ fn update2d(
                 crate::seq::merge_positions(&u_cols, &dcols, &mut colmap);
                 for (cp, &dc) in colmap.iter().enumerate() {
                     if dc == u32::MAX {
-                        debug_assert!(
-                            temp[cp * mrows..(cp + 1) * mrows].iter().all(|&v| v == 0.0)
-                        );
+                        debug_assert!(temp[cp * mrows..(cp + 1) * mrows].iter().all(|&v| v == 0.0));
                         continue;
                     }
                     for (rp, &g) in rows.iter().enumerate() {
@@ -981,6 +1061,7 @@ fn update2d(
             }
         }
     }
+    ctx.probe().span_at("update", k as u32, span_start);
     let end = clock.fetch_add(1, Ordering::Relaxed);
     intervals.push(UpdateInterval {
         stage: k as u32,

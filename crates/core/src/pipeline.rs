@@ -9,14 +9,15 @@
 //!   ──forward/backward solve──▶ x
 //! ```
 
-use crate::seq::{factor_sequential_opts, FactorStats, NumericalSingularity};
+use crate::seq::{
+    factor_sequential_opts, factor_sequential_probed, FactorStats, NumericalSingularity,
+};
 use crate::solve::{solve_factored, solve_factored_transpose};
 use crate::storage::BlockMatrix;
 use splu_order::ColumnOrdering;
 use splu_sparse::{CscMatrix, Perm};
 use splu_symbolic::{
-    amalgamate, partition_supernodes, static_symbolic_factorization, BlockPattern,
-    StaticStructure,
+    amalgamate, partition_supernodes, static_symbolic_factorization, BlockPattern, StaticStructure,
 };
 use std::sync::Arc;
 
@@ -123,6 +124,36 @@ impl SparseLuSolver {
     pub fn factor(&self) -> Result<FactorizedLu, NumericalSingularity> {
         let mut blocks = BlockMatrix::from_csc(&self.permuted, self.pattern.clone());
         let (pivots, stats) = factor_sequential_opts(&mut blocks, self.options.pivot_threshold)?;
+        Ok(FactorizedLu {
+            blocks,
+            pivots,
+            stats,
+            row_perm: self.row_perm.clone(),
+            col_perm: self.col_perm.clone(),
+            row_scale: self.row_scale.clone(),
+            col_scale: self.col_scale.clone(),
+        })
+    }
+
+    /// Like [`SparseLuSolver::factor`], but recording a flight-recorder
+    /// timeline of the sequential elimination into `collector` as
+    /// processor 0 (`panel-factor`/`update` spans per stage, pivot-search
+    /// and static-fill counters, per-BLAS-level flop counts).
+    pub fn factor_traced(
+        &self,
+        collector: &splu_probe::Collector,
+    ) -> Result<FactorizedLu, NumericalSingularity> {
+        let mut probe = collector.probe(0);
+        probe.attach_thread();
+        probe.count(
+            "fill_entries",
+            self.pattern
+                .storage_entries()
+                .saturating_sub(self.permuted.nnz()) as u64,
+        );
+        let mut blocks = BlockMatrix::from_csc(&self.permuted, self.pattern.clone());
+        let (pivots, stats) =
+            factor_sequential_probed(&mut blocks, self.options.pivot_threshold, &probe)?;
         Ok(FactorizedLu {
             blocks,
             pivots,
@@ -314,7 +345,9 @@ mod tests {
 
     fn check(a: &CscMatrix, options: FactorOptions, tol: f64) {
         let n = a.ncols();
-        let xt: Vec<f64> = (0..n).map(|i| ((i * 13 % 17) as f64) * 0.25 - 2.0).collect();
+        let xt: Vec<f64> = (0..n)
+            .map(|i| ((i * 13 % 17) as f64) * 0.25 - 2.0)
+            .collect();
         let b = a.matvec(&xt);
         let x = lu_solve(a, &b, options).unwrap();
         let err = x

@@ -122,7 +122,11 @@ mod tests {
         let r_plain = inf_norm(&residual(&a, &plain, &b));
         let (x, q) = refine(&lu, &a, &b, 3);
         assert!(q.residual_inf <= r_plain * (1.0 + 1e-12));
-        assert!(q.backward_error < 1e-14, "backward error {}", q.backward_error);
+        assert!(
+            q.backward_error < 1e-14,
+            "backward error {}",
+            q.backward_error
+        );
         let err = x
             .iter()
             .zip(&xt)

@@ -16,6 +16,7 @@
 
 use crate::storage::BlockMatrix;
 use splu_kernels::{dgemm, dger, dtrsm_left_lower_unit};
+use splu_probe::Probe;
 
 /// Statistics of a numeric factorization run.
 #[derive(Debug, Clone, Default)]
@@ -77,17 +78,39 @@ pub fn factor_sequential_opts(
     m: &mut BlockMatrix,
     threshold: f64,
 ) -> Result<(Vec<Vec<u32>>, FactorStats), NumericalSingularity> {
+    factor_sequential_probed(m, threshold, &Probe::disabled())
+}
+
+/// Like [`factor_sequential_opts`], recording one `panel-factor` span per
+/// `Factor(k)` and one `update` span per `Update(k, j)` into `probe`
+/// (stage `k` as the span detail), plus the `pivot_search_rows` counter.
+pub fn factor_sequential_probed(
+    m: &mut BlockMatrix,
+    threshold: f64,
+    probe: &Probe,
+) -> Result<(Vec<Vec<u32>>, FactorStats), NumericalSingularity> {
     assert!(threshold > 0.0 && threshold <= 1.0);
     let nb = m.pattern.nblocks();
     let mut stats = FactorStats::default();
     let mut pivots: Vec<Vec<u32>> = Vec::with_capacity(nb);
     let mut scratch = UpdateScratch::default();
     for k in 0..nb {
+        let span_start = probe.now();
         let piv = factor_block_opts(m, k, threshold, &mut stats)?;
+        {
+            // Pivot search at step t scans diag rows t..w plus the whole
+            // packed L panel: sum over t gives w(w+1)/2 + w·|L rows|.
+            let w = m.cols[k].w as u64;
+            let nl = m.cols[k].lrows.len() as u64;
+            probe.count("pivot_search_rows", w * (w + 1) / 2 + w * nl);
+        }
+        probe.span_at("panel-factor", k as u32, span_start);
         pivots.push(piv);
         let targets: Vec<usize> = m.pattern.update_targets(k).collect();
         for j in targets {
+            let span_start = probe.now();
             update_block(m, k, j, &pivots[k], &mut stats, &mut scratch);
+            probe.span_at("update", k as u32, span_start);
         }
     }
     Ok((pivots, stats))
@@ -202,15 +225,7 @@ pub fn factor_block_opts(
                 // lpanel[:, c] -= lpanel[:, t] * diag[t, c]
                 let (head, tail) = cb.lpanel.split_at_mut((t + 1) * nl);
                 let lt = &head[t * nl..(t + 1) * nl];
-                dger(
-                    nl,
-                    ncols,
-                    -1.0,
-                    lt,
-                    &urow,
-                    tail,
-                    nl,
-                );
+                dger(nl, ncols, -1.0, lt, &urow, tail, nl);
                 stats.other_flops += (2 * nl * ncols) as u64;
             }
         }
@@ -427,14 +442,10 @@ pub fn update_block_with_panel(
                 for (cpos, &dcp) in scratch.colmap.iter().enumerate() {
                     let tcol = &scratch.temp[cpos * mrows..(cpos + 1) * mrows];
                     if dcp == u32::MAX {
-                        debug_assert!(
-                            tcol.iter().all(|&v| v == 0.0),
-                            "nonzero into missing U col"
-                        );
+                        debug_assert!(tcol.iter().all(|&v| v == 0.0), "nonzero into missing U col");
                         continue;
                     }
-                    let dcol =
-                        &mut dest.panel[dcp as usize * ldd..(dcp as usize + 1) * ldd];
+                    let dcol = &mut dest.panel[dcp as usize * ldd..(dcp as usize + 1) * ldd];
                     for (rpos, &g) in rows.iter().enumerate() {
                         dcol[g as usize - lo_i] -= tcol[rpos];
                     }

@@ -120,7 +120,9 @@ impl BlockMatrix {
 
         // Pre-assemble U block patterns per column block (they are stored
         // by row block in BlockPattern).
-        let mut u_by_col: Vec<Vec<(u32, Arc<Vec<u32>>, UBlockKind)>> = vec![Vec::new(); nb];
+        // (owner row block k, column indices, kind) of each U block, by column
+        type USrc = (u32, Arc<Vec<u32>>, UBlockKind);
+        let mut u_by_col: Vec<Vec<USrc>> = vec![Vec::new(); nb];
         for k in 0..nb {
             for u in &pattern.u_blocks[k] {
                 u_by_col[u.j as usize].push((k as u32, Arc::new(u.cols.clone()), u.kind));
@@ -164,7 +166,11 @@ impl BlockMatrix {
             cols.push(ColBlock {
                 lo: lo as u32,
                 w: w as u32,
-                diag: if is_owned { vec![0.0; w * w] } else { Vec::new() },
+                diag: if is_owned {
+                    vec![0.0; w * w]
+                } else {
+                    Vec::new()
+                },
                 lrows: Arc::new(lrows.clone()),
                 lpanel: if is_owned {
                     vec![0.0; lrows.len() * w]
@@ -497,10 +503,7 @@ mod tests {
                 expect += seg.len;
                 // all rows of the segment belong to seg.iblock
                 for p in seg.start..seg.start + seg.len {
-                    assert_eq!(
-                        m.block_of(cb.lrows[p as usize] as usize) as u32,
-                        seg.iblock
-                    );
+                    assert_eq!(m.block_of(cb.lrows[p as usize] as usize) as u32, seg.iblock);
                 }
             }
             assert_eq!(expect as usize, cb.lrows.len());

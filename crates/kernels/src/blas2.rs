@@ -12,6 +12,7 @@ use crate::flops::{record, FlopClass};
 ///
 /// # Panics
 /// Debug-asserts the slice lengths are consistent with `m`, `n`, `lda`.
+#[allow(clippy::too_many_arguments)] // BLAS reference signature
 pub fn dgemv(
     m: usize,
     n: usize,

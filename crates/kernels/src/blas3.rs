@@ -91,6 +91,7 @@ pub fn dgemm(
 /// The sparse-LU update form `C -= A * B` (i.e. `dgemm` with `alpha = -1`,
 /// `beta = 1`).
 #[inline]
+#[allow(clippy::too_many_arguments)] // BLAS reference signature
 pub fn dgemm_update(
     m: usize,
     n: usize,
@@ -156,7 +157,14 @@ mod tests {
 
     #[test]
     fn dgemm_matches_oracle_various_shapes() {
-        for &(m, k, n) in &[(1, 1, 1), (3, 2, 4), (5, 5, 5), (7, 4, 2), (8, 9, 3), (13, 6, 11)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 2, 4),
+            (5, 5, 5),
+            (7, 4, 2),
+            (8, 9, 3),
+            (13, 6, 11),
+        ] {
             let a = DenseMat::from_fn(m, k, |i, j| (i as f64 + 1.0) * 0.7 - j as f64 * 0.3);
             let b = DenseMat::from_fn(k, n, |i, j| (j as f64 + 1.0) * 0.2 + i as f64 * 0.9);
             let mut c = DenseMat::from_fn(m, n, |i, j| (i + j) as f64);
@@ -196,7 +204,17 @@ mod tests {
         let b = DenseMat::from_rows(&[vec![3.0, 4.0]]);
         let mut c = DenseMat::from_rows(&[vec![10.0, 10.0], vec![10.0, 10.0]]);
         let ldc = c.lda();
-        dgemm_update(2, 2, 1, a.as_slice(), 2, b.as_slice(), 1, c.as_mut_slice(), ldc);
+        dgemm_update(
+            2,
+            2,
+            1,
+            a.as_slice(),
+            2,
+            b.as_slice(),
+            1,
+            c.as_mut_slice(),
+            ldc,
+        );
         assert_eq!(c[(0, 0)], 7.0);
         assert_eq!(c[(1, 1)], 2.0);
     }

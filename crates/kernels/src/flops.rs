@@ -129,10 +129,19 @@ pub fn global() -> &'static FlopCounter {
     &GLOBAL
 }
 
-/// Record `n` flops of class `class` on the global counter.
+/// Record `n` flops of class `class` on the global counter, and (when
+/// the `probe` feature is on) on the calling thread's flight-recorder
+/// counter so a traced run attributes flops to the simulated processor
+/// that performed them.
 #[inline]
 pub fn record(class: FlopClass, n: u64) {
     GLOBAL.add(class, n);
+    let level = match class {
+        FlopClass::Blas1 => splu_probe::flops::Level::L1,
+        FlopClass::Blas2 => splu_probe::flops::Level::L2,
+        FlopClass::Blas3 => splu_probe::flops::Level::L3,
+    };
+    splu_probe::flops::add(level, n);
 }
 
 #[cfg(test)]

@@ -232,7 +232,7 @@ mod tests {
         assert_eq!(m.ncols(), 2);
         m[(2, 1)] = 5.0;
         assert_eq!(m[(2, 1)], 5.0);
-        assert_eq!(m.as_slice()[2 + 1 * 3], 5.0);
+        assert_eq!(m.as_slice()[2 + 3], 5.0); // col 1, ld 3
     }
 
     #[test]

@@ -1,144 +1,225 @@
-//! Property-based tests for the dense kernels: every BLAS-style routine is
+//! Randomized tests for the dense kernels: every BLAS-style routine is
 //! checked against a naive oracle over randomized shapes, leading
 //! dimensions and values, and the GEPP factorization invariants are
 //! verified on random matrices.
+//!
+//! Deterministic by construction: a fixed-seed xorshift generator drives
+//! all case generation, so failures reproduce exactly (no external
+//! proptest dependency — the build environment is offline).
 
 use crate::blas1::{dasum, daxpy, ddot, dnrm2, dscal, idamax};
 use crate::blas2::{dgemv, dger, dtrsv_lower_unit, dtrsv_upper};
 use crate::blas3::{dgemm, dtrsm_left_lower_unit};
 use crate::dense_lu::{dense_lu, factorization_residual};
 use crate::matrix::DenseMat;
-use proptest::prelude::*;
-use proptest::strategy::ValueTree;
 
-fn vecf(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-10.0f64..10.0, n..=n)
+/// Small deterministic generator (xorshift64*) for test-case synthesis.
+struct TestRng(u64);
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        Self(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + u * (hi - lo)
+    }
+
+    /// Uniform in `[lo, hi)` (`hi > lo`).
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+
+    fn vecf(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.f64_in(-10.0, 10.0)).collect()
+    }
+
+    fn matf(&mut self, m: usize, n: usize) -> DenseMat {
+        let v = (0..m * n).map(|_| self.f64_in(-5.0, 5.0)).collect();
+        DenseMat::from_column_major(m, n, v)
+    }
 }
 
-fn matf(m: usize, n: usize) -> impl Strategy<Value = DenseMat> {
-    prop::collection::vec(-5.0f64..5.0, m * n..=m * n)
-        .prop_map(move |v| DenseMat::from_column_major(m, n, v))
-}
+const CASES: usize = 48;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn daxpy_matches_oracle(alpha in -3.0f64..3.0, n in 0usize..40) {
-        let run = (vecf(n), vecf(n));
-        let mut runner = proptest::test_runner::TestRunner::deterministic();
-        let (x, y0) = run.new_tree(&mut runner).unwrap().current();
+#[test]
+fn daxpy_matches_oracle() {
+    let mut rng = TestRng::new(0xA01);
+    for _ in 0..CASES {
+        let n = rng.usize_in(0, 40);
+        let alpha = rng.f64_in(-3.0, 3.0);
+        let x = rng.vecf(n);
+        let y0 = rng.vecf(n);
         let mut y = y0.clone();
         daxpy(alpha, &x, &mut y);
         for i in 0..n {
-            prop_assert!((y[i] - (y0[i] + alpha * x[i])).abs() < 1e-12);
+            assert!((y[i] - (y0[i] + alpha * x[i])).abs() < 1e-12);
         }
     }
+}
 
-    #[test]
-    fn dot_and_norms_consistent(x in prop::collection::vec(-10.0f64..10.0, 0..40)) {
+#[test]
+fn dot_and_norms_consistent() {
+    let mut rng = TestRng::new(0xA02);
+    for _ in 0..CASES {
+        let n = rng.usize_in(0, 40);
+        let x = rng.vecf(n);
         let d = ddot(&x, &x);
         let n2 = dnrm2(&x);
-        prop_assert!((d.sqrt() - n2).abs() < 1e-9 * (1.0 + n2));
-        prop_assert!(dasum(&x) + 1e-12 >= n2); // ‖·‖₁ ≥ ‖·‖₂
+        assert!((d.sqrt() - n2).abs() < 1e-9 * (1.0 + n2));
+        assert!(dasum(&x) + 1e-12 >= n2); // ‖·‖₁ ≥ ‖·‖₂
         if let Some(p) = idamax(&x) {
             for &v in &x {
-                prop_assert!(v.abs() <= x[p].abs() + 1e-15);
+                assert!(v.abs() <= x[p].abs() + 1e-15);
             }
         } else {
-            prop_assert!(x.is_empty());
+            assert!(x.is_empty());
         }
     }
+}
 
-    #[test]
-    fn dscal_then_inverse_roundtrips(x0 in prop::collection::vec(-10.0f64..10.0, 1..30)) {
+#[test]
+fn dscal_then_inverse_roundtrips() {
+    let mut rng = TestRng::new(0xA03);
+    for _ in 0..CASES {
+        let n = rng.usize_in(1, 30);
+        let x0 = rng.vecf(n);
         let mut x = x0.clone();
         dscal(4.0, &mut x);
         dscal(0.25, &mut x);
         for (a, b) in x.iter().zip(&x0) {
-            prop_assert!((a - b).abs() < 1e-12 * (1.0 + b.abs()));
+            assert!((a - b).abs() < 1e-12 * (1.0 + b.abs()));
         }
     }
+}
 
-    #[test]
-    fn dgemv_matches_dense_oracle(
-        (m, n) in (1usize..12, 1usize..12),
-        alpha in -2.0f64..2.0,
-        beta in -2.0f64..2.0,
-    ) {
-        let mut runner = proptest::test_runner::TestRunner::deterministic();
-        let a = matf(m, n).new_tree(&mut runner).unwrap().current();
-        let x = vecf(n).new_tree(&mut runner).unwrap().current();
-        let y0 = vecf(m).new_tree(&mut runner).unwrap().current();
+#[test]
+fn dgemv_matches_dense_oracle() {
+    let mut rng = TestRng::new(0xA04);
+    for _ in 0..CASES {
+        let (m, n) = (rng.usize_in(1, 12), rng.usize_in(1, 12));
+        let alpha = rng.f64_in(-2.0, 2.0);
+        let beta = rng.f64_in(-2.0, 2.0);
+        let a = rng.matf(m, n);
+        let x = rng.vecf(n);
+        let y0 = rng.vecf(m);
         let mut y = y0.clone();
         dgemv(m, n, alpha, a.as_slice(), m, &x, beta, &mut y);
         let ax = a.matvec(&x);
         for i in 0..m {
             let want = alpha * ax[i] + beta * y0[i];
-            prop_assert!((y[i] - want).abs() < 1e-10, "at {i}: {} vs {want}", y[i]);
+            assert!((y[i] - want).abs() < 1e-10, "at {i}: {} vs {want}", y[i]);
         }
     }
+}
 
-    #[test]
-    fn dger_matches_dense_oracle((m, n) in (1usize..10, 1usize..10), alpha in -2.0f64..2.0) {
-        let mut runner = proptest::test_runner::TestRunner::deterministic();
-        let mut a = matf(m, n).new_tree(&mut runner).unwrap().current();
+#[test]
+fn dger_matches_dense_oracle() {
+    let mut rng = TestRng::new(0xA05);
+    for _ in 0..CASES {
+        let (m, n) = (rng.usize_in(1, 10), rng.usize_in(1, 10));
+        let alpha = rng.f64_in(-2.0, 2.0);
+        let mut a = rng.matf(m, n);
         let a0 = a.clone();
-        let x = vecf(m).new_tree(&mut runner).unwrap().current();
-        let y = vecf(n).new_tree(&mut runner).unwrap().current();
+        let x = rng.vecf(m);
+        let y = rng.vecf(n);
         let lda = a.lda();
         dger(m, n, alpha, &x, &y, a.as_mut_slice(), lda);
         for i in 0..m {
             for j in 0..n {
                 let want = a0[(i, j)] + alpha * x[i] * y[j];
-                prop_assert!((a[(i, j)] - want).abs() < 1e-11);
+                assert!((a[(i, j)] - want).abs() < 1e-11);
             }
         }
     }
+}
 
-    #[test]
-    fn dgemm_matches_dense_oracle((m, k, n) in (1usize..9, 1usize..9, 1usize..9)) {
-        let mut runner = proptest::test_runner::TestRunner::deterministic();
-        let a = matf(m, k).new_tree(&mut runner).unwrap().current();
-        let b = matf(k, n).new_tree(&mut runner).unwrap().current();
+#[test]
+fn dgemm_matches_dense_oracle() {
+    let mut rng = TestRng::new(0xA06);
+    for _ in 0..CASES {
+        let (m, k, n) = (rng.usize_in(1, 9), rng.usize_in(1, 9), rng.usize_in(1, 9));
+        let a = rng.matf(m, k);
+        let b = rng.matf(k, n);
         let mut c = DenseMat::zeros(m, n);
         let ldc = c.lda();
-        dgemm(m, n, k, 1.0, a.as_slice(), m, b.as_slice(), k, 0.0, c.as_mut_slice(), ldc);
+        dgemm(
+            m,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            m,
+            b.as_slice(),
+            k,
+            0.0,
+            c.as_mut_slice(),
+            ldc,
+        );
         let want = a.matmul(&b);
-        prop_assert!(c.sub(&want).max_abs() < 1e-10);
+        assert!(c.sub(&want).max_abs() < 1e-10);
     }
+}
 
-    #[test]
-    fn trsv_solves_what_it_claims(n in 1usize..12) {
-        let mut runner = proptest::test_runner::TestRunner::deterministic();
-        let raw = matf(n, n).new_tree(&mut runner).unwrap().current();
+#[test]
+fn trsv_solves_what_it_claims() {
+    let mut rng = TestRng::new(0xA07);
+    for _ in 0..CASES {
+        let n = rng.usize_in(1, 12);
+        let raw = rng.matf(n, n);
         // build a well-conditioned unit-lower and upper pair
         let l = DenseMat::from_fn(n, n, |i, j| {
-            if i == j { 1.0 } else if i > j { raw[(i, j)] * 0.1 } else { 0.0 }
+            if i == j {
+                1.0
+            } else if i > j {
+                raw[(i, j)] * 0.1
+            } else {
+                0.0
+            }
         });
         let u = DenseMat::from_fn(n, n, |i, j| {
-            if i == j { 2.0 + raw[(i, j)].abs() } else if i < j { raw[(i, j)] * 0.1 } else { 0.0 }
+            if i == j {
+                2.0 + raw[(i, j)].abs()
+            } else if i < j {
+                raw[(i, j)] * 0.1
+            } else {
+                0.0
+            }
         });
-        let xt = vecf(n).new_tree(&mut runner).unwrap().current();
+        let xt = rng.vecf(n);
         // L x = L·xt should recover xt
         let mut b = l.matvec(&xt);
         dtrsv_lower_unit(n, l.as_slice(), n, &mut b);
         for i in 0..n {
-            prop_assert!((b[i] - xt[i]).abs() < 1e-8);
+            assert!((b[i] - xt[i]).abs() < 1e-8);
         }
         let mut b = u.matvec(&xt);
         dtrsv_upper(n, u.as_slice(), n, &mut b);
         for i in 0..n {
-            prop_assert!((b[i] - xt[i]).abs() < 1e-8);
+            assert!((b[i] - xt[i]).abs() < 1e-8);
         }
     }
+}
 
-    #[test]
-    fn trsm_equals_columnwise_trsv((m, n) in (1usize..10, 1usize..6)) {
-        let mut runner = proptest::test_runner::TestRunner::deterministic();
-        let raw = matf(m, m).new_tree(&mut runner).unwrap().current();
+#[test]
+fn trsm_equals_columnwise_trsv() {
+    let mut rng = TestRng::new(0xA08);
+    for _ in 0..CASES {
+        let (m, n) = (rng.usize_in(1, 10), rng.usize_in(1, 6));
+        let raw = rng.matf(m, m);
         let l = DenseMat::from_fn(m, m, |i, j| if i > j { raw[(i, j)] * 0.2 } else { 0.0 });
-        let b0 = matf(m, n).new_tree(&mut runner).unwrap().current();
+        let b0 = rng.matf(m, n);
         let mut b = b0.clone();
         let ldb = b.lda();
         dtrsm_left_lower_unit(m, n, l.as_slice(), m, b.as_mut_slice(), ldb);
@@ -146,21 +227,24 @@ proptest! {
             let mut col = b0.col(j).to_vec();
             dtrsv_lower_unit(m, l.as_slice(), m, &mut col);
             for i in 0..m {
-                prop_assert!((b[(i, j)] - col[i]).abs() < 1e-10);
+                assert!((b[(i, j)] - col[i]).abs() < 1e-10);
             }
         }
     }
+}
 
-    #[test]
-    fn gepp_residual_small_and_l_bounded(n in 1usize..20) {
-        let mut runner = proptest::test_runner::TestRunner::deterministic();
-        let a = matf(n, n).new_tree(&mut runner).unwrap().current();
+#[test]
+fn gepp_residual_small_and_l_bounded() {
+    let mut rng = TestRng::new(0xA09);
+    for _ in 0..CASES {
+        let n = rng.usize_in(1, 20);
+        let a = rng.matf(n, n);
         if let Some(f) = dense_lu(&a) {
-            prop_assert!(factorization_residual(&a, &f) < 1e-10);
+            assert!(factorization_residual(&a, &f) < 1e-10);
             let l = f.l();
             for i in 0..n {
                 for j in 0..i {
-                    prop_assert!(l[(i, j)].abs() <= 1.0 + 1e-14, "partial pivoting bound");
+                    assert!(l[(i, j)].abs() <= 1.0 + 1e-14, "partial pivoting bound");
                 }
             }
         }

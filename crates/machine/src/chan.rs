@@ -1,0 +1,148 @@
+//! Minimal unbounded MPMC channel (std-only).
+//!
+//! The runtime previously used `crossbeam::channel`; the build
+//! environment cannot reach crates.io, so this module provides the small
+//! subset the runtime needs on top of `Mutex<VecDeque>` + `Condvar`:
+//! unbounded non-blocking sends, blocking and non-blocking receives, and
+//! cloneable endpoints (the runtime clones receivers to keep a mailbox
+//! alive after its owning processor finishes).
+//!
+//! Throughput is not a concern here — each simulated processor does
+//! dense-kernel work between messages — but the implementation still
+//! avoids waking receivers unless a message actually arrived.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+}
+
+/// Sending endpoint; cloneable, never blocks.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Receiving endpoint; cloneable (all clones drain the same queue).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`] on an empty queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TryRecvError;
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueue `msg`; never blocks, never fails (the queue is unbounded
+    /// and lives as long as any endpoint).
+    pub fn send(&self, msg: T) -> Result<(), T> {
+        let mut q = self.shared.queue.lock().unwrap();
+        q.push_back(msg);
+        drop(q);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message is available.
+    #[allow(clippy::result_unit_err)] // senders never close; Err is unreachable by construction
+    pub fn recv(&self) -> Result<T, ()> {
+        let mut q = self.shared.queue.lock().unwrap();
+        loop {
+            if let Some(m) = q.pop_front() {
+                return Ok(m);
+            }
+            q = self.shared.ready.wait(q).unwrap();
+        }
+    }
+
+    /// Take a message if one is queued.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.shared
+            .queue
+            .lock()
+            .unwrap()
+            .pop_front()
+            .ok_or(TryRecvError)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_then_recv() {
+        let (s, r) = unbounded();
+        s.send(5u32).unwrap();
+        assert_eq!(r.recv(), Ok(5));
+    }
+
+    #[test]
+    fn try_recv_empty() {
+        let (_s, r) = unbounded::<u32>();
+        assert_eq!(r.try_recv(), Err(TryRecvError));
+    }
+
+    #[test]
+    fn fifo_order() {
+        let (s, r) = unbounded();
+        for i in 0..100 {
+            s.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(r.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_send() {
+        let (s, r) = unbounded();
+        let h = std::thread::spawn(move || r.recv().unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        s.send(42u64).unwrap();
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn clones_share_queue() {
+        let (s, r) = unbounded();
+        let r2 = r.clone();
+        s.send(1u8).unwrap();
+        s.send(2u8).unwrap();
+        assert_eq!(r.recv(), Ok(1));
+        assert_eq!(r2.recv(), Ok(2));
+    }
+}

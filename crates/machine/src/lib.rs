@@ -7,7 +7,7 @@
 //!
 //! * [`runtime`] — a **real** shared-nothing message-passing runtime:
 //!   each simulated processor is an OS thread that owns its data partition
-//!   and communicates only through typed mailboxes (crossbeam channels).
+//!   and communicates only through typed mailboxes ([`chan`]).
 //!   Message payloads travel as `Arc`s — the receiving processor reads the
 //!   sender's buffer without copying, mirroring the paper's remote-memory
 //!   access (`shmem_put`) data path with its "no copying/buffering during
@@ -20,10 +20,11 @@
 //! * [`grid`] — the 2D processor-grid arithmetic (`p = p_r × p_c`,
 //!   block `(i, j)` owned by `P_{i mod p_r, j mod p_c}`).
 
+pub mod chan;
 pub mod grid;
 pub mod model;
 pub mod runtime;
 
 pub use grid::Grid;
 pub use model::{MachineModel, T3D, T3E};
-pub use runtime::{run_machine, CommStats, Message, ProcCtx};
+pub use runtime::{run_machine, run_machine_traced, CommStats, Message, ProcCtx};

@@ -78,6 +78,7 @@ impl MachineModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::assertions_on_constants)] // asserting machine-constant relations is the point
 mod tests {
     use super::*;
 

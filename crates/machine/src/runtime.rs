@@ -7,10 +7,11 @@
 //! what permits the 2D code's multi-stage pipelining (different update
 //! stages in flight concurrently, Theorem 2).
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use crate::chan::{unbounded, Receiver, Sender};
+use splu_probe::{Collector, Probe};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -80,19 +81,32 @@ pub struct ProcCtx {
     /// statistic (Cbuffer/Rbuffer occupancy) for this processor.
     pub max_pending_bytes: u64,
     stats: Arc<CommStats>,
+    probe: Probe,
 }
 
 impl ProcCtx {
     fn park(&mut self, m: Message) {
         self.pending_bytes += m.nbytes();
         self.max_pending_bytes = self.max_pending_bytes.max(self.pending_bytes);
+        self.probe.mark("park", m.nbytes());
+        self.probe.count("parks", 1);
+        self.probe.gauge_max("parked_bytes_hw", self.pending_bytes);
         self.pending.entry(m.tag).or_default().push_back(m);
+    }
+
+    fn unpark(&mut self, m: &Message) {
+        self.pending_bytes -= m.nbytes();
+        self.probe.mark("unpark", m.nbytes());
+        self.probe.count("unparks", 1);
     }
 
     /// Send `msg` to `dest` (never blocks; zero-copy).
     pub fn send(&self, dest: usize, msg: Message) {
         self.stats.messages.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes.fetch_add(msg.nbytes(), Ordering::Relaxed);
+        self.probe.mark("send", msg.nbytes());
+        self.probe.count("sends", 1);
+        self.probe.count("send_bytes", msg.nbytes());
         self.senders[dest]
             .send(msg)
             .expect("receiver hung up — a processor panicked");
@@ -116,7 +130,9 @@ impl ProcCtx {
                 if e.get().is_empty() {
                     e.remove();
                 }
-                self.pending_bytes -= m.nbytes();
+                self.unpark(&m);
+                self.probe.mark("recv", m.nbytes());
+                self.probe.count("recvs", 1);
                 return m;
             }
         }
@@ -126,9 +142,12 @@ impl ProcCtx {
                 .recv()
                 .expect("channel closed while waiting — a processor panicked");
             if m.tag == POISON_TAG {
+                self.probe.mark("poison", 0);
                 panic!("a peer processor failed; aborting this processor");
             }
             if m.tag == tag {
+                self.probe.mark("recv", m.nbytes());
+                self.probe.count("recvs", 1);
                 return m;
             }
             self.park(m);
@@ -140,6 +159,7 @@ impl ProcCtx {
         // drain the channel into pending first
         while let Ok(m) = self.receiver.try_recv() {
             if m.tag == POISON_TAG {
+                self.probe.mark("poison", 0);
                 panic!("a peer processor failed; aborting this processor");
             }
             self.park(m);
@@ -151,7 +171,9 @@ impl ProcCtx {
                     e.remove();
                 }
                 if let Some(m) = &m {
-                    self.pending_bytes -= m.nbytes();
+                    self.unpark(m);
+                    self.probe.mark("recv", m.nbytes());
+                    self.probe.count("recvs", 1);
                 }
                 m
             }
@@ -163,6 +185,14 @@ impl ProcCtx {
     pub fn stats(&self) -> &CommStats {
         &self.stats
     }
+
+    /// This processor's flight-recorder handle (a no-op recorder unless
+    /// the run was started through [`run_machine_traced`] with the
+    /// `probe` feature on). Protocol code opens its stage spans through
+    /// this.
+    pub fn probe(&self) -> &Probe {
+        &self.probe
+    }
 }
 
 /// Run an SPMD program on `nprocs` simulated processors (OS threads).
@@ -171,6 +201,31 @@ impl ProcCtx {
 /// # Panics
 /// Propagates any processor panic.
 pub fn run_machine<F, R>(nprocs: usize, f: F) -> (Vec<R>, (u64, u64))
+where
+    F: Fn(ProcCtx) -> R + Sync,
+    R: Send,
+{
+    run_machine_impl(nprocs, &|_| Probe::disabled(), f)
+}
+
+/// Like [`run_machine`], but every processor records into `collector`:
+/// the runtime emits send/recv/park/unpark/poison marks and comm
+/// counters, and the SPMD closure can open stage spans through
+/// [`ProcCtx::probe`]. With the `probe` feature off this is exactly
+/// [`run_machine`] (the probes are zero-sized no-ops).
+pub fn run_machine_traced<F, R>(nprocs: usize, collector: &Collector, f: F) -> (Vec<R>, (u64, u64))
+where
+    F: Fn(ProcCtx) -> R + Sync,
+    R: Send,
+{
+    run_machine_impl(nprocs, &|rank| collector.probe(rank), f)
+}
+
+fn run_machine_impl<F, R>(
+    nprocs: usize,
+    mk_probe: &(dyn Fn(usize) -> Probe + Sync),
+    f: F,
+) -> (Vec<R>, (u64, u64))
 where
     F: Fn(ProcCtx) -> R + Sync,
     R: Send,
@@ -195,6 +250,7 @@ where
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nprocs);
         for (rank, receiver) in receivers.into_iter().enumerate() {
+            let mut probe = mk_probe(rank);
             let ctx = ProcCtx {
                 rank,
                 nprocs,
@@ -204,10 +260,16 @@ where
                 pending_bytes: 0,
                 max_pending_bytes: 0,
                 stats: stats.clone(),
+                probe: Probe::disabled(),
             };
             let f = &f;
             let poison_senders = senders.clone();
             handles.push(scope.spawn(move || {
+                let mut ctx = ctx;
+                // attach on the worker thread so flop deltas are
+                // attributed to this processor
+                probe.attach_thread();
+                ctx.probe = probe;
                 let rank = ctx.rank;
                 match catch_unwind(AssertUnwindSafe(|| f(ctx))) {
                     Ok(r) => r,
@@ -332,6 +394,117 @@ mod tests {
             })
         });
         assert!(result.is_err(), "panic must propagate to the caller");
+    }
+
+    #[test]
+    fn nbytes_counts_both_payloads() {
+        assert_eq!(Message::new(0, vec![], vec![]).nbytes(), 0);
+        assert_eq!(Message::new(0, vec![1, 2, 3], vec![]).nbytes(), 12);
+        assert_eq!(Message::new(0, vec![], vec![0.0; 5]).nbytes(), 40);
+        assert_eq!(Message::new(0, vec![7; 2], vec![1.5; 4]).nbytes(), 8 + 32);
+    }
+
+    #[test]
+    fn comm_stats_match_explicit_sends() {
+        // 3 ranks each send one 12-byte and one 40-byte message to rank 0
+        let (_, (msgs, bytes)) = run_machine(4, |mut ctx| {
+            if ctx.rank == 0 {
+                for _ in 0..3 {
+                    ctx.recv(1);
+                    ctx.recv(2);
+                }
+            } else {
+                ctx.send(0, Message::new(1, vec![0; 3], vec![]));
+                ctx.send(0, Message::new(2, vec![], vec![0.0; 5]));
+            }
+        });
+        assert_eq!(msgs, 6);
+        assert_eq!(bytes, 3 * (12 + 40));
+    }
+
+    #[test]
+    fn parked_bytes_high_water_under_out_of_order_delivery() {
+        // rank 0 sends three out-of-order messages; rank 1 receives the
+        // last-sent tag first, so the other two must park simultaneously:
+        // the high-water mark is their combined size, and it drops back
+        // to zero once both are consumed.
+        let (res, _) = run_machine(2, |mut ctx| {
+            if ctx.rank == 0 {
+                ctx.send(1, Message::new(10, vec![0; 25], vec![])); // 100 B
+                ctx.send(1, Message::new(11, vec![], vec![0.0; 25])); // 200 B
+                ctx.send(1, Message::new(12, vec![1], vec![])); // 4 B
+                (0, 0)
+            } else {
+                // guarantee arrival order by polling for the last tag:
+                // receiving tag 12 forces 10 and 11 to park first
+                let m = ctx.recv(12);
+                assert_eq!(m.nbytes(), 4);
+                let hw_after_parking = ctx.max_pending_bytes;
+                ctx.recv(10);
+                ctx.recv(11);
+                (hw_after_parking, ctx.max_pending_bytes)
+            }
+        });
+        let (hw, hw_final) = res[1];
+        assert_eq!(hw, 300, "both earlier messages parked at once");
+        assert_eq!(hw_final, 300, "high-water is monotone");
+    }
+
+    #[test]
+    #[cfg(feature = "probe")]
+    fn traced_run_records_sends_consistent_with_comm_stats() {
+        let c = Collector::new();
+        let n = 4;
+        let (_, (msgs, bytes)) = run_machine_traced(n, &c, |mut ctx| {
+            let next = (ctx.rank + 1) % ctx.nprocs;
+            ctx.send(next, Message::new(7, vec![ctx.rank as u32], vec![0.0; 8]));
+            ctx.recv(7);
+        });
+        let t = c.finish();
+        assert_eq!(t.procs.len(), n);
+        assert_eq!(t.counter_total("sends"), msgs);
+        assert_eq!(t.counter_total("send_bytes"), bytes);
+        assert_eq!(t.counter_total("recvs"), msgs);
+        // every processor produced at least its send and recv marks
+        for p in &t.procs {
+            assert!(p.marks.iter().any(|m| m.name == "send"));
+            assert!(p.marks.iter().any(|m| m.name == "recv"));
+        }
+    }
+
+    #[test]
+    #[cfg(feature = "probe")]
+    fn traced_run_records_park_high_water() {
+        let c = Collector::new();
+        let (_, _) = run_machine_traced(2, &c, |mut ctx| {
+            if ctx.rank == 0 {
+                ctx.send(1, Message::new(10, vec![0; 25], vec![]));
+                ctx.send(1, Message::new(12, vec![], vec![]));
+            } else {
+                ctx.recv(12); // tag 10 parks (100 bytes)
+                ctx.recv(10);
+            }
+        });
+        let t = c.finish();
+        assert_eq!(t.counter_max("parked_bytes_hw"), 100);
+        assert_eq!(t.counter_total("parks"), 1);
+        assert_eq!(t.counter_total("unparks"), 1);
+    }
+
+    #[test]
+    fn untraced_run_probe_is_silent() {
+        // ProcCtx::probe is usable in any configuration; in an untraced
+        // run it must simply record nothing
+        let (res, _) = run_machine(2, |mut ctx| {
+            let enabled = ctx.probe().is_enabled();
+            if ctx.rank == 0 {
+                ctx.send(1, Message::new(1, vec![1], vec![]));
+            } else {
+                ctx.recv(1);
+            }
+            enabled
+        });
+        assert_eq!(res, vec![false, false]);
     }
 
     #[test]

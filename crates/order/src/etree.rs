@@ -61,14 +61,13 @@ pub fn depths(parent: &[usize]) -> Vec<usize> {
             u = parent[u];
             path.push(u);
         }
-        let mut d = if parent[u] == NO_PARENT {
+        let d = if parent[u] == NO_PARENT {
             0
         } else {
             depth[parent[u]] + 1
         };
-        for &w in path.iter().rev() {
-            depth[w] = d;
-            d += 1;
+        for (i, &w) in path.iter().rev().enumerate() {
+            depth[w] = d + i;
         }
     }
     depth

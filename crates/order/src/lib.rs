@@ -48,9 +48,7 @@ pub fn column_ordering(a: &CscMatrix, strategy: ColumnOrdering) -> Perm {
         ColumnOrdering::MinDegreeAtPlusA => {
             min_degree(&splu_sparse::pattern::at_plus_a_pattern(a)).0
         }
-        ColumnOrdering::ReverseCuthillMcKee => {
-            rcm(&splu_sparse::pattern::at_plus_a_pattern(a))
-        }
+        ColumnOrdering::ReverseCuthillMcKee => rcm(&splu_sparse::pattern::at_plus_a_pattern(a)),
     }
 }
 

@@ -248,8 +248,7 @@ pub fn min_degree(p: &Pattern) -> (Perm, MinDegreeStats) {
                     if eu == vu {
                         elem_part += lv_weight - st.weight[uu];
                     } else {
-                        elem_part += st
-                            .elem_vars[eu]
+                        elem_part += st.elem_vars[eu]
                             .iter()
                             .map(|&w| {
                                 let f = st.find(w);
@@ -271,8 +270,7 @@ pub fn min_degree(p: &Pattern) -> (Perm, MinDegreeStats) {
             let mix = |x: u64, h: &mut u64| {
                 *h = (*h ^ x).wrapping_mul(0x100000001b3);
             };
-            let mut elem_ids: Vec<u32> = st
-                .elems[uu]
+            let mut elem_ids: Vec<u32> = st.elems[uu]
                 .iter()
                 .copied()
                 .filter(|&e| st.elem_alive[e as usize])
@@ -426,7 +424,7 @@ mod tests {
         let a = gen::random_sparse(150, 4, 0.5, ValueModel::default());
         let p = at_plus_a_pattern(&a);
         let (perm, _) = min_degree(&p);
-        let mut seen = vec![false; 150];
+        let mut seen = [false; 150];
         for old in 0..150 {
             let newp = perm.new_of_old(old);
             assert!(!seen[newp]);
@@ -485,7 +483,10 @@ mod tests {
         }
         let p = sym_pattern(&edges, n);
         let (perm, stats) = min_degree(&p);
-        assert!(stats.merges > 0, "clique should trigger supervariable merges");
+        assert!(
+            stats.merges > 0,
+            "clique should trigger supervariable merges"
+        );
         assert!(stats.steps < n, "mass elimination should shorten the run");
         // any ordering of a clique has full fill; just verify it's a perm
         let _ = apply_and_count(&p, &perm);

@@ -75,8 +75,7 @@ fn pseudo_peripheral(p: &Pattern, start: usize, degree: &[usize]) -> usize {
                 let w = w as usize;
                 if w != v && level[w] == usize::MAX {
                     level[w] = level[v] + 1;
-                    if level[w] > level[far]
-                        || (level[w] == level[far] && degree[w] < degree[far])
+                    if level[w] > level[far] || (level[w] == level[far] && degree[w] < degree[far])
                     {
                         far = w;
                     }
@@ -102,8 +101,7 @@ mod tests {
         let mut bw = 0usize;
         for j in 0..p.ncols() {
             for &i in p.col(j) {
-                let d = (perm.new_of_old(i as usize) as isize
-                    - perm.new_of_old(j) as isize)
+                let d = (perm.new_of_old(i as usize) as isize - perm.new_of_old(j) as isize)
                     .unsigned_abs();
                 bw = bw.max(d);
             }
@@ -116,7 +114,7 @@ mod tests {
         let a = gen::random_sparse(100, 4, 0.6, ValueModel::default());
         let p = at_plus_a_pattern(&a);
         let perm = rcm(&p);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for i in 0..100 {
             let np = perm.new_of_old(i);
             assert!(!seen[np]);
@@ -128,9 +126,8 @@ mod tests {
     fn rcm_reduces_bandwidth_on_shuffled_grid() {
         // Shuffle a grid, then check RCM restores small bandwidth.
         let a = gen::grid2d(12, 12, 0.0, ValueModel::default());
-        let shuffle = Perm::from_new_of_old(
-            (0..144).map(|i| (i * 89 + 31) % 144).collect::<Vec<_>>(),
-        );
+        let shuffle =
+            Perm::from_new_of_old((0..144).map(|i| (i * 89 + 31) % 144).collect::<Vec<_>>());
         let b = a.permute(&shuffle, &shuffle);
         let p = at_plus_a_pattern(&b);
         let ident_bw = bandwidth(&p, &Perm::identity(144));

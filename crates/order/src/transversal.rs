@@ -126,7 +126,11 @@ pub fn max_transversal(a: &CscMatrix) -> Transversal {
 /// row `row_of_col[j]` is sent to position `j`. Returns `None` if the
 /// matrix is structurally singular (no full transversal exists).
 pub fn zero_free_row_perm(a: &CscMatrix) -> Option<Perm> {
-    assert_eq!(a.nrows(), a.ncols(), "transversal permutation needs square A");
+    assert_eq!(
+        a.nrows(),
+        a.ncols(),
+        "transversal permutation needs square A"
+    );
     let t = max_transversal(a);
     if t.size != a.ncols() {
         return None;

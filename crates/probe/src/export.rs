@@ -1,0 +1,355 @@
+//! Exporters for a recorded [`Trace`].
+//!
+//! Three views of the same run, mirroring how the paper presents its
+//! results: a Chrome trace-event JSON for interactive inspection in
+//! Perfetto (`ui.perfetto.dev`) or `chrome://tracing`, an ASCII Gantt
+//! chart for the terminal (Fig.-11 style), and a machine-readable run
+//! summary with the Table-5/6 statistics (per-stage times, communication
+//! volume, buffer high-water, load imbalance).
+
+use crate::gantt::{render_bars, Bar};
+use crate::json::escape_into;
+use crate::Trace;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Run-level facts that live outside the trace itself — the caller
+/// supplies them when writing a summary.
+#[derive(Debug, Clone, Default)]
+pub struct SummaryExtras {
+    /// Matrix name (file stem or generator description).
+    pub matrix: String,
+    /// Matrix order.
+    pub n: usize,
+    /// Nonzeros in the input matrix.
+    pub nnz: usize,
+    /// Simulated processor count.
+    pub procs: usize,
+    /// End-to-end wall-clock seconds of the factorization.
+    pub wall_secs: f64,
+    /// Total messages sent (from the runtime's `CommStats`).
+    pub messages: u64,
+    /// Total bytes sent (from the runtime's `CommStats`).
+    pub bytes: u64,
+    /// Peak receive-buffer occupancy in bytes (§5.2 buffer bound).
+    pub peak_buffer_bytes: u64,
+}
+
+/// Serialize the trace in Chrome trace-event format ("JSON Object
+/// Format"): one `pid` for the machine, one `tid` (track) per simulated
+/// processor, `ph:"X"` complete events for spans and `ph:"i"` instants
+/// for marks. Timestamps are microseconds, as the format requires.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, ev: String| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str("\n  ");
+        out.push_str(&ev);
+    };
+    for p in &trace.procs {
+        // name the track so Perfetto shows "proc 3" instead of a bare tid
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\
+                 \"args\":{{\"name\":\"proc {}\"}}}}",
+                p.rank, p.rank
+            ),
+        );
+        for s in &p.spans {
+            let mut ev = String::from("{\"name\":");
+            escape_into(&mut ev, s.name);
+            let _ = write!(
+                ev,
+                ",\"cat\":\"stage\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\
+                 \"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"k\":{}}}}}",
+                p.rank,
+                s.start_ns as f64 / 1e3,
+                (s.end_ns - s.start_ns) as f64 / 1e3,
+                s.detail
+            );
+            push(&mut out, &mut first, ev);
+        }
+        for m in &p.marks {
+            let mut ev = String::from("{\"name\":");
+            escape_into(&mut ev, m.name);
+            let _ = write!(
+                ev,
+                ",\"cat\":\"comm\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{},\
+                 \"ts\":{:.3},\"args\":{{\"detail\":{}}}}}",
+                p.rank,
+                m.t_ns as f64 / 1e3,
+                m.detail
+            );
+            push(&mut out, &mut first, ev);
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Serialize the run summary: run facts from `extras`, then per-stage
+/// total/max times aggregated over processors, total counters, and the
+/// load-imbalance ratio.
+pub fn run_summary_json(trace: &Trace, extras: &SummaryExtras) -> String {
+    // aggregate span time per stage name
+    let mut stage_total_ns: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut stage_count: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for p in &trace.procs {
+        for s in &p.spans {
+            *stage_total_ns.entry(s.name).or_insert(0) += s.end_ns - s.start_ns;
+            *stage_count.entry(s.name).or_insert(0) += 1;
+        }
+        for (&name, &v) in &p.counters {
+            *counters.entry(name).or_insert(0) += v;
+        }
+    }
+    // high-water gauges aggregate by max, not sum
+    for hw in ["parked_bytes_hw"] {
+        if counters.contains_key(hw) {
+            counters.insert(hw, trace.counter_max(hw));
+        }
+    }
+
+    let mut out = String::from("{\n");
+    let _ = write!(out, "  \"matrix\": ");
+    escape_into(&mut out, &extras.matrix);
+    let _ = writeln!(out, ",");
+    let _ = writeln!(out, "  \"n\": {},", extras.n);
+    let _ = writeln!(out, "  \"nnz\": {},", extras.nnz);
+    let _ = writeln!(out, "  \"procs\": {},", extras.procs);
+    let _ = writeln!(out, "  \"wall_secs\": {:.6},", extras.wall_secs);
+    let _ = writeln!(out, "  \"messages\": {},", extras.messages);
+    let _ = writeln!(out, "  \"bytes\": {},", extras.bytes);
+    let _ = writeln!(
+        out,
+        "  \"peak_buffer_bytes\": {},",
+        extras.peak_buffer_bytes
+    );
+    let _ = writeln!(out, "  \"load_imbalance\": {:.4},", trace.load_imbalance());
+    let _ = writeln!(
+        out,
+        "  \"trace_extent_secs\": {:.6},",
+        trace.extent_ns() as f64 / 1e9
+    );
+    out.push_str("  \"stages\": {");
+    let mut first = true;
+    for (name, total) in &stage_total_ns {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    ");
+        escape_into(&mut out, name);
+        let _ = write!(
+            out,
+            ": {{\"count\": {}, \"total_secs\": {:.6}}}",
+            stage_count[name],
+            *total as f64 / 1e9
+        );
+    }
+    out.push_str("\n  },\n  \"counters\": {");
+    first = true;
+    for (name, v) in &counters {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    ");
+        escape_into(&mut out, name);
+        let _ = write!(out, ": {v}");
+    }
+    out.push_str("\n  },\n  \"procs_busy_secs\": [");
+    first = true;
+    for p in &trace.procs {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(out, "{:.6}", p.busy_ns() as f64 / 1e9);
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Render the trace as an ASCII Gantt chart, `width` cells wide, one row
+/// per processor. Only depth-zero stage names are labeled (a full run
+/// has far too many spans to label each).
+pub fn ascii_gantt(trace: &Trace, width: usize) -> String {
+    let extent = trace.extent_ns().max(1) as f64;
+    let mut bars = Vec::new();
+    for p in &trace.procs {
+        for s in &p.spans {
+            bars.push(Bar {
+                proc: p.rank as usize,
+                start: s.start_ns as f64,
+                finish: s.end_ns as f64,
+                label: String::new(),
+            });
+        }
+    }
+    let header = format!(
+        "trace: {:.3} ms, {} procs, imbalance {:.2}",
+        extent / 1e6,
+        trace.procs.len(),
+        trace.load_imbalance()
+    );
+    let nprocs = trace
+        .procs
+        .iter()
+        .map(|p| p.rank as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut chart = render_bars(&bars, nprocs, width, Some(extent), Some(&header));
+    // labels are all empty; trim the trailing separators they leave
+    chart = chart
+        .lines()
+        .map(|l| l.trim_end())
+        .collect::<Vec<_>>()
+        .join("\n");
+    chart.push('\n');
+    chart
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::{Mark, ProcTimeline, Span};
+
+    fn sample_trace() -> Trace {
+        let mut p0 = ProcTimeline {
+            rank: 0,
+            ..Default::default()
+        };
+        p0.spans.push(Span {
+            name: "panel-factor",
+            detail: 0,
+            start_ns: 1_000,
+            end_ns: 5_000,
+        });
+        p0.spans.push(Span {
+            name: "update",
+            detail: 0,
+            start_ns: 5_000,
+            end_ns: 9_000,
+        });
+        p0.marks.push(Mark {
+            name: "send",
+            detail: 256,
+            t_ns: 4_500,
+        });
+        p0.counters.insert("sends", 1);
+        let mut p1 = ProcTimeline {
+            rank: 1,
+            ..Default::default()
+        };
+        p1.spans.push(Span {
+            name: "update",
+            detail: 0,
+            start_ns: 2_000,
+            end_ns: 6_000,
+        });
+        p1.counters.insert("sends", 2);
+        p1.counters.insert("parked_bytes_hw", 128);
+        Trace {
+            procs: vec![p0, p1],
+        }
+    }
+
+    #[test]
+    fn chrome_json_parses_and_has_one_track_per_proc() {
+        let t = sample_trace();
+        let s = chrome_trace_json(&t);
+        let v = json::parse(&s).unwrap();
+        let events = v.get("traceEvents").unwrap().items().unwrap();
+        // 2 thread_name + 3 spans + 1 mark
+        assert_eq!(events.len(), 6);
+        let mut tids: Vec<u64> = events
+            .iter()
+            .map(|e| e.get("tid").unwrap().as_u64().unwrap())
+            .collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids, vec![0, 1]);
+        let spans = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .count();
+        assert_eq!(spans, 3);
+        let instants = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("i"))
+            .count();
+        assert_eq!(instants, 1);
+    }
+
+    #[test]
+    fn chrome_json_microsecond_timestamps() {
+        let t = sample_trace();
+        let v = json::parse(&chrome_trace_json(&t)).unwrap();
+        let events = v.get("traceEvents").unwrap().items().unwrap();
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .unwrap();
+        // 1000 ns = 1 µs
+        assert_eq!(span.get("ts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(4.0));
+    }
+
+    #[test]
+    fn summary_parses_and_aggregates() {
+        let t = sample_trace();
+        let extras = SummaryExtras {
+            matrix: "test.mtx".into(),
+            n: 100,
+            nnz: 500,
+            procs: 2,
+            wall_secs: 0.25,
+            messages: 3,
+            bytes: 1024,
+            peak_buffer_bytes: 128,
+        };
+        let v = json::parse(&run_summary_json(&t, &extras)).unwrap();
+        assert_eq!(v.get("matrix").unwrap().as_str(), Some("test.mtx"));
+        assert_eq!(v.get("procs").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("messages").unwrap().as_u64(), Some(3));
+        let stages = v.get("stages").unwrap();
+        let upd = stages.get("update").unwrap();
+        assert_eq!(upd.get("count").unwrap().as_u64(), Some(2));
+        // 4 µs + 4 µs of update
+        let total = upd.get("total_secs").unwrap().as_f64().unwrap();
+        assert!((total - 8e-6).abs() < 1e-9);
+        // sends sum, parked high-water takes the max not the sum
+        let counters = v.get("counters").unwrap();
+        assert_eq!(counters.get("sends").unwrap().as_u64(), Some(3));
+        assert_eq!(counters.get("parked_bytes_hw").unwrap().as_u64(), Some(128));
+        assert_eq!(v.get("procs_busy_secs").unwrap().items().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn gantt_has_row_per_proc() {
+        let t = sample_trace();
+        let g = ascii_gantt(&t, 40);
+        assert_eq!(g.lines().count(), 3); // header + 2 procs
+        assert!(g.contains("P0"));
+        assert!(g.contains("P1"));
+        assert!(g.contains('█'));
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        let t = Trace::default();
+        assert!(json::parse(&chrome_trace_json(&t)).is_ok());
+        let extras = SummaryExtras::default();
+        assert!(json::parse(&run_summary_json(&t, &extras)).is_ok());
+        assert_eq!(ascii_gantt(&t, 10).lines().count(), 1); // header only
+    }
+}

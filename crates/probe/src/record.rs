@@ -1,0 +1,373 @@
+//! The recorder: per-processor handles feeding a shared collector.
+//!
+//! Recording is single-writer by construction — each [`Probe`] is owned
+//! by exactly one simulated processor, and its event buffer is a plain
+//! `Vec` behind a `RefCell` (no locks or atomics on the hot path). The
+//! only synchronization is one mutex acquisition per processor, at
+//! flush time (when the `Probe` is dropped at the end of the SPMD
+//! closure).
+//!
+//! With the `probe` feature off, [`Probe`] is zero-sized and every
+//! method body is empty — the instrumented call sites compile away.
+
+use crate::Trace;
+
+#[cfg(feature = "probe")]
+mod imp {
+    use crate::{flops, Mark, ProcTimeline, Span, Trace};
+    use std::cell::RefCell;
+    use std::collections::BTreeMap;
+    use std::sync::{Arc, Mutex};
+    use std::time::Instant;
+
+    struct Sink {
+        epoch: Instant,
+        done: Mutex<Vec<ProcTimeline>>,
+    }
+
+    /// Gathers the timelines of one traced run.
+    pub struct Collector {
+        sink: Arc<Sink>,
+    }
+
+    impl Collector {
+        /// Start a collection; its creation instant is the trace epoch.
+        pub fn new() -> Self {
+            Self {
+                sink: Arc::new(Sink {
+                    epoch: Instant::now(),
+                    done: Mutex::new(Vec::new()),
+                }),
+            }
+        }
+
+        /// A recording handle for processor `rank`. Hand it to the
+        /// processor's thread; it flushes itself on drop.
+        pub fn probe(&self, rank: usize) -> Probe {
+            Probe {
+                inner: Some(Box::new(Inner {
+                    sink: self.sink.clone(),
+                    tl: RefCell::new(ProcTimeline {
+                        rank: rank as u32,
+                        ..ProcTimeline::default()
+                    }),
+                    flops_base: [0; 3],
+                })),
+            }
+        }
+
+        /// Finish: all probes must be dropped (i.e. all processors
+        /// joined). Returns timelines sorted by rank.
+        pub fn finish(self) -> Trace {
+            let mut procs = std::mem::take(&mut *self.sink.done.lock().unwrap());
+            procs.sort_by_key(|p| p.rank);
+            Trace { procs }
+        }
+    }
+
+    impl Default for Collector {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    struct Inner {
+        sink: Arc<Sink>,
+        tl: RefCell<ProcTimeline>,
+        flops_base: [u64; 3],
+    }
+
+    /// Per-processor recording handle (real implementation).
+    pub struct Probe {
+        inner: Option<Box<Inner>>,
+    }
+
+    impl Probe {
+        /// A handle that records nothing.
+        pub fn disabled() -> Self {
+            Self { inner: None }
+        }
+
+        /// Whether this handle records.
+        pub fn is_enabled(&self) -> bool {
+            self.inner.is_some()
+        }
+
+        /// Call from the owning thread before recording: snapshots the
+        /// thread-local flop counters so the flush reports only flops
+        /// performed by this processor.
+        pub fn attach_thread(&mut self) {
+            if let Some(inner) = &mut self.inner {
+                inner.flops_base = flops::snapshot();
+            }
+        }
+
+        fn now_ns(inner: &Inner) -> u64 {
+            inner.sink.epoch.elapsed().as_nanos() as u64
+        }
+
+        /// Open a span; it records itself when the guard drops.
+        #[must_use = "the span ends when the guard is dropped"]
+        pub fn span(&self, name: &'static str, detail: u32) -> SpanGuard<'_> {
+            SpanGuard {
+                probe: self,
+                name,
+                detail,
+                start_ns: self.inner.as_deref().map(Self::now_ns).unwrap_or(0),
+            }
+        }
+
+        /// Current timestamp (ns since the collector epoch; 0 when
+        /// disabled). Pair with [`Probe::span_at`] where holding a
+        /// [`SpanGuard`] would conflict with other borrows.
+        pub fn now(&self) -> u64 {
+            self.inner.as_deref().map(Self::now_ns).unwrap_or(0)
+        }
+
+        /// Record a span that started at `start_ns` (from [`Probe::now`])
+        /// and ends now.
+        pub fn span_at(&self, name: &'static str, detail: u32, start_ns: u64) {
+            self.push_span(name, detail, start_ns);
+        }
+
+        /// Record an instant event.
+        pub fn mark(&self, name: &'static str, detail: u64) {
+            if let Some(inner) = &self.inner {
+                let t = Self::now_ns(inner);
+                inner.tl.borrow_mut().marks.push(Mark {
+                    name,
+                    detail,
+                    t_ns: t,
+                });
+            }
+        }
+
+        /// Add `delta` to counter `name`.
+        pub fn count(&self, name: &'static str, delta: u64) {
+            if let Some(inner) = &self.inner {
+                *inner.tl.borrow_mut().counters.entry(name).or_insert(0) += delta;
+            }
+        }
+
+        /// Raise gauge `name` to at least `value` (high-water marks).
+        pub fn gauge_max(&self, name: &'static str, value: u64) {
+            if let Some(inner) = &self.inner {
+                let mut tl = inner.tl.borrow_mut();
+                let e = tl.counters.entry(name).or_insert(0);
+                *e = (*e).max(value);
+            }
+        }
+
+        fn push_span(&self, name: &'static str, detail: u32, start_ns: u64) {
+            if let Some(inner) = &self.inner {
+                let end = Self::now_ns(inner);
+                inner.tl.borrow_mut().spans.push(Span {
+                    name,
+                    detail,
+                    start_ns,
+                    end_ns: end,
+                });
+            }
+        }
+    }
+
+    impl Drop for Probe {
+        fn drop(&mut self) {
+            if let Some(inner) = self.inner.take() {
+                let mut tl = inner.tl.into_inner();
+                let fl = flops::snapshot();
+                let names: [&'static str; 3] = ["flops_blas1", "flops_blas2", "flops_blas3"];
+                let mut counters = BTreeMap::new();
+                std::mem::swap(&mut counters, &mut tl.counters);
+                for (lvl, name) in names.into_iter().enumerate() {
+                    let d = fl[lvl].wrapping_sub(inner.flops_base[lvl]);
+                    if d > 0 {
+                        *counters.entry(name).or_insert(0) += d;
+                    }
+                }
+                tl.counters = counters;
+                inner.sink.done.lock().unwrap().push(tl);
+            }
+        }
+    }
+
+    /// Ends (and records) a span when dropped.
+    pub struct SpanGuard<'a> {
+        probe: &'a Probe,
+        name: &'static str,
+        detail: u32,
+        start_ns: u64,
+    }
+
+    impl Drop for SpanGuard<'_> {
+        fn drop(&mut self) {
+            self.probe.push_span(self.name, self.detail, self.start_ns);
+        }
+    }
+}
+
+#[cfg(not(feature = "probe"))]
+mod imp {
+    use crate::Trace;
+
+    /// Gathers the timelines of one traced run (no-op build).
+    #[derive(Default)]
+    pub struct Collector;
+
+    impl Collector {
+        /// Start a collection (records nothing in this build).
+        pub fn new() -> Self {
+            Self
+        }
+
+        /// A recording handle for processor `rank` (zero-sized no-op).
+        pub fn probe(&self, _rank: usize) -> Probe {
+            Probe
+        }
+
+        /// Finish; the trace is always empty in this build.
+        pub fn finish(self) -> Trace {
+            Trace::default()
+        }
+    }
+
+    /// Per-processor recording handle (zero-sized no-op).
+    pub struct Probe;
+
+    impl Probe {
+        /// A handle that records nothing.
+        #[inline(always)]
+        pub fn disabled() -> Self {
+            Probe
+        }
+
+        /// Always `false` in this build.
+        #[inline(always)]
+        pub fn is_enabled(&self) -> bool {
+            false
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn attach_thread(&mut self) {}
+
+        /// No-op span.
+        #[inline(always)]
+        #[must_use = "the span ends when the guard is dropped"]
+        pub fn span(&self, _name: &'static str, _detail: u32) -> SpanGuard<'_> {
+            SpanGuard(std::marker::PhantomData)
+        }
+
+        /// Always 0 in this build.
+        #[inline(always)]
+        pub fn now(&self) -> u64 {
+            0
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn span_at(&self, _name: &'static str, _detail: u32, _start_ns: u64) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn mark(&self, _name: &'static str, _detail: u64) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn count(&self, _name: &'static str, _delta: u64) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn gauge_max(&self, _name: &'static str, _value: u64) {}
+    }
+
+    /// Zero-sized span guard.
+    pub struct SpanGuard<'a>(pub(super) std::marker::PhantomData<&'a ()>);
+}
+
+pub use imp::{Collector, Probe, SpanGuard};
+
+/// Convenience: run `f` with a fresh collector when tracing is enabled,
+/// returning `f`'s value and the collected trace (empty when the `probe`
+/// feature is off).
+pub fn collect<R>(f: impl FnOnce(&Collector) -> R) -> (R, Trace) {
+    let c = Collector::new();
+    let r = f(&c);
+    (r, c.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(feature = "probe")]
+    fn spans_counters_marks_recorded() {
+        let c = Collector::new();
+        {
+            let p = c.probe(3);
+            {
+                let _s = p.span("panel-factor", 7);
+                p.count("pivot_search_rows", 5);
+                p.mark("send", 128);
+            }
+            p.gauge_max("parked_bytes_hw", 10);
+            p.gauge_max("parked_bytes_hw", 4);
+        }
+        let t = c.finish();
+        assert_eq!(t.procs.len(), 1);
+        let tl = &t.procs[0];
+        assert_eq!(tl.rank, 3);
+        assert_eq!(tl.spans.len(), 1);
+        assert_eq!(tl.spans[0].name, "panel-factor");
+        assert_eq!(tl.spans[0].detail, 7);
+        assert!(tl.spans[0].end_ns >= tl.spans[0].start_ns);
+        assert_eq!(tl.counters["pivot_search_rows"], 5);
+        assert_eq!(tl.counters["parked_bytes_hw"], 10);
+        assert_eq!(tl.marks.len(), 1);
+        assert_eq!(tl.marks[0].detail, 128);
+    }
+
+    #[test]
+    #[cfg(feature = "probe")]
+    fn disabled_probe_records_nothing() {
+        let p = Probe::disabled();
+        let _s = p.span("x", 0);
+        p.count("c", 1);
+        assert!(!p.is_enabled());
+    }
+
+    #[test]
+    #[cfg(feature = "probe")]
+    fn ranks_sorted_in_trace() {
+        let c = Collector::new();
+        for rank in [2usize, 0, 1] {
+            let p = c.probe(rank);
+            p.count("x", 1);
+        }
+        let t = c.finish();
+        let ranks: Vec<u32> = t.procs.iter().map(|p| p.rank).collect();
+        assert_eq!(ranks, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[cfg(not(feature = "probe"))]
+    fn noop_probe_is_zero_sized_and_trace_empty() {
+        assert_eq!(std::mem::size_of::<Probe>(), 0);
+        assert_eq!(std::mem::size_of::<SpanGuard<'_>>(), 0);
+        let (r, t) = collect(|c| {
+            let p = c.probe(0);
+            let _s = p.span("update", 1);
+            p.count("sends", 3);
+            17u32
+        });
+        assert_eq!(r, 17);
+        assert!(t.procs.is_empty());
+    }
+
+    #[test]
+    fn collect_helper_returns_value() {
+        let (v, _t) = collect(|_| 9i64);
+        assert_eq!(v, 9);
+    }
+}

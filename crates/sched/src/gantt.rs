@@ -1,40 +1,30 @@
 //! Text Gantt charts (Fig. 11 of the paper).
+//!
+//! Rendering itself lives in `splu_probe::gantt` so the same chart
+//! style serves both simulated schedules and recorded traces; this
+//! module only flattens a [`SimResult`] into bars.
 
 use crate::sim::SimResult;
 use crate::taskgraph::TaskGraph;
+use splu_probe::gantt::{render_bars, Bar};
 use std::fmt::Write as _;
 
 /// Render a simulation result as a text Gantt chart, one line per
 /// processor, `width` character cells across the makespan.
 pub fn render_gantt(g: &TaskGraph, r: &SimResult, width: usize) -> String {
     let nprocs = r.busy.len();
-    let span = r.makespan.max(f64::MIN_POSITIVE);
-    let mut out = String::new();
-    let _ = writeln!(out, "makespan: {:.3e} s", r.makespan);
-    for p in 0..nprocs {
-        let mut cells = vec![' '; width];
-        let mut labels: Vec<(usize, String)> = Vec::new();
-        for rec in &r.records {
-            if rec.proc as usize != p {
-                continue;
-            }
-            let c0 = ((rec.start / span) * width as f64).floor() as usize;
-            let c1 = (((rec.finish / span) * width as f64).ceil() as usize).min(width);
-            for cell in cells.iter_mut().take(c1).skip(c0) {
-                *cell = '█';
-            }
-            labels.push((c0, format!("{}", g.tasks[rec.task as usize])));
-        }
-        labels.sort();
-        let bar: String = cells.into_iter().collect();
-        let seq = labels
-            .iter()
-            .map(|(_, l)| l.as_str())
-            .collect::<Vec<_>>()
-            .join(" ");
-        let _ = writeln!(out, "P{p:<3}|{bar}| {seq}");
-    }
-    out
+    let bars: Vec<Bar> = r
+        .records
+        .iter()
+        .map(|rec| Bar {
+            proc: rec.proc as usize,
+            start: rec.start,
+            finish: rec.finish,
+            label: format!("{}", g.tasks[rec.task as usize]),
+        })
+        .collect();
+    let header = format!("makespan: {:.3e} s", r.makespan);
+    render_bars(&bars, nprocs, width, Some(r.makespan), Some(&header))
 }
 
 /// Render the per-processor task sequences only (compact Fig.-11 form).
@@ -50,7 +40,12 @@ pub fn render_sequences(g: &TaskGraph, r: &SimResult) -> String {
         recs.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
         let seq = recs
             .iter()
-            .map(|rec| format!("{}[{:.1}-{:.1}]", g.tasks[rec.task as usize], rec.start, rec.finish))
+            .map(|rec| {
+                format!(
+                    "{}[{:.1}-{:.1}]",
+                    g.tasks[rec.task as usize], rec.start, rec.finish
+                )
+            })
             .collect::<Vec<_>>()
             .join(" ");
         let _ = writeln!(out, "P{p}: {seq}");

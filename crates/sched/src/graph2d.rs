@@ -140,9 +140,8 @@ pub fn build_2d_model(
         let diag_proc = grid.rank_of(kr, kc);
 
         // PF(k, r): share of the panel factorization
-        let mut participants: Vec<usize> = (0..pr)
-            .filter(|&r| r == kr || l_height(k, r) > 0)
-            .collect();
+        let mut participants: Vec<usize> =
+            (0..pr).filter(|&r| r == kr || l_height(k, r) > 0).collect();
         if participants.is_empty() {
             participants.push(kr);
         }
@@ -168,8 +167,7 @@ pub fn build_2d_model(
             // distributed pivot search latency: per step, a gather and a
             // broadcast along the column (only when pr > 1)
             if pr > 1 {
-                b.extra_secs[id as usize] +=
-                    w as f64 * 2.0 * (model.alpha + w as f64 * model.beta);
+                b.extra_secs[id as usize] += w as f64 * 2.0 * (model.alpha + w as f64 * model.beta);
             }
             pf.insert((k, r), id);
         }
@@ -207,13 +205,14 @@ pub fn build_2d_model(
             let j = u.j as usize;
             let nuc = u.cols.len() as u64;
             let trsm = w * w * nuc;
-            let trsm3 = (trsm as f64 * (w as f64 / crate::taskgraph::BLAS3_REF_WIDTH).min(1.0)) as u64;
+            let trsm3 =
+                (trsm as f64 * (w as f64 / crate::taskgraph::BLAS3_REF_WIDTH).min(1.0)) as u64;
             let sst_id = b.task(
                 TaskKind::Update(k as u32, u.j),
                 format!("SST({k},{j})"),
                 grid.rank_of(kr, j % pc),
                 trsm - trsm3,
-                trsm3, // TRSM at width-dependent rate
+                trsm3,   // TRSM at width-dependent rate
                 w * nuc, // U panel down the column
             );
             b.edge(done, sst_id);

@@ -135,10 +135,7 @@ pub fn simulate_opts(
     while done < n {
         let mut progressed = false;
         for p in 0..nprocs {
-            loop {
-                let Some(&t) = schedule.order[p].get(cursor[p]) else {
-                    break;
-                };
+            while let Some(&t) = schedule.order[p].get(cursor[p]) {
                 let tu = t as usize;
                 // all preds finished?
                 let mut data_ready = 0.0f64;
@@ -166,8 +163,7 @@ pub fn simulate_opts(
                         if schedule.proc_of[pr as usize] != p as u32
                             && copied.insert((pr, p as u32))
                         {
-                            copy_cost +=
-                                opts.recv_copy_per_word * g.msg_words[pr as usize] as f64;
+                            copy_cost += opts.recv_copy_per_word * g.msg_words[pr as usize] as f64;
                         }
                     }
                 }
@@ -188,7 +184,10 @@ pub fn simulate_opts(
                 progressed = true;
             }
         }
-        assert!(progressed, "schedule deadlocked (order violates dependences)");
+        assert!(
+            progressed,
+            "schedule deadlocked (order violates dependences)"
+        );
     }
 
     let makespan = proc_time.iter().fold(0.0f64, |m, &t| m.max(t));

@@ -201,9 +201,8 @@ impl TaskGraph {
     pub fn topo_order(&self) -> Vec<u32> {
         let n = self.len();
         let mut indeg: Vec<u32> = self.preds.iter().map(|p| p.len() as u32).collect();
-        let mut queue: std::collections::VecDeque<u32> = (0..n as u32)
-            .filter(|&t| indeg[t as usize] == 0)
-            .collect();
+        let mut queue: std::collections::VecDeque<u32> =
+            (0..n as u32).filter(|&t| indeg[t as usize] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(t) = queue.pop_front() {
             order.push(t);

@@ -17,8 +17,7 @@
 
 use crate::coo::CooMatrix;
 use crate::csc::CscMatrix;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 /// Value model shared by the generators.
 ///
@@ -191,19 +190,23 @@ pub fn block_fluid(
     let n: usize = sizes.iter().sum();
     let mut coo = CooMatrix::with_capacity(n, n, n * (max_bs + 4));
 
-    let dense_block =
-        |coo: &mut CooMatrix, bi: usize, bj: usize, density: f64, rng: &mut SmallRng, vm: &ValueModel| {
-            for jj in 0..sizes[bj] {
-                for ii in 0..sizes[bi] {
-                    let (i, j) = (starts[bi] + ii, starts[bj] + jj);
-                    if i == j {
-                        coo.push(i, j, diagval(rng, vm) + vm.diag_scale);
-                    } else if rng.gen_bool(density) {
-                        coo.push(i, j, offdiag(rng));
-                    }
+    let dense_block = |coo: &mut CooMatrix,
+                       bi: usize,
+                       bj: usize,
+                       density: f64,
+                       rng: &mut SmallRng,
+                       vm: &ValueModel| {
+        for jj in 0..sizes[bj] {
+            for ii in 0..sizes[bi] {
+                let (i, j) = (starts[bi] + ii, starts[bj] + jj);
+                if i == j {
+                    coo.push(i, j, diagval(rng, vm) + vm.diag_scale);
+                } else if rng.gen_bool(density) {
+                    coo.push(i, j, offdiag(rng));
                 }
             }
-        };
+        }
+    };
 
     for b in 0..nblocks {
         dense_block(&mut coo, b, b, 0.9, &mut rng, &vm);

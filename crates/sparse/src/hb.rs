@@ -79,10 +79,7 @@ pub fn parse_fortran_format(s: &str) -> Result<FortranFormat, HbError> {
     let letter_pos = up
         .find(['I', 'E', 'F', 'D', 'G'])
         .ok_or_else(|| perr(format!("no edit descriptor in `{s}`")))?;
-    let count: usize = up[..letter_pos]
-        .trim()
-        .parse()
-        .unwrap_or(1); // "(I8)" means one field
+    let count: usize = up[..letter_pos].trim().parse().unwrap_or(1); // "(I8)" means one field
     let rest = &up[letter_pos + 1..];
     let width_str: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
     let width: usize = width_str
@@ -172,11 +169,7 @@ pub fn read_harwell_boeing<R: Read>(r: R) -> Result<CscMatrix, HbError> {
     let fmt_line = lines.next().ok_or_else(|| perr("missing line 4"))??;
     // PTRFMT (cols 1-16), INDFMT (17-32), VALFMT (33-52)
     let take = |lo: usize, hi: usize| -> String {
-        fmt_line
-            .chars()
-            .skip(lo)
-            .take(hi - lo)
-            .collect::<String>()
+        fmt_line.chars().skip(lo).take(hi - lo).collect::<String>()
     };
     let ptrfmt = parse_fortran_format(&take(0, 16))?;
     let indfmt = parse_fortran_format(&take(16, 32))?;
@@ -198,7 +191,8 @@ pub fn read_harwell_boeing<R: Read>(r: R) -> Result<CscMatrix, HbError> {
     let vals: Vec<f64> = match valfmt {
         Some(fmt) => read_fields(&mut lines, fmt, nnz, |f| {
             let s = f.replace(['D', 'd'], "E");
-            s.parse::<f64>().map_err(|_| perr(format!("bad value `{f}`")))
+            s.parse::<f64>()
+                .map_err(|_| perr(format!("bad value `{f}`")))
         })?,
         None => vec![1.0; nnz],
     };
@@ -249,19 +243,31 @@ mod tests {
     fn fortran_formats_parse() {
         assert_eq!(
             parse_fortran_format("(16I5)").unwrap(),
-            FortranFormat { count: 16, width: 5 }
+            FortranFormat {
+                count: 16,
+                width: 5
+            }
         );
         assert_eq!(
             parse_fortran_format("(10E12.4)").unwrap(),
-            FortranFormat { count: 10, width: 12 }
+            FortranFormat {
+                count: 10,
+                width: 12
+            }
         );
         assert_eq!(
             parse_fortran_format("(1P,4E20.12)").unwrap(),
-            FortranFormat { count: 4, width: 20 }
+            FortranFormat {
+                count: 4,
+                width: 20
+            }
         );
         assert_eq!(
             parse_fortran_format(" (4D25.16) ").unwrap(),
-            FortranFormat { count: 4, width: 25 }
+            FortranFormat {
+                count: 4,
+                width: 25
+            }
         );
         assert_eq!(
             parse_fortran_format("(I8)").unwrap(),
@@ -276,7 +282,9 @@ mod tests {
     ///     [ 4.0   0   5.0  ]
     fn sample_rua() -> String {
         let mut s = String::new();
-        s.push_str("Sample matrix                                                           SAMP\n");
+        s.push_str(
+            "Sample matrix                                                           SAMP\n",
+        );
         s.push_str("             3             1             1             1             0\n");
         s.push_str("RUA                        3             3             5             0\n");
         s.push_str("(4I5)           (5I5)           (5E12.4)\n");
@@ -304,7 +312,9 @@ mod tests {
     #[test]
     fn reads_rsa_mirrors() {
         let mut s = String::new();
-        s.push_str("Symmetric sample                                                        SYMM\n");
+        s.push_str(
+            "Symmetric sample                                                        SYMM\n",
+        );
         s.push_str("             3             1             1             1\n");
         s.push_str("RSA                        2             2             3             0\n");
         s.push_str("(3I5)           (3I5)           (3D12.4)\n");
@@ -321,7 +331,9 @@ mod tests {
     #[test]
     fn reads_pattern_matrices() {
         let mut s = String::new();
-        s.push_str("Pattern sample                                                          PATT\n");
+        s.push_str(
+            "Pattern sample                                                          PATT\n",
+        );
         s.push_str("             2             1             1             0\n");
         s.push_str("PUA                        2             2             2             0\n");
         s.push_str("(3I5)           (3I5)\n");
@@ -337,7 +349,9 @@ mod tests {
     fn fixed_width_fields_without_spaces() {
         // widths matter: "(2I3)" packs "  1  3" as fields "  1", "  3"
         let mut s = String::new();
-        s.push_str("Tight fields                                                            TGHT\n");
+        s.push_str(
+            "Tight fields                                                            TGHT\n",
+        );
         s.push_str("             2             1             1             1\n");
         s.push_str("RUA                        2             2             2             0\n");
         s.push_str("(3I3)           (2I3)           (2E10.3)\n");
@@ -359,7 +373,7 @@ mod tests {
     #[test]
     fn pipeline_runs_on_hb_input() {
         let a = read_harwell_boeing(sample_rua().as_bytes()).unwrap();
-        let b = a.matvec(&vec![1.0; 3]);
+        let b = a.matvec(&[1.0; 3]);
         let x = splu_core_free_solve(&a, &b);
         for (got, want) in x.iter().zip([1.0, 1.0, 1.0]) {
             assert!((got - want).abs() < 1e-12);

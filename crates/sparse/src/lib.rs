@@ -27,6 +27,7 @@ pub mod hb;
 pub mod io;
 pub mod pattern;
 pub mod perm;
+pub mod rng;
 pub mod suite;
 
 pub use coo::CooMatrix;

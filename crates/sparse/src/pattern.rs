@@ -406,7 +406,17 @@ mod tests {
         for i in 0..n {
             d[i][i] = true;
         }
-        let edges = [(1, 0), (4, 2), (5, 0), (6, 3), (7, 4), (8, 1), (9, 6), (5, 4), (7, 2)];
+        let edges = [
+            (1, 0),
+            (4, 2),
+            (5, 0),
+            (6, 3),
+            (7, 4),
+            (8, 1),
+            (9, 6),
+            (5, 4),
+            (7, 2),
+        ];
         for &(i, j) in &edges {
             d[i][j] = true;
             d[j][i] = true;

@@ -26,7 +26,11 @@ pub struct SingularError {
 
 impl std::fmt::Display for SingularError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "matrix is numerically singular at column {}", self.column)
+        write!(
+            f,
+            "matrix is numerically singular at column {}",
+            self.column
+        )
     }
 }
 
@@ -384,9 +388,7 @@ mod tests {
         // almost always; the permutation should be close to identity.
         let a = gen::grid2d(6, 6, 0.2, ValueModel::default());
         let f = gp_factor(&a, 0.001).unwrap();
-        let id_count = (0..36)
-            .filter(|&i| f.row_perm.new_of_old(i) == i)
-            .count();
+        let id_count = (0..36).filter(|&i| f.row_perm.new_of_old(i) == i).count();
         assert!(id_count > 30, "only {id_count} rows unmoved");
         assert!(residual(&a, &f) < 1e-9);
     }
@@ -410,9 +412,7 @@ mod tests {
         // Σ_j ( nnzL(:,j)' + Σ_{k: U(k,j)≠0} 2·nnzL(:,k)' ) with ' = strict.
         let a = gen::random_sparse(50, 3, 0.5, ValueModel::default());
         let f = gp_factor(&a, 1.0).unwrap();
-        let strict_l: Vec<u64> = (0..50)
-            .map(|j| (f.l.col(j).0.len() - 1) as u64)
-            .collect();
+        let strict_l: Vec<u64> = (0..50).map(|j| (f.l.col(j).0.len() - 1) as u64).collect();
         let mut expect = 0u64;
         for j in 0..50 {
             expect += strict_l[j]; // scaling divisions

@@ -83,12 +83,7 @@ impl BlockPattern {
             // Union of L columns of the supernode, rows below the block.
             let mut rows: Vec<u32> = Vec::new();
             for k in lo..hi {
-                rows.extend(
-                    s.lcols[k]
-                        .iter()
-                        .copied()
-                        .filter(|&r| (r as usize) >= hi),
-                );
+                rows.extend(s.lcols[k].iter().copied().filter(|&r| (r as usize) >= hi));
             }
             rows.sort_unstable();
             rows.dedup();
@@ -108,12 +103,7 @@ impl BlockPattern {
             // Union of U rows of the supernode, columns right of the block.
             let mut cols: Vec<u32> = Vec::new();
             for k in lo..hi {
-                cols.extend(
-                    s.urows[k]
-                        .iter()
-                        .copied()
-                        .filter(|&c| (c as usize) >= hi),
-                );
+                cols.extend(s.urows[k].iter().copied().filter(|&c| (c as usize) >= hi));
             }
             cols.sort_unstable();
             cols.dedup();

@@ -74,7 +74,11 @@ impl StaticStructure {
 /// Panics if the matrix is not square or lacks a structurally zero-free
 /// diagonal (run `splu_order::preprocess` first).
 pub fn static_symbolic_factorization(a: &CscMatrix) -> StaticStructure {
-    assert_eq!(a.nrows(), a.ncols(), "symbolic factorization needs square A");
+    assert_eq!(
+        a.nrows(),
+        a.ncols(),
+        "symbolic factorization needs square A"
+    );
     assert!(
         a.has_zero_free_diagonal(),
         "static symbolic factorization requires a zero-free diagonal"
@@ -135,7 +139,13 @@ pub fn static_symbolic_factorization(a: &CscMatrix) -> StaticStructure {
         pk.sort_unstable();
 
         // U_k = union of candidate structures, restricted to columns ≥ k.
-        let uk = union_ge(&cand.iter().map(|&g| groups[g as usize].structure.as_slice()).collect::<Vec<_>>(), k as u32);
+        let uk = union_ge(
+            &cand
+                .iter()
+                .map(|&g| groups[g as usize].structure.as_slice())
+                .collect::<Vec<_>>(),
+            k as u32,
+        );
 
         // Retire the candidate groups; move their unfinished rows (minus
         // row k, which is now finished) into a fresh group with structure
@@ -235,7 +245,10 @@ pub fn naive_symbolic_factorization(a: &CscMatrix) -> StaticStructure {
             .map(|i| i as u32)
             .collect();
         let uk = union_ge(
-            &cand.iter().map(|&i| rows[i as usize].as_slice()).collect::<Vec<_>>(),
+            &cand
+                .iter()
+                .map(|&i| rows[i as usize].as_slice())
+                .collect::<Vec<_>>(),
             ku,
         );
         for &i in &cand {
@@ -426,7 +439,11 @@ mod tests {
         let n = s.n();
         for k in 0..n - 1 {
             // if P_{k+1} == P_k \ {k}, then U_{k+1} == U_k \ {k}
-            let pk_minus: Vec<u32> = s.lcols[k].iter().copied().filter(|&r| r != k as u32).collect();
+            let pk_minus: Vec<u32> = s.lcols[k]
+                .iter()
+                .copied()
+                .filter(|&r| r != k as u32)
+                .collect();
             if pk_minus == s.lcols[k + 1] {
                 let uk_minus: Vec<u32> = s.urows[k]
                     .iter()

@@ -33,7 +33,10 @@ fn main() {
     // jpwh991-shaped random circuit matrix
     let base = gen::random_sparse(991, 5, 0.9, ValueModel::default());
     let n = base.ncols();
-    println!("netlist Jacobian: n = {n}, nnz = {} (jpwh991-class)", base.nnz());
+    println!(
+        "netlist Jacobian: n = {n}, nnz = {} (jpwh991-class)",
+        base.nnz()
+    );
 
     // Symbolic analysis once — the pattern is fixed for all iterations.
     let t0 = std::time::Instant::now();
@@ -45,7 +48,9 @@ fn main() {
     );
 
     // "Newton" loop: refactor values on the fixed structure, solve.
-    let b: Vec<f64> = (0..n).map(|i| if i % 97 == 0 { 1.0 } else { 0.0 }).collect();
+    let b: Vec<f64> = (0..n)
+        .map(|i| if i % 97 == 0 { 1.0 } else { 0.0 })
+        .collect();
     let mut x = vec![0.0f64; n];
     let mut factor_total = std::time::Duration::ZERO;
     let mut solve_total = std::time::Duration::ZERO;
@@ -55,8 +60,7 @@ fn main() {
         // pattern and refactor (permutations from the analysis are reused)
         let jp = j.permute(&solver.row_perm, &solver.col_perm);
         let t0 = std::time::Instant::now();
-        let mut blocks =
-            sstar::core::BlockMatrix::from_csc(&jp, solver.pattern.clone());
+        let mut blocks = sstar::core::BlockMatrix::from_csc(&jp, solver.pattern.clone());
         let (pivots, stats) =
             sstar::core::factor_sequential(&mut blocks).expect("nonsingular Jacobian");
         factor_total += t0.elapsed();

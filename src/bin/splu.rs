@@ -5,13 +5,19 @@
 //! splu factor <matrix.mtx> [opts]       analyze + factor, report stats
 //! splu solve  <matrix.mtx> [rhs.txt]    factor and solve (default rhs: A·1)
 //! splu project <matrix.mtx> [opts]      projected T3D/T3E parallel times
+//! splu trace  <matrix.mtx> [opts]       factor on P thread-processors with
+//!                                       the flight recorder on; write a
+//!                                       Perfetto-loadable Chrome trace
 //!
 //! options:
 //!   --block-size N     max supernode width        (default 25)
 //!   --amalgamate R     amalgamation factor        (default 4)
 //!   --ordering X       natural | mmd | atpa | rcm (default mmd)
 //!   --refine N         iterative refinement steps (default 1, solve only)
-//!   --procs P          processor count            (default 16, project only)
+//!   --procs P          processor count    (default 16 project, 4 trace)
+//!   --out FILE         Chrome trace-event JSON    (default trace.json)
+//!   --stats-json FILE  run-summary JSON           (trace only)
+//!   --gantt-width N    ASCII Gantt width, 0 = off (default 64, trace only)
 //! ```
 
 use sstar::prelude::*;
@@ -22,9 +28,10 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: splu <info|factor|solve|project> <matrix.mtx> \
+        "usage: splu <info|factor|solve|project|trace> <matrix.mtx> \
          [--block-size N] [--amalgamate R] [--ordering natural|mmd|atpa|rcm] \
-         [--refine N] [--procs P] [--rhs file]"
+         [--refine N] [--procs P] [--rhs file] [--out file] \
+         [--stats-json file] [--gantt-width N]"
     );
     ExitCode::from(2)
 }
@@ -34,56 +41,87 @@ struct Cli {
     matrix: String,
     options: FactorOptions,
     refine_steps: usize,
-    procs: usize,
+    procs: Option<usize>,
     rhs: Option<String>,
+    out: String,
+    stats_json: Option<String>,
+    gantt_width: usize,
 }
 
-fn parse_args(mut args: std::env::Args) -> Option<Cli> {
+/// The value following `flag`, or an error naming the flag.
+fn flag_value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag}: missing value"))
+}
+
+/// Parse the value following `flag`, or an error naming flag and value.
+fn flag_parse<T: std::str::FromStr>(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<T, String> {
+    let v = flag_value(args, flag)?;
+    v.parse()
+        .map_err(|_| format!("{flag}: invalid value `{v}`"))
+}
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
     args.next(); // program name
-    let cmd = args.next()?;
-    let matrix = args.next()?;
-    let mut options = FactorOptions::default();
-    let mut refine_steps = 1usize;
-    let mut procs = 16usize;
-    let mut rhs = None;
+    let cmd = args.next().ok_or("missing <command>")?;
+    let matrix = args.next().ok_or("missing <matrix> argument")?;
+    let mut cli = Cli {
+        cmd,
+        matrix,
+        options: FactorOptions::default(),
+        refine_steps: 1,
+        procs: None,
+        rhs: None,
+        out: "trace.json".to_string(),
+        stats_json: None,
+        gantt_width: 64,
+    };
     while let Some(flag) = args.next() {
         match flag.as_str() {
-            "--block-size" => options.block_size = args.next()?.parse().ok()?,
-            "--amalgamate" => options.amalgamation = args.next()?.parse().ok()?,
+            "--block-size" => cli.options.block_size = flag_parse(&mut args, "--block-size")?,
+            "--amalgamate" => cli.options.amalgamation = flag_parse(&mut args, "--amalgamate")?,
             "--ordering" => {
-                options.ordering = match args.next()?.as_str() {
+                let v = flag_value(&mut args, "--ordering")?;
+                cli.options.ordering = match v.as_str() {
                     "natural" => ColumnOrdering::Natural,
                     "mmd" => ColumnOrdering::MinDegreeAtA,
                     "atpa" => ColumnOrdering::MinDegreeAtPlusA,
                     "rcm" => ColumnOrdering::ReverseCuthillMcKee,
                     other => {
-                        eprintln!("unknown ordering `{other}`");
-                        return None;
+                        return Err(format!(
+                            "--ordering: unknown value `{other}` \
+                             (expected natural|mmd|atpa|rcm)"
+                        ))
                     }
                 }
             }
-            "--refine" => refine_steps = args.next()?.parse().ok()?,
-            "--procs" => procs = args.next()?.parse().ok()?,
-            "--rhs" => rhs = Some(args.next()?),
-            other => {
-                eprintln!("unknown flag `{other}`");
-                return None;
+            "--refine" => cli.refine_steps = flag_parse(&mut args, "--refine")?,
+            "--procs" => {
+                let p: usize = flag_parse(&mut args, "--procs")?;
+                if p == 0 {
+                    return Err("--procs: invalid value `0` (must be ≥ 1)".to_string());
+                }
+                cli.procs = Some(p);
             }
+            "--rhs" => cli.rhs = Some(flag_value(&mut args, "--rhs")?),
+            "--out" => cli.out = flag_value(&mut args, "--out")?,
+            "--stats-json" => cli.stats_json = Some(flag_value(&mut args, "--stats-json")?),
+            "--gantt-width" => cli.gantt_width = flag_parse(&mut args, "--gantt-width")?,
+            other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    Some(Cli {
-        cmd,
-        matrix,
-        options,
-        refine_steps,
-        procs,
-        rhs,
-    })
+    Ok(cli)
 }
 
 fn main() -> ExitCode {
-    let Some(cli) = parse_args(std::env::args()) else {
-        return usage();
+    let cli = match parse_args(std::env::args()) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("splu: {e}");
+            return usage();
+        }
     };
     // pick the reader by extension: .mtx = Matrix Market, .rua/.rsa/.pua/
     // .psa/.hb = Harwell–Boeing
@@ -159,10 +197,7 @@ fn main() -> ExitCode {
                         100.0 * lu.stats.blas3_fraction(),
                         lu.stats.row_interchanges
                     );
-                    println!(
-                        "pivot growth: {:.3e}",
-                        sstar::core::pivot_growth(&lu, &a)
-                    );
+                    println!("pivot growth: {:.3e}", sstar::core::pivot_growth(&lu, &a));
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
@@ -176,10 +211,8 @@ fn main() -> ExitCode {
             let b: Vec<f64> = match &cli.rhs {
                 Some(path) => match std::fs::read_to_string(path) {
                     Ok(text) => {
-                        let vals: Result<Vec<f64>, _> = text
-                            .split_whitespace()
-                            .map(|t| t.parse::<f64>())
-                            .collect();
+                        let vals: Result<Vec<f64>, _> =
+                            text.split_whitespace().map(|t| t.parse::<f64>()).collect();
                         match vals {
                             Ok(v) if v.len() == n => v,
                             Ok(v) => {
@@ -220,12 +253,13 @@ fn main() -> ExitCode {
         }
         "project" => {
             use sstar::sched::{build_2d_model, graph_schedule, simulate, Mode2d, TaskGraph};
+            let procs = cli.procs.unwrap_or(16);
             let solver = SparseLuSolver::analyze(&a, cli.options);
             let g = TaskGraph::build(&solver.pattern);
-            println!("projected parallel factorization times (P = {}):", cli.procs);
+            println!("projected parallel factorization times (P = {procs}):");
             for machine in [&T3D, &T3E] {
-                let t1 = simulate(&g, &graph_schedule(&g, cli.procs, machine), machine).makespan;
-                let grid = Grid::for_procs(cli.procs);
+                let t1 = simulate(&g, &graph_schedule(&g, procs, machine), machine).makespan;
+                let grid = Grid::for_procs(procs);
                 let m2 = build_2d_model(&solver.pattern, grid, machine, Mode2d::Async);
                 let t2 = simulate(&m2.graph, &m2.schedule, machine).makespan;
                 println!(
@@ -235,6 +269,73 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        _ => usage(),
+        "trace" => {
+            use sstar::core::par2d::{factor_par2d_traced, Sync2d};
+            use sstar::probe::export::{
+                ascii_gantt, chrome_trace_json, run_summary_json, SummaryExtras,
+            };
+            use sstar::probe::Collector;
+            if !sstar::probe::ENABLED {
+                eprintln!(
+                    "splu: this binary was built without the `probe` feature; \
+                     `splu trace` would record nothing (rebuild with default \
+                     features)"
+                );
+                return ExitCode::FAILURE;
+            }
+            let procs = cli.procs.unwrap_or(4);
+            let solver = SparseLuSolver::analyze(&a, cli.options);
+            let grid = Grid::for_procs(procs);
+            let collector = Collector::new();
+            let r = factor_par2d_traced(
+                &solver.permuted,
+                solver.pattern.clone(),
+                grid,
+                Sync2d::Async,
+                cli.options.pivot_threshold,
+                &collector,
+            );
+            let trace = collector.finish();
+            let extras = SummaryExtras {
+                matrix: cli.matrix.clone(),
+                n: a.ncols(),
+                nnz: a.nnz(),
+                procs: grid.nprocs(),
+                wall_secs: r.elapsed,
+                messages: r.comm.0,
+                bytes: r.comm.1,
+                peak_buffer_bytes: r.peak_buffer_bytes.iter().copied().max().unwrap_or(0),
+            };
+            println!(
+                "factored on {}×{} grid in {:.3} ms ({} messages, {} bytes, \
+                 overlap degree {})",
+                grid.pr,
+                grid.pc,
+                1e3 * r.elapsed,
+                r.comm.0,
+                r.comm.1,
+                r.overlap_degree(),
+            );
+            if let Err(e) = std::fs::write(&cli.out, chrome_trace_json(&trace)) {
+                eprintln!("splu: cannot write {}: {e}", cli.out);
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {} (load in Perfetto / chrome://tracing)", cli.out);
+            if let Some(path) = &cli.stats_json {
+                if let Err(e) = std::fs::write(path, run_summary_json(&trace, &extras)) {
+                    eprintln!("splu: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {path}");
+            }
+            if cli.gantt_width > 0 {
+                print!("{}", ascii_gantt(&trace, cli.gantt_width));
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("splu: unknown command `{other}`");
+            usage()
+        }
     }
 }

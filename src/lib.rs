@@ -43,6 +43,7 @@
 //! | [`symbolic`] | `splu-symbolic` | static symbolic factorization, supernodes, amalgamation, 2D block pattern |
 //! | [`superlu`] | `splu-superlu` | Gilbert–Peierls GEPP baseline (op counts, nnz, supernode stats) |
 //! | [`machine`] | `splu-machine` | thread message-passing runtime, processor grid, T3D/T3E cost model |
+//! | [`probe`] | `splu-probe` | flight-recorder tracing: spans/counters, Chrome-trace & summary-JSON export |
 //! | [`sched`] | `splu-sched` | task DAG, CA & graph schedules, discrete-event simulator, Gantt, load balance |
 //! | [`core`] | `splu-core` | S\* numeric factorization: sequential, 1D (CA / RAPID-style), 2D (async / barrier), solvers |
 //!
@@ -53,6 +54,7 @@ pub use splu_core as core;
 pub use splu_kernels as kernels;
 pub use splu_machine as machine;
 pub use splu_order as order;
+pub use splu_probe as probe;
 pub use splu_sched as sched;
 pub use splu_sparse as sparse;
 pub use splu_superlu as superlu;
@@ -60,10 +62,10 @@ pub use splu_symbolic as symbolic;
 
 /// The most commonly used items in one import.
 pub mod prelude {
-    pub use splu_core::pipeline::lu_solve;
-    pub use splu_core::{FactorOptions, FactorizedLu, SparseLuSolver};
     pub use splu_core::par1d::{factor_par1d, Strategy1d};
     pub use splu_core::par2d::{factor_par2d, Sync2d};
+    pub use splu_core::pipeline::lu_solve;
+    pub use splu_core::{FactorOptions, FactorizedLu, SparseLuSolver};
     pub use splu_machine::{Grid, MachineModel, T3D, T3E};
     pub use splu_order::ColumnOrdering;
     pub use splu_sparse::{CooMatrix, CscMatrix, Perm};

@@ -7,7 +7,9 @@ use sstar::sparse::gen::{self, ValueModel};
 use sstar::sparse::CscMatrix;
 
 fn max_err(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).fold(0.0f64, |m, (p, q)| m.max((p - q).abs()))
+    a.iter()
+        .zip(b)
+        .fold(0.0f64, |m, (p, q)| m.max((p - q).abs()))
 }
 
 fn solve_and_check(a: &CscMatrix, options: FactorOptions, tol: f64) {

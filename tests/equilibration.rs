@@ -35,7 +35,11 @@ fn equilibrate_produces_unit_row_and_col_maxima() {
     for j in 0..n {
         assert!((cmax[j] - 1.0).abs() < 1e-12, "col {j}: {}", cmax[j]);
         // row maxima end up ≤ 1 after the column pass and stay positive
-        assert!(rmax[j] > 0.0 && rmax[j] <= 1.0 + 1e-12, "row {j}: {}", rmax[j]);
+        assert!(
+            rmax[j] > 0.0 && rmax[j] <= 1.0 + 1e-12,
+            "row {j}: {}",
+            rmax[j]
+        );
     }
 }
 

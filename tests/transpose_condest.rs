@@ -4,7 +4,9 @@ use sstar::prelude::*;
 use sstar::sparse::gen::{self, ValueModel};
 
 fn max_err(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).fold(0.0f64, |m, (p, q)| m.max((p - q).abs()))
+    a.iter()
+        .zip(b)
+        .fold(0.0f64, |m, (p, q)| m.max((p - q).abs()))
 }
 
 #[test]

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Repo gate: tier-1 build+test, lint, formatting, and the probe-off
+# configuration. Run from the repo root; exits nonzero on any failure.
+set -eux
+
+# tier-1 (ROADMAP.md)
+cargo build --release
+cargo test -q
+
+# the whole workspace, with and without the flight recorder
+cargo test -q --workspace
+cargo test -q --workspace --no-default-features
+
+# lint + formatting
+cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets --no-default-features -- -D warnings
+cargo fmt --check
+
+echo "verify: all checks passed"
