@@ -20,6 +20,7 @@
 //!
 //! Entry point for most users: [`pipeline::SparseLuSolver`].
 
+pub mod error;
 pub mod par1d;
 pub mod par2d;
 pub mod pipeline;
@@ -28,7 +29,8 @@ pub mod seq;
 pub mod solve;
 pub mod storage;
 
-pub use pipeline::{FactorOptions, FactorizedLu, SparseLuSolver};
+pub use error::SolverError;
+pub use pipeline::{FactorOptions, FactorizedLu, SolveWorkspace, SparseLuSolver};
 pub use refine::{pivot_growth, refine, SolveQuality};
 pub use seq::{factor_sequential, FactorStats};
 pub use storage::BlockMatrix;

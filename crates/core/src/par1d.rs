@@ -140,6 +140,20 @@ pub fn factor_par1d_opts(
     factor_with_schedule(a, pattern, &graph, &schedule, threshold)
 }
 
+/// Panic-free [`factor_par1d_opts`]: a numerically singular input
+/// surfaces as `Err(SolverError::ZeroPivot)` instead of poisoning the
+/// thread pool and unwinding through the caller. Any non-numeric panic
+/// still propagates unchanged.
+pub fn factor_par1d_checked(
+    a: &splu_sparse::CscMatrix,
+    pattern: Arc<BlockPattern>,
+    nprocs: usize,
+    strategy: Strategy1d,
+    threshold: f64,
+) -> Result<Par1dResult, crate::error::SolverError> {
+    crate::error::catch_solver_panic(|| factor_par1d_opts(a, pattern, nprocs, strategy, threshold))
+}
+
 /// Like [`factor_par1d_opts`], but recording a flight-recorder timeline
 /// per processor into `collector` (`panel-factor`/`update` spans plus
 /// the runtime's communication marks).
@@ -227,8 +241,12 @@ fn factor_with_schedule_impl(
                     let k = k as usize;
                     let span_start = ctx.probe().now();
                     let tb = std::time::Instant::now();
+                    // On numeric breakdown, panic with the typed error as
+                    // payload: the runtime's poison broadcast wakes blocked
+                    // peers, and the host recovers the `SolverError` via
+                    // `catch_solver_panic` (see `factor_par1d_checked`).
                     let piv = factor_block_opts(&mut m, k, threshold, &mut stats)
-                        .expect("matrix numerically singular");
+                        .unwrap_or_else(|e| std::panic::panic_any(e));
                     busy += tb.elapsed().as_secs_f64();
                     ctx.probe().span_at("panel-factor", k as u32, span_start);
                     // ship the factored panel + pivots to updaters

@@ -379,6 +379,20 @@ pub fn factor_par2d_opts(
     factor_par2d_impl(a, pattern, grid, mode, threshold, None)
 }
 
+/// Panic-free [`factor_par2d_opts`]: a numerically singular input
+/// surfaces as `Err(SolverError::ZeroPivot)` instead of poisoning the
+/// processor grid and unwinding through the caller. Any non-numeric
+/// panic still propagates unchanged.
+pub fn factor_par2d_checked(
+    a: &splu_sparse::CscMatrix,
+    pattern: Arc<BlockPattern>,
+    grid: Grid,
+    mode: Sync2d,
+    threshold: f64,
+) -> Result<Par2dResult, crate::error::SolverError> {
+    crate::error::catch_solver_panic(|| factor_par2d_opts(a, pattern, grid, mode, threshold))
+}
+
 /// Like [`factor_par2d_opts`], but every simulated processor records a
 /// flight-recorder timeline into `collector`: one span per paper-named
 /// stage (`panel-factor`, `scale-swap` with nested `row-swap`, `update`),
@@ -653,11 +667,12 @@ fn factor2d(
                     best_subrow = Some(m.floats.to_vec());
                 }
             }
-            assert!(
-                best_row != NONE_ROW && best_abs > 0.0,
-                "no nonzero pivot in column {}",
-                lo + t
-            );
+            if best_row == NONE_ROW || best_abs <= 0.0 {
+                // Typed panic payload: the runtime poison-broadcast wakes
+                // blocked peers and the host recovers the `SolverError`
+                // via `catch_solver_panic` (see `factor_par2d_checked`).
+                std::panic::panic_any(crate::error::SolverError::ZeroPivot { step: lo + t });
+            }
             // threshold pivoting: keep the diagonal row when close enough
             // to the maximum (the diagonal row lives on this processor)
             let diag_abs = st.blocks[&(k as u32, k as u32)][t + t * w].abs();

@@ -9,10 +9,12 @@
 //!   ──forward/backward solve──▶ x
 //! ```
 
-use crate::seq::{
-    factor_sequential_opts, factor_sequential_probed, FactorStats, NumericalSingularity,
+use crate::error::SolverError;
+use crate::seq::{factor_sequential_opts, factor_sequential_probed, FactorStats};
+use crate::solve::{
+    solve_factored_in_place, solve_factored_multi_in_place, solve_factored_transpose_in_place,
+    MultiSolveScratch,
 };
-use crate::solve::{solve_factored, solve_factored_transpose};
 use crate::storage::BlockMatrix;
 use splu_order::ColumnOrdering;
 use splu_sparse::{CscMatrix, Perm};
@@ -76,6 +78,10 @@ pub struct SparseLuSolver {
     pub pattern: Arc<BlockPattern>,
     /// Options used.
     pub options: FactorOptions,
+    /// Pattern fingerprint of the *original* matrix this analysis was
+    /// built from; [`SparseLuSolver::refactor`] only accepts matrices
+    /// with the same fingerprint.
+    pub fingerprint: u64,
 }
 
 /// The numeric factorization, ready to solve right-hand sides.
@@ -90,6 +96,18 @@ pub struct FactorizedLu {
     col_perm: Perm,
     row_scale: Vec<f64>,
     col_scale: Vec<f64>,
+}
+
+/// Reusable buffers for repeated solves against one factorization: the
+/// permuted/scaled copy of the right-hand side(s) plus the blocked-kernel
+/// scratch. Warm after the first solve — no allocation per call, which is
+/// what iterative refinement and the solver-service workers want.
+#[derive(Default)]
+pub struct SolveWorkspace {
+    /// Permuted right-hand side / solution buffer (`n` or `n × nrhs`).
+    y: Vec<f64>,
+    /// Gather/product buffers of the blocked multi-RHS kernels.
+    scratch: MultiSolveScratch,
 }
 
 impl SparseLuSolver {
@@ -117,11 +135,12 @@ impl SparseLuSolver {
             structure,
             pattern,
             options,
+            fingerprint: a.pattern_fingerprint(),
         }
     }
 
     /// Numeric factorization of the analyzed matrix.
-    pub fn factor(&self) -> Result<FactorizedLu, NumericalSingularity> {
+    pub fn factor(&self) -> Result<FactorizedLu, SolverError> {
         let mut blocks = BlockMatrix::from_csc(&self.permuted, self.pattern.clone());
         let (pivots, stats) = factor_sequential_opts(&mut blocks, self.options.pivot_threshold)?;
         Ok(FactorizedLu {
@@ -142,7 +161,7 @@ impl SparseLuSolver {
     pub fn factor_traced(
         &self,
         collector: &splu_probe::Collector,
-    ) -> Result<FactorizedLu, NumericalSingularity> {
+    ) -> Result<FactorizedLu, SolverError> {
         let mut probe = collector.probe(0);
         probe.attach_thread();
         probe.count(
@@ -162,6 +181,40 @@ impl SparseLuSolver {
             col_perm: self.col_perm.clone(),
             row_scale: self.row_scale.clone(),
             col_scale: self.col_scale.clone(),
+        })
+    }
+
+    /// Numeric refactorization of a *different* matrix with the *same*
+    /// sparsity pattern, reusing every symbolic product of this analysis
+    /// (permutations, static structure, block pattern) — the
+    /// analyze-once / factorize-many lifecycle. Equilibration scales,
+    /// being value-dependent, are recomputed per matrix; the structural
+    /// permutations remain valid because transversal and ordering depend
+    /// only on the pattern.
+    pub fn refactor(&self, a: &CscMatrix) -> Result<FactorizedLu, SolverError> {
+        let got = a.pattern_fingerprint();
+        if got != self.fingerprint {
+            return Err(SolverError::PatternMismatch {
+                expected: self.fingerprint,
+                got,
+            });
+        }
+        let (a_scaled, row_scale, col_scale) = if self.options.equilibrate {
+            equilibrate(a)
+        } else {
+            (a.clone(), Vec::new(), Vec::new())
+        };
+        let permuted = a_scaled.permute(&self.row_perm, &self.col_perm);
+        let mut blocks = BlockMatrix::from_csc(&permuted, self.pattern.clone());
+        let (pivots, stats) = factor_sequential_opts(&mut blocks, self.options.pivot_threshold)?;
+        Ok(FactorizedLu {
+            blocks,
+            pivots,
+            stats,
+            row_perm: self.row_perm.clone(),
+            col_perm: self.col_perm.clone(),
+            row_scale,
+            col_scale,
         })
     }
 
@@ -203,27 +256,150 @@ impl FactorizedLu {
     /// Solve `A x = b` for the *original* matrix `A` (permutations are
     /// applied internally).
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        let n = b.len();
-        assert_eq!(n, self.blocks.n);
+        let mut x = vec![0.0; b.len()];
+        let mut ws = SolveWorkspace::default();
+        self.solve_with(b, &mut x, &mut ws).expect("rhs length");
+        x
+    }
+
+    /// Workspace-reusing [`FactorizedLu::solve`]: writes the solution into
+    /// `x`, allocating nothing once `ws` is warm. The building block for
+    /// iterative refinement and the solver-service workers.
+    pub fn solve_with(
+        &self,
+        b: &[f64],
+        x: &mut [f64],
+        ws: &mut SolveWorkspace,
+    ) -> Result<(), SolverError> {
+        let n = self.blocks.n;
+        if b.len() != n {
+            return Err(SolverError::DimensionMismatch {
+                expected: n,
+                got: b.len(),
+            });
+        }
+        if x.len() != n {
+            return Err(SolverError::DimensionMismatch {
+                expected: n,
+                got: x.len(),
+            });
+        }
         // B = P (R A C) Qᵀ was factored; solve B z = P (R b), then
-        // x = C · Qᵀ z.
-        let rb: Vec<f64> = if self.row_scale.is_empty() {
-            b.to_vec()
-        } else {
-            b.iter().zip(&self.row_scale).map(|(v, r)| v * r).collect()
-        };
-        let pb: Vec<f64> = (0..n).map(|i| rb[self.row_perm.old_of_new(i)]).collect();
-        let z = solve_factored(&self.blocks, &self.pivots, &pb);
-        (0..n)
-            .map(|j| {
-                let v = z[self.col_perm.new_of_old(j)];
-                if self.col_scale.is_empty() {
+        // x = C · Qᵀ z. The scalar (BLAS-2) sweep: bitwise identical to
+        // the historical single-RHS path and cheaper than panel
+        // gather/scatter for one column.
+        ws.y.clear();
+        ws.y.resize(n, 0.0);
+        for (i, y) in ws.y.iter_mut().enumerate() {
+            let o = self.row_perm.old_of_new(i);
+            *y = if self.row_scale.is_empty() {
+                b[o]
+            } else {
+                b[o] * self.row_scale[o]
+            };
+        }
+        solve_factored_in_place(&self.blocks, &self.pivots, &mut ws.y);
+        for (j, xv) in x.iter_mut().enumerate() {
+            let v = ws.y[self.col_perm.new_of_old(j)];
+            *xv = if self.col_scale.is_empty() {
+                v
+            } else {
+                v * self.col_scale[j]
+            };
+        }
+        Ok(())
+    }
+
+    /// Batched solve of `nrhs` systems: `b` holds the right-hand sides
+    /// column-major (`b[c * n + i]` = component `i` of RHS `c`); returns
+    /// the solutions in the same layout. One blocked forward/backward
+    /// sweep over the factors serves all columns (BLAS-3 style).
+    pub fn solve_many(&self, b: &[f64], nrhs: usize) -> Result<Vec<f64>, SolverError> {
+        let mut x = vec![0.0; b.len()];
+        let mut ws = SolveWorkspace::default();
+        self.solve_many_with(b, nrhs, &mut x, &mut ws)?;
+        Ok(x)
+    }
+
+    /// Workspace-reusing [`FactorizedLu::solve_many`]: solutions go into
+    /// `x` (same column-major layout as `b`), no allocation once warm.
+    pub fn solve_many_with(
+        &self,
+        b: &[f64],
+        nrhs: usize,
+        x: &mut [f64],
+        ws: &mut SolveWorkspace,
+    ) -> Result<(), SolverError> {
+        let n = self.blocks.n;
+        if b.len() != n * nrhs {
+            return Err(SolverError::DimensionMismatch {
+                expected: n * nrhs,
+                got: b.len(),
+            });
+        }
+        if x.len() != n * nrhs {
+            return Err(SolverError::DimensionMismatch {
+                expected: n * nrhs,
+                got: x.len(),
+            });
+        }
+        // B = P (R A C) Qᵀ was factored; solve B z = P (R b), then
+        // x = C · Qᵀ z — per RHS column.
+        ws.y.clear();
+        ws.y.resize(n * nrhs, 0.0);
+        for c in 0..nrhs {
+            let bcol = &b[c * n..(c + 1) * n];
+            let ycol = &mut ws.y[c * n..(c + 1) * n];
+            for (i, y) in ycol.iter_mut().enumerate() {
+                let o = self.row_perm.old_of_new(i);
+                *y = if self.row_scale.is_empty() {
+                    bcol[o]
+                } else {
+                    bcol[o] * self.row_scale[o]
+                };
+            }
+        }
+        solve_factored_multi_in_place(&self.blocks, &self.pivots, &mut ws.y, nrhs, &mut ws.scratch);
+        for c in 0..nrhs {
+            let zcol = &ws.y[c * n..(c + 1) * n];
+            let xcol = &mut x[c * n..(c + 1) * n];
+            for (j, xv) in xcol.iter_mut().enumerate() {
+                let v = zcol[self.col_perm.new_of_old(j)];
+                *xv = if self.col_scale.is_empty() {
                     v
                 } else {
                     v * self.col_scale[j]
-                }
-            })
-            .collect()
+                };
+            }
+        }
+        Ok(())
+    }
+
+    /// Matrix order `n`.
+    pub fn n(&self) -> usize {
+        self.blocks.n
+    }
+
+    /// Bytes of numeric storage this factorization holds (panel values,
+    /// pivot sequences, permutations, scales) — the quantity the solver
+    /// service's byte-budgeted cache accounts against.
+    pub fn storage_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut entries = 0usize;
+        for cb in &self.blocks.cols {
+            entries += cb.diag.len() + cb.lpanel.len();
+            for ub in &cb.ublocks {
+                entries += ub.panel.len();
+            }
+        }
+        entries * size_of::<f64>()
+            + self
+                .pivots
+                .iter()
+                .map(|p| p.len() * size_of::<u32>())
+                .sum::<usize>()
+            + (self.row_scale.len() + self.col_scale.len()) * size_of::<f64>()
+            + 2 * self.blocks.n * size_of::<usize>()
     }
 }
 
@@ -231,29 +407,58 @@ impl FactorizedLu {
     /// Solve `Aᵀ x = b` for the *original* matrix `A` using the same
     /// factorization (permutations and scalings applied internally).
     pub fn solve_transpose(&self, b: &[f64]) -> Vec<f64> {
-        let n = b.len();
-        assert_eq!(n, self.blocks.n);
+        let mut x = vec![0.0; b.len()];
+        let mut ws = SolveWorkspace::default();
+        self.solve_transpose_with(b, &mut x, &mut ws)
+            .expect("rhs length");
+        x
+    }
+
+    /// Workspace-reusing [`FactorizedLu::solve_transpose`]: writes the
+    /// solution into `x`, allocating nothing once `ws` is warm.
+    pub fn solve_transpose_with(
+        &self,
+        b: &[f64],
+        x: &mut [f64],
+        ws: &mut SolveWorkspace,
+    ) -> Result<(), SolverError> {
+        let n = self.blocks.n;
+        if b.len() != n {
+            return Err(SolverError::DimensionMismatch {
+                expected: n,
+                got: b.len(),
+            });
+        }
+        if x.len() != n {
+            return Err(SolverError::DimensionMismatch {
+                expected: n,
+                got: x.len(),
+            });
+        }
         // B = P (R A C) Qᵀ  ⟹  Aᵀ x = b ⟺ Bᵀ (P R⁻¹... see below):
         // A'ᵀ u = C b with u = R⁻¹ x; A'ᵀ = Qᵀ Bᵀ P, so Bᵀ (P u) = Q (C b).
-        let cb: Vec<f64> = if self.col_scale.is_empty() {
-            b.to_vec()
-        } else {
-            b.iter().zip(&self.col_scale).map(|(v, c)| v * c).collect()
-        };
-        // (Q c)[j'] = c[old col of j']
-        let qc: Vec<f64> = (0..n).map(|j| cb[self.col_perm.old_of_new(j)]).collect();
-        let v = solve_factored_transpose(&self.blocks, &self.pivots, &qc);
-        // u = Pᵀ v: u[i] = v[new position of row i]
-        (0..n)
-            .map(|i| {
-                let u = v[self.row_perm.new_of_old(i)];
-                if self.row_scale.is_empty() {
-                    u
-                } else {
-                    u * self.row_scale[i]
-                }
-            })
-            .collect()
+        // (Q c)[j'] = c[old col of j'] with c = C b.
+        ws.y.clear();
+        ws.y.resize(n, 0.0);
+        for (j, y) in ws.y.iter_mut().enumerate() {
+            let o = self.col_perm.old_of_new(j);
+            *y = if self.col_scale.is_empty() {
+                b[o]
+            } else {
+                b[o] * self.col_scale[o]
+            };
+        }
+        solve_factored_transpose_in_place(&self.blocks, &self.pivots, &mut ws.y);
+        // u = Pᵀ v: u[i] = v[new position of row i]; x = R u
+        for (i, xv) in x.iter_mut().enumerate() {
+            let u = ws.y[self.row_perm.new_of_old(i)];
+            *xv = if self.row_scale.is_empty() {
+                u
+            } else {
+                u * self.row_scale[i]
+            };
+        }
+        Ok(())
     }
 
     /// Estimate the 1-norm condition number `κ₁(A) = ‖A‖₁ ‖A⁻¹‖₁` with
@@ -329,11 +534,7 @@ pub fn equilibrate(a: &CscMatrix) -> (CscMatrix, Vec<f64>, Vec<f64>) {
 }
 
 /// Convenience: analyze + factor + solve in one call.
-pub fn lu_solve(
-    a: &CscMatrix,
-    b: &[f64],
-    options: FactorOptions,
-) -> Result<Vec<f64>, NumericalSingularity> {
+pub fn lu_solve(a: &CscMatrix, b: &[f64], options: FactorOptions) -> Result<Vec<f64>, SolverError> {
     let solver = SparseLuSolver::analyze(a, options);
     Ok(solver.factor()?.solve(b))
 }
@@ -412,6 +613,94 @@ mod tests {
             s_md.static_factor_nnz(),
             s_nat.static_factor_nnz()
         );
+    }
+
+    #[test]
+    fn refactor_same_pattern_reuses_analysis() {
+        let a = gen::grid2d(8, 8, 0.4, ValueModel::default());
+        let solver = SparseLuSolver::analyze(&a, FactorOptions::default());
+        // same pattern, fresh values: refactor must solve the new system
+        let a2 = gen::perturb_values(&a, 99);
+        let lu2 = solver.refactor(&a2).unwrap();
+        let n = a2.ncols();
+        let xt: Vec<f64> = (0..n).map(|i| ((i % 11) as f64) * 0.5 - 2.0).collect();
+        let b = a2.matvec(&xt);
+        let x = lu2.solve(&b);
+        let err = x
+            .iter()
+            .zip(&xt)
+            .fold(0.0f64, |m, (p, q)| m.max((p - q).abs()));
+        assert!(err < 1e-7, "refactor solve error {err}");
+        // a different pattern is rejected with a typed error
+        let other = gen::grid2d(7, 9, 0.4, ValueModel::default());
+        assert!(matches!(
+            solver.refactor(&other),
+            Err(SolverError::PatternMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn refactor_with_equilibration_rescales_per_matrix() {
+        let a = gen::grid2d(7, 7, 0.5, ValueModel::default());
+        let opts = FactorOptions {
+            equilibrate: true,
+            ..FactorOptions::default()
+        };
+        let solver = SparseLuSolver::analyze(&a, opts);
+        let a2 = gen::perturb_values(&a, 5);
+        let lu2 = solver.refactor(&a2).unwrap();
+        let n = a2.ncols();
+        let xt: Vec<f64> = (0..n).map(|i| (i as f64 * 0.4).cos()).collect();
+        let b = a2.matvec(&xt);
+        let x = lu2.solve(&b);
+        let err = x
+            .iter()
+            .zip(&xt)
+            .fold(0.0f64, |m, (p, q)| m.max((p - q).abs()));
+        assert!(err < 1e-7, "equilibrated refactor error {err}");
+    }
+
+    #[test]
+    fn solve_many_matches_repeated_single_solves() {
+        let a = gen::random_sparse(80, 4, 0.5, ValueModel::default());
+        let opts = FactorOptions {
+            equilibrate: true, // exercise the scaling path too
+            ..FactorOptions::default()
+        };
+        let lu = SparseLuSolver::analyze(&a, opts).factor().unwrap();
+        let n = a.ncols();
+        let nrhs = 4;
+        let b: Vec<f64> = (0..n * nrhs)
+            .map(|i| ((i % 17) as f64) * 0.3 - 2.1)
+            .collect();
+        let xs = lu.solve_many(&b, nrhs).unwrap();
+        for c in 0..nrhs {
+            let x1 = lu.solve(&b[c * n..(c + 1) * n]);
+            for i in 0..n {
+                let d = (xs[c * n + i] - x1[i]).abs();
+                assert!(d < 1e-8, "rhs {c} row {i}: diverge by {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_reports_dimension_mismatch() {
+        let a = gen::grid2d(5, 5, 0.4, ValueModel::default());
+        let lu = SparseLuSolver::analyze(&a, FactorOptions::default())
+            .factor()
+            .unwrap();
+        let mut ws = SolveWorkspace::default();
+        let short = vec![1.0; 7];
+        let mut x = vec![0.0; a.ncols()];
+        assert!(matches!(
+            lu.solve_with(&short, &mut x, &mut ws),
+            Err(SolverError::DimensionMismatch {
+                expected: 25,
+                got: 7
+            })
+        ));
+        assert!(lu.solve_many_with(&short, 2, &mut x, &mut ws).is_err());
+        assert!(lu.storage_bytes() > 0);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!   `max|U| / max|A|`, the classical stability indicator for partial
 //!   pivoting.
 
-use crate::pipeline::FactorizedLu;
+use crate::pipeline::{FactorizedLu, SolveWorkspace};
 use splu_sparse::CscMatrix;
 
 /// Quality metrics of a computed solution.
@@ -27,10 +27,21 @@ pub struct SolveQuality {
     pub steps: usize,
 }
 
-/// Compute `b − A x`.
+/// Compute `b − A x` (test oracle; the refinement loop itself uses
+/// [`residual_into`]).
+#[cfg(test)]
 fn residual(a: &CscMatrix, x: &[f64], b: &[f64]) -> Vec<f64> {
-    let ax = a.matvec(x);
-    b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect()
+    let mut r = vec![0.0; b.len()];
+    residual_into(a, x, b, &mut r);
+    r
+}
+
+/// `r ← b − A x` without allocating.
+fn residual_into(a: &CscMatrix, x: &[f64], b: &[f64], r: &mut [f64]) {
+    a.matvec_into(x, r);
+    for (ri, bi) in r.iter_mut().zip(b) {
+        *ri = bi - *ri;
+    }
 }
 
 fn inf_norm(v: &[f64]) -> f64 {
@@ -46,25 +57,36 @@ pub fn refine(
     b: &[f64],
     max_steps: usize,
 ) -> (Vec<f64>, SolveQuality) {
-    let mut x = lu.solve(b);
+    // All buffers are allocated once up front; the refinement loop itself
+    // is allocation-free (workspace-reusing solves, in-place residuals).
+    let n = b.len();
+    let mut ws = SolveWorkspace::default();
+    let mut x = vec![0.0; n];
+    lu.solve_with(b, &mut x, &mut ws).expect("rhs length");
     let norm_a = a.norm_inf();
     let norm_b = inf_norm(b);
     let mut steps = 0usize;
-    let mut r = residual(a, &x, b);
+    let mut r = vec![0.0; n];
+    residual_into(a, &x, b, &mut r);
     let mut best = inf_norm(&r);
+    let mut dx = vec![0.0; n];
+    let mut xn = vec![0.0; n];
+    let mut rn = vec![0.0; n];
     for _ in 0..max_steps {
         if best == 0.0 {
             break;
         }
-        let dx = lu.solve(&r);
-        let xn: Vec<f64> = x.iter().zip(&dx).map(|(xi, di)| xi + di).collect();
-        let rn = residual(a, &xn, b);
+        lu.solve_with(&r, &mut dx, &mut ws).expect("rhs length");
+        for i in 0..n {
+            xn[i] = x[i] + dx[i];
+        }
+        residual_into(a, &xn, b, &mut rn);
         let rn_norm = inf_norm(&rn);
         if rn_norm >= best {
             break; // converged (or stagnated) — keep the previous iterate
         }
-        x = xn;
-        r = rn;
+        std::mem::swap(&mut x, &mut xn);
+        std::mem::swap(&mut r, &mut rn);
         best = rn_norm;
         steps += 1;
     }

@@ -14,6 +14,7 @@
 //! equivalent to aggregating many small messages into one in the parallel
 //! codes.
 
+use crate::error::SolverError;
 use crate::storage::BlockMatrix;
 use splu_kernels::{dgemm, dger, dtrsm_left_lower_unit};
 use splu_probe::Probe;
@@ -45,27 +46,10 @@ impl FactorStats {
     }
 }
 
-/// Error: no nonzero pivot available in some column.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct NumericalSingularity {
-    /// Global column at which elimination broke down.
-    pub column: usize,
-}
-
-impl std::fmt::Display for NumericalSingularity {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "no nonzero pivot in column {}", self.column)
-    }
-}
-
-impl std::error::Error for NumericalSingularity {}
-
 /// Factorize `m` in place with classic partial pivoting. On success
 /// returns the per-block pivot sequences (`pivots[k][t]` = global row
 /// interchanged with row `S(k) + t` at that step) and run statistics.
-pub fn factor_sequential(
-    m: &mut BlockMatrix,
-) -> Result<(Vec<Vec<u32>>, FactorStats), NumericalSingularity> {
+pub fn factor_sequential(m: &mut BlockMatrix) -> Result<(Vec<Vec<u32>>, FactorStats), SolverError> {
     factor_sequential_opts(m, 1.0)
 }
 
@@ -77,7 +61,7 @@ pub fn factor_sequential(
 pub fn factor_sequential_opts(
     m: &mut BlockMatrix,
     threshold: f64,
-) -> Result<(Vec<Vec<u32>>, FactorStats), NumericalSingularity> {
+) -> Result<(Vec<Vec<u32>>, FactorStats), SolverError> {
     factor_sequential_probed(m, threshold, &Probe::disabled())
 }
 
@@ -88,7 +72,7 @@ pub fn factor_sequential_probed(
     m: &mut BlockMatrix,
     threshold: f64,
     probe: &Probe,
-) -> Result<(Vec<Vec<u32>>, FactorStats), NumericalSingularity> {
+) -> Result<(Vec<Vec<u32>>, FactorStats), SolverError> {
     assert!(threshold > 0.0 && threshold <= 1.0);
     let nb = m.pattern.nblocks();
     let mut stats = FactorStats::default();
@@ -121,7 +105,7 @@ pub fn factor_block(
     m: &mut BlockMatrix,
     k: usize,
     stats: &mut FactorStats,
-) -> Result<Vec<u32>, NumericalSingularity> {
+) -> Result<Vec<u32>, SolverError> {
     factor_block_opts(m, k, 1.0, stats)
 }
 
@@ -133,7 +117,7 @@ pub fn factor_block_opts(
     k: usize,
     threshold: f64,
     stats: &mut FactorStats,
-) -> Result<Vec<u32>, NumericalSingularity> {
+) -> Result<Vec<u32>, SolverError> {
     stats.factor_tasks += 1;
     let cb = &mut m.cols[k];
     let w = cb.w as usize;
@@ -161,7 +145,7 @@ pub fn factor_block_opts(
             }
         }
         if best_abs == 0.0 {
-            return Err(NumericalSingularity { column: lo + t });
+            return Err(SolverError::ZeroPivot { step: lo + t });
         }
         // threshold pivoting: keep the diagonal when close enough to the max
         let diag_abs = cb.diag[t + t * w].abs();
@@ -626,6 +610,9 @@ mod tests {
         c.push(1, 1, 1.0);
         let a = c.to_csc();
         let mut m = build(&a, 0, 2);
-        assert!(factor_sequential(&mut m).is_err());
+        assert!(matches!(
+            factor_sequential(&mut m),
+            Err(SolverError::ZeroPivot { step: 1 })
+        ));
     }
 }

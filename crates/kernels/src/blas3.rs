@@ -131,10 +131,42 @@ pub fn dtrsm_left_lower_unit(m: usize, n: usize, l: &[f64], ldl: usize, b: &mut 
     record(FlopClass::Blas3, (m * m * n) as u64);
 }
 
+/// Solve `U X = B` in place (`B` is overwritten with `X`), where `U` is
+/// the non-unit upper triangle of the `m × m` panel `u` (column-major,
+/// leading dimension `ldu`) and `B` is `m × n` (column-major, leading
+/// dimension `ldb`). Only the upper part of `u` (diagonal included) is
+/// referenced.
+///
+/// This is the block back-substitution kernel of the batched multi-RHS
+/// solve: one diagonal supernode applied to a whole panel of right-hand
+/// sides.
+///
+/// # Panics
+/// Panics if a diagonal entry of `U` is exactly zero.
+pub fn dtrsm_left_upper(m: usize, n: usize, u: &[f64], ldu: usize, b: &mut [f64], ldb: usize) {
+    debug_assert!(ldu >= m.max(1) && ldb >= m.max(1));
+    for j in 0..n {
+        let bcol = &mut b[j * ldb..j * ldb + m];
+        for p in (0..m).rev() {
+            let d = u[p + p * ldu];
+            assert!(d != 0.0, "zero U diagonal at local row {p}");
+            let xp = bcol[p] / d;
+            bcol[p] = xp;
+            if xp != 0.0 {
+                let ucol = &u[p * ldu..p * ldu + p];
+                for (i, &uv) in ucol.iter().enumerate() {
+                    bcol[i] -= uv * xp;
+                }
+            }
+        }
+    }
+    record(FlopClass::Blas3, (m * m * n) as u64);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::blas2::dtrsv_lower_unit;
+    use crate::blas2::{dtrsv_lower_unit, dtrsv_upper};
     use crate::matrix::DenseMat;
 
     fn dgemm_full(a: &DenseMat, b: &DenseMat, alpha: f64, beta: f64, c: &mut DenseMat) {
@@ -263,6 +295,32 @@ mod tests {
         for j in 0..n {
             let mut x = b0.col(j).to_vec();
             dtrsv_lower_unit(m, l.as_slice(), m, &mut x);
+            for i in 0..m {
+                assert!((b[(i, j)] - x[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_upper_matches_repeated_trsv_upper() {
+        let m = 6;
+        let n = 4;
+        let u = DenseMat::from_fn(m, m, |i, j| {
+            if i < j {
+                ((i * 5 + j * 11) % 7) as f64 * 0.3 - 0.8
+            } else if i == j {
+                1.5 + (i as f64) * 0.25
+            } else {
+                f64::NAN // must not be referenced
+            }
+        });
+        let b0 = DenseMat::from_fn(m, n, |i, j| (i as f64 + 2.0 * j as f64) * 0.4 - 1.0);
+        let mut b = b0.clone();
+        let ldb = b.lda();
+        dtrsm_left_upper(m, n, u.as_slice(), m, b.as_mut_slice(), ldb);
+        for j in 0..n {
+            let mut x = b0.col(j).to_vec();
+            dtrsv_upper(m, u.as_slice(), m, &mut x);
             for i in 0..m {
                 assert!((b[(i, j)] - x[i]).abs() < 1e-12);
             }

@@ -143,7 +143,7 @@ impl ProcCtx {
                 .expect("channel closed while waiting — a processor panicked");
             if m.tag == POISON_TAG {
                 self.probe.mark("poison", 0);
-                panic!("a peer processor failed; aborting this processor");
+                std::panic::panic_any(PEER_FAILED_MSG);
             }
             if m.tag == tag {
                 self.probe.mark("recv", m.nbytes());
@@ -160,7 +160,7 @@ impl ProcCtx {
         while let Ok(m) = self.receiver.try_recv() {
             if m.tag == POISON_TAG {
                 self.probe.mark("poison", 0);
-                panic!("a peer processor failed; aborting this processor");
+                std::panic::panic_any(PEER_FAILED_MSG);
             }
             self.park(m);
         }
@@ -192,6 +192,23 @@ impl ProcCtx {
     /// this.
     pub fn probe(&self) -> &Probe {
         &self.probe
+    }
+}
+
+/// Message of the panic a processor raises when a *peer* failed (the
+/// poison cascade) — the uninteresting secondary panic.
+const PEER_FAILED_MSG: &str = "a peer processor failed; aborting this processor";
+
+/// Rank panic payloads for propagation: typed payloads (e.g. a
+/// `SolverError` from a singular pivot) beat string panics, which beat
+/// the poison-cascade panics peers raise after the original failure.
+fn payload_priority(p: &(dyn std::any::Any + Send)) -> u8 {
+    if let Some(s) = p.downcast_ref::<&'static str>() {
+        u8::from(*s != PEER_FAILED_MSG)
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        u8::from(!s.contains("a processor panicked"))
+    } else {
+        2
     }
 }
 
@@ -287,10 +304,28 @@ where
                 }
             }));
         }
+        let mut panics: Vec<Box<dyn std::any::Any + Send>> = Vec::new();
         for (rank, h) in handles.into_iter().enumerate() {
-            results[rank] = Some(h.join().expect("processor panicked"));
+            match h.join() {
+                Ok(r) => results[rank] = Some(r),
+                Err(e) => panics.push(e),
+            }
         }
         drop(keepalive);
+        if !panics.is_empty() {
+            // Several processors usually go down together: the one that
+            // hit the real fault (possibly with a typed payload, e.g. a
+            // `SolverError`) plus peers that panicked on the poison
+            // broadcast. Re-raise the most informative payload so the
+            // host can downcast it.
+            let idx = panics
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, p)| payload_priority(p.as_ref()))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            resume_unwind(panics.swap_remove(idx));
+        }
     });
     (
         results.into_iter().map(|r| r.unwrap()).collect(),

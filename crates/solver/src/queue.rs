@@ -1,0 +1,444 @@
+//! Bounded work queue and solve worker pool.
+//!
+//! The front end of the solver service: callers enqueue [`SolveJob`]s
+//! (a cached [`Factorization`] plus right-hand sides), a fixed pool of
+//! worker threads drains the queue, and every job produces exactly one
+//! [`JobReport`]. Two admission-control mechanisms bound the work in
+//! flight:
+//!
+//! * **capacity** — the queue holds at most `capacity` jobs;
+//!   [`WorkerPool::try_submit`] rejects (returning the job) when full,
+//!   while [`WorkerPool::submit`] blocks for back-pressure;
+//! * **deadlines** — a job may carry a deadline; a worker that dequeues
+//!   an already-expired job rejects it without solving (the classic
+//!   "don't work on requests the client has given up on" rule).
+//!
+//! Workers reuse one [`SolveWorkspace`] and one solution buffer each, so
+//! the steady state allocates only for reports. A numerically failed
+//! solve is reported per-job — it never takes down the pool.
+
+use crate::Factorization;
+use splu_core::{SolveWorkspace, SolverError};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// One solve request: factorization handle plus column-major right-hand
+/// sides.
+pub struct SolveJob {
+    /// Caller-chosen identifier, echoed in the report.
+    pub id: usize,
+    /// Factorization to solve against (shared, cheap to clone).
+    pub factor: Factorization,
+    /// Right-hand sides, column-major `n × nrhs`.
+    pub b: Vec<f64>,
+    /// Number of right-hand side columns.
+    pub nrhs: usize,
+    /// If set, a worker that picks the job up at or after this instant
+    /// rejects it without solving.
+    pub deadline: Option<Instant>,
+    /// Submission timestamp (set by the pool, used for wait accounting).
+    submitted: Instant,
+}
+
+impl std::fmt::Debug for SolveJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveJob")
+            .field("id", &self.id)
+            .field("n", &self.factor.lu().n())
+            .field("nrhs", &self.nrhs)
+            .field("deadline", &self.deadline)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SolveJob {
+    /// New job; `deadline_us` microseconds from now, `None` = no
+    /// deadline. `deadline_us = Some(0)` makes the deadline the
+    /// submission instant itself, so the job is deterministically
+    /// expired by the time any worker sees it.
+    pub fn new(
+        id: usize,
+        factor: Factorization,
+        b: Vec<f64>,
+        nrhs: usize,
+        deadline_us: Option<u64>,
+    ) -> Self {
+        let now = Instant::now();
+        Self {
+            id,
+            factor,
+            b,
+            nrhs,
+            deadline: deadline_us.map(|us| now + std::time::Duration::from_micros(us)),
+            submitted: now,
+        }
+    }
+}
+
+/// Terminal state of one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Solved; the solution is in [`JobReport::x`].
+    Solved,
+    /// Dequeued at or after its deadline; not solved.
+    DeadlineExpired,
+    /// The triangular solve reported a typed error.
+    Failed(SolverError),
+}
+
+impl JobStatus {
+    /// Stable lowercase label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobStatus::Solved => "solved",
+            JobStatus::DeadlineExpired => "deadline_expired",
+            JobStatus::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Outcome of one job, produced by exactly one worker.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Echo of [`SolveJob::id`].
+    pub id: usize,
+    /// Terminal state.
+    pub status: JobStatus,
+    /// Column-major solution (present iff `status == Solved`).
+    pub x: Option<Vec<f64>>,
+    /// Microseconds from submission to dequeue.
+    pub wait_us: u64,
+    /// Microseconds spent in the triangular solves (0 if not solved).
+    pub solve_us: u64,
+    /// Index of the worker that handled the job.
+    pub worker: usize,
+}
+
+/// Monotonic counters describing queue behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Jobs accepted into the queue.
+    pub accepted: u64,
+    /// Jobs rejected by [`WorkerPool::try_submit`] because the queue was
+    /// at capacity.
+    pub rejected_full: u64,
+    /// Jobs dequeued past their deadline (not solved).
+    pub expired: u64,
+    /// Jobs solved successfully.
+    pub solved: u64,
+    /// Jobs whose solve returned an error.
+    pub failed: u64,
+}
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A minimal bounded MPMC queue on `Mutex` + `Condvar`.
+pub struct BoundedQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Non-blocking push: `Err(item)` if the queue is full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut g = self.inner.lock().unwrap();
+        if g.closed || g.items.len() >= self.capacity {
+            return Err(item);
+        }
+        g.items.push_back(item);
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking push (back-pressure): waits for space. `Err(item)` only
+    /// if the queue is closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut g = self.inner.lock().unwrap();
+        while !g.closed && g.items.len() >= self.capacity {
+            g = self.not_full.wait(g).unwrap();
+        }
+        if g.closed {
+            return Err(item);
+        }
+        g.items.push_back(item);
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop: `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                drop(g);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.not_empty.wait(g).unwrap();
+        }
+    }
+
+    /// Close the queue: producers fail fast, consumers drain and stop.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+struct PoolShared {
+    queue: BoundedQueue<SolveJob>,
+    reports: Mutex<Vec<JobReport>>,
+    stats: Mutex<QueueStats>,
+}
+
+/// Fixed-size pool of solve workers over a [`BoundedQueue`].
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads draining a queue of capacity `queue_cap`.
+    pub fn new(workers: usize, queue_cap: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: BoundedQueue::new(queue_cap),
+            reports: Mutex::new(Vec::new()),
+            stats: Mutex::new(QueueStats::default()),
+        });
+        let handles = (0..workers.max(1))
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("splu-solve-{w}"))
+                    .spawn(move || worker_loop(w, &shared))
+                    .expect("spawn solve worker")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Blocking submit with back-pressure. `Err(job)` only if the pool
+    /// has been shut down.
+    pub fn submit(&self, job: SolveJob) -> Result<(), SolveJob> {
+        self.shared.queue.push(job)?;
+        self.shared.stats.lock().unwrap().accepted += 1;
+        Ok(())
+    }
+
+    /// Non-blocking submit: `Err(job)` if the queue is at capacity
+    /// (counted as an admission rejection) or shut down.
+    pub fn try_submit(&self, job: SolveJob) -> Result<(), SolveJob> {
+        match self.shared.queue.try_push(job) {
+            Ok(()) => {
+                self.shared.stats.lock().unwrap().accepted += 1;
+                Ok(())
+            }
+            Err(job) => {
+                self.shared.stats.lock().unwrap().rejected_full += 1;
+                Err(job)
+            }
+        }
+    }
+
+    /// Snapshot of the queue counters.
+    pub fn stats(&self) -> QueueStats {
+        *self.shared.stats.lock().unwrap()
+    }
+
+    /// Close the queue, wait for the workers to drain it, and return all
+    /// reports sorted by job id.
+    pub fn finish(self) -> (Vec<JobReport>, QueueStats) {
+        self.shared.queue.close();
+        for h in self.handles {
+            h.join().expect("solve worker panicked");
+        }
+        let mut reports = std::mem::take(&mut *self.shared.reports.lock().unwrap());
+        reports.sort_by_key(|r| r.id);
+        let stats = *self.shared.stats.lock().unwrap();
+        (reports, stats)
+    }
+}
+
+fn worker_loop(worker: usize, shared: &PoolShared) {
+    let mut ws = SolveWorkspace::default();
+    let mut x: Vec<f64> = Vec::new();
+    while let Some(job) = shared.queue.pop() {
+        let dequeued = Instant::now();
+        let wait_us = dequeued.duration_since(job.submitted).as_micros() as u64;
+
+        let report = if job.deadline.is_some_and(|d| dequeued >= d) {
+            shared.stats.lock().unwrap().expired += 1;
+            JobReport {
+                id: job.id,
+                status: JobStatus::DeadlineExpired,
+                x: None,
+                wait_us,
+                solve_us: 0,
+                worker,
+            }
+        } else {
+            x.clear();
+            x.resize(job.b.len(), 0.0);
+            let t0 = Instant::now();
+            let res = job
+                .factor
+                .solve_many_with(&job.b, job.nrhs, &mut x, &mut ws);
+            let solve_us = t0.elapsed().as_micros() as u64;
+            match res {
+                Ok(()) => {
+                    shared.stats.lock().unwrap().solved += 1;
+                    JobReport {
+                        id: job.id,
+                        status: JobStatus::Solved,
+                        x: Some(x.clone()),
+                        wait_us,
+                        solve_us,
+                        worker,
+                    }
+                }
+                Err(e) => {
+                    shared.stats.lock().unwrap().failed += 1;
+                    JobReport {
+                        id: job.id,
+                        status: JobStatus::Failed(e),
+                        x: None,
+                        wait_us,
+                        solve_us,
+                        worker,
+                    }
+                }
+            }
+        };
+        shared.reports.lock().unwrap().push(report);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Analysis;
+    use splu_core::FactorOptions;
+    use splu_sparse::gen::{self, ValueModel};
+
+    fn factor_of(nx: usize, ny: usize) -> (splu_sparse::CscMatrix, Factorization) {
+        let a = gen::grid2d(nx, ny, 0.4, ValueModel::default());
+        let an = Analysis::of(&a, FactorOptions::default());
+        let f = an.factorize(&a).unwrap();
+        (a, f)
+    }
+
+    #[test]
+    fn bounded_queue_rejects_when_full() {
+        let q: BoundedQueue<usize> = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+        q.close();
+        assert_eq!(q.try_push(4), Err(4));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pool_solves_and_reports_in_id_order() {
+        let (a, f) = factor_of(7, 7);
+        let n = a.ncols();
+        let pool = WorkerPool::new(3, 4);
+        let mut truths = Vec::new();
+        for id in 0..6 {
+            let xt: Vec<f64> = (0..n).map(|i| ((i + id) as f64 * 0.1).cos()).collect();
+            let b = a.matvec(&xt);
+            truths.push(xt);
+            pool.submit(SolveJob::new(id, f.clone(), b, 1, None))
+                .unwrap();
+        }
+        let (reports, stats) = pool.finish();
+        assert_eq!(reports.len(), 6);
+        assert_eq!(stats.accepted, 6);
+        assert_eq!(stats.solved, 6);
+        for (r, xt) in reports.iter().zip(&truths) {
+            assert_eq!(r.status, JobStatus::Solved);
+            let x = r.x.as_ref().unwrap();
+            let err = x
+                .iter()
+                .zip(xt)
+                .fold(0.0f64, |m, (p, q)| m.max((p - q).abs()));
+            assert!(err < 1e-7, "job {} err={err:.3e}", r.id);
+        }
+    }
+
+    #[test]
+    fn zero_deadline_is_deterministically_expired() {
+        let (a, f) = factor_of(5, 5);
+        let n = a.ncols();
+        let pool = WorkerPool::new(1, 2);
+        pool.submit(SolveJob::new(0, f.clone(), vec![1.0; n], 1, Some(0)))
+            .unwrap();
+        pool.submit(SolveJob::new(1, f, vec![1.0; n], 1, None))
+            .unwrap();
+        let (reports, stats) = pool.finish();
+        assert_eq!(reports[0].status, JobStatus::DeadlineExpired);
+        assert!(reports[0].x.is_none());
+        assert_eq!(reports[1].status, JobStatus::Solved);
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.solved, 1);
+        let _ = a;
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported_not_fatal() {
+        let (_, f) = factor_of(5, 5);
+        let pool = WorkerPool::new(2, 2);
+        pool.submit(SolveJob::new(0, f.clone(), vec![1.0; 3], 1, None))
+            .unwrap();
+        let n = f.lu().n();
+        pool.submit(SolveJob::new(1, f, vec![1.0; n], 1, None))
+            .unwrap();
+        let (reports, stats) = pool.finish();
+        assert!(matches!(
+            reports[0].status,
+            JobStatus::Failed(SolverError::DimensionMismatch { .. })
+        ));
+        assert_eq!(reports[1].status, JobStatus::Solved);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.solved, 1);
+    }
+}

@@ -1,0 +1,534 @@
+//! Workload files and the batch driver behind `splu serve`.
+//!
+//! A workload is a small line-oriented text file: `matrix` lines declare
+//! named matrices (generators, value perturbations of a base pattern,
+//! or a numerically singular twin), `solve` lines request solves against
+//! them in order. Example:
+//!
+//! ```text
+//! # two patterns, one singular twin
+//! matrix g grid2d 12 12
+//! matrix g2 perturb g 7     # same pattern as g, new values
+//! matrix r random 150 4
+//! matrix bad singular g     # g's pattern, one value column zeroed
+//! solve g nrhs=2
+//! solve g2                  # analysis reused, numeric refactor
+//! solve g                   # full cache hit
+//! solve r
+//! solve bad                 # typed ZeroPivot, not a panic
+//! solve g deadline_us=0     # deterministically past its deadline
+//! ```
+//!
+//! [`run_batch`] feeds the requests through a [`SolverService`] (so the
+//! factorization cache sees the pattern/value reuse) and a [`WorkerPool`]
+//! (so solves run concurrently under admission control), then reports
+//! one [`RequestOutcome`] per `solve` line. Right-hand sides are
+//! manufactured from a deterministic `x_true`, so every solved request
+//! carries a forward-error measurement.
+
+use crate::queue::{JobStatus, SolveJob, WorkerPool};
+use crate::service::{Reuse, ServiceConfig, SolverService};
+use crate::{CacheConfig, CacheStats, FactorOptions, QueueStats};
+use splu_sparse::gen::{self, ValueModel};
+use splu_sparse::CscMatrix;
+use std::collections::HashMap;
+
+/// One declared matrix: name plus how to build it.
+#[derive(Debug, Clone, PartialEq)]
+enum MatrixSpec {
+    /// `grid2d <nx> <ny>` — 5-point convection-diffusion grid.
+    Grid2d { nx: usize, ny: usize },
+    /// `random <n> <avg_per_col>` — random sparse with partial symmetry.
+    Random { n: usize, avg_per_col: usize },
+    /// `perturb <base> <seed>` — same pattern as `base`, rescaled values.
+    Perturb { base: String, seed: u64 },
+    /// `singular <base>` — `base` with one value column zeroed: same
+    /// pattern fingerprint, numerically singular.
+    Singular { base: String },
+}
+
+/// One `solve` line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveRequest {
+    /// Name of the matrix to solve against.
+    pub matrix: String,
+    /// Number of right-hand-side columns (`nrhs=K`, default 1).
+    pub nrhs: usize,
+    /// Optional deadline in microseconds from submission
+    /// (`deadline_us=U`; `0` is deterministically expired).
+    pub deadline_us: Option<u64>,
+}
+
+/// A parsed workload: matrix declarations plus solve requests.
+#[derive(Debug, Default)]
+pub struct Workload {
+    matrices: Vec<(String, MatrixSpec)>,
+    /// Solve requests in file order; the index is the request id.
+    pub requests: Vec<SolveRequest>,
+}
+
+impl Workload {
+    /// Parse the workload text format. Errors carry 1-based line numbers.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut w = Workload::default();
+        let mut names: HashMap<String, usize> = HashMap::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = lineno + 1;
+            let mut tok = line.split_whitespace();
+            match tok.next() {
+                Some("matrix") => {
+                    let name = tok
+                        .next()
+                        .ok_or_else(|| format!("line {lineno}: matrix needs a name"))?
+                        .to_string();
+                    if names.contains_key(&name) {
+                        return Err(format!("line {lineno}: duplicate matrix `{name}`"));
+                    }
+                    let kind = tok
+                        .next()
+                        .ok_or_else(|| format!("line {lineno}: matrix `{name}` needs a kind"))?;
+                    let spec = match kind {
+                        "grid2d" => MatrixSpec::Grid2d {
+                            nx: parse_tok(&mut tok, lineno, "nx")?,
+                            ny: parse_tok(&mut tok, lineno, "ny")?,
+                        },
+                        "random" => MatrixSpec::Random {
+                            n: parse_tok(&mut tok, lineno, "n")?,
+                            avg_per_col: parse_tok(&mut tok, lineno, "avg_per_col")?,
+                        },
+                        "perturb" => {
+                            let base: String = parse_tok(&mut tok, lineno, "base")?;
+                            if !names.contains_key(&base) {
+                                return Err(format!("line {lineno}: unknown base matrix `{base}`"));
+                            }
+                            MatrixSpec::Perturb {
+                                base,
+                                seed: parse_tok(&mut tok, lineno, "seed")?,
+                            }
+                        }
+                        "singular" => {
+                            let base: String = parse_tok(&mut tok, lineno, "base")?;
+                            if !names.contains_key(&base) {
+                                return Err(format!("line {lineno}: unknown base matrix `{base}`"));
+                            }
+                            MatrixSpec::Singular { base }
+                        }
+                        other => {
+                            return Err(format!(
+                                "line {lineno}: unknown matrix kind `{other}` \
+                                 (expected grid2d|random|perturb|singular)"
+                            ))
+                        }
+                    };
+                    names.insert(name.clone(), w.matrices.len());
+                    w.matrices.push((name, spec));
+                }
+                Some("solve") => {
+                    let matrix = tok
+                        .next()
+                        .ok_or_else(|| format!("line {lineno}: solve needs a matrix name"))?
+                        .to_string();
+                    if !names.contains_key(&matrix) {
+                        return Err(format!("line {lineno}: unknown matrix `{matrix}`"));
+                    }
+                    let mut req = SolveRequest {
+                        matrix,
+                        nrhs: 1,
+                        deadline_us: None,
+                    };
+                    for opt in tok {
+                        if let Some(v) = opt.strip_prefix("nrhs=") {
+                            req.nrhs = v
+                                .parse()
+                                .map_err(|_| format!("line {lineno}: bad nrhs `{v}`"))?;
+                            if req.nrhs == 0 {
+                                return Err(format!("line {lineno}: nrhs must be >= 1"));
+                            }
+                        } else if let Some(v) = opt.strip_prefix("deadline_us=") {
+                            req.deadline_us =
+                                Some(v.parse().map_err(|_| {
+                                    format!("line {lineno}: bad deadline_us `{v}`")
+                                })?);
+                        } else {
+                            return Err(format!("line {lineno}: unknown solve option `{opt}`"));
+                        }
+                    }
+                    w.requests.push(req);
+                }
+                Some(other) => {
+                    return Err(format!(
+                        "line {lineno}: unknown directive `{other}` (expected matrix|solve)"
+                    ))
+                }
+                None => unreachable!(),
+            }
+        }
+        Ok(w)
+    }
+
+    /// Build every declared matrix, in declaration order.
+    fn build_matrices(&self) -> HashMap<String, CscMatrix> {
+        let vm = ValueModel::default();
+        let mut built: HashMap<String, CscMatrix> = HashMap::new();
+        for (name, spec) in &self.matrices {
+            let m = match spec {
+                MatrixSpec::Grid2d { nx, ny } => gen::grid2d(*nx, *ny, 0.4, vm),
+                MatrixSpec::Random { n, avg_per_col } => {
+                    gen::random_sparse(*n, *avg_per_col, 0.5, vm)
+                }
+                MatrixSpec::Perturb { base, seed } => gen::perturb_values(&built[base], *seed),
+                MatrixSpec::Singular { base } => {
+                    let b = &built[base];
+                    gen::zero_column_values(b, b.ncols() / 2)
+                }
+            };
+            built.insert(name.clone(), m);
+        }
+        built
+    }
+}
+
+fn parse_tok<T: std::str::FromStr>(
+    tok: &mut std::str::SplitWhitespace<'_>,
+    lineno: usize,
+    what: &str,
+) -> Result<T, String> {
+    let s = tok
+        .next()
+        .ok_or_else(|| format!("line {lineno}: missing {what}"))?;
+    s.parse()
+        .map_err(|_| format!("line {lineno}: bad {what} `{s}`"))
+}
+
+/// Knobs for [`run_batch`].
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Solve worker threads.
+    pub workers: usize,
+    /// Work-queue capacity (admission limit).
+    pub queue_cap: usize,
+    /// Factorization-cache byte budget.
+    pub cache_bytes: usize,
+    /// Pipeline options.
+    pub options: FactorOptions,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_cap: 8,
+            cache_bytes: CacheConfig::default().capacity_bytes,
+            options: FactorOptions::default(),
+        }
+    }
+}
+
+/// Per-request result.
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// Request id (index of the `solve` line).
+    pub id: usize,
+    /// Matrix name the request solved against.
+    pub matrix: String,
+    /// Right-hand-side columns.
+    pub nrhs: usize,
+    /// Cache reuse level of the factorization (`None` if factorization
+    /// itself failed before reaching the cache insert).
+    pub reuse: Option<Reuse>,
+    /// Terminal status label: `solved`, `deadline_expired`, `failed`, or
+    /// `factorization_failed`.
+    pub status: String,
+    /// Error detail for failed requests.
+    pub error: Option<String>,
+    /// Forward error `max_i |x_i - x_true_i|` over all columns (solved
+    /// requests only).
+    pub max_err: Option<f64>,
+    /// Queue wait in microseconds (requests that reached the pool).
+    pub wait_us: u64,
+    /// Solve time in microseconds (solved requests).
+    pub solve_us: u64,
+}
+
+/// Everything `splu serve` reports: per-request outcomes plus cache and
+/// queue counters.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// One outcome per `solve` request, in request order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Factorization-cache counters.
+    pub cache: CacheStats,
+    /// Work-queue counters.
+    pub queue: QueueStats,
+    /// Resident cache bytes at the end of the batch.
+    pub cache_resident_bytes: usize,
+}
+
+impl BatchReport {
+    /// Count of outcomes with the given status label.
+    pub fn count(&self, status: &str) -> usize {
+        self.outcomes.iter().filter(|o| o.status == status).count()
+    }
+
+    /// Largest forward error over all solved requests.
+    pub fn max_err(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.max_err)
+            .fold(0.0, f64::max)
+    }
+
+    /// Render the report as a JSON object (the `BENCH_solver.json`
+    /// format emitted by `verify.sh`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"solver_serve\",\n");
+        out.push_str(&format!("  \"requests\": {},\n", self.outcomes.len()));
+        for status in [
+            "solved",
+            "deadline_expired",
+            "failed",
+            "factorization_failed",
+        ] {
+            out.push_str(&format!("  \"{}\": {},\n", status, self.count(status)));
+        }
+        out.push_str(&format!("  \"max_err\": {:e},\n", self.max_err()));
+        let total_solve_us: u64 = self.outcomes.iter().map(|o| o.solve_us).sum();
+        out.push_str(&format!("  \"total_solve_us\": {total_solve_us},\n"));
+        out.push_str(&format!(
+            "  \"cache\": {{\"analysis_hits\": {}, \"analysis_misses\": {}, \
+             \"factor_hits\": {}, \"refactors\": {}, \"evictions\": {}, \
+             \"resident_bytes\": {}}},\n",
+            self.cache.analysis_hits,
+            self.cache.analysis_misses,
+            self.cache.factor_hits,
+            self.cache.refactors,
+            self.cache.evictions,
+            self.cache_resident_bytes,
+        ));
+        out.push_str(&format!(
+            "  \"queue\": {{\"accepted\": {}, \"rejected_full\": {}, \
+             \"expired\": {}, \"solved\": {}, \"failed\": {}}},\n",
+            self.queue.accepted,
+            self.queue.rejected_full,
+            self.queue.expired,
+            self.queue.solved,
+            self.queue.failed,
+        ));
+        out.push_str("  \"outcomes\": [\n");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            let reuse = o
+                .reuse
+                .map_or("null".to_string(), |r| format!("\"{}\"", r.label()));
+            let max_err = o.max_err.map_or("null".to_string(), |e| format!("{e:e}"));
+            let error = o
+                .error
+                .as_ref()
+                .map_or("null".to_string(), |e| format!("{:?}", e));
+            out.push_str(&format!(
+                "    {{\"id\": {}, \"matrix\": {:?}, \"nrhs\": {}, \"reuse\": {}, \
+                 \"status\": {:?}, \"error\": {}, \"max_err\": {}, \
+                 \"wait_us\": {}, \"solve_us\": {}}}{}\n",
+                o.id,
+                o.matrix,
+                o.nrhs,
+                reuse,
+                o.status,
+                error,
+                max_err,
+                o.wait_us,
+                o.solve_us,
+                if i + 1 < self.outcomes.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Deterministic synthetic solution for request `id`, column `c`.
+fn x_true(n: usize, nrhs: usize, id: usize) -> Vec<f64> {
+    let mut x = vec![0.0; n * nrhs];
+    for c in 0..nrhs {
+        for i in 0..n {
+            x[c * n + i] = ((i * 7 + c * 13 + id * 31) % 17) as f64 * 0.25 - 2.0;
+        }
+    }
+    x
+}
+
+/// Run a parsed workload through the solver service and worker pool.
+///
+/// Factorizations run on the driver thread (populating the cache in
+/// request order, so reuse counters are deterministic); solves run on
+/// the pool. Submission uses the blocking [`WorkerPool::submit`], so
+/// queue capacity provides back-pressure rather than data loss.
+pub fn run_batch(workload: &Workload, config: &BatchConfig) -> BatchReport {
+    let matrices = workload.build_matrices();
+    let service = SolverService::new(ServiceConfig {
+        cache: CacheConfig {
+            capacity_bytes: config.cache_bytes,
+        },
+        options: config.options,
+    });
+    let pool = WorkerPool::new(config.workers, config.queue_cap);
+
+    struct Pending {
+        x_true: Vec<f64>,
+    }
+    let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(workload.requests.len());
+    let mut pending: HashMap<usize, Pending> = HashMap::new();
+
+    for (id, req) in workload.requests.iter().enumerate() {
+        let a = &matrices[&req.matrix];
+        let n = a.ncols();
+        let mut outcome = RequestOutcome {
+            id,
+            matrix: req.matrix.clone(),
+            nrhs: req.nrhs,
+            reuse: None,
+            status: String::new(),
+            error: None,
+            max_err: None,
+            wait_us: 0,
+            solve_us: 0,
+        };
+        match service.factorization(a) {
+            Err(e) => {
+                outcome.status = "factorization_failed".into();
+                outcome.error = Some(e.to_string());
+            }
+            Ok((factor, reuse)) => {
+                outcome.reuse = Some(reuse);
+                let xt = x_true(n, req.nrhs, id);
+                let mut b = vec![0.0; n * req.nrhs];
+                for c in 0..req.nrhs {
+                    a.matvec_into(&xt[c * n..(c + 1) * n], &mut b[c * n..(c + 1) * n]);
+                }
+                let job = SolveJob::new(id, factor, b, req.nrhs, req.deadline_us);
+                if pool.submit(job).is_err() {
+                    unreachable!("pool closed during submission");
+                }
+                pending.insert(id, Pending { x_true: xt });
+                outcome.status = "pending".into();
+            }
+        }
+        outcomes.push(outcome);
+    }
+
+    let (reports, queue_stats) = pool.finish();
+    for r in reports {
+        let p = &pending[&r.id];
+        let o = &mut outcomes[r.id];
+        o.wait_us = r.wait_us;
+        o.solve_us = r.solve_us;
+        o.status = r.status.label().into();
+        match r.status {
+            JobStatus::Solved => {
+                let x = r.x.as_ref().expect("solved job carries a solution");
+                let err = x
+                    .iter()
+                    .zip(&p.x_true)
+                    .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()));
+                o.max_err = Some(err);
+            }
+            JobStatus::Failed(e) => o.error = Some(e.to_string()),
+            JobStatus::DeadlineExpired => {}
+        }
+    }
+
+    BatchReport {
+        outcomes,
+        cache: service.cache_stats(),
+        queue: queue_stats,
+        cache_resident_bytes: service.cache_resident_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WORKLOAD: &str = "\
+# mixed two-pattern workload
+matrix g grid2d 9 9
+matrix g2 perturb g 7
+matrix r random 120 4
+matrix bad singular g
+solve g nrhs=2
+solve g
+solve g2
+solve r
+solve bad
+solve g2 deadline_us=0
+solve r nrhs=3
+solve g2
+";
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(Workload::parse("solve nowhere").is_err());
+        assert!(Workload::parse("matrix a grid2d 3").is_err());
+        assert!(Workload::parse("matrix a grid2d 3 3\nmatrix a grid2d 3 3").is_err());
+        assert!(Workload::parse("matrix a perturb missing 1").is_err());
+        assert!(Workload::parse("matrix a grid2d 3 3\nsolve a nrhs=0").is_err());
+        assert!(Workload::parse("bogus line").is_err());
+    }
+
+    #[test]
+    fn parse_accepts_comments_and_options() {
+        let w = Workload::parse(WORKLOAD).unwrap();
+        assert_eq!(w.matrices.len(), 4);
+        assert_eq!(w.requests.len(), 8);
+        assert_eq!(w.requests[0].nrhs, 2);
+        assert_eq!(w.requests[5].deadline_us, Some(0));
+    }
+
+    #[test]
+    fn mixed_batch_end_to_end() {
+        let w = Workload::parse(WORKLOAD).unwrap();
+        let report = run_batch(&w, &BatchConfig::default());
+        assert_eq!(report.outcomes.len(), 8);
+
+        // The singular matrix fails factorization with a typed error.
+        assert_eq!(report.outcomes[4].status, "factorization_failed");
+        assert!(report.outcomes[4]
+            .error
+            .as_ref()
+            .unwrap()
+            .contains("zero pivot"));
+        // The zero-deadline request is rejected by deadline, never solved.
+        assert_eq!(report.outcomes[5].status, "deadline_expired");
+        assert_eq!(report.queue.expired, 1);
+        // Everything else solves accurately.
+        assert_eq!(report.count("solved"), 6);
+        assert!(report.max_err() < 1e-7, "max_err={:.3e}", report.max_err());
+
+        // Cache reuse: g misses, repeat g full-hits, g2 reuses analysis
+        // (new values under the cached symbolic analysis).
+        assert_eq!(report.outcomes[0].reuse, Some(Reuse::None));
+        assert_eq!(report.outcomes[1].reuse, Some(Reuse::Full));
+        assert_eq!(report.outcomes[2].reuse, Some(Reuse::Analysis));
+        assert_eq!(report.outcomes[3].reuse, Some(Reuse::None));
+        assert_eq!(report.outcomes[5].reuse, Some(Reuse::Full));
+        assert_eq!(report.outcomes[7].reuse, Some(Reuse::Full));
+        let c = report.cache;
+        assert_eq!(c.analysis_misses, 2, "two distinct patterns");
+        assert_eq!(c.factor_hits, 4, "repeat requests hit the factor cache");
+        assert_eq!(
+            c.refactors, 1,
+            "perturbed values refactor under cached analysis"
+        );
+
+        // JSON renders and contains the headline counters.
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"solver_serve\""));
+        assert!(json.contains("\"solved\": 6"));
+        assert!(json.contains("\"deadline_expired\": 1"));
+        assert!(json.contains("\"factorization_failed\": 1"));
+    }
+}

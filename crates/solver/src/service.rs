@@ -1,0 +1,184 @@
+//! [`SolverService`] — the factorization cache behind a thread-safe
+//! get-or-compute facade.
+//!
+//! The service owns a [`FactorCache`] under a mutex and exposes one
+//! entry point, [`SolverService::factorization`], which returns a ready
+//! [`Factorization`] for any square matrix together with the
+//! [`Reuse`] level that produced it. Symbolic and numeric work runs
+//! *outside* the lock, so a slow factorization never blocks cache hits
+//! on other patterns; the (benign, deterministic-per-thread) cost is
+//! that two threads racing on the same unseen pattern may both compute
+//! it — the second insert simply refreshes the entry.
+
+use crate::cache::{CacheConfig, CacheStats, FactorCache};
+use crate::{Analysis, Factorization};
+use splu_core::{FactorOptions, SolverError};
+use splu_probe::Probe;
+use splu_sparse::CscMatrix;
+use std::sync::Mutex;
+
+/// Configuration for [`SolverService`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceConfig {
+    /// Cache capacity.
+    pub cache: CacheConfig,
+    /// Pipeline options used for every analysis/factorization.
+    pub options: FactorOptions,
+}
+
+/// How much cached work a [`SolverService::factorization`] call reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reuse {
+    /// Pattern and values both matched: the cached factorization was
+    /// returned without any numeric work.
+    Full,
+    /// Pattern matched: symbolic analysis was reused, only the numeric
+    /// factorization ran.
+    Analysis,
+    /// Unseen pattern: full symbolic + numeric pipeline.
+    None,
+}
+
+impl Reuse {
+    /// Stable lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Reuse::Full => "full",
+            Reuse::Analysis => "analysis",
+            Reuse::None => "none",
+        }
+    }
+}
+
+/// Thread-safe analyze/factorize front end over [`FactorCache`].
+pub struct SolverService {
+    cache: Mutex<FactorCache>,
+    options: FactorOptions,
+}
+
+impl SolverService {
+    /// New service with an empty cache.
+    pub fn new(config: ServiceConfig) -> Self {
+        Self {
+            cache: Mutex::new(FactorCache::new(config.cache)),
+            options: config.options,
+        }
+    }
+
+    /// Factorization of `a`, reusing cached symbolic/numeric work where
+    /// the fingerprints allow.
+    ///
+    /// # Panics
+    /// Panics if `a` is not square or structurally singular (analysis
+    /// precondition, as for [`Analysis::of`]). Numeric singularity is a
+    /// typed [`SolverError::ZeroPivot`].
+    pub fn factorization(&self, a: &CscMatrix) -> Result<(Factorization, Reuse), SolverError> {
+        let pattern_fp = a.pattern_fingerprint();
+        let value_fp = a.value_fingerprint();
+
+        // Level 1: full hit — same pattern and bit-identical values.
+        let cached_analysis = {
+            let mut cache = self.cache.lock().unwrap();
+            if let Some(f) = cache.get_factor(pattern_fp, value_fp) {
+                return Ok((f, Reuse::Full));
+            }
+            cache.get_analysis(pattern_fp)
+        };
+
+        // Level 2/3: numeric (and possibly symbolic) work off-lock.
+        let (analysis, reuse) = match cached_analysis {
+            Some(an) => (an, Reuse::Analysis),
+            None => (Analysis::of(a, self.options), Reuse::None),
+        };
+        let factor = analysis.factorize(a)?;
+
+        let mut cache = self.cache.lock().unwrap();
+        match reuse {
+            Reuse::Analysis => cache.note_refactor(),
+            Reuse::None => cache.note_miss(),
+            Reuse::Full => unreachable!(),
+        }
+        cache.insert_factor(&analysis, factor.clone());
+        Ok((factor, reuse))
+    }
+
+    /// Convenience: factorize (with reuse) and solve one right-hand side.
+    pub fn solve(&self, a: &CscMatrix, b: &[f64]) -> Result<Vec<f64>, SolverError> {
+        let (f, _) = self.factorization(a)?;
+        f.solve(b)
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().unwrap().stats()
+    }
+
+    /// Current resident cache size in bytes.
+    pub fn cache_resident_bytes(&self) -> usize {
+        self.cache.lock().unwrap().resident_bytes()
+    }
+
+    /// Export cache counters through a probe.
+    pub fn export_stats(&self, probe: &Probe) {
+        self.cache_stats().export(probe);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splu_sparse::gen::{self, ValueModel};
+
+    #[test]
+    fn reuse_levels_in_order() {
+        let svc = SolverService::new(ServiceConfig::default());
+        let a = gen::grid2d(8, 8, 0.4, ValueModel::default());
+
+        let (_, r1) = svc.factorization(&a).unwrap();
+        assert_eq!(r1, Reuse::None);
+        // Identical matrix: full hit, zero numeric work.
+        let (_, r2) = svc.factorization(&a).unwrap();
+        assert_eq!(r2, Reuse::Full);
+        // Same pattern, new values: analysis reused, numeric rerun.
+        let a2 = gen::perturb_values(&a, 9);
+        let (f2, r3) = svc.factorization(&a2).unwrap();
+        assert_eq!(r3, Reuse::Analysis);
+        assert_eq!(f2.value_fingerprint(), a2.value_fingerprint());
+
+        let s = svc.cache_stats();
+        assert_eq!(s.analysis_misses, 1);
+        assert_eq!(s.factor_hits, 1);
+        assert_eq!(s.refactors, 1);
+    }
+
+    #[test]
+    fn service_solutions_are_accurate() {
+        let svc = SolverService::new(ServiceConfig::default());
+        let a = gen::random_sparse(60, 4, 0.5, ValueModel::default());
+        let n = a.ncols();
+        let xt: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 1e-2).collect();
+        let b = a.matvec(&xt);
+        let x = svc.solve(&a, &b).unwrap();
+        let err = x
+            .iter()
+            .zip(&xt)
+            .fold(0.0f64, |m, (p, q)| m.max((p - q).abs()));
+        assert!(err < 1e-7, "err={err:.3e}");
+    }
+
+    #[test]
+    fn singular_matrix_flows_as_error() {
+        let svc = SolverService::new(ServiceConfig::default());
+        let a = gen::grid2d(6, 6, 0.4, ValueModel::default());
+        // Warm the pattern so the singular twin takes the refactor path.
+        svc.factorization(&a).unwrap();
+        let sing = gen::zero_column_values(&a, 3);
+        assert!(matches!(
+            svc.factorization(&sing),
+            Err(SolverError::ZeroPivot { .. })
+        ));
+        // The failure must not poison the cache: originals still work.
+        let (_, r) = svc.factorization(&a).unwrap();
+        assert_eq!(r, Reuse::Full);
+    }
+}

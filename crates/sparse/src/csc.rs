@@ -116,6 +116,22 @@ impl CscMatrix {
         &self.values
     }
 
+    /// Structure-only 64-bit fingerprint of the sparsity pattern (see
+    /// [`crate::fingerprint::pattern_fingerprint`]): equal for any two
+    /// matrices with identical CSC structure regardless of values, so it
+    /// keys cached symbolic analyses.
+    pub fn pattern_fingerprint(&self) -> u64 {
+        crate::fingerprint::pattern_fingerprint(self)
+    }
+
+    /// Bit-exact 64-bit fingerprint of the numeric values (see
+    /// [`crate::fingerprint::value_fingerprint`]): combined with
+    /// [`CscMatrix::pattern_fingerprint`] it identifies a matrix
+    /// completely, keying cached numeric factorizations.
+    pub fn value_fingerprint(&self) -> u64 {
+        crate::fingerprint::value_fingerprint(self)
+    }
+
     /// The rows and values of column `j`.
     #[inline]
     pub fn col(&self, j: usize) -> (&[u32], &[f64]) {
@@ -167,6 +183,23 @@ impl CscMatrix {
     }
 
     /// `y = Aᵀ x`.
+    /// `y ← A x` into a caller-supplied buffer (the allocation-free
+    /// [`CscMatrix::matvec`]; iterative refinement calls this per step).
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        y.fill(0.0);
+        for j in 0..self.ncols {
+            let xj = x[j];
+            if xj != 0.0 {
+                let (rows, vals) = self.col(j);
+                for (&i, &v) in rows.iter().zip(vals) {
+                    y[i as usize] += v * xj;
+                }
+            }
+        }
+    }
+
     pub fn matvec_transpose(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.nrows);
         let mut y = vec![0.0; self.ncols];

@@ -1,0 +1,123 @@
+//! Structure-only fingerprints for sparsity patterns.
+//!
+//! The S\* pipeline's whole symbolic phase — transversal, fill-reducing
+//! ordering, static symbolic factorization, supernode partitioning — is a
+//! pure function of the sparsity *pattern*. A 64-bit hash of that pattern
+//! therefore identifies which matrices can share one cached analysis
+//! (Newton steps, time-stepping, circuit simulation all re-solve with the
+//! same structure). The hash is FNV-1a over the CSC shape and index
+//! arrays; values are deliberately excluded.
+
+use crate::CscMatrix;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher (hand-rolled: the build environment
+/// has no crates.io access, and `DefaultHasher` is not stable across Rust
+/// releases — fingerprints may be persisted in run summaries).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Absorb one byte.
+    #[inline]
+    pub fn write_u8(&mut self, b: u8) {
+        self.0 = (self.0 ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+
+    /// Absorb a `u64` (little-endian byte order).
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    /// Current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Hash the sparsity pattern of `a`: dimensions, column pointers and row
+/// indices — everything the symbolic pipeline depends on, nothing it
+/// doesn't. Two matrices get equal fingerprints iff they have identical
+/// CSC structure (up to the vanishingly unlikely 64-bit collision).
+pub fn pattern_fingerprint(a: &CscMatrix) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(a.nrows() as u64);
+    h.write_u64(a.ncols() as u64);
+    for &p in a.col_ptr() {
+        h.write_u64(p as u64);
+    }
+    for &r in a.row_indices() {
+        h.write_u64(r as u64);
+    }
+    h.finish()
+}
+
+/// Hash the numeric values of `a`, bit-exact. Together with
+/// [`pattern_fingerprint`] this identifies a matrix completely: the
+/// solver service reuses a cached *numeric* factorization outright when
+/// both fingerprints match (repeated solves of the same system), and
+/// falls back to refactorization when only the pattern matches.
+pub fn value_fingerprint(a: &CscMatrix) -> u64 {
+    let mut h = Fnv1a::new();
+    for &v in a.values() {
+        h.write_u64(v.to_bits());
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{self, ValueModel};
+
+    #[test]
+    fn same_pattern_different_values_agree() {
+        let a = gen::grid2d(6, 5, 0.4, ValueModel::default());
+        let b = gen::perturb_values(&a, 12345);
+        assert_ne!(a.values(), b.values());
+        assert_eq!(a.pattern_fingerprint(), b.pattern_fingerprint());
+    }
+
+    #[test]
+    fn different_patterns_disagree() {
+        let vm = ValueModel::default();
+        let a = gen::grid2d(6, 5, 0.4, vm);
+        let b = gen::grid2d(5, 6, 0.4, vm);
+        let c = gen::random_sparse(30, 3, 0.5, vm);
+        assert_ne!(a.pattern_fingerprint(), b.pattern_fingerprint());
+        assert_ne!(a.pattern_fingerprint(), c.pattern_fingerprint());
+    }
+
+    #[test]
+    fn value_fingerprint_tracks_values_not_pattern() {
+        let a = gen::grid2d(6, 5, 0.4, ValueModel::default());
+        let b = gen::perturb_values(&a, 7);
+        assert_ne!(value_fingerprint(&a), value_fingerprint(&b));
+        let c = gen::perturb_values(&a, 7); // same seed → same values
+        assert_eq!(value_fingerprint(&b), value_fingerprint(&c));
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // FNV-1a 64 of the bytes "a" is a published test vector
+        let mut h = Fnv1a::new();
+        h.write_u8(b'a');
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+}

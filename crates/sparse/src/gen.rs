@@ -261,6 +261,46 @@ pub fn dense_random(n: usize, vm: ValueModel) -> CscMatrix {
     coo.to_csc()
 }
 
+/// Same sparsity pattern, fresh values: every entry of `a` is scaled by a
+/// deterministic pseudo-random factor in `[0.5, 1.5]` drawn from `seed`.
+/// Models the refactorization workloads of the solver service (Newton
+/// steps, time-stepping): the pattern fingerprint is preserved while the
+/// numerics change, so a cached analysis must still apply.
+pub fn perturb_values(a: &CscMatrix, seed: u64) -> CscMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x005e_ed0f_a15e);
+    let values: Vec<f64> = a
+        .values()
+        .iter()
+        .map(|&v| v * (1.0 + 0.5 * (2.0 * rng.next_f64() - 1.0)))
+        .collect();
+    CscMatrix::from_parts(
+        a.nrows(),
+        a.ncols(),
+        a.col_ptr().to_vec(),
+        a.row_indices().to_vec(),
+        values,
+    )
+}
+
+/// Zero out the stored values of column `j` while keeping the sparsity
+/// pattern (the entries stay stored, as explicit zeros): the result is
+/// numerically singular but shares `a`'s pattern fingerprint — the
+/// solver service's singular-request workload, which must surface as a
+/// typed `ZeroPivot` error rather than a panic.
+pub fn zero_column_values(a: &CscMatrix, j: usize) -> CscMatrix {
+    assert!(j < a.ncols());
+    let mut values = a.values().to_vec();
+    let (lo, hi) = (a.col_ptr()[j], a.col_ptr()[j + 1]);
+    values[lo..hi].fill(0.0);
+    CscMatrix::from_parts(
+        a.nrows(),
+        a.ncols(),
+        a.col_ptr().to_vec(),
+        a.row_indices().to_vec(),
+        values,
+    )
+}
+
 /// Destroy the zero-free diagonal of a matrix by cyclically shifting its
 /// rows (used by transversal tests: the result needs row permutation before
 /// symbolic factorization is applicable).

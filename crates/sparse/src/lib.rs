@@ -22,6 +22,7 @@
 
 pub mod coo;
 pub mod csc;
+pub mod fingerprint;
 pub mod gen;
 pub mod hb;
 pub mod io;

@@ -3,7 +3,12 @@
 //! ```text
 //! splu info   <matrix.mtx>              print structure statistics
 //! splu factor <matrix.mtx> [opts]       analyze + factor, report stats
-//! splu solve  <matrix.mtx> [rhs.txt]    factor and solve (default rhs: A·1)
+//! splu solve  <matrix.mtx> [opts]       analyze → factorize → solve via the
+//!                                       solver-service lifecycle handles
+//!                                       (default rhs: A·1)
+//! splu serve  <requests.txt> [opts]     batch solver service: run a workload
+//!                                       file through the factorization cache
+//!                                       and bounded solve work queue
 //! splu project <matrix.mtx> [opts]      projected T3D/T3E parallel times
 //! splu trace  <matrix.mtx> [opts]       factor on P thread-processors with
 //!                                       the flight recorder on; write a
@@ -16,8 +21,13 @@
 //!   --refine N         iterative refinement steps (default 1, solve only)
 //!   --procs P          processor count    (default 16 project, 4 trace)
 //!   --out FILE         Chrome trace-event JSON    (default trace.json)
-//!   --stats-json FILE  run-summary JSON           (trace only)
+//!   --stats-json FILE  run-summary JSON           (trace/serve)
 //!   --gantt-width N    ASCII Gantt width, 0 = off (default 64, trace only)
+//!   --requests FILE    workload file              (serve; alias for the
+//!                                                 positional argument)
+//!   --workers N        solve worker threads       (default 2, serve only)
+//!   --queue-cap N      work-queue capacity        (default 8, serve only)
+//!   --cache-bytes N    factorization-cache budget (serve only)
 //! ```
 
 use sstar::prelude::*;
@@ -28,16 +38,18 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: splu <info|factor|solve|project|trace> <matrix.mtx> \
+        "usage: splu <info|factor|solve|serve|project|trace> <matrix.mtx|requests.txt> \
          [--block-size N] [--amalgamate R] [--ordering natural|mmd|atpa|rcm] \
          [--refine N] [--procs P] [--rhs file] [--out file] \
-         [--stats-json file] [--gantt-width N]"
+         [--stats-json file] [--gantt-width N] [--requests file] \
+         [--workers N] [--queue-cap N] [--cache-bytes N]"
     );
     ExitCode::from(2)
 }
 
 struct Cli {
     cmd: String,
+    /// Matrix file — or, for `serve`, the workload/requests file.
     matrix: String,
     options: FactorOptions,
     refine_steps: usize,
@@ -46,6 +58,9 @@ struct Cli {
     out: String,
     stats_json: Option<String>,
     gantt_width: usize,
+    workers: usize,
+    queue_cap: usize,
+    cache_bytes: Option<usize>,
 }
 
 /// The value following `flag`, or an error naming the flag.
@@ -63,10 +78,15 @@ fn flag_parse<T: std::str::FromStr>(
         .map_err(|_| format!("{flag}: invalid value `{v}`"))
 }
 
-fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
+    let mut args = args.peekable();
     args.next(); // program name
     let cmd = args.next().ok_or("missing <command>")?;
-    let matrix = args.next().ok_or("missing <matrix> argument")?;
+    // The positional input may be omitted when `--requests` is used.
+    let matrix = match args.peek() {
+        Some(s) if !s.starts_with("--") => args.next().unwrap(),
+        _ => String::new(),
+    };
     let mut cli = Cli {
         cmd,
         matrix,
@@ -77,6 +97,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
         out: "trace.json".to_string(),
         stats_json: None,
         gantt_width: 64,
+        workers: 2,
+        queue_cap: 8,
+        cache_bytes: None,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -109,10 +132,108 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
             "--out" => cli.out = flag_value(&mut args, "--out")?,
             "--stats-json" => cli.stats_json = Some(flag_value(&mut args, "--stats-json")?),
             "--gantt-width" => cli.gantt_width = flag_parse(&mut args, "--gantt-width")?,
+            "--requests" => cli.matrix = flag_value(&mut args, "--requests")?,
+            "--workers" => {
+                cli.workers = flag_parse(&mut args, "--workers")?;
+                if cli.workers == 0 {
+                    return Err("--workers: invalid value `0` (must be ≥ 1)".to_string());
+                }
+            }
+            "--queue-cap" => {
+                cli.queue_cap = flag_parse(&mut args, "--queue-cap")?;
+                if cli.queue_cap == 0 {
+                    return Err("--queue-cap: invalid value `0` (must be ≥ 1)".to_string());
+                }
+            }
+            "--cache-bytes" => cli.cache_bytes = Some(flag_parse(&mut args, "--cache-bytes")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
+    if cli.matrix.is_empty() {
+        return Err(if cli.cmd == "serve" {
+            "missing <requests> argument (positional or --requests)".to_string()
+        } else {
+            "missing <matrix> argument".to_string()
+        });
+    }
     Ok(cli)
+}
+
+/// `splu serve`: run a workload file through the solver service.
+fn cmd_serve(cli: &Cli) -> ExitCode {
+    use sstar::solver::{run_batch, BatchConfig, CacheConfig, Workload};
+    let text = match std::fs::read_to_string(&cli.matrix) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("splu: cannot read {}: {e}", cli.matrix);
+            return ExitCode::FAILURE;
+        }
+    };
+    let workload = match Workload::parse(&text) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("splu: {}: {e}", cli.matrix);
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = BatchConfig {
+        workers: cli.workers,
+        queue_cap: cli.queue_cap,
+        cache_bytes: cli
+            .cache_bytes
+            .unwrap_or(CacheConfig::default().capacity_bytes),
+        options: cli.options,
+    };
+    println!(
+        "serve: {} request(s) from {}, {} worker(s), queue capacity {}",
+        workload.requests.len(),
+        cli.matrix,
+        config.workers,
+        config.queue_cap
+    );
+    let report = run_batch(&workload, &config);
+    for o in &report.outcomes {
+        let detail = match (&o.max_err, &o.error) {
+            (Some(e), _) => format!(
+                "max_err {e:.3e}, wait {} µs, solve {} µs",
+                o.wait_us, o.solve_us
+            ),
+            (None, Some(err)) => err.clone(),
+            (None, None) => format!("wait {} µs", o.wait_us),
+        };
+        println!(
+            "  #{:<3} {:<10} nrhs={:<2} reuse={:<8} {:<20} {detail}",
+            o.id,
+            o.matrix,
+            o.nrhs,
+            o.reuse.map_or("-", |r| r.label()),
+            o.status,
+        );
+    }
+    let c = &report.cache;
+    println!(
+        "cache: {} analysis hit(s), {} miss(es), {} factor hit(s), {} refactor(s), \
+         {} eviction(s), {} resident byte(s)",
+        c.analysis_hits,
+        c.analysis_misses,
+        c.factor_hits,
+        c.refactors,
+        c.evictions,
+        report.cache_resident_bytes
+    );
+    let q = &report.queue;
+    println!(
+        "queue: {} accepted, {} rejected (full), {} expired, {} solved, {} failed",
+        q.accepted, q.rejected_full, q.expired, q.solved, q.failed
+    );
+    if let Some(path) = &cli.stats_json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("splu: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -123,6 +244,10 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    // `serve` takes a workload file, not a matrix.
+    if cli.cmd == "serve" {
+        return cmd_serve(&cli);
+    }
     // pick the reader by extension: .mtx = Matrix Market, .rua/.rsa/.pua/
     // .psa/.hb = Harwell–Boeing
     let lower = cli.matrix.to_lowercase();
@@ -232,13 +357,20 @@ fn main() -> ExitCode {
                 },
                 None => a.matvec(&vec![1.0; n]),
             };
-            let solver = SparseLuSolver::analyze(&a, cli.options);
-            match solver.factor() {
-                Ok(lu) => {
-                    let (x, q) = sstar::core::refine(&lu, &a, &b, cli.refine_steps);
+            // The staged service lifecycle: symbolic analysis once, then
+            // numeric factorization against it (reusable for any later
+            // matrix with the same pattern fingerprint).
+            let analysis = sstar::solver::Analysis::of(&a, cli.options);
+            match analysis.factorize(&a) {
+                Ok(f) => {
+                    let (x, q) = sstar::core::refine(f.lu(), &a, &b, cli.refine_steps);
                     println!(
                         "solved: residual∞ {:.3e}, backward error {:.3e}, {} refinement step(s)",
                         q.residual_inf, q.backward_error, q.steps
+                    );
+                    println!(
+                        "pattern fingerprint {:016x} (reusable for same-pattern refactorization)",
+                        analysis.fingerprint()
                     );
                     // print a compact solution summary
                     let nshow = x.len().min(5);

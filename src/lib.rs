@@ -46,6 +46,7 @@
 //! | [`probe`] | `splu-probe` | flight-recorder tracing: spans/counters, Chrome-trace & summary-JSON export |
 //! | [`sched`] | `splu-sched` | task DAG, CA & graph schedules, discrete-event simulator, Gantt, load balance |
 //! | [`core`] | `splu-core` | S\* numeric factorization: sequential, 1D (CA / RAPID-style), 2D (async / barrier), solvers |
+//! | [`solver`] | `splu-solver` | analyze/factorize/solve service: staged handles, pattern-keyed factorization cache, bounded solve work queue, batch driver |
 //!
 //! See `DESIGN.md` for the paper↔module inventory and `EXPERIMENTS.md` for
 //! the reproduced tables and figures.
@@ -56,6 +57,7 @@ pub use splu_machine as machine;
 pub use splu_order as order;
 pub use splu_probe as probe;
 pub use splu_sched as sched;
+pub use splu_solver as solver;
 pub use splu_sparse as sparse;
 pub use splu_superlu as superlu;
 pub use splu_symbolic as symbolic;
@@ -65,8 +67,9 @@ pub mod prelude {
     pub use splu_core::par1d::{factor_par1d, Strategy1d};
     pub use splu_core::par2d::{factor_par2d, Sync2d};
     pub use splu_core::pipeline::lu_solve;
-    pub use splu_core::{FactorOptions, FactorizedLu, SparseLuSolver};
+    pub use splu_core::{FactorOptions, FactorizedLu, SolverError, SparseLuSolver};
     pub use splu_machine::{Grid, MachineModel, T3D, T3E};
     pub use splu_order::ColumnOrdering;
+    pub use splu_solver::{Analysis, Factorization, SolverService};
     pub use splu_sparse::{CooMatrix, CscMatrix, Perm};
 }

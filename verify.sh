@@ -16,4 +16,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy --workspace --all-targets --no-default-features -- -D warnings
 cargo fmt --check
 
+# solver-service smoke: run the mixed two-pattern workload through the
+# batch driver and keep the BENCH_solver.json summary (cache hit/miss
+# counters, per-request outcomes, solve throughput).
+mkdir -p results
+cargo run --release -q --bin splu -- serve examples/serve_workload.txt \
+    --workers 3 --queue-cap 8 --stats-json results/BENCH_solver.json
+grep -q '"bench": "solver_serve"' results/BENCH_solver.json
+grep -q '"deadline_expired": 1' results/BENCH_solver.json
+grep -q '"factorization_failed": 1' results/BENCH_solver.json
+
 echo "verify: all checks passed"
