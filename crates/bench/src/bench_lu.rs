@@ -1,0 +1,211 @@
+//! End-to-end factorization benchmark: the sequential, 1D and 2D drivers
+//! over a small synthetic suite, recording GFLOP/s and the peak
+//! scratch-arena footprint of each driver.
+//!
+//! This is the perf-trajectory anchor (`results/BENCH_lu.json`): every
+//! run records, per matrix,
+//!
+//! * `seq` — the scratched sequential driver, timed on a **warmed**
+//!   arena; `warmed_grow_events` must be 0 (the allocation-free proof:
+//!   once the arena has seen the pattern's shapes, the numeric loop
+//!   performs no heap allocation),
+//! * `par1d` — the 1D compute-ahead code on `PAR1D_PROCS` simulated
+//!   processors,
+//! * `par2d` — the 2D asynchronous code on a `Grid::for_procs` grid.
+//!
+//! GFLOP/s = (gemm + other flops) / wall seconds of the numeric phase.
+//! The host simulates processors with threads, so the parallel rates are
+//! trend lines, not speedups — the gate in `verify.sh` only checks the
+//! file is well-formed and every rate is positive.
+
+use splu_core::par1d::{factor_par1d_opts, Strategy1d};
+use splu_core::par2d::{factor_par2d_opts, Sync2d};
+use splu_core::seq::factor_sequential_scratched;
+use splu_core::{BlockMatrix, FactorOptions, FactorScratch, FactorStats, SparseLuSolver};
+use splu_machine::Grid;
+use splu_probe::Probe;
+use splu_sparse::suite;
+use std::time::Instant;
+
+/// Default output path, relative to the repo root.
+pub const DEFAULT_OUT: &str = "results/BENCH_lu.json";
+/// Matrices benchmarked by default (≥ 3, all quick to factor).
+pub const MATRICES: [&str; 3] = ["sherman5", "jpwh991", "orsreg1"];
+/// Simulated processors for the 1D driver.
+pub const PAR1D_PROCS: usize = 2;
+/// Simulated processors for the 2D driver (`Grid::for_procs`).
+pub const PAR2D_PROCS: usize = 4;
+
+/// One driver's measurement.
+pub struct DriverResult {
+    pub gflops: f64,
+    pub scratch_peak_bytes: u64,
+}
+
+/// One matrix row of the benchmark.
+pub struct MatrixResult {
+    pub name: &'static str,
+    pub n: usize,
+    pub nnz: usize,
+    pub seq: DriverResult,
+    /// Grow events of the final (warmed) sequential run — 0 proves the
+    /// steady-state factorization loop is allocation-free.
+    pub seq_warmed_grow_events: u64,
+    pub par1d: DriverResult,
+    pub par2d: DriverResult,
+}
+
+fn gflops(stats: &FactorStats, secs: f64) -> f64 {
+    (stats.gemm_flops + stats.other_flops) as f64 / secs.max(1e-9) / 1e9
+}
+
+/// Best rate over repeated runs totalling at least `min_secs`; `run`
+/// returns the run's stats and its numeric-phase wall seconds.
+fn best_rate(
+    min_secs: f64,
+    mut run: impl FnMut() -> (FactorStats, f64),
+) -> (DriverResult, FactorStats) {
+    let mut best = 0.0f64;
+    let mut spent = 0.0f64;
+    loop {
+        let (stats, dt) = run();
+        spent += dt;
+        best = best.max(gflops(&stats, dt));
+        if spent >= min_secs {
+            let peak = stats.scratch_peak_bytes;
+            return (
+                DriverResult {
+                    gflops: best,
+                    scratch_peak_bytes: peak,
+                },
+                stats,
+            );
+        }
+    }
+}
+
+/// Benchmark one matrix across the three drivers. `min_secs` is the
+/// per-driver measurement budget (best rate over repeated runs).
+pub fn bench_matrix(name: &'static str, min_secs: f64) -> MatrixResult {
+    let spec = suite::by_name(name).unwrap_or_else(|| panic!("unknown suite matrix `{name}`"));
+    let a = spec.build_scaled(1.0);
+    let solver = SparseLuSolver::analyze(&a, FactorOptions::default());
+    let grid = Grid::for_procs(PAR2D_PROCS);
+    let probe = Probe::disabled();
+
+    // sequential, on a reused arena: run 0 warms the buffers (untimed),
+    // every later run must not grow them.
+    let mut scratch = FactorScratch::new();
+    let mut blocks = BlockMatrix::from_csc(&solver.permuted, solver.pattern.clone());
+    factor_sequential_scratched(&mut blocks, 1.0, &probe, &mut scratch).expect("seq warm-up");
+    let (seq, seq_stats) = best_rate(min_secs, || {
+        let mut blocks = BlockMatrix::from_csc(&solver.permuted, solver.pattern.clone());
+        let t0 = Instant::now();
+        let (_, stats) =
+            factor_sequential_scratched(&mut blocks, 1.0, &probe, &mut scratch).expect("seq");
+        (stats, t0.elapsed().as_secs_f64())
+    });
+    assert_eq!(
+        seq_stats.scratch_grow_events, 0,
+        "warmed sequential factorization grew scratch buffers"
+    );
+    let seq_warmed_grow_events = seq_stats.scratch_grow_events;
+
+    // parallel drivers: the runtime reports the parallel-section wall
+    // time; fresh per-processor arenas each run, so take the best rate
+    // over the budget (thread start-up noise dominates single runs).
+    let (par1d, _) = best_rate(min_secs, || {
+        let r = factor_par1d_opts(
+            &solver.permuted,
+            solver.pattern.clone(),
+            PAR1D_PROCS,
+            Strategy1d::ComputeAhead,
+            1.0,
+        );
+        (r.stats, r.elapsed)
+    });
+    let (par2d, _) = best_rate(min_secs, || {
+        let r = factor_par2d_opts(
+            &solver.permuted,
+            solver.pattern.clone(),
+            grid,
+            Sync2d::Async,
+            1.0,
+        );
+        (r.stats, r.elapsed)
+    });
+
+    MatrixResult {
+        name,
+        n: a.ncols(),
+        nnz: a.nnz(),
+        seq,
+        seq_warmed_grow_events,
+        par1d,
+        par2d,
+    }
+}
+
+/// Render the benchmark rows as the `BENCH_lu.json` document.
+pub fn render_json(rows: &[MatrixResult]) -> String {
+    let grid = Grid::for_procs(PAR2D_PROCS);
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"lu_factor\",\n");
+    json.push_str(&format!(
+        "  \"drivers\": {{\"seq\": 1, \"par1d\": {PAR1D_PROCS}, \"par2d\": [{}, {}]}},\n",
+        grid.pr, grid.pc
+    ));
+    json.push_str("  \"matrices\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"nnz\": {},\n",
+            r.name, r.n, r.nnz
+        ));
+        json.push_str(&format!(
+            "     \"seq\": {{\"gflops\": {:.4}, \"scratch_peak_bytes\": {}, \
+             \"warmed_grow_events\": {}}},\n",
+            r.seq.gflops, r.seq.scratch_peak_bytes, r.seq_warmed_grow_events
+        ));
+        json.push_str(&format!(
+            "     \"par1d\": {{\"gflops\": {:.4}, \"scratch_peak_bytes\": {}}},\n",
+            r.par1d.gflops, r.par1d.scratch_peak_bytes
+        ));
+        json.push_str(&format!(
+            "     \"par2d\": {{\"gflops\": {:.4}, \"scratch_peak_bytes\": {}}}}}{}\n",
+            r.par2d.gflops,
+            r.par2d.scratch_peak_bytes,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// Run the full benchmark and write `out`. Returns an error string on
+/// I/O failure (measurement itself panics on solver bugs — those should
+/// never be reported as a benchmark result).
+pub fn run(out: &str, min_secs: f64) -> Result<(), String> {
+    let mut rows = Vec::new();
+    for name in MATRICES {
+        let r = bench_matrix(name, min_secs);
+        eprintln!(
+            "{:<9} n={:<5} seq {:7.4} GFLOP/s (scratch {} B, warmed grow events {})  \
+             par1d {:7.4}  par2d {:7.4}",
+            r.name,
+            r.n,
+            r.seq.gflops,
+            r.seq.scratch_peak_bytes,
+            r.seq_warmed_grow_events,
+            r.par1d.gflops,
+            r.par2d.gflops,
+        );
+        rows.push(r);
+    }
+    let json = render_json(&rows);
+    if let Some(dir) = std::path::Path::new(out).parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    }
+    std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! Micro-benchmark: blocked [`splu_kernels::dgemm`] vs the naive baseline
+//! [`splu_kernels::dgemm_naive`] at square sizes 64 / 256 / 512.
+//!
+//! Writes `results/BENCH_kernels.json` so kernel regressions are visible
+//! independently of the end-to-end factorization benchmarks. The headline
+//! figure is `ratio_256` — the acceptance bar for the blocked kernel is
+//! ≥ 1.5× over the naive kernel at 256×256×256.
+//!
+//! Usage: `bench_kernels [--out PATH] [--min-secs S]`
+
+use splu_kernels::{dgemm_naive, dgemm_with, GemmScratch};
+use std::time::Instant;
+
+const SIZES: [usize; 3] = [64, 256, 512];
+
+struct SizeResult {
+    n: usize,
+    naive_gflops: f64,
+    blocked_gflops: f64,
+}
+
+fn main() {
+    let mut out = String::from("results/BENCH_kernels.json");
+    let mut min_secs = 0.25f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--min-secs" => {
+                min_secs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--min-secs needs a number")
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut results = Vec::new();
+    for &n in &SIZES {
+        let a: Vec<f64> = (0..n * n)
+            .map(|i| ((i * 31) % 17) as f64 * 0.125 - 1.0)
+            .collect();
+        let b: Vec<f64> = (0..n * n)
+            .map(|i| ((i * 13) % 23) as f64 * 0.0625 - 0.5)
+            .collect();
+        let mut c = vec![0.0f64; n * n];
+        let mut scratch = GemmScratch::new();
+
+        let naive = best_rate(n, min_secs, || {
+            dgemm_naive(n, n, n, 1.0, &a, n, &b, n, 0.0, &mut c, n);
+        });
+        let blocked = best_rate(n, min_secs, || {
+            dgemm_with(n, n, n, 1.0, &a, n, &b, n, 0.0, &mut c, n, &mut scratch);
+        });
+        // keep the result observable so the multiplies cannot be elided
+        assert!(c.iter().sum::<f64>().is_finite());
+        eprintln!(
+            "n={n:4}  naive {naive:6.3} GFLOP/s   blocked {blocked:6.3} GFLOP/s   ratio {:.2}x",
+            blocked / naive
+        );
+        results.push(SizeResult {
+            n,
+            naive_gflops: naive,
+            blocked_gflops: blocked,
+        });
+    }
+
+    let ratio_256 = results
+        .iter()
+        .find(|r| r.n == 256)
+        .map(|r| r.blocked_gflops / r.naive_gflops)
+        .unwrap();
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"kernels_dgemm\",\n");
+    json.push_str("  \"kernel\": \"blocked MC/KC/NC + 4x4 micro-kernel vs naive axpy\",\n");
+    json.push_str("  \"sizes\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"naive_gflops\": {:.4}, \"blocked_gflops\": {:.4}, \"ratio\": {:.4}}}{}\n",
+            r.n,
+            r.naive_gflops,
+            r.blocked_gflops,
+            r.blocked_gflops / r.naive_gflops,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"ratio_256\": {ratio_256:.4}\n}}\n"));
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&out, json).expect("write BENCH_kernels.json");
+    println!("wrote {out} (ratio_256 = {ratio_256:.2}x)");
+}
+
+/// Best GFLOP/s over repeated timed runs totalling at least `min_secs`.
+fn best_rate(n: usize, min_secs: f64, mut run: impl FnMut()) -> f64 {
+    let flops = 2.0 * (n as f64).powi(3);
+    run(); // warm-up (also sizes the pack buffers)
+    let mut best = 0.0f64;
+    let mut spent = 0.0f64;
+    while spent < min_secs {
+        let t0 = Instant::now();
+        run();
+        let dt = t0.elapsed().as_secs_f64().max(1e-9);
+        spent += dt;
+        best = best.max(flops / dt / 1e9);
+    }
+    best
+}

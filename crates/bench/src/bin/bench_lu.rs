@@ -1,0 +1,30 @@
+//! End-to-end LU factorization benchmark — seq / par1d / par2d GFLOP/s
+//! and peak scratch bytes over the synthetic suite. Thin wrapper around
+//! [`splu_bench::bench_lu`]; also reachable as `splu bench-lu`.
+//!
+//! Usage: `bench_lu [--out PATH] [--min-secs S]`
+
+fn main() {
+    let mut out = splu_bench::bench_lu::DEFAULT_OUT.to_string();
+    let mut min_secs = 0.2f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--min-secs" => {
+                min_secs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--min-secs needs a number")
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Err(e) = splu_bench::bench_lu::run(&out, min_secs) {
+        eprintln!("bench_lu: {e}");
+        std::process::exit(1);
+    }
+}

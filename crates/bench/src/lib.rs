@@ -35,6 +35,7 @@ use splu_core::{FactorOptions, SparseLuSolver};
 use splu_sparse::suite::{self, MatrixSpec};
 use splu_sparse::CscMatrix;
 
+pub mod bench_lu;
 pub mod stopwatch;
 
 /// Default shrink factor for the LARGE suite matrices so every harness

@@ -25,6 +25,7 @@ pub mod par1d;
 pub mod par2d;
 pub mod pipeline;
 pub mod refine;
+pub mod scratch;
 pub mod seq;
 pub mod solve;
 pub mod storage;
@@ -32,5 +33,6 @@ pub mod storage;
 pub use error::SolverError;
 pub use pipeline::{FactorOptions, FactorizedLu, SolveWorkspace, SparseLuSolver};
 pub use refine::{pivot_growth, refine, SolveQuality};
+pub use scratch::FactorScratch;
 pub use seq::{factor_sequential, FactorStats};
 pub use storage::BlockMatrix;

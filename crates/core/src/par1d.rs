@@ -24,9 +24,8 @@
 //! solves; per-processor peak memory and communication volume are
 //! reported for the §5.2 space-complexity comparison.
 
-use crate::seq::{
-    factor_block_opts, update_block_with_panel, FactorStats, PanelRef, UpdateScratch,
-};
+use crate::scratch::FactorScratch;
+use crate::seq::{factor_block_opts, update_block_with_panel, FactorStats, PanelRef};
 use crate::storage::BlockMatrix;
 use splu_machine::{run_machine, run_machine_traced, Message, ProcCtx};
 use splu_probe::Collector;
@@ -69,13 +68,18 @@ fn panel_tag(k: usize) -> u64 {
 }
 
 /// Pack a factored column block into a message: ints = pivot sequence,
-/// floats = diag panel ++ L panel.
-fn pack_panel(m: &BlockMatrix, k: usize, piv: &[u32]) -> Message {
+/// floats = diag panel ++ L panel. The payload vectors come from the
+/// runtime's recycling pool, so steady-state panel traffic reuses the
+/// allocations of already-consumed messages.
+fn pack_panel(ctx: &mut ProcCtx, m: &BlockMatrix, k: usize, piv: &[u32]) -> Message {
     let cb = &m.cols[k];
-    let mut floats = Vec::with_capacity(cb.diag.len() + cb.lpanel.len());
+    let mut floats = ctx.floats_buf();
+    floats.reserve(cb.diag.len() + cb.lpanel.len());
     floats.extend_from_slice(&cb.diag);
     floats.extend_from_slice(&cb.lpanel);
-    Message::new(panel_tag(k), piv.to_vec(), floats)
+    let mut ints = ctx.ints_buf();
+    ints.extend_from_slice(piv);
+    Message::new(panel_tag(k), ints, floats)
 }
 
 /// A received panel together with owned copies of its block metadata
@@ -229,11 +233,19 @@ fn factor_with_schedule_impl(
         let mut m =
             BlockMatrix::from_csc_filtered(a, pattern.clone(), |b| owner[b] as usize == ctx.rank);
         let mut stats = FactorStats::default();
-        let mut scratch = UpdateScratch::default();
+        let mut scratch = FactorScratch::new();
         let mut pivots: Vec<(usize, Vec<u32>)> = Vec::new();
         let mut busy = 0.0f64;
         // cache of received panels by block id
         let mut received: Vec<Option<RecvPanel>> = (0..nb).map(|_| None).collect();
+        // remaining local uses of each panel: once the last Update(k, ·)
+        // on this rank ran, the panel message is recycled into the pool
+        let mut uses = vec![0u32; nb];
+        for &t in &schedule.order[ctx.rank] {
+            if let TaskKind::Update(k, _) = graph.tasks[t as usize] {
+                uses[k as usize] += 1;
+            }
+        }
 
         for &t in &schedule.order[ctx.rank] {
             match graph.tasks[t as usize] {
@@ -245,12 +257,12 @@ fn factor_with_schedule_impl(
                     // payload: the runtime's poison broadcast wakes blocked
                     // peers, and the host recovers the `SolverError` via
                     // `catch_solver_panic` (see `factor_par1d_checked`).
-                    let piv = factor_block_opts(&mut m, k, threshold, &mut stats)
+                    let piv = factor_block_opts(&mut m, k, threshold, &mut stats, &mut scratch)
                         .unwrap_or_else(|e| std::panic::panic_any(e));
                     busy += tb.elapsed().as_secs_f64();
                     ctx.probe().span_at("panel-factor", k as u32, span_start);
                     // ship the factored panel + pivots to updaters
-                    let msg = pack_panel(&m, k, &piv);
+                    let msg = pack_panel(&mut ctx, &m, k, &piv);
                     ctx.multicast(panel_dests[k].iter().copied(), msg.clone());
                     if panel_dests[k].contains(&ctx.rank) {
                         received[k] = Some(RecvPanel::new(&m, k, msg));
@@ -278,31 +290,25 @@ fn factor_with_schedule_impl(
                     );
                     busy += tb.elapsed().as_secs_f64();
                     ctx.probe().span_at("update", k as u32, span_start);
-                    received[k] = Some(rp);
+                    uses[k] -= 1;
+                    if uses[k] == 0 {
+                        // last local use: hand the payload back to the pool
+                        ctx.recycle(rp.msg);
+                    } else {
+                        received[k] = Some(rp);
+                    }
                 }
             }
         }
+        stats.scratch_grow_events = scratch.grow_events();
+        stats.scratch_peak_bytes = scratch.peak_bytes();
+        ctx.probe()
+            .count("scratch_grow_events", stats.scratch_grow_events);
 
         // return owned column blocks
         let blocks: Vec<(usize, crate::storage::ColBlock)> = (0..nb)
             .filter(|&b| owner[b] as usize == ctx.rank)
-            .map(|b| {
-                (
-                    b,
-                    std::mem::replace(
-                        &mut m.cols[b],
-                        crate::storage::ColBlock {
-                            lo: 0,
-                            w: 0,
-                            diag: Vec::new(),
-                            lrows: Arc::new(Vec::new()),
-                            lpanel: Vec::new(),
-                            lsegs: Vec::new(),
-                            ublocks: Vec::new(),
-                        },
-                    ),
-                )
-            })
+            .map(|b| (b, std::mem::take(&mut m.cols[b])))
             .collect();
         (blocks, pivots, stats, ctx.max_pending_bytes, busy)
     };
@@ -331,6 +337,8 @@ fn factor_with_schedule_impl(
         merged.row_interchanges += stats.row_interchanges;
         merged.gemm_flops += stats.gemm_flops;
         merged.other_flops += stats.other_flops;
+        merged.scratch_grow_events += stats.scratch_grow_events;
+        merged.scratch_peak_bytes = merged.scratch_peak_bytes.max(stats.scratch_peak_bytes);
         peaks.push(peak);
         busys.push(busy);
     }

@@ -26,9 +26,10 @@
 //! distributed pivot search reproduces the sequential tie-break exactly,
 //! and per-entry update contributions accumulate in the same stage order.
 
+use crate::scratch::{prep_cap_f64, prep_cap_u32, prep_zeroed_f64, FactorScratch};
 use crate::seq::FactorStats;
 use crate::storage::BlockMatrix;
-use splu_kernels::{dgemm, dtrsm_left_lower_unit};
+use splu_kernels::{dgemm_with, dtrsm_left_lower_unit};
 use splu_machine::{run_machine, run_machine_traced, Grid, Message, ProcCtx};
 use splu_probe::Collector;
 use splu_symbolic::BlockPattern;
@@ -238,17 +239,9 @@ impl Store2d {
         }
     }
 
-    /// Read global row `g`'s subrow within column block `j` as a
-    /// full-width vector (zeros at non-mask positions). The block must be
-    /// owned; returns zeros if the block is structurally absent.
-    fn read_row_full(&self, j: usize, g: usize) -> Vec<f64> {
-        let w = self.width(j);
-        let mut out = vec![0.0; w];
-        let ib = self.block_of[g] as usize;
-        self.read_row_into(ib, j, g, &mut out);
-        out
-    }
-
+    /// Read global row `g`'s subrow within column block `j` into `out`
+    /// (a zeroed full-width buffer; only mask positions are written).
+    /// Writes nothing if the block is structurally absent.
     fn read_row_into(&self, ib: usize, j: usize, g: usize, out: &mut [f64]) {
         use std::cmp::Ordering::*;
         let w = self.width(j);
@@ -293,6 +286,9 @@ impl Store2d {
         let lo_j = self.lo(j);
         debug_assert_eq!(vals.len(), w);
         let ib = self.block_of[g] as usize;
+        // local handle on the shared pattern so mask lookups don't hold a
+        // borrow of `self` across the `get_mut` (no copies of the masks)
+        let pattern = self.pattern.clone();
         match ib.cmp(&j) {
             Equal => {
                 let li = g - self.lo(ib);
@@ -303,7 +299,7 @@ impl Store2d {
                 }
             }
             Greater => {
-                let rows = self.l_rows(ib, j).to_vec();
+                let rows = &pattern.l_block(ib, j).expect("L block in pattern").rows;
                 if let Some(p) = self.blocks.get_mut(&(ib as u32, j as u32)) {
                     let rp = rows.binary_search(&(g as u32)).expect("row in mask");
                     for c in 0..w {
@@ -312,7 +308,7 @@ impl Store2d {
                 }
             }
             Less => {
-                let cols = self.u_cols(ib, j).to_vec();
+                let cols = &pattern.u_block(ib, j).expect("U block in pattern").cols;
                 let h = self.width(ib);
                 let li = g - self.lo(ib);
                 if let Some(p) = self.blocks.get_mut(&(ib as u32, j as u32)) {
@@ -438,7 +434,7 @@ fn factor_par2d_impl(
         // caches of received panels
         let mut lpanels: HashMap<(usize, usize), Message> = HashMap::new(); // (k, i)
         let mut urows: HashMap<(usize, usize), Message> = HashMap::new(); // (k, j)
-        let mut temp: Vec<f64> = Vec::new();
+        let mut scratch = FactorScratch::new();
 
         if ctx.rank == 0 {
             // static fill predicted by the symbolic phase (Table 1's
@@ -450,11 +446,19 @@ fn factor_par2d_impl(
         }
 
         if nb > 0 && cno == 0 {
-            let piv = factor2d(&mut ctx, &mut st, 0, threshold, &mut stats);
+            let piv = factor2d(&mut ctx, &mut st, 0, threshold, &mut stats, &mut scratch);
             pivseqs[0] = Some(Arc::new(piv));
         }
         for k in 0..nb {
-            scale_swap(&mut ctx, &mut st, k, &mut pivseqs, &mut lpanels, &mut stats);
+            scale_swap(
+                &mut ctx,
+                &mut st,
+                k,
+                &mut pivseqs,
+                &mut lpanels,
+                &mut stats,
+                &mut scratch,
+            );
             let next = k + 1;
             if next < nb && next % grid.pc == cno {
                 if pattern.u_block(k, next).is_some() {
@@ -465,13 +469,13 @@ fn factor_par2d_impl(
                         next,
                         &mut lpanels,
                         &mut urows,
-                        &mut temp,
                         &mut stats,
+                        &mut scratch,
                         &clock,
                         &mut intervals,
                     );
                 }
-                let piv = factor2d(&mut ctx, &mut st, next, threshold, &mut stats);
+                let piv = factor2d(&mut ctx, &mut st, next, threshold, &mut stats, &mut scratch);
                 pivseqs[next] = Some(Arc::new(piv));
             }
             for u in &pattern.u_blocks[k] {
@@ -484,8 +488,8 @@ fn factor_par2d_impl(
                         j,
                         &mut lpanels,
                         &mut urows,
-                        &mut temp,
                         &mut stats,
+                        &mut scratch,
                         &clock,
                         &mut intervals,
                     );
@@ -495,6 +499,10 @@ fn factor_par2d_impl(
                 barrier.wait();
             }
         }
+        stats.scratch_grow_events = scratch.grow_events();
+        stats.scratch_peak_bytes = scratch.peak_bytes();
+        ctx.probe()
+            .count("scratch_grow_events", stats.scratch_grow_events);
 
         let blocks: Vec<((u32, u32), Vec<f64>)> = st.blocks.into_iter().collect();
         let pivs: Vec<(usize, Vec<u32>)> = pivseqs
@@ -565,6 +573,8 @@ fn factor_par2d_impl(
         merged.row_interchanges += stats.row_interchanges;
         merged.gemm_flops += stats.gemm_flops;
         merged.other_flops += stats.other_flops;
+        merged.scratch_grow_events += stats.scratch_grow_events;
+        merged.scratch_peak_bytes = merged.scratch_peak_bytes.max(stats.scratch_peak_bytes);
         peaks.push(peak);
         all_intervals.extend(ivs);
     }
@@ -588,6 +598,7 @@ fn factor2d(
     k: usize,
     threshold: f64,
     stats: &mut FactorStats,
+    scratch: &mut FactorScratch,
 ) -> Vec<u32> {
     let grid = st.grid;
     let (rno, cno) = (st.rno, st.cno);
@@ -605,12 +616,22 @@ fn factor2d(
     let mut piv_seq: Vec<u32> = Vec::with_capacity(w);
     let mut searched_rows: u64 = 0;
 
-    // owned L blocks of column k (sorted by block id, hence by global row)
-    let my_lblocks: Vec<usize> = st.pattern.l_blocks[k]
-        .iter()
-        .filter(|l| (l.i as usize) % grid.pr == rno)
-        .map(|l| l.i as usize)
-        .collect();
+    // owned L blocks of column k (sorted by block id, hence by global row);
+    // the id list is staged in the arena's index buffer for the duration
+    let mut my_lblocks = std::mem::take(&mut scratch.idx);
+    {
+        let cap0 = my_lblocks.capacity();
+        my_lblocks.clear();
+        my_lblocks.extend(
+            st.pattern.l_blocks[k]
+                .iter()
+                .filter(|l| (l.i as usize) % grid.pr == rno)
+                .map(|l| l.i),
+        );
+        if my_lblocks.capacity() > cap0 {
+            scratch.grow_events += 1;
+        }
+    }
 
     for t in 0..w {
         // ---- local candidate: (abs, is_diag, global row) ----
@@ -630,7 +651,8 @@ fn factor2d(
             }
         }
         for &i in &my_lblocks {
-            let rows = st.l_rows(i, k).to_vec();
+            let i = i as usize;
+            let rows = st.l_rows(i, k);
             let p = &st.blocks[&(i as u32, k as u32)];
             searched_rows += rows.len() as u64;
             for (rp, &g) in rows.iter().enumerate() {
@@ -643,16 +665,20 @@ fn factor2d(
             }
         }
 
-        let (piv_global, piv_subrow, old_m_subrow) = if i_am_diag {
-            // collect remote candidates
+        // the pivot subrow lands in scratch.rowbuf2, the displaced diag
+        // row `m` in scratch.rowbuf — no per-step row allocations
+        let piv_global = if i_am_diag {
+            // collect remote candidates, keeping the best message alive
+            // (its payload *is* the candidate subrow)
             let mut best_row = cand_row;
             let mut best_abs = cand_abs.max(0.0);
             let mut best_diag = cand_diag;
-            let mut best_subrow: Option<Vec<f64>> = None;
+            let mut best_msg: Option<Message> = None;
             for _ in 0..grid.pr - 1 {
                 let m = ctx.recv(tag(K_CAND, k, t, 0));
                 let row = m.ints[0];
                 if row == NONE_ROW {
+                    ctx.recycle(m);
                     continue;
                 }
                 let a = m.floats[t].abs();
@@ -664,7 +690,11 @@ fn factor2d(
                     best_row = row;
                     best_abs = a;
                     best_diag = false;
-                    best_subrow = Some(m.floats.to_vec());
+                    if let Some(old) = best_msg.replace(m) {
+                        ctx.recycle(old);
+                    }
+                } else {
+                    ctx.recycle(m);
                 }
             }
             if best_row == NONE_ROW || best_abs <= 0.0 {
@@ -678,37 +708,59 @@ fn factor2d(
             let diag_abs = st.blocks[&(k as u32, k as u32)][t + t * w].abs();
             if diag_abs > 0.0 && diag_abs >= threshold * best_abs {
                 best_row = (lo + t) as u32;
-                best_subrow = None;
+                if let Some(m) = best_msg.take() {
+                    ctx.recycle(m);
+                }
             }
             // old row m (diag row t)
-            let old_m = st.read_row_full(k, lo + t);
-            let pivrow = match &best_subrow {
-                Some(v) => v.clone(),
-                None => st.read_row_full(k, best_row as usize),
-            };
+            prep_zeroed_f64(&mut scratch.rowbuf, w, &mut scratch.grow_events);
+            st.read_row_into(k, k, lo + t, &mut scratch.rowbuf);
+            prep_zeroed_f64(&mut scratch.rowbuf2, w, &mut scratch.grow_events);
+            match &best_msg {
+                Some(m) => scratch.rowbuf2.copy_from_slice(&m.floats[..w]),
+                None => {
+                    let ib = st.block_of[best_row as usize] as usize;
+                    st.read_row_into(ib, k, best_row as usize, &mut scratch.rowbuf2);
+                }
+            }
+            if let Some(m) = best_msg.take() {
+                ctx.recycle(m);
+            }
             // broadcast pivot decision + both subrows down the column
-            let mut floats = pivrow.clone();
-            floats.extend_from_slice(&old_m);
+            let mut floats = ctx.floats_buf();
+            floats.extend_from_slice(&scratch.rowbuf2);
+            floats.extend_from_slice(&scratch.rowbuf);
+            let mut ints = ctx.ints_buf();
+            ints.push(best_row);
             ctx.multicast(
                 grid.my_col(ctx.rank),
-                Message::new(tag(K_PIVROW, k, t, 0), vec![best_row], floats),
+                Message::new(tag(K_PIVROW, k, t, 0), ints, floats),
             );
-            (best_row as usize, pivrow, old_m)
+            best_row as usize
         } else {
             // ship local candidate subrow to the diag owner
-            let floats = if cand_row == NONE_ROW {
-                Vec::new()
-            } else {
-                st.read_row_full(k, cand_row as usize)
-            };
+            let mut floats = ctx.floats_buf();
+            if cand_row != NONE_ROW {
+                floats.resize(w, 0.0);
+                let ib = st.block_of[cand_row as usize] as usize;
+                st.read_row_into(ib, k, cand_row as usize, &mut floats);
+            }
+            let mut ints = ctx.ints_buf();
+            ints.push(cand_row);
             ctx.send(
                 grid.rank_of(diag_rno, cno),
-                Message::new(tag(K_CAND, k, t, 0), vec![cand_row], floats),
+                Message::new(tag(K_CAND, k, t, 0), ints, floats),
             );
             let m = ctx.recv(tag(K_PIVROW, k, t, 0));
             let piv = m.ints[0] as usize;
-            (piv, m.floats[..w].to_vec(), m.floats[w..2 * w].to_vec())
+            prep_cap_f64(&mut scratch.rowbuf2, w, &mut scratch.grow_events);
+            scratch.rowbuf2.extend_from_slice(&m.floats[..w]);
+            prep_cap_f64(&mut scratch.rowbuf, w, &mut scratch.grow_events);
+            scratch.rowbuf.extend_from_slice(&m.floats[w..2 * w]);
+            ctx.recycle(m);
+            piv
         };
+        let (piv_subrow, old_m_subrow) = (&scratch.rowbuf2, &scratch.rowbuf);
 
         // ---- apply the interchange to owned storage ----
         let row_m = lo + t;
@@ -717,10 +769,10 @@ fn factor2d(
                 stats.row_interchanges += 1;
             }
             if i_am_diag {
-                st.write_row_full(k, row_m, &piv_subrow);
+                st.write_row_full(k, row_m, piv_subrow);
             }
             if st.owns_row(k, piv_global).is_some() {
-                st.write_row_full(k, piv_global, &old_m_subrow);
+                st.write_row_full(k, piv_global, old_m_subrow);
             }
         }
         piv_seq.push(piv_global as u32);
@@ -744,6 +796,7 @@ fn factor2d(
             stats.other_flops += ((w - t - 1) + 2 * (w - t - 1) * (w - t - 1)) as u64;
         }
         for &i in &my_lblocks {
+            let i = i as usize;
             let nrows = st.l_rows(i, k).len();
             let p = st.blocks.get_mut(&(i as u32, k as u32)).unwrap();
             for r in 0..nrows {
@@ -763,25 +816,31 @@ fn factor2d(
     }
 
     // ---- multicast pivot sequence + owned L blocks along my grid row ----
+    // payload buffers come from the runtime's recycling pool
     let row_dests: Vec<usize> = grid.my_row(ctx.rank).collect();
-    ctx.multicast(
-        row_dests.iter().copied(),
-        Message::new(tag(K_PIVSEQ, k, 0, 0), piv_seq.clone(), Vec::new()),
-    );
+    {
+        let mut ints = ctx.ints_buf();
+        ints.extend_from_slice(&piv_seq);
+        let floats = ctx.floats_buf();
+        let msg = Message::new(tag(K_PIVSEQ, k, 0, 0), ints, floats);
+        ctx.multicast(row_dests.iter().copied(), msg);
+    }
     if i_am_diag {
-        let p = st.blocks[&(k as u32, k as u32)].clone();
-        ctx.multicast(
-            row_dests.iter().copied(),
-            Message::new(tag(K_LPANEL, k, k, 0), Vec::new(), p),
-        );
+        let mut p = ctx.floats_buf();
+        p.extend_from_slice(&st.blocks[&(k as u32, k as u32)]);
+        let ints = ctx.ints_buf();
+        let msg = Message::new(tag(K_LPANEL, k, k, 0), ints, p);
+        ctx.multicast(row_dests.iter().copied(), msg);
     }
     for &i in &my_lblocks {
-        let p = st.blocks[&(i as u32, k as u32)].clone();
-        ctx.multicast(
-            row_dests.iter().copied(),
-            Message::new(tag(K_LPANEL, k, i, 0), Vec::new(), p),
-        );
+        let i = i as usize;
+        let mut p = ctx.floats_buf();
+        p.extend_from_slice(&st.blocks[&(i as u32, k as u32)]);
+        let ints = ctx.ints_buf();
+        let msg = Message::new(tag(K_LPANEL, k, i, 0), ints, p);
+        ctx.multicast(row_dests.iter().copied(), msg);
     }
+    scratch.idx = my_lblocks;
     ctx.probe().count("pivot_search_rows", searched_rows);
     ctx.probe().span_at("panel-factor", k as u32, span_start);
     piv_seq
@@ -797,6 +856,7 @@ fn scale_swap(
     pivseqs: &mut [Option<Arc<Vec<u32>>>],
     lpanels: &mut HashMap<(usize, usize), Message>,
     stats: &mut FactorStats,
+    scratch: &mut FactorScratch,
 ) {
     let grid = st.grid;
     let (rno, cno) = (st.rno, st.cno);
@@ -808,18 +868,30 @@ fn scale_swap(
     if pivseqs[k].is_none() {
         let m = ctx.recv(tag(K_PIVSEQ, k, 0, 0));
         pivseqs[k] = Some(m.ints.clone());
+        ctx.recycle(m);
     }
     let piv = pivseqs[k].clone().unwrap();
 
     // (03-06) delayed interchanges on owned trailing column blocks j > k
     // in my processor column; lexicographic (j, t) order on all procs.
-    let my_js: Vec<usize> = st.pattern.u_blocks[k]
-        .iter()
-        .map(|u| u.j as usize)
-        .filter(|&j| j % grid.pc == cno)
-        .collect();
+    // The id list is staged in the arena's index buffer.
+    let mut my_js = std::mem::take(&mut scratch.idx);
+    {
+        let cap0 = my_js.capacity();
+        my_js.clear();
+        my_js.extend(
+            st.pattern.u_blocks[k]
+                .iter()
+                .map(|u| u.j)
+                .filter(|&j| j as usize % grid.pc == cno),
+        );
+        if my_js.capacity() > cap0 {
+            scratch.grow_events += 1;
+        }
+    }
     let swap_start = ctx.probe().now();
     for &j in &my_js {
+        let j = j as usize;
         for (t, &pg) in piv.iter().enumerate() {
             let row_m = lo + t;
             let pg = pg as usize;
@@ -832,35 +904,38 @@ fn scale_swap(
             let own_r = ib_r % grid.pr == rno;
             let m_exists = st.block_exists(ib_m, j);
             let r_exists = st.block_exists(ib_r, j);
+            let wj = st.width(j);
             match (own_m, own_r) {
                 (true, true) => {
-                    // local swap via full-width rows
-                    let a = if m_exists {
-                        st.read_row_full(j, row_m)
-                    } else {
-                        vec![0.0; st.width(j)]
-                    };
-                    let b = if r_exists {
-                        st.read_row_full(j, pg)
-                    } else {
-                        vec![0.0; st.width(j)]
-                    };
+                    // local swap via full-width rows staged in the arena
+                    prep_zeroed_f64(&mut scratch.rowbuf, wj, &mut scratch.grow_events);
                     if m_exists {
-                        st.write_row_full(j, row_m, &b);
+                        st.read_row_into(ib_m, j, row_m, &mut scratch.rowbuf);
+                    }
+                    prep_zeroed_f64(&mut scratch.rowbuf2, wj, &mut scratch.grow_events);
+                    if r_exists {
+                        st.read_row_into(ib_r, j, pg, &mut scratch.rowbuf2);
+                    }
+                    if m_exists {
+                        st.write_row_full(j, row_m, &scratch.rowbuf2);
                     } else {
-                        debug_assert!(b.iter().all(|&v| v == 0.0));
+                        debug_assert!(scratch.rowbuf2.iter().all(|&v| v == 0.0));
                     }
                     if r_exists {
-                        st.write_row_full(j, pg, &a);
+                        st.write_row_full(j, pg, &scratch.rowbuf);
                     } else {
-                        debug_assert!(a.iter().all(|&v| v == 0.0));
+                        debug_assert!(scratch.rowbuf.iter().all(|&v| v == 0.0));
                     }
                 }
                 (true, false) => {
                     let partner = grid.rank_of(ib_r % grid.pr, cno);
                     if m_exists {
-                        let a = st.read_row_full(j, row_m);
-                        ctx.send(partner, Message::new(tag(K_SWAP, k, t, j), vec![], a));
+                        let mut a = ctx.floats_buf();
+                        a.resize(wj, 0.0);
+                        st.read_row_into(ib_m, j, row_m, &mut a);
+                        let ints = ctx.ints_buf();
+                        let msg = Message::new(tag(K_SWAP, k, t, j), ints, a);
+                        ctx.send(partner, msg);
                     }
                     if r_exists {
                         let m = ctx.recv(tag(K_SWAP, k, t, j));
@@ -869,17 +944,23 @@ fn scale_swap(
                         } else {
                             debug_assert!(m.floats.iter().all(|&v| v == 0.0));
                         }
+                        ctx.recycle(m);
                     } else if m_exists {
                         // partner has nothing; my row must be zero
-                        let a = st.read_row_full(j, row_m);
-                        debug_assert!(a.iter().all(|&v| v == 0.0));
+                        prep_zeroed_f64(&mut scratch.rowbuf, wj, &mut scratch.grow_events);
+                        st.read_row_into(ib_m, j, row_m, &mut scratch.rowbuf);
+                        debug_assert!(scratch.rowbuf.iter().all(|&v| v == 0.0));
                     }
                 }
                 (false, true) => {
                     let partner = grid.rank_of(ib_m % grid.pr, cno);
                     if r_exists {
-                        let b = st.read_row_full(j, pg);
-                        ctx.send(partner, Message::new(tag(K_SWAP, k, t, j), vec![], b));
+                        let mut b = ctx.floats_buf();
+                        b.resize(wj, 0.0);
+                        st.read_row_into(ib_r, j, pg, &mut b);
+                        let ints = ctx.ints_buf();
+                        let msg = Message::new(tag(K_SWAP, k, t, j), ints, b);
+                        ctx.send(partner, msg);
                     }
                     if m_exists {
                         let m = ctx.recv(tag(K_SWAP, k, t, j));
@@ -888,9 +969,11 @@ fn scale_swap(
                         } else {
                             debug_assert!(m.floats.iter().all(|&v| v == 0.0));
                         }
+                        ctx.recycle(m);
                     } else if r_exists {
-                        let b = st.read_row_full(j, pg);
-                        debug_assert!(b.iter().all(|&v| v == 0.0));
+                        prep_zeroed_f64(&mut scratch.rowbuf, wj, &mut scratch.grow_events);
+                        st.read_row_into(ib_r, j, pg, &mut scratch.rowbuf);
+                        debug_assert!(scratch.rowbuf.iter().all(|&v| v == 0.0));
                     }
                 }
                 (false, false) => {}
@@ -901,26 +984,35 @@ fn scale_swap(
 
     // (07-10) TRSM owned U_kj blocks with L_kk, multicast down the column
     if rno == k % grid.pr && !my_js.is_empty() {
-        // need L_kk
+        // need L_kk — staged in the arena's panel buffer (it stays live
+        // across the per-j `get_mut` borrows below)
         let diag_key = (k as u32, k as u32);
-        let lkk: Vec<f64> = if st.blocks.contains_key(&diag_key) {
-            st.blocks[&diag_key].clone()
+        prep_cap_f64(&mut scratch.panel, w * w, &mut scratch.grow_events);
+        if st.blocks.contains_key(&diag_key) {
+            scratch.panel.extend_from_slice(&st.blocks[&diag_key]);
         } else {
             let m = lpanels
                 .entry((k, k))
                 .or_insert_with(|| ctx.recv(tag(K_LPANEL, k, k, 0)));
-            m.floats.to_vec()
-        };
+            scratch.panel.extend_from_slice(&m.floats);
+        }
         for &j in &my_js {
+            let j = j as usize;
             let ncols = st.u_cols(k, j).len();
-            let p = st.blocks.get_mut(&(k as u32, j as u32)).unwrap();
-            dtrsm_left_lower_unit(w, ncols, &lkk, w, p, w);
+            {
+                let p = st.blocks.get_mut(&(k as u32, j as u32)).unwrap();
+                dtrsm_left_lower_unit(w, ncols, &scratch.panel, w, p, w);
+            }
             stats.other_flops += (w * w * ncols) as u64;
-            // multicast down my grid column
-            let msg = Message::new(tag(K_UROW, k, j, 0), vec![], p.clone());
+            // multicast down my grid column (pooled payload)
+            let mut fl = ctx.floats_buf();
+            fl.extend_from_slice(&st.blocks[&(k as u32, j as u32)]);
+            let ints = ctx.ints_buf();
+            let msg = Message::new(tag(K_UROW, k, j, 0), ints, fl);
             ctx.multicast(grid.my_col(ctx.rank), msg);
         }
     }
+    scratch.idx = my_js;
     ctx.probe().span_at("scale-swap", k as u32, span_start);
 }
 
@@ -934,8 +1026,8 @@ fn update2d(
     j: usize,
     lpanels: &mut HashMap<(usize, usize), Message>,
     urows: &mut HashMap<(usize, usize), Message>,
-    temp: &mut Vec<f64>,
     stats: &mut FactorStats,
+    scratch: &mut FactorScratch,
     clock: &AtomicU64,
     intervals: &mut Vec<UpdateInterval>,
 ) {
@@ -944,13 +1036,17 @@ fn update2d(
     debug_assert_eq!(cno, j % grid.pc);
     stats.update_tasks += 1;
 
-    // my destination row blocks: L rows of column k in row blocks ≡ rno
-    let my_segs: Vec<(usize, Vec<u32>)> = st.pattern.l_blocks[k]
-        .iter()
-        .filter(|l| (l.i as usize) % grid.pr == rno)
-        .map(|l| (l.i as usize, l.rows.clone()))
-        .collect();
-    if my_segs.is_empty() {
+    // my destination row blocks: L rows of column k in row blocks ≡ rno.
+    // The segment metadata is borrowed straight from the shared pattern
+    // (via a local Arc handle), so no per-task copies are made.
+    let pattern = st.pattern.clone();
+    let my_segs = || {
+        pattern.l_blocks[k]
+            .iter()
+            .filter(|l| (l.i as usize) % grid.pr == rno)
+            .map(|l| (l.i as usize, &l.rows))
+    };
+    if my_segs().next().is_none() {
         let start = clock.fetch_add(1, Ordering::Relaxed);
         let end = clock.fetch_add(1, Ordering::Relaxed);
         intervals.push(UpdateInterval {
@@ -973,50 +1069,63 @@ fn update2d(
             .or_insert_with(|| ctx.recv(tag(K_UROW, k, j, 0)));
     }
     if cno != k % grid.pc {
-        for (i, _) in &my_segs {
+        for (i, _) in my_segs() {
             lpanels
-                .entry((k, *i))
-                .or_insert_with(|| ctx.recv(tag(K_LPANEL, k, *i, 0)));
+                .entry((k, i))
+                .or_insert_with(|| ctx.recv(tag(K_LPANEL, k, i, 0)));
         }
     }
     let span_start = ctx.probe().now();
     let start = clock.fetch_add(1, Ordering::Relaxed);
 
-    // U_kj: local if I own it, else column multicast from (k mod pr, cno)
+    // U_kj: local if I own it, else column multicast from (k mod pr, cno).
+    // Staged in the arena's panel buffer so it stays live across the
+    // destination `get_mut` borrows (no per-task clone).
     let wk = st.width(k);
-    let u_cols = st.u_cols(k, j).to_vec();
+    let u_cols = &pattern.u_block(k, j).expect("U block in pattern").cols;
     let nuc = u_cols.len();
-    let u_panel: Vec<f64> = if rno == k % grid.pr {
-        st.blocks[&(k as u32, j as u32)].clone()
-    } else {
-        let m = urows
-            .entry((k, j))
-            .or_insert_with(|| ctx.recv(tag(K_UROW, k, j, 0)));
-        m.floats.to_vec()
-    };
+    {
+        let src: &[f64] = if rno == k % grid.pr {
+            &st.blocks[&(k as u32, j as u32)]
+        } else {
+            &urows[&(k, j)].floats
+        };
+        prep_cap_f64(&mut scratch.panel, src.len(), &mut scratch.grow_events);
+        scratch.panel.extend_from_slice(src);
+    }
 
     let lo_j = st.lo(j);
     let wj = st.width(j);
 
-    for (i, rows) in &my_segs {
-        let i = *i;
+    for (i, rows) in my_segs() {
         let mrows = rows.len();
-        // L_ik: local if cno == k mod pc, else row multicast
-        let l_local = i as u32;
-        let l_panel: Vec<f64> = if cno == k % grid.pc {
-            st.blocks[&(l_local, k as u32)].clone()
-        } else {
-            let m = lpanels
-                .entry((k, i))
-                .or_insert_with(|| ctx.recv(tag(K_LPANEL, k, i, 0)));
-            m.floats.to_vec()
-        };
-        temp.clear();
-        temp.resize(mrows * nuc, 0.0);
-        dgemm(
-            mrows, nuc, wk, 1.0, &l_panel, mrows, &u_panel, wk, 0.0, temp, mrows,
+        // L_ik: local if cno == k mod pc, else row multicast (pre-gathered)
+        {
+            let src: &[f64] = if cno == k % grid.pc {
+                &st.blocks[&(i as u32, k as u32)]
+            } else {
+                &lpanels[&(k, i)].floats
+            };
+            prep_cap_f64(&mut scratch.panel2, src.len(), &mut scratch.grow_events);
+            scratch.panel2.extend_from_slice(src);
+        }
+        prep_zeroed_f64(&mut scratch.temp, mrows * nuc, &mut scratch.grow_events);
+        dgemm_with(
+            mrows,
+            nuc,
+            wk,
+            1.0,
+            &scratch.panel2,
+            mrows,
+            &scratch.panel,
+            wk,
+            0.0,
+            &mut scratch.temp,
+            mrows,
+            &mut scratch.gemm,
         );
         stats.gemm_flops += (2 * mrows * nuc * wk) as u64;
+        let temp = &scratch.temp;
 
         // scatter-subtract into destination block (i, j)
         use std::cmp::Ordering::*;
@@ -1033,18 +1142,18 @@ fn update2d(
             Greater => {
                 // a padded source row may be absent from the destination
                 // mask; its contribution is exactly zero and is skipped
-                let Some(lb) = st.pattern.l_block(i, j) else {
+                let Some(lb) = pattern.l_block(i, j) else {
                     debug_assert!(temp.iter().all(|&v| v == 0.0));
                     continue;
                 };
-                let drows = lb.rows.clone();
+                let drows = &lb.rows;
                 let dest = st.blocks.get_mut(&(i as u32, j as u32)).unwrap();
                 let ldd = drows.len();
-                let mut rowmap: Vec<u32> = Vec::with_capacity(rows.len());
-                crate::seq::merge_positions(rows, &drows, &mut rowmap);
+                prep_cap_u32(&mut scratch.rowmap, rows.len(), &mut scratch.grow_events);
+                crate::seq::merge_positions(rows, drows, &mut scratch.rowmap);
                 for (cp, &gc) in u_cols.iter().enumerate() {
                     let dc = gc as usize - lo_j;
-                    for (rp, &dr) in rowmap.iter().enumerate() {
+                    for (rp, &dr) in scratch.rowmap.iter().enumerate() {
                         if dr != u32::MAX {
                             dest[dr as usize + dc * ldd] -= temp[rp + cp * mrows];
                         } else {
@@ -1054,17 +1163,17 @@ fn update2d(
                 }
             }
             Less => {
-                let Some(ub) = st.pattern.u_block(i, j) else {
+                let Some(ub) = pattern.u_block(i, j) else {
                     debug_assert!(temp.iter().all(|&v| v == 0.0));
                     continue;
                 };
-                let dcols = ub.cols.clone();
+                let dcols = &ub.cols;
                 let h = st.width(i);
                 let lo_i = st.lo(i);
                 let dest = st.blocks.get_mut(&(i as u32, j as u32)).unwrap();
-                let mut colmap: Vec<u32> = Vec::with_capacity(u_cols.len());
-                crate::seq::merge_positions(&u_cols, &dcols, &mut colmap);
-                for (cp, &dc) in colmap.iter().enumerate() {
+                prep_cap_u32(&mut scratch.colmap, u_cols.len(), &mut scratch.grow_events);
+                crate::seq::merge_positions(u_cols, dcols, &mut scratch.colmap);
+                for (cp, &dc) in scratch.colmap.iter().enumerate() {
                     if dc == u32::MAX {
                         debug_assert!(temp[cp * mrows..(cp + 1) * mrows].iter().all(|&v| v == 0.0));
                         continue;

@@ -10,7 +10,8 @@
 //! ```
 
 use crate::error::SolverError;
-use crate::seq::{factor_sequential_opts, factor_sequential_probed, FactorStats};
+use crate::scratch::FactorScratch;
+use crate::seq::{factor_sequential_probed, factor_sequential_scratched, FactorStats};
 use crate::solve::{
     solve_factored_in_place, solve_factored_multi_in_place, solve_factored_transpose_in_place,
     MultiSolveScratch,
@@ -141,8 +142,21 @@ impl SparseLuSolver {
 
     /// Numeric factorization of the analyzed matrix.
     pub fn factor(&self) -> Result<FactorizedLu, SolverError> {
+        self.factor_with(&mut FactorScratch::new())
+    }
+
+    /// Arena-reusing [`SparseLuSolver::factor`]: the factorization's
+    /// temporaries live in `scratch` and are reused across calls. Once
+    /// warm, the hot loop allocates nothing —
+    /// [`FactorStats::scratch_grow_events`] is 0 for the repeat calls.
+    pub fn factor_with(&self, scratch: &mut FactorScratch) -> Result<FactorizedLu, SolverError> {
         let mut blocks = BlockMatrix::from_csc(&self.permuted, self.pattern.clone());
-        let (pivots, stats) = factor_sequential_opts(&mut blocks, self.options.pivot_threshold)?;
+        let (pivots, stats) = factor_sequential_scratched(
+            &mut blocks,
+            self.options.pivot_threshold,
+            &splu_probe::Probe::disabled(),
+            scratch,
+        )?;
         Ok(FactorizedLu {
             blocks,
             pivots,
@@ -192,6 +206,19 @@ impl SparseLuSolver {
     /// permutations remain valid because transversal and ordering depend
     /// only on the pattern.
     pub fn refactor(&self, a: &CscMatrix) -> Result<FactorizedLu, SolverError> {
+        self.refactor_with(a, &mut FactorScratch::new())
+    }
+
+    /// Arena-reusing [`SparseLuSolver::refactor`] — the
+    /// factorize-many lifecycle with an allocation-free numeric phase:
+    /// pass the same `scratch` on every call and, once warm, the
+    /// elimination loop performs zero heap allocations
+    /// ([`FactorStats::scratch_grow_events`] = 0).
+    pub fn refactor_with(
+        &self,
+        a: &CscMatrix,
+        scratch: &mut FactorScratch,
+    ) -> Result<FactorizedLu, SolverError> {
         let got = a.pattern_fingerprint();
         if got != self.fingerprint {
             return Err(SolverError::PatternMismatch {
@@ -206,7 +233,12 @@ impl SparseLuSolver {
         };
         let permuted = a_scaled.permute(&self.row_perm, &self.col_perm);
         let mut blocks = BlockMatrix::from_csc(&permuted, self.pattern.clone());
-        let (pivots, stats) = factor_sequential_opts(&mut blocks, self.options.pivot_threshold)?;
+        let (pivots, stats) = factor_sequential_scratched(
+            &mut blocks,
+            self.options.pivot_threshold,
+            &splu_probe::Probe::disabled(),
+            scratch,
+        )?;
         Ok(FactorizedLu {
             blocks,
             pivots,
@@ -637,6 +669,37 @@ mod tests {
             solver.refactor(&other),
             Err(SolverError::PatternMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn warmed_refactor_is_allocation_free() {
+        let a = gen::grid2d(10, 10, 0.4, ValueModel::default());
+        let solver = SparseLuSolver::analyze(&a, FactorOptions::default());
+        let mut scratch = FactorScratch::new();
+        // first factorization warms the arena up to the pattern's
+        // high-water shapes
+        let lu1 = solver.refactor_with(&a, &mut scratch).unwrap();
+        assert!(lu1.stats.scratch_peak_bytes > 0);
+        // every subsequent refactorization with the same arena must not
+        // grow any buffer — the numeric hot path is allocation-free
+        for seed in [3, 17] {
+            let a2 = gen::perturb_values(&a, seed);
+            let lu2 = solver.refactor_with(&a2, &mut scratch).unwrap();
+            assert_eq!(
+                lu2.stats.scratch_grow_events, 0,
+                "warmed refactorization grew scratch buffers"
+            );
+            assert_eq!(lu2.stats.scratch_peak_bytes, lu1.stats.scratch_peak_bytes);
+            let n = a2.ncols();
+            let xt: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+            let b = a2.matvec(&xt);
+            let x = lu2.solve(&b);
+            let err = x
+                .iter()
+                .zip(&xt)
+                .fold(0.0f64, |m, (p, q)| m.max((p - q).abs()));
+            assert!(err < 1e-7, "scratched refactor solve error {err}");
+        }
     }
 
     #[test]

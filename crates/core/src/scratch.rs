@@ -1,0 +1,125 @@
+//! Per-processor scratch arena for the factorization hot path.
+//!
+//! Every driver (sequential, 1D, 2D, pipelined) owns one [`FactorScratch`]
+//! per processor and threads it through `Factor(k)` / `Update(k, j)` /
+//! `ScaleSwap`. All temporaries of the elimination loop — the GEMM
+//! product buffer, row/column scatter maps, the rank-1 update vectors, the
+//! 2D code's row and panel copies, and the blocked GEMM's pack buffers —
+//! live here and only ever *grow* to the high-water mark of the shapes
+//! seen, so steady-state factorization performs zero heap allocations per
+//! panel.
+//!
+//! The proof mechanism: [`FactorScratch::grow_events`] counts every
+//! capacity increase. Drivers report it through the `scratch_grow_events`
+//! probe counter and [`crate::seq::FactorStats::scratch_grow_events`];
+//! a warmed-up refactorization must report a delta of zero (asserted by
+//! the `scratch_reuse` tests).
+
+use splu_kernels::GemmScratch;
+
+/// Reusable buffers for the factorization loop (one per processor).
+///
+/// Fields are `pub(crate)` so the drivers can borrow several buffers
+/// simultaneously; growth accounting goes through the `prep_*` helpers.
+#[derive(Default)]
+pub struct FactorScratch {
+    /// GEMM product buffer (`update`: `L_seg · U_kj` before scatter).
+    pub(crate) temp: Vec<f64>,
+    /// Destination row positions for the scatter-subtract.
+    pub(crate) rowmap: Vec<u32>,
+    /// Destination column positions for the scatter-subtract.
+    pub(crate) colmap: Vec<u32>,
+    /// Rank-1 update row of `Factor(k)` (`U` row right of the pivot).
+    pub(crate) urow: Vec<f64>,
+    /// Rank-1 update column of `Factor(k)` (scaled `L` column).
+    pub(crate) lcol: Vec<f64>,
+    /// Full-width row buffer (2D pivot-row / swap traffic).
+    pub(crate) rowbuf: Vec<f64>,
+    /// Second full-width row buffer (row interchanges swap two rows).
+    pub(crate) rowbuf2: Vec<f64>,
+    /// Panel-sized copy buffer (2D: `L_kk`, received `U`/`L` panels).
+    pub(crate) panel: Vec<f64>,
+    /// Second panel-sized copy buffer.
+    pub(crate) panel2: Vec<f64>,
+    /// Generic index list (update targets, owned block ids, …).
+    pub(crate) idx: Vec<u32>,
+    /// Placeholder column block for the `update_block` borrow dance
+    /// (swapping it in and out of the matrix allocates nothing).
+    pub(crate) dummy: crate::storage::ColBlock,
+    /// Pack buffers of the blocked GEMM kernel.
+    pub(crate) gemm: GemmScratch,
+    pub(crate) grow_events: u64,
+}
+
+impl FactorScratch {
+    /// A fresh, empty arena (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffer-capacity growth events since construction
+    /// (including the blocked-GEMM pack buffers). Zero delta across a
+    /// factorization ⇒ the run allocated nothing in the hot loop.
+    pub fn grow_events(&self) -> u64 {
+        self.grow_events + self.gemm.grow_events()
+    }
+
+    /// High-water footprint of the arena in bytes. Capacities never
+    /// shrink, so the current capacities *are* the peak.
+    pub fn peak_bytes(&self) -> u64 {
+        let f64s = self.temp.capacity()
+            + self.urow.capacity()
+            + self.lcol.capacity()
+            + self.rowbuf.capacity()
+            + self.rowbuf2.capacity()
+            + self.panel.capacity()
+            + self.panel2.capacity();
+        let u32s = self.rowmap.capacity() + self.colmap.capacity() + self.idx.capacity();
+        (f64s * 8 + u32s * 4 + self.gemm.peak_bytes()) as u64
+    }
+}
+
+/// Clear `v` and reserve room for `len` elements, counting a grow event
+/// into `grow_events` when the capacity actually increases.
+pub(crate) fn prep_cap_f64(v: &mut Vec<f64>, len: usize, grow_events: &mut u64) {
+    v.clear();
+    if v.capacity() < len {
+        *grow_events += 1;
+        v.reserve(len);
+    }
+}
+
+/// [`prep_cap_f64`] followed by zero-fill to exactly `len`.
+pub(crate) fn prep_zeroed_f64(v: &mut Vec<f64>, len: usize, grow_events: &mut u64) {
+    prep_cap_f64(v, len, grow_events);
+    v.resize(len, 0.0);
+}
+
+/// `u32` variant of [`prep_cap_f64`].
+pub(crate) fn prep_cap_u32(v: &mut Vec<u32>, len: usize, grow_events: &mut u64) {
+    v.clear();
+    if v.capacity() < len {
+        *grow_events += 1;
+        v.reserve(len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grow_events_count_capacity_increases_only() {
+        let mut s = FactorScratch::new();
+        prep_zeroed_f64(&mut s.temp, 100, &mut s.grow_events);
+        assert_eq!(s.grow_events(), 1);
+        // same or smaller size: no growth
+        prep_zeroed_f64(&mut s.temp, 100, &mut s.grow_events);
+        prep_zeroed_f64(&mut s.temp, 40, &mut s.grow_events);
+        assert_eq!(s.grow_events(), 1);
+        // larger: one more
+        prep_zeroed_f64(&mut s.temp, 1000, &mut s.grow_events);
+        assert_eq!(s.grow_events(), 2);
+        assert!(s.peak_bytes() >= 8000);
+    }
+}

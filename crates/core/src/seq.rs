@@ -15,8 +15,9 @@
 //! codes.
 
 use crate::error::SolverError;
+use crate::scratch::{prep_cap_f64, prep_cap_u32, prep_zeroed_f64, FactorScratch};
 use crate::storage::BlockMatrix;
-use splu_kernels::{dgemm, dger, dtrsm_left_lower_unit};
+use splu_kernels::{dgemm_with, dger, dtrsm_left_lower_unit};
 use splu_probe::Probe;
 
 /// Statistics of a numeric factorization run.
@@ -32,6 +33,11 @@ pub struct FactorStats {
     pub gemm_flops: u64,
     /// Flops spent in panel factorization + TRSM + scatter paths.
     pub other_flops: u64,
+    /// Peak scratch-arena bytes (max over processors in parallel runs).
+    pub scratch_peak_bytes: u64,
+    /// Scratch-arena capacity growth events (summed over processors);
+    /// zero on a warmed-up refactorization — the allocation-free proof.
+    pub scratch_grow_events: u64,
 }
 
 impl FactorStats {
@@ -73,14 +79,29 @@ pub fn factor_sequential_probed(
     threshold: f64,
     probe: &Probe,
 ) -> Result<(Vec<Vec<u32>>, FactorStats), SolverError> {
+    let mut scratch = FactorScratch::new();
+    factor_sequential_scratched(m, threshold, probe, &mut scratch)
+}
+
+/// Like [`factor_sequential_probed`], but running out of a caller-owned
+/// [`FactorScratch`] arena. Passing the same arena to repeated
+/// factorizations makes the steady-state hot path allocation-free: the
+/// returned [`FactorStats::scratch_grow_events`] is the number of buffer
+/// growths *during this call* and must be zero once warmed up.
+pub fn factor_sequential_scratched(
+    m: &mut BlockMatrix,
+    threshold: f64,
+    probe: &Probe,
+    scratch: &mut FactorScratch,
+) -> Result<(Vec<Vec<u32>>, FactorStats), SolverError> {
     assert!(threshold > 0.0 && threshold <= 1.0);
     let nb = m.pattern.nblocks();
     let mut stats = FactorStats::default();
     let mut pivots: Vec<Vec<u32>> = Vec::with_capacity(nb);
-    let mut scratch = UpdateScratch::default();
+    let grow0 = scratch.grow_events();
     for k in 0..nb {
         let span_start = probe.now();
-        let piv = factor_block_opts(m, k, threshold, &mut stats)?;
+        let piv = factor_block_opts(m, k, threshold, &mut stats, scratch)?;
         {
             // Pivot search at step t scans diag rows t..w plus the whole
             // packed L panel: sum over t gives w(w+1)/2 + w·|L rows|.
@@ -90,13 +111,24 @@ pub fn factor_sequential_probed(
         }
         probe.span_at("panel-factor", k as u32, span_start);
         pivots.push(piv);
-        let targets: Vec<usize> = m.pattern.update_targets(k).collect();
-        for j in targets {
+        // target list lives in the arena; taken out for the borrow, put back
+        let mut targets = std::mem::take(&mut scratch.idx);
+        let cap0 = targets.capacity();
+        targets.clear();
+        targets.extend(m.pattern.update_targets(k).map(|j| j as u32));
+        if targets.capacity() > cap0 {
+            scratch.grow_events += 1;
+        }
+        for &j in &targets {
             let span_start = probe.now();
-            update_block(m, k, j, &pivots[k], &mut stats, &mut scratch);
+            update_block(m, k, j as usize, &pivots[k], &mut stats, scratch);
             probe.span_at("update", k as u32, span_start);
         }
+        scratch.idx = targets;
     }
+    stats.scratch_grow_events = scratch.grow_events() - grow0;
+    stats.scratch_peak_bytes = scratch.peak_bytes();
+    probe.count("scratch_grow_events", stats.scratch_grow_events);
     Ok((pivots, stats))
 }
 
@@ -106,7 +138,7 @@ pub fn factor_block(
     k: usize,
     stats: &mut FactorStats,
 ) -> Result<Vec<u32>, SolverError> {
-    factor_block_opts(m, k, 1.0, stats)
+    factor_block_opts(m, k, 1.0, stats, &mut FactorScratch::new())
 }
 
 /// `Factor(k)` (Fig. 7): factorize the panel of column block `k` with
@@ -117,6 +149,7 @@ pub fn factor_block_opts(
     k: usize,
     threshold: f64,
     stats: &mut FactorStats,
+    scratch: &mut FactorScratch,
 ) -> Result<Vec<u32>, SolverError> {
     stats.factor_tasks += 1;
     let cb = &mut m.cols[k];
@@ -185,9 +218,13 @@ pub fn factor_block_opts(
         // ---- rank-1 update of the remaining columns ----
         if t + 1 < w {
             let ncols = w - t - 1;
-            // diag part: rows t+1..w, cols t+1..w
-            let urow: Vec<f64> = (t + 1..w).map(|c| cb.diag[t + c * w]).collect();
-            let lcol: Vec<f64> = (t + 1..w).map(|r| cb.diag[r + t * w]).collect();
+            // diag part: rows t+1..w, cols t+1..w; the pivot row/column
+            // strips are staged in the arena (no per-step allocation)
+            prep_cap_f64(&mut scratch.urow, ncols, &mut scratch.grow_events);
+            prep_cap_f64(&mut scratch.lcol, ncols, &mut scratch.grow_events);
+            scratch.urow.extend((t + 1..w).map(|c| cb.diag[t + c * w]));
+            scratch.lcol.extend((t + 1..w).map(|r| cb.diag[r + t * w]));
+            let (urow, lcol) = (&scratch.urow[..], &scratch.lcol[..]);
             {
                 // A[t+1.., t+1..] -= lcol * urow
                 let mrows = w - t - 1;
@@ -209,21 +246,12 @@ pub fn factor_block_opts(
                 // lpanel[:, c] -= lpanel[:, t] * diag[t, c]
                 let (head, tail) = cb.lpanel.split_at_mut((t + 1) * nl);
                 let lt = &head[t * nl..(t + 1) * nl];
-                dger(nl, ncols, -1.0, lt, &urow, tail, nl);
+                dger(nl, ncols, -1.0, lt, urow, tail, nl);
                 stats.other_flops += (2 * nl * ncols) as u64;
             }
         }
     }
     Ok(piv_seq)
-}
-
-/// Scratch buffers reused across `Update` calls to avoid per-task
-/// allocation (per the perf-book guidance on workhorse collections).
-#[derive(Default)]
-pub struct UpdateScratch {
-    temp: Vec<f64>,
-    rowmap: Vec<u32>,
-    colmap: Vec<u32>,
 }
 
 /// A read-only view of a factored column block's panel — either borrowed
@@ -250,22 +278,13 @@ pub fn update_block(
     j: usize,
     piv_seq: &[u32],
     stats: &mut FactorStats,
-    scratch: &mut UpdateScratch,
+    scratch: &mut FactorScratch,
 ) {
     // borrow dance: temporarily move column k's storage out so we can
-    // mutate column j while reading column k
-    let ck = std::mem::replace(
-        &mut m.cols[k],
-        crate::storage::ColBlock {
-            lo: 0,
-            w: 0,
-            diag: Vec::new(),
-            lrows: Arc::new(Vec::new()),
-            lpanel: Vec::new(),
-            lsegs: Vec::new(),
-            ublocks: Vec::new(),
-        },
-    );
+    // mutate column j while reading column k; the placeholder block lives
+    // in the arena so the swap allocates nothing
+    let dummy = std::mem::take(&mut scratch.dummy);
+    let ck = std::mem::replace(&mut m.cols[k], dummy);
     let panel = PanelRef {
         diag: &ck.diag,
         lpanel: &ck.lpanel,
@@ -274,10 +293,8 @@ pub fn update_block(
         w: ck.w as usize,
     };
     update_block_with_panel(m, k, j, &panel, piv_seq, stats, scratch);
-    m.cols[k] = ck;
+    scratch.dummy = std::mem::replace(&mut m.cols[k], ck);
 }
-
-use std::sync::Arc;
 
 /// `Update(k, j)` (Fig. 8): apply the delayed interchanges of block `k` to
 /// column block `j`, triangular-solve `U_kj := L_kk⁻¹ U_kj`, then
@@ -290,7 +307,7 @@ pub fn update_block_with_panel(
     panel: &PanelRef<'_>,
     piv_seq: &[u32],
     stats: &mut FactorStats,
-    scratch: &mut UpdateScratch,
+    scratch: &mut FactorScratch,
 ) {
     stats.update_tasks += 1;
     debug_assert!(k < j);
@@ -325,12 +342,14 @@ pub fn update_block_with_panel(
     }
 
     // ---- 3. A_ij -= L_ik · U_kj for each L segment of block k ----
-    // The source U panel is cloned into scratch once: destinations can be
+    // The source U panel is staged in the arena once: destinations can be
     // other U blocks of the same column block, and the borrow checker
     // cannot see they never alias U_kj itself.
-    let (u_cols, u_panel_copy, wk_h) = {
+    let (u_cols, wk_h) = {
         let ub = &m.cols[j].ublocks[ub_idx];
-        (ub.cols.clone(), ub.panel.clone(), ub.h as usize)
+        prep_cap_f64(&mut scratch.panel, ub.panel.len(), &mut scratch.grow_events);
+        scratch.panel.extend_from_slice(&ub.panel);
+        (ub.cols.clone(), ub.h as usize)
     };
     let nuc = u_cols.len();
     if nuc == 0 {
@@ -346,23 +365,23 @@ pub fn update_block_with_panel(
         let rows = &panel.lrows[seg.start as usize..(seg.start + seg.len) as usize];
         let mrows = rows.len();
         // temp = L_seg (mrows × wk) · U_kj (wk × nuc)
-        scratch.temp.clear();
-        scratch.temp.resize(mrows * nuc, 0.0);
+        prep_zeroed_f64(&mut scratch.temp, mrows * nuc, &mut scratch.grow_events);
         {
             // L segment is rows seg.start.. of lpanel (ld = nl)
             let a = &panel.lpanel[seg.start as usize..];
-            dgemm(
+            dgemm_with(
                 mrows,
                 nuc,
                 wk_h,
                 1.0,
                 a,
                 nl,
-                &u_panel_copy,
+                &scratch.panel,
                 wk_h,
                 0.0,
                 &mut scratch.temp,
                 mrows,
+                &mut scratch.gemm,
             );
         }
         stats.gemm_flops += (2 * mrows * nuc * wk_h) as u64;
@@ -391,7 +410,7 @@ pub fn update_block_with_panel(
                 // skipped (and checked in debug builds).
                 let cj = &mut m.cols[j];
                 let ldd = cj.lrows.len();
-                scratch.rowmap.clear();
+                prep_cap_u32(&mut scratch.rowmap, rows.len(), &mut scratch.grow_events);
                 merge_positions(rows, &cj.lrows, &mut scratch.rowmap);
                 for (cpos, &gc) in u_cols.iter().enumerate() {
                     let dc = gc as usize - lo_j;
@@ -421,7 +440,7 @@ pub fn update_block_with_panel(
                 let dest = &mut cj.ublocks[db];
                 let ldd = dest.h as usize;
                 let lo_i = dest.lo_k as usize;
-                scratch.colmap.clear();
+                prep_cap_u32(&mut scratch.colmap, u_cols.len(), &mut scratch.grow_events);
                 merge_positions(&u_cols, &dest.cols, &mut scratch.colmap);
                 for (cpos, &dcp) in scratch.colmap.iter().enumerate() {
                     let tcol = &scratch.temp[cpos * mrows..(cpos + 1) * mrows];

@@ -51,7 +51,7 @@ pub struct UBlockStore {
 }
 
 /// One column block's storage.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ColBlock {
     /// First global column.
     pub lo: u32,

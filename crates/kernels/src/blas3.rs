@@ -5,22 +5,164 @@
 //! Fig. 8 of the paper) and the block triangular solve
 //! `U_kj = L_kk⁻¹ U_kj` (line 5, implemented by [`dtrsm_left_lower_unit`]).
 //!
-//! The implementation is a cache-friendly `j-k-i` loop with the innermost
-//! column access contiguous (an `axpy` per `(k, j)` pair), with a four-way
-//! unrolled `k` loop so the compiler can keep several accumulator streams in
-//! flight. On typical hardware this comfortably beats the [`crate::dgemv`]
-//! path per flop, which is the `w3 < w2` relation the paper's cost model
-//! (§6.1) relies on; the `blas_rates` criterion bench measures the actual
-//! ratio on the host machine.
+//! Two implementations coexist:
+//!
+//! * [`dgemm_naive`] — a cache-friendly `j-k-i` loop with a four-way
+//!   unrolled `k` loop (the original kernel, kept as the benchmark
+//!   baseline and as the exact fallback for small shapes);
+//! * the cache-blocked path used by [`dgemm`]/[`dgemm_with`] — GEBP-style
+//!   MC×KC×NC blocking with `A` and `B` packed into contiguous micro-panels
+//!   held in a reusable [`GemmScratch`], and a 4×4 register-tiled
+//!   micro-kernel with an unrolled inner loop. Fringe tiles are handled
+//!   exactly by zero-padding the packed panels and restricting the
+//!   write-back to the valid sub-tile, so no shape needs a separate code
+//!   path.
+//!
+//! Path selection depends only on the problem shape `(m, n, k)`, never on
+//! the data, so every driver (sequential, 1D, 2D, pipelined) performs
+//! bit-identical arithmetic for the same logical update — the parallel
+//! equivalence tests rely on this.
+//!
+//! On typical hardware the blocked path comfortably beats the
+//! [`crate::dgemv`] path per flop, which is the `w3 < w2` relation the
+//! paper's cost model (§6.1) relies on; `results/BENCH_kernels.json`
+//! records the measured blocked-vs-naive ratio on the host machine.
 
 use crate::flops::{record, FlopClass};
+use std::cell::RefCell;
+
+/// Micro-kernel tile height (rows of `C` per register tile).
+pub const MR: usize = 4;
+/// Micro-kernel tile width (columns of `C` per register tile).
+pub const NR: usize = 4;
+/// Rows of `A` packed per cache block (fits the micro-panel in L2).
+const MC: usize = 64;
+/// Depth (`k` extent) packed per cache block.
+const KC: usize = 192;
+/// Columns of `B` packed per cache block.
+const NC: usize = 256;
+
+/// Shapes with any dimension below this stay on the exact axpy fallback —
+/// packing overhead does not amortize on slivers.
+const BLOCK_MIN_DIM: usize = 8;
+
+/// Reusable pack buffers for the blocked [`dgemm_with`] path.
+///
+/// Holding one of these per processor (inside `FactorScratch` in
+/// `splu-core`) makes the steady-state GEMM path allocation-free: the
+/// buffers grow to the high-water mark of the shapes seen and are then
+/// reused verbatim. [`GemmScratch::grow_events`] counts capacity growth so
+/// callers can prove the steady state allocates nothing.
+#[derive(Debug, Default)]
+pub struct GemmScratch {
+    apack: Vec<f64>,
+    bpack: Vec<f64>,
+    grow_events: u64,
+}
+
+impl GemmScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of times a pack buffer had to grow its capacity.
+    pub fn grow_events(&self) -> u64 {
+        self.grow_events
+    }
+
+    /// High-water total footprint of the pack buffers, in bytes.
+    pub fn peak_bytes(&self) -> usize {
+        (self.apack.capacity() + self.bpack.capacity()) * std::mem::size_of::<f64>()
+    }
+}
+
+/// Grow-only length guarantee: returns `&mut v[..len]`, counting a grow
+/// event when the capacity must actually increase.
+fn ensure_len<'a>(v: &'a mut Vec<f64>, len: usize, grow_events: &mut u64) -> &'a mut [f64] {
+    if v.len() < len {
+        if v.capacity() < len {
+            *grow_events += 1;
+        }
+        v.resize(len, 0.0);
+    }
+    &mut v[..len]
+}
+
+thread_local! {
+    static TLS_SCRATCH: RefCell<GemmScratch> = RefCell::new(GemmScratch::new());
+}
 
 /// `C = alpha * A * B + beta * C`.
 ///
 /// `A` is `m × k` (leading dimension `lda`), `B` is `k × n` (`ldb`),
 /// `C` is `m × n` (`ldc`); all column-major.
+///
+/// Uses a thread-local [`GemmScratch`]; hot paths that own a per-processor
+/// arena should call [`dgemm_with`] instead.
 #[allow(clippy::too_many_arguments)]
 pub fn dgemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    TLS_SCRATCH.with(|s| match s.try_borrow_mut() {
+        Ok(mut scratch) => dgemm_with(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, &mut scratch),
+        // Re-entrant call (cannot happen today): fall back to a fresh scratch.
+        Err(_) => {
+            let mut scratch = GemmScratch::new();
+            dgemm_with(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, &mut scratch);
+        }
+    });
+}
+
+/// [`dgemm`] with an explicit pack-buffer arena (the allocation-free form).
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm_with(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+    scratch: &mut GemmScratch,
+) {
+    debug_assert!(m == 0 || (lda >= m && ldc >= m));
+    debug_assert!(k == 0 || ldb >= k);
+    if m == 0 || n == 0 {
+        return;
+    }
+    scale_beta(m, n, beta, c, ldc);
+    if alpha == 0.0 || k == 0 {
+        return;
+    }
+    if m >= BLOCK_MIN_DIM && n >= BLOCK_MIN_DIM && k >= BLOCK_MIN_DIM {
+        gemm_blocked(m, n, k, alpha, a, lda, b, ldb, c, ldc, scratch);
+    } else {
+        gemm_axpy(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    }
+    record(FlopClass::Blas3, (2 * m * n * k) as u64);
+}
+
+/// The original kernel: `j-k-i` loops, four-way unrolled `k`, innermost
+/// column access contiguous. Kept as the micro-benchmark baseline
+/// (`results/BENCH_kernels.json` reports blocked/naive) and reused verbatim
+/// as the exact fallback for shapes too small to amortize packing.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm_naive(
     m: usize,
     n: usize,
     k: usize,
@@ -38,21 +180,45 @@ pub fn dgemm(
     if m == 0 || n == 0 {
         return;
     }
-    if beta != 1.0 {
-        for j in 0..n {
-            let col = &mut c[j * ldc..j * ldc + m];
-            if beta == 0.0 {
-                col.fill(0.0);
-            } else {
-                for v in col {
-                    *v *= beta;
-                }
-            }
-        }
-    }
+    scale_beta(m, n, beta, c, ldc);
     if alpha == 0.0 || k == 0 {
         return;
     }
+    gemm_axpy(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    record(FlopClass::Blas3, (2 * m * n * k) as u64);
+}
+
+/// `C *= beta` over the `m × n` window (beta == 0 overwrites, clearing NaN).
+fn scale_beta(m: usize, n: usize, beta: f64, c: &mut [f64], ldc: usize) {
+    if beta == 1.0 {
+        return;
+    }
+    for j in 0..n {
+        let col = &mut c[j * ldc..j * ldc + m];
+        if beta == 0.0 {
+            col.fill(0.0);
+        } else {
+            for v in col {
+                *v *= beta;
+            }
+        }
+    }
+}
+
+/// Unblocked `C += alpha * A * B` (no beta handling, no flop recording).
+#[allow(clippy::too_many_arguments)]
+fn gemm_axpy(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+) {
     for j in 0..n {
         let bcol = &b[j * ldb..j * ldb + k];
         let ccol = &mut c[j * ldc..j * ldc + m];
@@ -85,7 +251,225 @@ pub fn dgemm(
             p += 1;
         }
     }
-    record(FlopClass::Blas3, (2 * m * n * k) as u64);
+}
+
+/// Pack an `mc × kc` block of `A` into MR-row micro-panels: panel `t`
+/// covers rows `[t*MR, t*MR+MR)` and stores, for each `p` in `0..kc`, the
+/// MR row values contiguously. Rows past `mc` are zero-padded so the
+/// micro-kernel never needs a fringe variant.
+fn pack_a(mc: usize, kc: usize, a: &[f64], lda: usize, into: &mut [f64]) {
+    let mut dst = 0usize;
+    let mut ir = 0usize;
+    while ir < mc {
+        let mr = MR.min(mc - ir);
+        if mr == MR {
+            for p in 0..kc {
+                let src = ir + p * lda;
+                into[dst..dst + MR].copy_from_slice(&a[src..src + MR]);
+                dst += MR;
+            }
+        } else {
+            for p in 0..kc {
+                let src = ir + p * lda;
+                for i in 0..MR {
+                    into[dst + i] = if i < mr { a[src + i] } else { 0.0 };
+                }
+                dst += MR;
+            }
+        }
+        ir += MR;
+    }
+}
+
+/// Pack a `kc × nc` block of `B` into NR-column micro-panels: panel `t`
+/// covers columns `[t*NR, t*NR+NR)` and stores, for each `p` in `0..kc`,
+/// the NR column values contiguously (zero-padded past `nc`).
+fn pack_b(kc: usize, nc: usize, b: &[f64], ldb: usize, into: &mut [f64]) {
+    let mut dst = 0usize;
+    let mut jr = 0usize;
+    while jr < nc {
+        let nr = NR.min(nc - jr);
+        for p in 0..kc {
+            for j in 0..NR {
+                into[dst + j] = if j < nr { b[p + (jr + j) * ldb] } else { 0.0 };
+            }
+            dst += NR;
+        }
+        jr += NR;
+    }
+}
+
+/// 4×4 register-tiled micro-kernel: `acc[j][i] += sum_p a[p][i] * b[p][j]`
+/// over one packed A micro-panel (`kc × MR`) and B micro-panel (`kc × NR`).
+/// The inner tile is fully unrolled; sixteen independent accumulators stay
+/// in registers across the whole `kc` loop.
+#[inline(always)]
+fn micro_4x4(a: &[f64], b: &[f64], acc: &mut [[f64; MR]; NR]) {
+    for (ap, bp) in a.chunks_exact(MR).zip(b.chunks_exact(NR)) {
+        let (a0, a1, a2, a3) = (ap[0], ap[1], ap[2], ap[3]);
+        for (accj, &bj) in acc.iter_mut().zip(bp.iter()) {
+            accj[0] += a0 * bj;
+            accj[1] += a1 * bj;
+            accj[2] += a2 * bj;
+            accj[3] += a3 * bj;
+        }
+    }
+}
+
+/// AVX2+FMA variant of the micro-kernel, selected at runtime. The packed
+/// layout is identical; the `k` loop is unrolled by two with independent
+/// accumulator banks so eight FMA dependency chains are in flight (the
+/// 4-chain version is FMA-latency-bound).
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{MR, NR};
+    use core::arch::x86_64::*;
+
+    pub fn has_fma() -> bool {
+        use std::sync::OnceLock;
+        static HAS: OnceLock<bool> = OnceLock::new();
+        *HAS.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+
+    /// # Safety
+    /// Caller must ensure AVX2 and FMA are available (see [`has_fma`]) and
+    /// that `a.len() == kc * MR`, `b.len() == kc * NR` for the same `kc`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn micro_4x4_fma(a: &[f64], b: &[f64], acc: &mut [[f64; MR]; NR]) {
+        debug_assert_eq!(a.len() / MR, b.len() / NR);
+        let kc = a.len() / MR;
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut c0a = _mm256_setzero_pd();
+        let mut c1a = _mm256_setzero_pd();
+        let mut c2a = _mm256_setzero_pd();
+        let mut c3a = _mm256_setzero_pd();
+        let mut c0b = _mm256_setzero_pd();
+        let mut c1b = _mm256_setzero_pd();
+        let mut c2b = _mm256_setzero_pd();
+        let mut c3b = _mm256_setzero_pd();
+        let mut p = 0usize;
+        while p + 2 <= kc {
+            let av0 = _mm256_loadu_pd(ap.add(p * MR));
+            let bq0 = bp.add(p * NR);
+            c0a = _mm256_fmadd_pd(av0, _mm256_broadcast_sd(&*bq0), c0a);
+            c1a = _mm256_fmadd_pd(av0, _mm256_broadcast_sd(&*bq0.add(1)), c1a);
+            c2a = _mm256_fmadd_pd(av0, _mm256_broadcast_sd(&*bq0.add(2)), c2a);
+            c3a = _mm256_fmadd_pd(av0, _mm256_broadcast_sd(&*bq0.add(3)), c3a);
+            let av1 = _mm256_loadu_pd(ap.add((p + 1) * MR));
+            let bq1 = bp.add((p + 1) * NR);
+            c0b = _mm256_fmadd_pd(av1, _mm256_broadcast_sd(&*bq1), c0b);
+            c1b = _mm256_fmadd_pd(av1, _mm256_broadcast_sd(&*bq1.add(1)), c1b);
+            c2b = _mm256_fmadd_pd(av1, _mm256_broadcast_sd(&*bq1.add(2)), c2b);
+            c3b = _mm256_fmadd_pd(av1, _mm256_broadcast_sd(&*bq1.add(3)), c3b);
+            p += 2;
+        }
+        if p < kc {
+            let av = _mm256_loadu_pd(ap.add(p * MR));
+            let bq = bp.add(p * NR);
+            c0a = _mm256_fmadd_pd(av, _mm256_broadcast_sd(&*bq), c0a);
+            c1a = _mm256_fmadd_pd(av, _mm256_broadcast_sd(&*bq.add(1)), c1a);
+            c2a = _mm256_fmadd_pd(av, _mm256_broadcast_sd(&*bq.add(2)), c2a);
+            c3a = _mm256_fmadd_pd(av, _mm256_broadcast_sd(&*bq.add(3)), c3a);
+        }
+        _mm256_storeu_pd(acc[0].as_mut_ptr(), _mm256_add_pd(c0a, c0b));
+        _mm256_storeu_pd(acc[1].as_mut_ptr(), _mm256_add_pd(c1a, c1b));
+        _mm256_storeu_pd(acc[2].as_mut_ptr(), _mm256_add_pd(c2a, c2b));
+        _mm256_storeu_pd(acc[3].as_mut_ptr(), _mm256_add_pd(c3a, c3b));
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn has_fma() -> bool {
+    x86::has_fma()
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn has_fma() -> bool {
+    false
+}
+
+/// GEBP-blocked `C += alpha * A * B` (no beta handling, no flop
+/// recording). Loop nest: NC columns of B → KC depth (pack B) → MC rows of
+/// A (pack A) → NR×MR register tiles.
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+    scratch: &mut GemmScratch,
+) {
+    let fma = has_fma();
+    let mut jc = 0usize;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let nc_tiles = nc.div_ceil(NR);
+        let mut pc = 0usize;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            let bpack = ensure_len(
+                &mut scratch.bpack,
+                nc_tiles * kc * NR,
+                &mut scratch.grow_events,
+            );
+            pack_b(kc, nc, &b[pc + jc * ldb..], ldb, bpack);
+            let mut ic = 0usize;
+            while ic < m {
+                let mc = MC.min(m - ic);
+                let mc_tiles = mc.div_ceil(MR);
+                let apack = ensure_len(
+                    &mut scratch.apack,
+                    mc_tiles * kc * MR,
+                    &mut scratch.grow_events,
+                );
+                pack_a(mc, kc, &a[ic + pc * lda..], lda, apack);
+                let mut jr = 0usize;
+                while jr < nc {
+                    let nr = NR.min(nc - jr);
+                    let bp = &bpack[(jr / NR) * kc * NR..][..kc * NR];
+                    let mut ir = 0usize;
+                    while ir < mc {
+                        let mr = MR.min(mc - ir);
+                        let ap = &apack[(ir / MR) * kc * MR..][..kc * MR];
+                        let mut acc = [[0.0f64; MR]; NR];
+                        if fma {
+                            // SAFETY: gated on runtime AVX2+FMA detection;
+                            // ap/bp are full packed micro-panels of equal kc.
+                            #[cfg(target_arch = "x86_64")]
+                            unsafe {
+                                x86::micro_4x4_fma(ap, bp, &mut acc)
+                            };
+                        } else {
+                            micro_4x4(ap, bp, &mut acc);
+                        }
+                        // Write back only the valid mr × nr sub-tile.
+                        for (j, accj) in acc.iter().enumerate().take(nr) {
+                            let coff = (jc + jr + j) * ldc + ic + ir;
+                            let ccol = &mut c[coff..coff + mr];
+                            for (cv, &av) in ccol.iter_mut().zip(accj.iter()) {
+                                *cv += alpha * av;
+                            }
+                        }
+                        ir += MR;
+                    }
+                    jr += NR;
+                }
+                ic += MC;
+            }
+            pc += KC;
+        }
+        jc += NC;
+    }
 }
 
 /// The sparse-LU update form `C -= A * B` (i.e. `dgemm` with `alpha = -1`,
@@ -106,6 +490,29 @@ pub fn dgemm_update(
     dgemm(m, n, k, -1.0, a, lda, b, ldb, 1.0, c, ldc);
 }
 
+/// [`dgemm_update`] with an explicit pack-buffer arena.
+#[inline]
+#[allow(clippy::too_many_arguments)] // BLAS reference signature
+pub fn dgemm_update_with(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+    scratch: &mut GemmScratch,
+) {
+    dgemm_with(m, n, k, -1.0, a, lda, b, ldb, 1.0, c, ldc, scratch);
+}
+
+/// Diagonal-block size for the blocked triangular solves: panels at most
+/// this tall are solved directly; taller ones are split into TB-row
+/// diagonal solves plus rank-TB GEMM updates of the remainder.
+const TB: usize = 48;
+
 /// Solve `L X = B` in place (`B` is overwritten with `X`), where `L` is the
 /// unit lower triangle of the `m × m` panel `l` (column-major, leading
 /// dimension `ldl`) and `B` is `m × n` (column-major, leading dimension
@@ -113,22 +520,106 @@ pub fn dgemm_update(
 ///
 /// This is the BLAS-3 form of line 5 in `Update(k, j)` (Fig. 8): scaling a
 /// whole U block by the inverse of the diagonal supernode's unit-lower
-/// factor in one call.
+/// factor in one call. Right-hand sides are processed four columns at a
+/// time so each loaded `L` column is applied to four solves, and panels
+/// taller than [`TB`] are cache-blocked (diagonal solve + GEMM update).
 pub fn dtrsm_left_lower_unit(m: usize, n: usize, l: &[f64], ldl: usize, b: &mut [f64], ldb: usize) {
     debug_assert!(ldl >= m.max(1) && ldb >= m.max(1));
-    for j in 0..n {
-        let bcol = &mut b[j * ldb..j * ldb + m];
-        for p in 0..m {
-            let xp = bcol[p];
-            if xp != 0.0 {
-                let lcol = &l[p * ldl..p * ldl + m];
-                for i in (p + 1)..m {
-                    bcol[i] -= lcol[i] * xp;
+    // Factorization panels (m ≤ block size) take the direct path; only the
+    // tall multi-RHS solve panels pay the strip copy of the blocked path.
+    let mut xstrip: Vec<f64> = Vec::new();
+    let mut pb = 0usize;
+    while pb < m {
+        let tb = TB.min(m - pb);
+        // Solve the tb × tb unit-lower diagonal block against all RHS.
+        let ldiag = &l[pb + pb * ldl..];
+        let mut j = 0usize;
+        while j < n {
+            let jn = (n - j).min(4);
+            if jn == 4 {
+                trsm_lower_cols4(tb, ldiag, ldl, b, ldb, pb, j);
+            } else {
+                for jj in j..j + jn {
+                    trsm_lower_col1(tb, ldiag, ldl, &mut b[jj * ldb + pb..jj * ldb + pb + tb]);
                 }
+            }
+            j += jn;
+        }
+        // Eliminate the solved rows from the remainder: B2 -= L21 * X1.
+        // X1 is copied out so the GEMM sources and destination rows of B
+        // never alias.
+        let rem = m - pb - tb;
+        if rem > 0 {
+            xstrip.resize(tb * n, 0.0);
+            for jj in 0..n {
+                xstrip[jj * tb..(jj + 1) * tb]
+                    .copy_from_slice(&b[jj * ldb + pb..jj * ldb + pb + tb]);
+            }
+            gemm_axpy(
+                rem,
+                n,
+                tb,
+                -1.0,
+                &l[pb + tb + pb * ldl..],
+                ldl,
+                &xstrip,
+                tb,
+                &mut b[pb + tb..],
+                ldb,
+            );
+        }
+        pb += tb;
+    }
+    record(FlopClass::Blas3, (m * m * n) as u64);
+}
+
+/// One forward-substitution column against the unit-lower block.
+#[inline]
+fn trsm_lower_col1(m: usize, l: &[f64], ldl: usize, bcol: &mut [f64]) {
+    for p in 0..m {
+        let xp = bcol[p];
+        if xp != 0.0 {
+            let lcol = &l[p * ldl + p + 1..p * ldl + m];
+            for (bv, &lv) in bcol[p + 1..m].iter_mut().zip(lcol.iter()) {
+                *bv -= lv * xp;
             }
         }
     }
-    record(FlopClass::Blas3, (m * m * n) as u64);
+}
+
+/// Four forward-substitution columns in one pass: each `L` column is
+/// loaded once and applied to four right-hand sides (identical per-column
+/// arithmetic to [`trsm_lower_col1`]).
+#[inline]
+fn trsm_lower_cols4(
+    m: usize,
+    l: &[f64],
+    ldl: usize,
+    b: &mut [f64],
+    ldb: usize,
+    row0: usize,
+    j: usize,
+) {
+    for p in 0..m {
+        let base = |jj: usize| (j + jj) * ldb + row0;
+        let x = [
+            b[base(0) + p],
+            b[base(1) + p],
+            b[base(2) + p],
+            b[base(3) + p],
+        ];
+        if x == [0.0; 4] {
+            continue;
+        }
+        let lcol = &l[p * ldl + p + 1..p * ldl + m];
+        for (i, &lv) in lcol.iter().enumerate() {
+            let r = p + 1 + i;
+            b[base(0) + r] -= lv * x[0];
+            b[base(1) + r] -= lv * x[1];
+            b[base(2) + r] -= lv * x[2];
+            b[base(3) + r] -= lv * x[3];
+        }
+    }
 }
 
 /// Solve `U X = B` in place (`B` is overwritten with `X`), where `U` is
@@ -139,25 +630,43 @@ pub fn dtrsm_left_lower_unit(m: usize, n: usize, l: &[f64], ldl: usize, b: &mut 
 ///
 /// This is the block back-substitution kernel of the batched multi-RHS
 /// solve: one diagonal supernode applied to a whole panel of right-hand
-/// sides.
+/// sides. Blocked like [`dtrsm_left_lower_unit`], proceeding bottom-up.
 ///
 /// # Panics
 /// Panics if a diagonal entry of `U` is exactly zero.
 pub fn dtrsm_left_upper(m: usize, n: usize, u: &[f64], ldu: usize, b: &mut [f64], ldb: usize) {
     debug_assert!(ldu >= m.max(1) && ldb >= m.max(1));
-    for j in 0..n {
-        let bcol = &mut b[j * ldb..j * ldb + m];
-        for p in (0..m).rev() {
-            let d = u[p + p * ldu];
-            assert!(d != 0.0, "zero U diagonal at local row {p}");
-            let xp = bcol[p] / d;
-            bcol[p] = xp;
-            if xp != 0.0 {
-                let ucol = &u[p * ldu..p * ldu + p];
-                for (i, &uv) in ucol.iter().enumerate() {
-                    bcol[i] -= uv * xp;
+    let mut xstrip: Vec<f64> = Vec::new();
+    let nblk = m.div_ceil(TB);
+    for bi in (0..nblk).rev() {
+        let pb = bi * TB;
+        let tb = TB.min(m - pb);
+        // Solve the tb × tb upper diagonal block against all RHS.
+        let udiag = &u[pb + pb * ldu..];
+        for j in 0..n {
+            let bcol = &mut b[j * ldb + pb..j * ldb + pb + tb];
+            for p in (0..tb).rev() {
+                let d = udiag[p + p * ldu];
+                assert!(d != 0.0, "zero U diagonal at local row {}", pb + p);
+                let xp = bcol[p] / d;
+                bcol[p] = xp;
+                if xp != 0.0 {
+                    let ucol = &udiag[p * ldu..p * ldu + p];
+                    for (bv, &uv) in bcol[..p].iter_mut().zip(ucol.iter()) {
+                        *bv -= uv * xp;
+                    }
                 }
             }
+        }
+        // Eliminate the solved rows from the rows above: B1 -= U12 * X2
+        // (X2 copied out so the GEMM never aliases its destination).
+        if pb > 0 {
+            xstrip.resize(tb * n, 0.0);
+            for jj in 0..n {
+                xstrip[jj * tb..(jj + 1) * tb]
+                    .copy_from_slice(&b[jj * ldb + pb..jj * ldb + pb + tb]);
+            }
+            gemm_axpy(pb, n, tb, -1.0, &u[pb * ldu..], ldu, &xstrip, tb, b, ldb);
         }
     }
     record(FlopClass::Blas3, (m * m * n) as u64);
@@ -212,11 +721,167 @@ mod tests {
         }
     }
 
+    /// Shapes that exercise the blocked path, including fringe tiles not
+    /// divisible by the 4×4 micro-kernel and blocks crossing MC/KC/NC.
+    #[test]
+    fn dgemm_blocked_matches_naive_various_shapes() {
+        for &(m, k, n) in &[
+            (8, 8, 8),
+            (9, 11, 10),
+            (13, 9, 17),
+            (37, 53, 41),
+            (65, 193, 12),
+            (70, 30, 70),
+            (130, 200, 9),
+        ] {
+            let a = DenseMat::from_fn(m, k, |i, j| ((i * 31 + j * 17) % 23) as f64 * 0.4 - 3.0);
+            let b = DenseMat::from_fn(k, n, |i, j| ((i * 13 + j * 29) % 19) as f64 * 0.3 - 2.0);
+            let mut c = DenseMat::from_fn(m, n, |i, j| (i as f64) - 0.5 * (j as f64));
+            let mut c2 = c.clone();
+            let (lda, ldb, ldc) = (a.lda(), b.lda(), c.lda());
+            dgemm(
+                m,
+                n,
+                k,
+                1.5,
+                a.as_slice(),
+                lda,
+                b.as_slice(),
+                ldb,
+                0.5,
+                c.as_mut_slice(),
+                ldc,
+            );
+            dgemm_naive(
+                m,
+                n,
+                k,
+                1.5,
+                a.as_slice(),
+                lda,
+                b.as_slice(),
+                ldb,
+                0.5,
+                c2.as_mut_slice(),
+                ldc,
+            );
+            let scale = (k as f64) * 10.0;
+            assert!(
+                c.sub(&c2).max_abs() < 1e-12 * scale,
+                "blocked vs naive mismatch at shape ({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn dgemm_with_reuses_scratch_without_growth() {
+        let mut scratch = GemmScratch::new();
+        let m = 40;
+        let a = DenseMat::from_fn(m, m, |i, j| (i as f64 - j as f64) * 0.01);
+        let b = DenseMat::from_fn(m, m, |i, j| (i as f64 + j as f64) * 0.02);
+        let mut c = DenseMat::zeros(m, m);
+        for round in 0..5 {
+            dgemm_with(
+                m,
+                m,
+                m,
+                1.0,
+                a.as_slice(),
+                m,
+                b.as_slice(),
+                m,
+                0.0,
+                c.as_mut_slice(),
+                m,
+                &mut scratch,
+            );
+            if round == 0 {
+                assert!(scratch.grow_events() > 0, "first call must size the packs");
+                assert!(scratch.peak_bytes() > 0);
+            }
+        }
+        // after the first call the packs are warm: no further growth
+        let after_first = {
+            let mut s2 = GemmScratch::new();
+            dgemm_with(
+                m,
+                m,
+                m,
+                1.0,
+                a.as_slice(),
+                m,
+                b.as_slice(),
+                m,
+                0.0,
+                c.as_mut_slice(),
+                m,
+                &mut s2,
+            );
+            s2.grow_events()
+        };
+        assert_eq!(
+            scratch.grow_events(),
+            after_first,
+            "steady-state dgemm_with must not grow the pack buffers"
+        );
+    }
+
+    #[test]
+    fn dgemm_edge_vectors_and_empty_k() {
+        // m = 1 (row vector result), n = 1 (column), k = 0 (pure scaling)
+        let a = DenseMat::from_fn(1, 6, |_, j| j as f64 + 1.0);
+        let b = DenseMat::from_fn(6, 3, |i, j| (i + j) as f64 * 0.5);
+        let mut c = DenseMat::from_fn(1, 3, |_, _| 7.0);
+        dgemm_full(&a, &b, 1.0, 1.0, &mut c);
+        for j in 0..3 {
+            let want: f64 = (0..6)
+                .map(|p| (p as f64 + 1.0) * ((p + j) as f64 * 0.5))
+                .sum();
+            assert!((c[(0, j)] - (7.0 + want)).abs() < 1e-12);
+        }
+
+        let a = DenseMat::from_fn(5, 4, |i, j| (i * 4 + j) as f64);
+        let b = DenseMat::from_fn(4, 1, |i, _| i as f64 - 1.5);
+        let mut c = DenseMat::zeros(5, 1);
+        dgemm_full(&a, &b, 2.0, 0.0, &mut c);
+        for i in 0..5 {
+            let want: f64 = 2.0
+                * (0..4)
+                    .map(|p| ((i * 4 + p) as f64) * (p as f64 - 1.5))
+                    .sum::<f64>();
+            assert!((c[(i, 0)] - want).abs() < 1e-10);
+        }
+
+        // k = 0: C is only scaled, for both dgemm and dgemm_update
+        let mut c = DenseMat::from_fn(3, 3, |i, j| (i + j) as f64 + 1.0);
+        let c0 = c.clone();
+        let ldc = c.lda();
+        dgemm(3, 3, 0, 1.0, &[], 3, &[], 1, 0.5, c.as_mut_slice(), ldc);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(c[(i, j)], 0.5 * c0[(i, j)]);
+            }
+        }
+        let mut c = c0.clone();
+        dgemm_update(3, 3, 0, &[], 3, &[], 1, c.as_mut_slice(), ldc);
+        assert!(c.sub(&c0).max_abs() == 0.0, "k = 0 update is a no-op");
+    }
+
     #[test]
     fn dgemm_beta_zero_clears_nan() {
         let a = DenseMat::identity(2);
         let b = DenseMat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         let mut c = DenseMat::from_fn(2, 2, |_, _| f64::NAN);
+        dgemm_full(&a, &b, 1.0, 0.0, &mut c);
+        assert!(c.sub(&b).max_abs() == 0.0);
+    }
+
+    #[test]
+    fn dgemm_blocked_beta_zero_clears_nan() {
+        let n = 16;
+        let a = DenseMat::identity(n);
+        let b = DenseMat::from_fn(n, n, |i, j| (i * n + j) as f64);
+        let mut c = DenseMat::from_fn(n, n, |_, _| f64::NAN);
         dgemm_full(&a, &b, 1.0, 0.0, &mut c);
         assert!(c.sub(&b).max_abs() == 0.0);
     }
@@ -276,6 +941,40 @@ mod tests {
     }
 
     #[test]
+    fn dgemm_blocked_respects_leading_dimensions() {
+        // Embed a 12x12 problem (blocked path) in 20x20 storage and verify
+        // cells outside the target window stay untouched.
+        let (m, n, k, ld) = (12usize, 12usize, 12usize, 20usize);
+        let mut astore = vec![0.0; ld * ld];
+        let mut bstore = vec![0.0; ld * ld];
+        let mut cstore = vec![-1.0; ld * ld];
+        for j in 0..k {
+            for i in 0..m {
+                astore[i + j * ld] = (i * 3 + j) as f64 * 0.1;
+            }
+        }
+        for j in 0..n {
+            for i in 0..k {
+                bstore[i + j * ld] = (i + j * 5) as f64 * 0.2;
+            }
+        }
+        let mut want = vec![0.0; m * n];
+        dgemm_naive(m, n, k, 1.0, &astore, ld, &bstore, ld, 0.0, &mut want, m);
+        dgemm(m, n, k, 1.0, &astore, ld, &bstore, ld, 0.0, &mut cstore, ld);
+        for j in 0..n {
+            for i in 0..m {
+                let got = cstore[i + j * ld];
+                assert!((got - want[i + j * m]).abs() < 1e-9, "({i},{j})");
+            }
+        }
+        // a row below the window and a column right of it are untouched
+        for j in 0..n {
+            assert_eq!(cstore[m + j * ld], -1.0);
+        }
+        assert_eq!(cstore[n * ld], -1.0);
+    }
+
+    #[test]
     fn trsm_matches_repeated_trsv() {
         let m = 6;
         let n = 4;
@@ -297,6 +996,52 @@ mod tests {
             dtrsv_lower_unit(m, l.as_slice(), m, &mut x);
             for i in 0..m {
                 assert!((b[(i, j)] - x[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Exercise the TB-blocked path (m > TB) of both triangular solves.
+    #[test]
+    fn trsm_blocked_tall_panels_match_trsv() {
+        let m = TB * 2 + 7;
+        let n = 5;
+        let l = DenseMat::from_fn(m, m, |i, j| {
+            if i > j {
+                (((i * 7 + j * 3) % 9) as f64 - 4.0) * 0.05
+            } else if i == j {
+                1.0
+            } else {
+                f64::NAN // must not be referenced
+            }
+        });
+        let b0 = DenseMat::from_fn(m, n, |i, j| ((i + 2 * j) % 11) as f64 * 0.3 - 1.0);
+        let mut b = b0.clone();
+        let ldb = b.lda();
+        dtrsm_left_lower_unit(m, n, l.as_slice(), m, b.as_mut_slice(), ldb);
+        for j in 0..n {
+            let mut x = b0.col(j).to_vec();
+            dtrsv_lower_unit(m, l.as_slice(), m, &mut x);
+            for i in 0..m {
+                assert!((b[(i, j)] - x[i]).abs() < 1e-9, "L: ({i},{j})");
+            }
+        }
+
+        let u = DenseMat::from_fn(m, m, |i, j| {
+            if i < j {
+                (((i * 5 + j * 11) % 7) as f64 - 3.0) * 0.04
+            } else if i == j {
+                1.5 + ((i % 4) as f64) * 0.25
+            } else {
+                f64::NAN // must not be referenced
+            }
+        });
+        let mut b = b0.clone();
+        dtrsm_left_upper(m, n, u.as_slice(), m, b.as_mut_slice(), ldb);
+        for j in 0..n {
+            let mut x = b0.col(j).to_vec();
+            dtrsv_upper(m, u.as_slice(), m, &mut x);
+            for i in 0..m {
+                assert!((b[(i, j)] - x[i]).abs() < 1e-9, "U: ({i},{j})");
             }
         }
     }
@@ -336,5 +1081,27 @@ mod tests {
         let mut c = DenseMat::zeros(4, 4);
         dgemm_full(&a, &b, 1.0, 0.0, &mut c);
         assert_eq!(global().get(FlopClass::Blas3) - before, 2 * 4 * 4 * 4);
+    }
+
+    /// Blocked trsm must not double-count the internal GEMM flops.
+    #[test]
+    fn flop_counter_trsm_blocked_counts_once() {
+        use crate::flops::{global, FlopClass};
+        let m = TB + 5;
+        let n = 3;
+        let l = DenseMat::from_fn(m, m, |i, j| {
+            if i > j {
+                0.01
+            } else if i == j {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let mut b = DenseMat::from_fn(m, n, |i, j| (i + j) as f64);
+        let ldb = b.lda();
+        let before = global().get(FlopClass::Blas3);
+        dtrsm_left_lower_unit(m, n, l.as_slice(), m, b.as_mut_slice(), ldb);
+        assert_eq!(global().get(FlopClass::Blas3) - before, (m * m * n) as u64);
     }
 }

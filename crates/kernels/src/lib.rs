@@ -33,7 +33,10 @@ pub mod matrix;
 
 pub use blas1::{dasum, daxpy, dcopy, ddot, dnrm2, dscal, dswap, idamax};
 pub use blas2::{dgemv, dger, dtrsv_lower_unit, dtrsv_upper};
-pub use blas3::{dgemm, dgemm_update, dtrsm_left_lower_unit, dtrsm_left_upper};
+pub use blas3::{
+    dgemm, dgemm_naive, dgemm_update, dgemm_update_with, dgemm_with, dtrsm_left_lower_unit,
+    dtrsm_left_upper, GemmScratch,
+};
 pub use dense_lu::{dense_lu, dense_solve, DenseLu};
 pub use flops::{FlopClass, FlopCounter};
 pub use matrix::DenseMat;

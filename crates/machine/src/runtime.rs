@@ -82,7 +82,13 @@ pub struct ProcCtx {
     pub max_pending_bytes: u64,
     stats: Arc<CommStats>,
     probe: Probe,
+    pool_ints: Vec<Vec<u32>>,
+    pool_floats: Vec<Vec<f64>>,
 }
+
+/// Recycled buffers kept per kind in [`ProcCtx`]'s payload pool; beyond
+/// this the returned buffers are simply dropped (bounds pool memory).
+const POOL_CAP: usize = 32;
 
 impl ProcCtx {
     fn park(&mut self, m: Message) {
@@ -178,6 +184,60 @@ impl ProcCtx {
                 m
             }
             Entry::Vacant(_) => None,
+        }
+    }
+
+    /// Take a cleared `u32` buffer from the payload pool (or a fresh one).
+    /// Fill it and hand it to [`Message::new`]; when the message has been
+    /// consumed by every receiver, [`ProcCtx::recycle`] returns the
+    /// allocation here, so the steady-state protocol allocates nothing.
+    pub fn ints_buf(&mut self) -> Vec<u32> {
+        match self.pool_ints.pop() {
+            Some(mut v) => {
+                v.clear();
+                self.probe.count("payload_pool_hits", 1);
+                v
+            }
+            None => {
+                self.probe.count("payload_pool_misses", 1);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Take a cleared `f64` buffer from the payload pool (or a fresh one).
+    /// See [`ProcCtx::ints_buf`].
+    pub fn floats_buf(&mut self) -> Vec<f64> {
+        match self.pool_floats.pop() {
+            Some(mut v) => {
+                v.clear();
+                self.probe.count("payload_pool_hits", 1);
+                v
+            }
+            None => {
+                self.probe.count("payload_pool_misses", 1);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Return a fully consumed message's payload buffers to the pool.
+    ///
+    /// Only the last holder of a (possibly multicast) payload actually
+    /// reclaims it — earlier holders' `Arc`s simply drop their reference.
+    /// The pool is bounded; overflow buffers are freed.
+    pub fn recycle(&mut self, msg: Message) {
+        if let Ok(v) = Arc::try_unwrap(msg.ints) {
+            if self.pool_ints.len() < POOL_CAP {
+                self.probe.count("payload_recycled", 1);
+                self.pool_ints.push(v);
+            }
+        }
+        if let Ok(v) = Arc::try_unwrap(msg.floats) {
+            if self.pool_floats.len() < POOL_CAP {
+                self.probe.count("payload_recycled", 1);
+                self.pool_floats.push(v);
+            }
         }
     }
 
@@ -278,6 +338,8 @@ where
                 max_pending_bytes: 0,
                 stats: stats.clone(),
                 probe: Probe::disabled(),
+                pool_ints: Vec::new(),
+                pool_floats: Vec::new(),
             };
             let f = &f;
             let poison_senders = senders.clone();
@@ -540,6 +602,28 @@ mod tests {
             enabled
         });
         assert_eq!(res, vec![false, false]);
+    }
+
+    #[test]
+    fn payload_pool_reuses_recycled_buffers() {
+        run_machine(1, |mut ctx| {
+            let mut f = ctx.floats_buf();
+            f.resize(100, 1.0);
+            let ptr = f.as_ptr() as usize;
+            let m = Message::new(1, ctx.ints_buf(), f);
+            ctx.recycle(m);
+            // sole-owner payload comes back: same allocation, same capacity
+            let f2 = ctx.floats_buf();
+            assert!(f2.capacity() >= 100);
+            assert_eq!(f2.as_ptr() as usize, ptr);
+            // a payload still shared with another holder is NOT reclaimed
+            let m1 = Message::new(2, vec![], f2);
+            let m2 = m1.clone();
+            ctx.recycle(m1);
+            let f3 = ctx.floats_buf();
+            assert_eq!(f3.capacity(), 0, "shared payload must not be pooled");
+            drop(m2);
+        });
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //! splu trace  <matrix.mtx> [opts]       factor on P thread-processors with
 //!                                       the flight recorder on; write a
 //!                                       Perfetto-loadable Chrome trace
+//! splu bench-lu [opts]                  factor the synthetic suite with the
+//!                                       seq/par1d/par2d drivers; write the
+//!                                       GFLOP/s + scratch-footprint record
+//!                                       (default results/BENCH_lu.json)
 //!
 //! options:
 //!   --block-size N     max supernode width        (default 25)
@@ -28,6 +32,8 @@
 //!   --workers N        solve worker threads       (default 2, serve only)
 //!   --queue-cap N      work-queue capacity        (default 8, serve only)
 //!   --cache-bytes N    factorization-cache budget (serve only)
+//!   --min-secs S       per-driver measurement time (default 0.2,
+//!                                                 bench-lu only)
 //! ```
 
 use sstar::prelude::*;
@@ -38,11 +44,12 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: splu <info|factor|solve|serve|project|trace> <matrix.mtx|requests.txt> \
+        "usage: splu <info|factor|solve|serve|project|trace|bench-lu> \
+         <matrix.mtx|requests.txt> \
          [--block-size N] [--amalgamate R] [--ordering natural|mmd|atpa|rcm] \
          [--refine N] [--procs P] [--rhs file] [--out file] \
          [--stats-json file] [--gantt-width N] [--requests file] \
-         [--workers N] [--queue-cap N] [--cache-bytes N]"
+         [--workers N] [--queue-cap N] [--cache-bytes N] [--min-secs S]"
     );
     ExitCode::from(2)
 }
@@ -61,6 +68,7 @@ struct Cli {
     workers: usize,
     queue_cap: usize,
     cache_bytes: Option<usize>,
+    min_secs: f64,
 }
 
 /// The value following `flag`, or an error naming the flag.
@@ -100,6 +108,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
         workers: 2,
         queue_cap: 8,
         cache_bytes: None,
+        min_secs: 0.2,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -146,10 +155,12 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
                 }
             }
             "--cache-bytes" => cli.cache_bytes = Some(flag_parse(&mut args, "--cache-bytes")?),
+            "--min-secs" => cli.min_secs = flag_parse(&mut args, "--min-secs")?,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    if cli.matrix.is_empty() {
+    // `bench-lu` runs the built-in suite and takes no input file.
+    if cli.matrix.is_empty() && cli.cmd != "bench-lu" {
         return Err(if cli.cmd == "serve" {
             "missing <requests> argument (positional or --requests)".to_string()
         } else {
@@ -247,6 +258,21 @@ fn main() -> ExitCode {
     // `serve` takes a workload file, not a matrix.
     if cli.cmd == "serve" {
         return cmd_serve(&cli);
+    }
+    // `bench-lu` runs the built-in synthetic suite, no input file.
+    if cli.cmd == "bench-lu" {
+        let out = if cli.out == "trace.json" {
+            splu_bench::bench_lu::DEFAULT_OUT
+        } else {
+            cli.out.as_str()
+        };
+        return match splu_bench::bench_lu::run(out, cli.min_secs) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("splu: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     // pick the reader by extension: .mtx = Matrix Market, .rua/.rsa/.pua/
     // .psa/.hb = Harwell–Boeing

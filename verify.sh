@@ -26,4 +26,18 @@ grep -q '"bench": "solver_serve"' results/BENCH_solver.json
 grep -q '"deadline_expired": 1' results/BENCH_solver.json
 grep -q '"factorization_failed": 1' results/BENCH_solver.json
 
+# perf record: factor the synthetic suite with the seq/par1d/par2d
+# drivers and gate on the record being well-formed — every driver of
+# every matrix reports a positive GFLOP/s and the warmed sequential
+# arena grew zero buffers (the allocation-free hot-path proof).
+# Absolute rates are informational; no thresholds here.
+cargo run --release -q --bin splu -- bench-lu --out results/BENCH_lu.json
+grep -q '"bench": "lu_factor"' results/BENCH_lu.json
+test "$(grep -c '"gflops": ' results/BENCH_lu.json)" -eq 9
+if grep -E '"gflops": (0\.0*[,}]|-)' results/BENCH_lu.json; then
+    echo "verify: nonpositive GFLOP/s in BENCH_lu.json" >&2
+    exit 1
+fi
+test "$(grep -c '"warmed_grow_events": 0' results/BENCH_lu.json)" -eq 3
+
 echo "verify: all checks passed"
