@@ -36,10 +36,35 @@ pub const PAR1D_PROCS: usize = 2;
 /// Simulated processors for the 2D driver (`Grid::for_procs`).
 pub const PAR2D_PROCS: usize = 4;
 
+/// Update-stage time breakdown of one measured run (the last run of the
+/// measurement budget): seconds inside the stacked GEMM calls, inside
+/// the map-driven scatter loops, and blocked waiting for remote panels,
+/// plus the batched-call counts behind them.
+pub struct UpdateBreakdown {
+    pub gemm_secs: f64,
+    pub scatter_secs: f64,
+    pub wait_secs: f64,
+    pub gemm_calls: u64,
+    pub gemm_rows_max: u64,
+}
+
+impl UpdateBreakdown {
+    fn from_stats(stats: &FactorStats) -> Self {
+        Self {
+            gemm_secs: stats.update_gemm_secs,
+            scatter_secs: stats.update_scatter_secs,
+            wait_secs: stats.update_wait_secs,
+            gemm_calls: stats.update_gemm_calls,
+            gemm_rows_max: stats.update_gemm_rows_max,
+        }
+    }
+}
+
 /// One driver's measurement.
 pub struct DriverResult {
     pub gflops: f64,
     pub scratch_peak_bytes: u64,
+    pub update: UpdateBreakdown,
 }
 
 /// One matrix row of the benchmark.
@@ -73,10 +98,12 @@ fn best_rate(
         best = best.max(gflops(&stats, dt));
         if spent >= min_secs {
             let peak = stats.scratch_peak_bytes;
+            let update = UpdateBreakdown::from_stats(&stats);
             return (
                 DriverResult {
                     gflops: best,
                     scratch_peak_bytes: peak,
+                    update,
                 },
                 stats,
             );
@@ -146,8 +173,45 @@ pub fn bench_matrix(name: &'static str, min_secs: f64) -> MatrixResult {
     }
 }
 
-/// Render the benchmark rows as the `BENCH_lu.json` document.
-pub fn render_json(rows: &[MatrixResult]) -> String {
+/// Previous-record rates: `(matrix, driver) → GFLOP/s`, parsed from an
+/// earlier `BENCH_lu.json`. `None` when the text is not a benchmark
+/// record (missing file contents, different bench, parse failure).
+pub fn parse_rates(text: &str) -> Option<std::collections::HashMap<(String, String), f64>> {
+    let v = splu_probe::json::parse(text).ok()?;
+    if v.get("bench")?.as_str()? != "lu_factor" {
+        return None;
+    }
+    let mut map = std::collections::HashMap::new();
+    for m in v.get("matrices")?.items()? {
+        let name = m.get("name")?.as_str()?;
+        for d in ["seq", "par1d", "par2d"] {
+            if let Some(g) = m
+                .get(d)
+                .and_then(|o| o.get("gflops"))
+                .and_then(|g| g.as_f64())
+            {
+                map.insert((name.to_string(), d.to_string()), g);
+            }
+        }
+    }
+    Some(map)
+}
+
+fn breakdown_json(b: &UpdateBreakdown) -> String {
+    format!(
+        "\"update\": {{\"gemm_secs\": {:.6}, \"scatter_secs\": {:.6}, \
+         \"wait_secs\": {:.6}, \"gemm_calls\": {}, \"gemm_rows_max\": {}}}",
+        b.gemm_secs, b.scatter_secs, b.wait_secs, b.gemm_calls, b.gemm_rows_max
+    )
+}
+
+/// Render the benchmark rows as the `BENCH_lu.json` document. When the
+/// previous record is supplied, each matrix row carries its per-driver
+/// `speedup_vs_prev` ratios (new rate / recorded rate).
+pub fn render_json(
+    rows: &[MatrixResult],
+    prev: Option<&std::collections::HashMap<(String, String), f64>>,
+) -> String {
     let grid = Grid::for_procs(PAR2D_PROCS);
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"lu_factor\",\n");
@@ -163,17 +227,47 @@ pub fn render_json(rows: &[MatrixResult]) -> String {
         ));
         json.push_str(&format!(
             "     \"seq\": {{\"gflops\": {:.4}, \"scratch_peak_bytes\": {}, \
-             \"warmed_grow_events\": {}}},\n",
-            r.seq.gflops, r.seq.scratch_peak_bytes, r.seq_warmed_grow_events
+             \"warmed_grow_events\": {},\n      {}}},\n",
+            r.seq.gflops,
+            r.seq.scratch_peak_bytes,
+            r.seq_warmed_grow_events,
+            breakdown_json(&r.seq.update)
         ));
         json.push_str(&format!(
-            "     \"par1d\": {{\"gflops\": {:.4}, \"scratch_peak_bytes\": {}}},\n",
-            r.par1d.gflops, r.par1d.scratch_peak_bytes
+            "     \"par1d\": {{\"gflops\": {:.4}, \"scratch_peak_bytes\": {},\n      {}}},\n",
+            r.par1d.gflops,
+            r.par1d.scratch_peak_bytes,
+            breakdown_json(&r.par1d.update)
         ));
         json.push_str(&format!(
-            "     \"par2d\": {{\"gflops\": {:.4}, \"scratch_peak_bytes\": {}}}}}{}\n",
+            "     \"par2d\": {{\"gflops\": {:.4}, \"scratch_peak_bytes\": {},\n      {}}}",
             r.par2d.gflops,
             r.par2d.scratch_peak_bytes,
+            breakdown_json(&r.par2d.update)
+        ));
+        if let Some(prev) = prev {
+            let ratio = |d: &str, g: f64| {
+                prev.get(&(r.name.to_string(), d.to_string())).map(|&p| {
+                    if p > 0.0 {
+                        g / p
+                    } else {
+                        0.0
+                    }
+                })
+            };
+            if let (Some(s), Some(p1), Some(p2)) = (
+                ratio("seq", r.seq.gflops),
+                ratio("par1d", r.par1d.gflops),
+                ratio("par2d", r.par2d.gflops),
+            ) {
+                json.push_str(&format!(
+                    ",\n     \"speedup_vs_prev\": {{\"seq\": {s:.4}, \
+                     \"par1d\": {p1:.4}, \"par2d\": {p2:.4}}}"
+                ));
+            }
+        }
+        json.push_str(&format!(
+            "}}{}\n",
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -181,16 +275,66 @@ pub fn render_json(rows: &[MatrixResult]) -> String {
     json
 }
 
-/// Run the full benchmark and write `out`. Returns an error string on
-/// I/O failure (measurement itself panics on solver bugs — those should
-/// never be reported as a benchmark result).
-pub fn run(out: &str, min_secs: f64) -> Result<(), String> {
+/// Regression tolerance in percent, from `SPLU_BENCH_TOL_PCT` (default
+/// 15 — generous because the simulated-processor rates are noisy).
+pub fn tolerance_pct() -> f64 {
+    std::env::var("SPLU_BENCH_TOL_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15.0)
+}
+
+/// Gate the fresh rows against a previous record: any driver rate more
+/// than `tol_pct` percent below its recorded value is a failure.
+pub fn gate_against(
+    rows: &[MatrixResult],
+    prev: &std::collections::HashMap<(String, String), f64>,
+    tol_pct: f64,
+) -> Result<(), String> {
+    let mut failures = Vec::new();
+    for r in rows {
+        for (d, g) in [
+            ("seq", r.seq.gflops),
+            ("par1d", r.par1d.gflops),
+            ("par2d", r.par2d.gflops),
+        ] {
+            if let Some(&p) = prev.get(&(r.name.to_string(), d.to_string())) {
+                if g < p * (1.0 - tol_pct / 100.0) {
+                    failures.push(format!(
+                        "{}/{d}: {g:.4} GFLOP/s is more than {tol_pct}% below \
+                         the recorded {p:.4}",
+                        r.name
+                    ));
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "benchmark regression:\n  {}",
+            failures.join("\n  ")
+        ))
+    }
+}
+
+/// Run the full benchmark and write `out`, comparing against the
+/// previous record at `baseline` (default: the existing contents of
+/// `out`). Returns an error on I/O failure or on a GFLOP/s regression
+/// beyond [`tolerance_pct`] (measurement itself panics on solver bugs —
+/// those should never be reported as a benchmark result).
+pub fn run_opts(out: &str, min_secs: f64, baseline: Option<&str>) -> Result<(), String> {
+    let prev = std::fs::read_to_string(baseline.unwrap_or(out))
+        .ok()
+        .and_then(|t| parse_rates(&t));
     let mut rows = Vec::new();
     for name in MATRICES {
         let r = bench_matrix(name, min_secs);
         eprintln!(
             "{:<9} n={:<5} seq {:7.4} GFLOP/s (scratch {} B, warmed grow events {})  \
-             par1d {:7.4}  par2d {:7.4}",
+             par1d {:7.4}  par2d {:7.4}  update gemm/scatter/wait \
+             {:.1}/{:.1}/{:.1} ms",
             r.name,
             r.n,
             r.seq.gflops,
@@ -198,14 +342,29 @@ pub fn run(out: &str, min_secs: f64) -> Result<(), String> {
             r.seq_warmed_grow_events,
             r.par1d.gflops,
             r.par2d.gflops,
+            r.seq.update.gemm_secs * 1e3,
+            r.seq.update.scatter_secs * 1e3,
+            r.par2d.update.wait_secs * 1e3,
         );
         rows.push(r);
     }
-    let json = render_json(&rows);
+    let json = render_json(&rows, prev.as_ref());
     if let Some(dir) = std::path::Path::new(out).parent() {
         std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
     }
     std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
     println!("wrote {out}");
-    Ok(())
+    match &prev {
+        Some(prev) => gate_against(&rows, prev, tolerance_pct()),
+        None => {
+            println!("no previous record to gate against");
+            Ok(())
+        }
+    }
+}
+
+/// [`run_opts`] with the default baseline (the previous contents of
+/// `out`).
+pub fn run(out: &str, min_secs: f64) -> Result<(), String> {
+    run_opts(out, min_secs, None)
 }

@@ -1,12 +1,18 @@
-//! End-to-end LU factorization benchmark — seq / par1d / par2d GFLOP/s
-//! and peak scratch bytes over the synthetic suite. Thin wrapper around
-//! [`splu_bench::bench_lu`]; also reachable as `splu bench-lu`.
+//! End-to-end LU factorization benchmark — seq / par1d / par2d GFLOP/s,
+//! peak scratch bytes, and the update-stage GEMM/scatter/wait breakdown
+//! over the synthetic suite. Thin wrapper around [`splu_bench::bench_lu`];
+//! also reachable as `splu bench-lu`.
 //!
-//! Usage: `bench_lu [--out PATH] [--min-secs S]`
+//! Usage: `bench_lu [--out PATH] [--min-secs S] [--baseline PATH]`
+//!
+//! The run is gated against the previous record (`--baseline`, default:
+//! the existing `--out` file): a GFLOP/s drop beyond `SPLU_BENCH_TOL_PCT`
+//! percent (default 15) on any driver/matrix exits nonzero.
 
 fn main() {
     let mut out = splu_bench::bench_lu::DEFAULT_OUT.to_string();
     let mut min_secs = 0.2f64;
+    let mut baseline: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -17,13 +23,14 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--min-secs needs a number")
             }
+            "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
             }
         }
     }
-    if let Err(e) = splu_bench::bench_lu::run(&out, min_secs) {
+    if let Err(e) = splu_bench::bench_lu::run_opts(&out, min_secs, baseline.as_deref()) {
         eprintln!("bench_lu: {e}");
         std::process::exit(1);
     }

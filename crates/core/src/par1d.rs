@@ -272,7 +272,9 @@ fn factor_with_schedule_impl(
                 TaskKind::Update(k, j) => {
                     let (k, j) = (k as usize, j as usize);
                     if received[k].is_none() {
+                        let t_wait = std::time::Instant::now();
                         let msg = ctx.recv(panel_tag(k));
+                        stats.update_wait_secs += t_wait.elapsed().as_secs_f64();
                         received[k] = Some(RecvPanel::new(&m, k, msg));
                     }
                     let rp = received[k].take().unwrap();
@@ -304,6 +306,7 @@ fn factor_with_schedule_impl(
         stats.scratch_peak_bytes = scratch.peak_bytes();
         ctx.probe()
             .count("scratch_grow_events", stats.scratch_grow_events);
+        stats.emit_update_probe(ctx.probe());
 
         // return owned column blocks
         let blocks: Vec<(usize, crate::storage::ColBlock)> = (0..nb)
@@ -332,13 +335,7 @@ fn factor_with_schedule_impl(
         for (b, p) in pivs {
             pivots[b] = p;
         }
-        merged.factor_tasks += stats.factor_tasks;
-        merged.update_tasks += stats.update_tasks;
-        merged.row_interchanges += stats.row_interchanges;
-        merged.gemm_flops += stats.gemm_flops;
-        merged.other_flops += stats.other_flops;
-        merged.scratch_grow_events += stats.scratch_grow_events;
-        merged.scratch_peak_bytes = merged.scratch_peak_bytes.max(stats.scratch_peak_bytes);
+        merged.absorb(&stats);
         peaks.push(peak);
         busys.push(busy);
     }

@@ -26,10 +26,10 @@
 //! distributed pivot search reproduces the sequential tie-break exactly,
 //! and per-entry update contributions accumulate in the same stage order.
 
-use crate::scratch::{prep_cap_f64, prep_cap_u32, prep_zeroed_f64, FactorScratch};
+use crate::scratch::{prep_cap_f64, prep_zeroed_f64, FactorScratch};
 use crate::seq::FactorStats;
 use crate::storage::BlockMatrix;
-use splu_kernels::{dgemm_with, dtrsm_left_lower_unit};
+use splu_kernels::{dgemm_naive, dgemm_with, dtrsm_left_lower_unit, gemm_uses_blocked_path};
 use splu_machine::{run_machine, run_machine_traced, Grid, Message, ProcCtx};
 use splu_probe::Collector;
 use splu_symbolic::BlockPattern;
@@ -74,6 +74,14 @@ pub struct Par2dResult {
     pub comm: (u64, u64),
     /// Per-processor peak parked-message bytes (§5.2 buffer-space).
     pub peak_buffer_bytes: Vec<u64>,
+    /// Per-processor peak resident bytes of the lookahead panel caches
+    /// (received `L`/`U` multicast panels held for reuse). With per-stage
+    /// retirement this stays bounded by one stage's working set.
+    pub panel_cache_peak_bytes: Vec<u64>,
+    /// Per-processor cumulative bytes ever inserted into the panel
+    /// caches — what the peak would approach if entries were never
+    /// evicted (the pre-retirement behavior).
+    pub panel_cache_inserted_bytes: Vec<u64>,
     /// Update execution intervals for overlap analysis.
     pub intervals: Vec<UpdateInterval>,
 }
@@ -352,6 +360,97 @@ impl Store2d {
     }
 }
 
+/// Caches of received multicast panels: `L_ik` row panels keyed `(k, i)`,
+/// TRSM'd `U_kj` row blocks keyed `(k, j)`, with resident-byte accounting.
+///
+/// Every entry of stage `k` is inserted *and* last consumed within the
+/// spmd loop's iteration `k` (`scale_swap` consumes `(k, k)`; the stage's
+/// update tasks consume the rest), so the loop retires whole stages: a
+/// `U` row is recycled right after its single consuming task and the
+/// surviving `L` panels at stage end. Resident bytes are thereby bounded
+/// by one stage's working set instead of growing monotonically over the
+/// whole factorization (the pre-retirement behavior, still visible as
+/// [`PanelCaches::inserted_bytes`]).
+struct PanelCaches {
+    lpanels: HashMap<(usize, usize), Message>,
+    urows: HashMap<(usize, usize), Message>,
+    resident_bytes: u64,
+    peak_bytes: u64,
+    inserted_bytes: u64,
+}
+
+impl PanelCaches {
+    fn new() -> Self {
+        Self {
+            lpanels: HashMap::new(),
+            urows: HashMap::new(),
+            resident_bytes: 0,
+            peak_bytes: 0,
+            inserted_bytes: 0,
+        }
+    }
+
+    fn account_insert(&mut self, nbytes: u64) {
+        self.inserted_bytes += nbytes;
+        self.resident_bytes += nbytes;
+        self.peak_bytes = self.peak_bytes.max(self.resident_bytes);
+    }
+
+    /// The cached `L` panel `(k, i)`, receiving it first if absent.
+    fn lpanel(&mut self, key: (usize, usize), recv: impl FnOnce() -> Message) -> &Message {
+        if !self.lpanels.contains_key(&key) {
+            let m = recv();
+            self.account_insert(m.nbytes());
+            self.lpanels.insert(key, m);
+        }
+        &self.lpanels[&key]
+    }
+
+    /// The cached `U` row `(k, j)`, receiving it first if absent.
+    fn urow(&mut self, key: (usize, usize), recv: impl FnOnce() -> Message) -> &Message {
+        if !self.urows.contains_key(&key) {
+            let m = recv();
+            self.account_insert(m.nbytes());
+            self.urows.insert(key, m);
+        }
+        &self.urows[&key]
+    }
+
+    /// Remove the `U` row `(k, j)` — it has exactly one consuming task
+    /// per processor, which has just run.
+    fn take_urow(&mut self, key: (usize, usize)) -> Option<Message> {
+        let m = self.urows.remove(&key);
+        if let Some(m) = &m {
+            self.resident_bytes -= m.nbytes();
+        }
+        m
+    }
+
+    /// Retire every stage-`k` entry (its last consumer has completed),
+    /// recycling the payloads into the runtime's pool.
+    fn retire_stage(&mut self, k: usize, ctx: &mut ProcCtx) {
+        retire_from(&mut self.lpanels, k, &mut self.resident_bytes, ctx);
+        retire_from(&mut self.urows, k, &mut self.resident_bytes, ctx);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.lpanels.is_empty() && self.urows.is_empty()
+    }
+}
+
+fn retire_from(
+    map: &mut HashMap<(usize, usize), Message>,
+    k: usize,
+    resident: &mut u64,
+    ctx: &mut ProcCtx,
+) {
+    while let Some(key) = map.keys().find(|key| key.0 == k).copied() {
+        let m = map.remove(&key).unwrap();
+        *resident -= m.nbytes();
+        ctx.recycle(m);
+    }
+}
+
 /// Factor `a` (already preprocessed) on a `grid` of thread-processors
 /// with classic partial pivoting.
 pub fn factor_par2d(
@@ -424,6 +523,7 @@ fn factor_par2d_impl(
         FactorStats,
         u64,
         Vec<UpdateInterval>,
+        (u64, u64),
     );
     let spmd = |mut ctx: ProcCtx| {
         let mut st = Store2d::new(a, pattern.clone(), grid, ctx.rank);
@@ -431,9 +531,8 @@ fn factor_par2d_impl(
         let mut stats = FactorStats::default();
         let mut pivseqs: Vec<Option<Arc<Vec<u32>>>> = vec![None; nb];
         let mut intervals: Vec<UpdateInterval> = Vec::new();
-        // caches of received panels
-        let mut lpanels: HashMap<(usize, usize), Message> = HashMap::new(); // (k, i)
-        let mut urows: HashMap<(usize, usize), Message> = HashMap::new(); // (k, j)
+        // bounded caches of received panels, retired per stage
+        let mut caches = PanelCaches::new();
         let mut scratch = FactorScratch::new();
 
         if ctx.rank == 0 {
@@ -455,7 +554,7 @@ fn factor_par2d_impl(
                 &mut st,
                 k,
                 &mut pivseqs,
-                &mut lpanels,
+                &mut caches,
                 &mut stats,
                 &mut scratch,
             );
@@ -467,8 +566,7 @@ fn factor_par2d_impl(
                         &mut st,
                         k,
                         next,
-                        &mut lpanels,
-                        &mut urows,
+                        &mut caches,
                         &mut stats,
                         &mut scratch,
                         &clock,
@@ -486,8 +584,7 @@ fn factor_par2d_impl(
                         &mut st,
                         k,
                         j,
-                        &mut lpanels,
-                        &mut urows,
+                        &mut caches,
                         &mut stats,
                         &mut scratch,
                         &clock,
@@ -495,14 +592,21 @@ fn factor_par2d_impl(
                     );
                 }
             }
+            // stage k's last consumer has run on this rank: drop its
+            // cached panels so resident bytes never span stages
+            caches.retire_stage(k, &mut ctx);
             if mode == Sync2d::Barrier {
                 barrier.wait();
             }
         }
+        debug_assert!(caches.is_empty(), "panel caches must drain by the end");
         stats.scratch_grow_events = scratch.grow_events();
         stats.scratch_peak_bytes = scratch.peak_bytes();
         ctx.probe()
             .count("scratch_grow_events", stats.scratch_grow_events);
+        ctx.probe()
+            .gauge_max("panel_cache_bytes_hw", caches.peak_bytes);
+        stats.emit_update_probe(ctx.probe());
 
         let blocks: Vec<((u32, u32), Vec<f64>)> = st.blocks.into_iter().collect();
         let pivs: Vec<(usize, Vec<u32>)> = pivseqs
@@ -510,7 +614,15 @@ fn factor_par2d_impl(
             .enumerate()
             .filter_map(|(k, p)| p.map(|p| (k, p.as_ref().clone())))
             .collect();
-        (blocks, pivs, stats, ctx.max_pending_bytes, intervals)
+        let cache_bytes = (caches.peak_bytes, caches.inserted_bytes);
+        (
+            blocks,
+            pivs,
+            stats,
+            ctx.max_pending_bytes,
+            intervals,
+            cache_bytes,
+        )
     };
     let (outs, comm): (Vec<RankOut>, _) = match collector {
         Some(c) => run_machine_traced(grid.nprocs(), c, spmd),
@@ -531,8 +643,10 @@ fn factor_par2d_impl(
     let mut pivots: Vec<Vec<u32>> = vec![Vec::new(); nb];
     let mut merged = FactorStats::default();
     let mut peaks = Vec::new();
+    let mut cache_peaks = Vec::new();
+    let mut cache_inserted = Vec::new();
     let mut all_intervals = Vec::new();
-    for (bks, pivs, stats, peak, ivs) in outs {
+    for (bks, pivs, stats, peak, ivs, (cpeak, cins)) in outs {
         for ((i, j), panel) in bks {
             let (i, j) = (i as usize, j as usize);
             let cb = &mut blocks.cols[j];
@@ -568,14 +682,10 @@ fn factor_par2d_impl(
                 pivots[k] = p;
             }
         }
-        merged.factor_tasks += stats.factor_tasks;
-        merged.update_tasks += stats.update_tasks;
-        merged.row_interchanges += stats.row_interchanges;
-        merged.gemm_flops += stats.gemm_flops;
-        merged.other_flops += stats.other_flops;
-        merged.scratch_grow_events += stats.scratch_grow_events;
-        merged.scratch_peak_bytes = merged.scratch_peak_bytes.max(stats.scratch_peak_bytes);
+        merged.absorb(&stats);
         peaks.push(peak);
+        cache_peaks.push(cpeak);
+        cache_inserted.push(cins);
         all_intervals.extend(ivs);
     }
     Par2dResult {
@@ -585,6 +695,8 @@ fn factor_par2d_impl(
         elapsed,
         comm,
         peak_buffer_bytes: peaks,
+        panel_cache_peak_bytes: cache_peaks,
+        panel_cache_inserted_bytes: cache_inserted,
         intervals: all_intervals,
     }
 }
@@ -854,7 +966,7 @@ fn scale_swap(
     st: &mut Store2d,
     k: usize,
     pivseqs: &mut [Option<Arc<Vec<u32>>>],
-    lpanels: &mut HashMap<(usize, usize), Message>,
+    caches: &mut PanelCaches,
     stats: &mut FactorStats,
     scratch: &mut FactorScratch,
 ) {
@@ -991,9 +1103,7 @@ fn scale_swap(
         if st.blocks.contains_key(&diag_key) {
             scratch.panel.extend_from_slice(&st.blocks[&diag_key]);
         } else {
-            let m = lpanels
-                .entry((k, k))
-                .or_insert_with(|| ctx.recv(tag(K_LPANEL, k, k, 0)));
+            let m = caches.lpanel((k, k), || ctx.recv(tag(K_LPANEL, k, k, 0)));
             scratch.panel.extend_from_slice(&m.floats);
         }
         for &j in &my_js {
@@ -1017,15 +1127,17 @@ fn scale_swap(
 }
 
 /// `Update2D(k, j)` (Fig. 15): update owned blocks `A_ij` using `L_ik`
-/// (row multicast) and `U_kj` (column multicast).
+/// (row multicast) and `U_kj` (column multicast). All of this processor's
+/// destination segments are packed into one stacked `L` panel so the
+/// per-block GEMM loop collapses into one tall call per kernel-dispatch
+/// run, followed by a scatter driven by the pattern's precomputed maps.
 #[allow(clippy::too_many_arguments)]
 fn update2d(
     ctx: &mut ProcCtx,
     st: &mut Store2d,
     k: usize,
     j: usize,
-    lpanels: &mut HashMap<(usize, usize), Message>,
-    urows: &mut HashMap<(usize, usize), Message>,
+    caches: &mut PanelCaches,
     stats: &mut FactorStats,
     scratch: &mut FactorScratch,
     clock: &AtomicU64,
@@ -1038,13 +1150,14 @@ fn update2d(
 
     // my destination row blocks: L rows of column k in row blocks ≡ rno.
     // The segment metadata is borrowed straight from the shared pattern
-    // (via a local Arc handle), so no per-task copies are made.
+    // (via a local Arc handle), so no per-task copies are made; `li` is
+    // the segment's position in `l_blocks[k]`, the scatter-map key.
     let pattern = st.pattern.clone();
     let my_segs = || {
         pattern.l_blocks[k]
             .iter()
-            .filter(|l| (l.i as usize) % grid.pr == rno)
-            .map(|l| (l.i as usize, &l.rows))
+            .enumerate()
+            .filter(|(_, l)| (l.i as usize) % grid.pr == rno)
     };
     if my_segs().next().is_none() {
         let start = clock.fetch_add(1, Ordering::Relaxed);
@@ -1063,18 +1176,17 @@ fn update2d(
     // must cover the update's compute, not the blocking waits for its
     // operands (which would stretch it across arbitrarily many ticks on
     // an oversubscribed host)
+    let t_wait = std::time::Instant::now();
     if rno != k % grid.pr {
-        urows
-            .entry((k, j))
-            .or_insert_with(|| ctx.recv(tag(K_UROW, k, j, 0)));
+        caches.urow((k, j), || ctx.recv(tag(K_UROW, k, j, 0)));
     }
     if cno != k % grid.pc {
-        for (i, _) in my_segs() {
-            lpanels
-                .entry((k, i))
-                .or_insert_with(|| ctx.recv(tag(K_LPANEL, k, i, 0)));
+        for (_, l) in my_segs() {
+            let i = l.i as usize;
+            caches.lpanel((k, i), || ctx.recv(tag(K_LPANEL, k, i, 0)));
         }
     }
+    stats.update_wait_secs += t_wait.elapsed().as_secs_f64();
     let span_start = ctx.probe().now();
     let start = clock.fetch_add(1, Ordering::Relaxed);
 
@@ -1082,52 +1194,134 @@ fn update2d(
     // Staged in the arena's panel buffer so it stays live across the
     // destination `get_mut` borrows (no per-task clone).
     let wk = st.width(k);
-    let u_cols = &pattern.u_block(k, j).expect("U block in pattern").cols;
+    let uj = pattern.u_blocks[k]
+        .binary_search_by_key(&(j as u32), |u| u.j)
+        .expect("U block in pattern");
+    let u_cols = &pattern.u_blocks[k][uj].cols;
     let nuc = u_cols.len();
+    stats.scatter_map_reuse_hits += 1;
     {
         let src: &[f64] = if rno == k % grid.pr {
             &st.blocks[&(k as u32, j as u32)]
         } else {
-            &urows[&(k, j)].floats
+            &caches.urows[&(k, j)].floats
         };
         prep_cap_f64(&mut scratch.panel, src.len(), &mut scratch.grow_events);
         scratch.panel.extend_from_slice(src);
     }
+    // the staged copy outlives the cache entry, and each U row has
+    // exactly one consuming task per processor: retire it immediately
+    if let Some(m) = caches.take_urow((k, j)) {
+        ctx.recycle(m);
+    }
 
     let lo_j = st.lo(j);
     let wj = st.width(j);
+    let seg_len = |li: u32| pattern.l_blocks[k][li as usize].rows.len();
 
-    for (i, rows) in my_segs() {
-        let mrows = rows.len();
-        // L_ik: local if cno == k mod pc, else row multicast (pre-gathered)
-        {
+    // owned segment ids staged in the arena's index buffer for the
+    // indexed run-coalescing passes below
+    let mut segids = std::mem::take(&mut scratch.idx);
+    {
+        let cap0 = segids.capacity();
+        segids.clear();
+        segids.extend(my_segs().map(|(li, _)| li as u32));
+        if segids.capacity() > cap0 {
+            scratch.grow_events += 1;
+        }
+    }
+    let mtot: usize = segids.iter().map(|&li| seg_len(li)).sum();
+
+    // ---- pack the owned L segments into one stacked panel (ld = mtot) ----
+    // The seed copied every segment into the arena once per GEMM anyway;
+    // interleaving the copies into one tall panel costs the same traffic.
+    let t_gemm = std::time::Instant::now();
+    prep_zeroed_f64(&mut scratch.panel2, mtot * wk, &mut scratch.grow_events);
+    {
+        let mut off = 0usize;
+        for &li in &segids {
+            let i = pattern.l_blocks[k][li as usize].i as usize;
+            let mrows = seg_len(li);
             let src: &[f64] = if cno == k % grid.pc {
                 &st.blocks[&(i as u32, k as u32)]
             } else {
-                &lpanels[&(k, i)].floats
+                &caches.lpanels[&(k, i)].floats
             };
-            prep_cap_f64(&mut scratch.panel2, src.len(), &mut scratch.grow_events);
-            scratch.panel2.extend_from_slice(src);
+            for c in 0..wk {
+                scratch.panel2[off + c * mtot..off + c * mtot + mrows]
+                    .copy_from_slice(&src[c * mrows..(c + 1) * mrows]);
+            }
+            off += mrows;
         }
-        prep_zeroed_f64(&mut scratch.temp, mrows * nuc, &mut scratch.grow_events);
-        dgemm_with(
-            mrows,
-            nuc,
-            wk,
-            1.0,
-            &scratch.panel2,
-            mrows,
-            &scratch.panel,
-            wk,
-            0.0,
-            &mut scratch.temp,
-            mrows,
-            &mut scratch.gemm,
-        );
-        stats.gemm_flops += (2 * mrows * nuc * wk) as u64;
-        let temp = &scratch.temp;
+        debug_assert_eq!(off, mtot);
+    }
 
-        // scatter-subtract into destination block (i, j)
+    // ---- stacked GEMM: temp = L_stack (mtot × wk) · U_kj (wk × nuc) ----
+    // One call per maximal run of segments agreeing on the kernel's shape
+    // dispatch keeps the arithmetic bitwise identical to the seed's
+    // per-segment calls (see `gemm_uses_blocked_path`).
+    prep_zeroed_f64(&mut scratch.temp, mtot * nuc, &mut scratch.grow_events);
+    let mut s0 = 0usize;
+    let mut row0 = 0usize;
+    while s0 < segids.len() {
+        let blocked = gemm_uses_blocked_path(seg_len(segids[s0]), nuc, wk);
+        let mut s1 = s0 + 1;
+        let mut mrun = seg_len(segids[s0]);
+        while s1 < segids.len() && gemm_uses_blocked_path(seg_len(segids[s1]), nuc, wk) == blocked {
+            mrun += seg_len(segids[s1]);
+            s1 += 1;
+        }
+        let a = &scratch.panel2[row0..];
+        let c = &mut scratch.temp[row0..];
+        if blocked {
+            dgemm_with(
+                mrun,
+                nuc,
+                wk,
+                1.0,
+                a,
+                mtot,
+                &scratch.panel,
+                wk,
+                0.0,
+                c,
+                mtot,
+                &mut scratch.gemm,
+            );
+        } else {
+            dgemm_naive(
+                mrun,
+                nuc,
+                wk,
+                1.0,
+                a,
+                mtot,
+                &scratch.panel,
+                wk,
+                0.0,
+                c,
+                mtot,
+            );
+        }
+        stats.update_gemm_calls += 1;
+        stats.update_gemm_rows_max = stats.update_gemm_rows_max.max(mrun as u64);
+        row0 += mrun;
+        s0 = s1;
+    }
+    stats.gemm_flops += (2 * mtot * nuc * wk) as u64;
+    stats.update_gemm_secs += t_gemm.elapsed().as_secs_f64();
+
+    // ---- map-driven scatter-subtract, one destination per segment ----
+    let t_scatter = std::time::Instant::now();
+    let temp = &scratch.temp;
+    let mut off = 0usize;
+    for &li in &segids {
+        let l = &pattern.l_blocks[k][li as usize];
+        let i = l.i as usize;
+        let rows = &l.rows;
+        let mrows = rows.len();
+        let tcol_at = |cp: usize| off + cp * mtot;
+
         use std::cmp::Ordering::*;
         match i.cmp(&j) {
             Equal => {
@@ -1135,56 +1329,67 @@ fn update2d(
                 for (cp, &gc) in u_cols.iter().enumerate() {
                     let dc = gc as usize - lo_j;
                     for (rp, &g) in rows.iter().enumerate() {
-                        dest[(g as usize - lo_j) + dc * wj] -= temp[rp + cp * mrows];
+                        dest[(g as usize - lo_j) + dc * wj] -= temp[tcol_at(cp) + rp];
                     }
                 }
             }
             Greater => {
                 // a padded source row may be absent from the destination
-                // mask; its contribution is exactly zero and is skipped
+                // mask; its contribution is exactly zero and is skipped.
+                // The precomputed map holds the destination positions the
+                // seed recomputed by merging on every task.
+                let map = pattern.scatter_map(k, li as usize, uj);
                 let Some(lb) = pattern.l_block(i, j) else {
-                    debug_assert!(temp.iter().all(|&v| v == 0.0));
+                    debug_assert!(map.iter().all(|&p| p == u32::MAX));
+                    debug_assert!((0..nuc).all(|cp| temp[tcol_at(cp)..tcol_at(cp) + mrows]
+                        .iter()
+                        .all(|&v| v == 0.0)));
+                    off += mrows;
                     continue;
                 };
-                let drows = &lb.rows;
+                let ldd = lb.rows.len();
                 let dest = st.blocks.get_mut(&(i as u32, j as u32)).unwrap();
-                let ldd = drows.len();
-                prep_cap_u32(&mut scratch.rowmap, rows.len(), &mut scratch.grow_events);
-                crate::seq::merge_positions(rows, drows, &mut scratch.rowmap);
                 for (cp, &gc) in u_cols.iter().enumerate() {
                     let dc = gc as usize - lo_j;
-                    for (rp, &dr) in scratch.rowmap.iter().enumerate() {
+                    for (rp, &dr) in map.iter().enumerate() {
                         if dr != u32::MAX {
-                            dest[dr as usize + dc * ldd] -= temp[rp + cp * mrows];
+                            dest[dr as usize + dc * ldd] -= temp[tcol_at(cp) + rp];
                         } else {
-                            debug_assert_eq!(temp[rp + cp * mrows], 0.0);
+                            debug_assert_eq!(temp[tcol_at(cp) + rp], 0.0);
                         }
                     }
                 }
             }
             Less => {
-                let Some(ub) = pattern.u_block(i, j) else {
-                    debug_assert!(temp.iter().all(|&v| v == 0.0));
+                let map = pattern.scatter_map(k, li as usize, uj);
+                let Some(_ub) = pattern.u_block(i, j) else {
+                    debug_assert!(map.iter().all(|&p| p == u32::MAX));
+                    debug_assert!((0..nuc).all(|cp| temp[tcol_at(cp)..tcol_at(cp) + mrows]
+                        .iter()
+                        .all(|&v| v == 0.0)));
+                    off += mrows;
                     continue;
                 };
-                let dcols = &ub.cols;
                 let h = st.width(i);
                 let lo_i = st.lo(i);
                 let dest = st.blocks.get_mut(&(i as u32, j as u32)).unwrap();
-                prep_cap_u32(&mut scratch.colmap, u_cols.len(), &mut scratch.grow_events);
-                crate::seq::merge_positions(u_cols, dcols, &mut scratch.colmap);
-                for (cp, &dc) in scratch.colmap.iter().enumerate() {
+                for (cp, &dc) in map.iter().enumerate() {
                     if dc == u32::MAX {
-                        debug_assert!(temp[cp * mrows..(cp + 1) * mrows].iter().all(|&v| v == 0.0));
+                        debug_assert!(temp[tcol_at(cp)..tcol_at(cp) + mrows]
+                            .iter()
+                            .all(|&v| v == 0.0));
                         continue;
                     }
                     for (rp, &g) in rows.iter().enumerate() {
-                        dest[(g as usize - lo_i) + dc as usize * h] -= temp[rp + cp * mrows];
+                        dest[(g as usize - lo_i) + dc as usize * h] -= temp[tcol_at(cp) + rp];
                     }
                 }
             }
         }
+        off += mrows;
     }
+    stats.update_scatter_secs += t_scatter.elapsed().as_secs_f64();
+    scratch.idx = segids;
     ctx.probe().span_at("update", k as u32, span_start);
     let end = clock.fetch_add(1, Ordering::Relaxed);
     intervals.push(UpdateInterval {

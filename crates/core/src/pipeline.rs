@@ -690,6 +690,12 @@ mod tests {
                 "warmed refactorization grew scratch buffers"
             );
             assert_eq!(lu2.stats.scratch_peak_bytes, lu1.stats.scratch_peak_bytes);
+            // every numeric update reuses a precomputed scatter map —
+            // nothing is merged (or allocated) symbolically at refactor time
+            assert_eq!(
+                lu2.stats.scatter_map_reuse_hits,
+                lu2.stats.update_tasks as u64
+            );
             let n = a2.ncols();
             let xt: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
             let b = a2.matvec(&xt);

@@ -2,12 +2,13 @@
 //!
 //! Every driver (sequential, 1D, 2D, pipelined) owns one [`FactorScratch`]
 //! per processor and threads it through `Factor(k)` / `Update(k, j)` /
-//! `ScaleSwap`. All temporaries of the elimination loop — the GEMM
-//! product buffer, row/column scatter maps, the rank-1 update vectors, the
-//! 2D code's row and panel copies, and the blocked GEMM's pack buffers —
-//! live here and only ever *grow* to the high-water mark of the shapes
-//! seen, so steady-state factorization performs zero heap allocations per
-//! panel.
+//! `ScaleSwap`. All temporaries of the elimination loop — the stacked
+//! GEMM product buffer, the rank-1 update vectors, the 2D code's row and
+//! panel copies, and the blocked GEMM's pack buffers — live here and only
+//! ever *grow* to the high-water mark of the shapes seen, so steady-state
+//! factorization performs zero heap allocations per panel. (Scatter
+//! position maps are not scratch at all anymore: they are precomputed
+//! once in `splu_symbolic::BlockPattern` and read in place.)
 //!
 //! The proof mechanism: [`FactorScratch::grow_events`] counts every
 //! capacity increase. Drivers report it through the `scratch_grow_events`
@@ -23,12 +24,9 @@ use splu_kernels::GemmScratch;
 /// simultaneously; growth accounting goes through the `prep_*` helpers.
 #[derive(Default)]
 pub struct FactorScratch {
-    /// GEMM product buffer (`update`: `L_seg · U_kj` before scatter).
+    /// GEMM product buffer (`update`: the stacked `L · U_kj` panel before
+    /// the map-driven scatter).
     pub(crate) temp: Vec<f64>,
-    /// Destination row positions for the scatter-subtract.
-    pub(crate) rowmap: Vec<u32>,
-    /// Destination column positions for the scatter-subtract.
-    pub(crate) colmap: Vec<u32>,
     /// Rank-1 update row of `Factor(k)` (`U` row right of the pivot).
     pub(crate) urow: Vec<f64>,
     /// Rank-1 update column of `Factor(k)` (scaled `L` column).
@@ -74,7 +72,7 @@ impl FactorScratch {
             + self.rowbuf2.capacity()
             + self.panel.capacity()
             + self.panel2.capacity();
-        let u32s = self.rowmap.capacity() + self.colmap.capacity() + self.idx.capacity();
+        let u32s = self.idx.capacity();
         (f64s * 8 + u32s * 4 + self.gemm.peak_bytes()) as u64
     }
 }
@@ -93,15 +91,6 @@ pub(crate) fn prep_cap_f64(v: &mut Vec<f64>, len: usize, grow_events: &mut u64) 
 pub(crate) fn prep_zeroed_f64(v: &mut Vec<f64>, len: usize, grow_events: &mut u64) {
     prep_cap_f64(v, len, grow_events);
     v.resize(len, 0.0);
-}
-
-/// `u32` variant of [`prep_cap_f64`].
-pub(crate) fn prep_cap_u32(v: &mut Vec<u32>, len: usize, grow_events: &mut u64) {
-    v.clear();
-    if v.capacity() < len {
-        *grow_events += 1;
-        v.reserve(len);
-    }
 }
 
 #[cfg(test)]

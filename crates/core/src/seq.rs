@@ -15,9 +15,9 @@
 //! codes.
 
 use crate::error::SolverError;
-use crate::scratch::{prep_cap_f64, prep_cap_u32, prep_zeroed_f64, FactorScratch};
+use crate::scratch::{prep_cap_f64, prep_zeroed_f64, FactorScratch};
 use crate::storage::BlockMatrix;
-use splu_kernels::{dgemm_with, dger, dtrsm_left_lower_unit};
+use splu_kernels::{dgemm_naive, dgemm_with, dger, dtrsm_left_lower_unit, gemm_uses_blocked_path};
 use splu_probe::Probe;
 
 /// Statistics of a numeric factorization run.
@@ -38,9 +38,56 @@ pub struct FactorStats {
     /// Scratch-arena capacity growth events (summed over processors);
     /// zero on a warmed-up refactorization — the allocation-free proof.
     pub scratch_grow_events: u64,
+    /// Update-stage GEMM kernel invocations (stacked path runs, not
+    /// per-destination-segment calls).
+    pub update_gemm_calls: u64,
+    /// Rows of the tallest single update-stage GEMM call (max over
+    /// processors in parallel runs).
+    pub update_gemm_rows_max: u64,
+    /// Update tasks whose scatter positions came from the precomputed
+    /// symbolic maps instead of a fresh merge. The maps ship with every
+    /// `BlockPattern`, so this equals [`FactorStats::update_tasks`] minus
+    /// the tasks that had no work at all (empty panel, or a 2D rank
+    /// owning no destination segment) — a warmed refactorization performs
+    /// zero symbolic merges.
+    pub scatter_map_reuse_hits: u64,
+    /// Wall seconds inside update-stage GEMM calls.
+    pub update_gemm_secs: f64,
+    /// Wall seconds inside update-stage scatter-subtract loops.
+    pub update_scatter_secs: f64,
+    /// Wall seconds blocked receiving update operands (parallel drivers;
+    /// zero for the sequential code).
+    pub update_wait_secs: f64,
 }
 
 impl FactorStats {
+    /// Fold one processor's stats into an aggregate: counters and seconds
+    /// sum, high-water fields take the max (used by the parallel drivers'
+    /// host-side merges).
+    pub fn absorb(&mut self, other: &FactorStats) {
+        self.factor_tasks += other.factor_tasks;
+        self.update_tasks += other.update_tasks;
+        self.row_interchanges += other.row_interchanges;
+        self.gemm_flops += other.gemm_flops;
+        self.other_flops += other.other_flops;
+        self.scratch_grow_events += other.scratch_grow_events;
+        self.scratch_peak_bytes = self.scratch_peak_bytes.max(other.scratch_peak_bytes);
+        self.update_gemm_calls += other.update_gemm_calls;
+        self.update_gemm_rows_max = self.update_gemm_rows_max.max(other.update_gemm_rows_max);
+        self.scatter_map_reuse_hits += other.scatter_map_reuse_hits;
+        self.update_gemm_secs += other.update_gemm_secs;
+        self.update_scatter_secs += other.update_scatter_secs;
+        self.update_wait_secs += other.update_wait_secs;
+    }
+
+    /// Emit the update-stage telemetry counters into `probe` (called once
+    /// per processor at the end of a driver run).
+    pub(crate) fn emit_update_probe(&self, probe: &Probe) {
+        probe.count("update_gemm_calls", self.update_gemm_calls);
+        probe.gauge_max("update_gemm_rows_max", self.update_gemm_rows_max);
+        probe.count("scatter_map_reuse_hits", self.scatter_map_reuse_hits);
+    }
+
     /// Fraction of update flops performed by DGEMM (the paper's `r`).
     pub fn blas3_fraction(&self) -> f64 {
         let t = self.gemm_flops + self.other_flops;
@@ -129,6 +176,7 @@ pub fn factor_sequential_scratched(
     stats.scratch_grow_events = scratch.grow_events() - grow0;
     stats.scratch_peak_bytes = scratch.peak_bytes();
     probe.count("scratch_grow_events", stats.scratch_grow_events);
+    stats.emit_update_probe(probe);
     Ok((pivots, stats))
 }
 
@@ -341,7 +389,7 @@ pub fn update_block_with_panel(
         stats.other_flops += (wk * wk * ncols) as u64;
     }
 
-    // ---- 3. A_ij -= L_ik · U_kj for each L segment of block k ----
+    // ---- 3. A_ij -= L_ik · U_kj, stacked over all L segments ----
     // The source U panel is staged in the arena once: destinations can be
     // other U blocks of the same column block, and the borrow checker
     // cannot see they never alias U_kj itself.
@@ -352,25 +400,48 @@ pub fn update_block_with_panel(
         (ub.cols.clone(), ub.h as usize)
     };
     let nuc = u_cols.len();
-    if nuc == 0 {
+    let nl = panel.lrows.len();
+    if nuc == 0 || nl == 0 {
         return;
     }
 
-    let nl = panel.lrows.len();
     let lo_j = m.pattern.part.start(j);
     let wj = m.pattern.part.width(j);
+    // The pattern (shared Arc) supplies the precomputed scatter maps; a
+    // local handle frees `m` for the destination borrows below.
+    let pattern = m.pattern.clone();
+    let uj = pattern.u_blocks[k]
+        .binary_search_by_key(&(j as u32), |u| u.j)
+        .expect("U block in pattern");
+    stats.scatter_map_reuse_hits += 1;
 
-    for seg in panel.lsegs {
-        let i = seg.iblock as usize;
-        let rows = &panel.lrows[seg.start as usize..(seg.start + seg.len) as usize];
-        let mrows = rows.len();
-        // temp = L_seg (mrows × wk) · U_kj (wk × nuc)
-        prep_zeroed_f64(&mut scratch.temp, mrows * nuc, &mut scratch.grow_events);
+    // One tall product: temp = L_panel (nl × wk) · U_kj (wk × nuc), ld =
+    // nl. The whole packed panel is already contiguous, so no repacking
+    // is needed — only the kernel calls are batched. For bitwise identity
+    // with the per-segment seed path, each maximal run of segments that
+    // agree on the kernel's shape dispatch becomes one call: results are
+    // row-count-independent *within* a path (see `gemm_uses_blocked_path`)
+    // but differ across the blocked/axpy boundary.
+    prep_zeroed_f64(&mut scratch.temp, nl * nuc, &mut scratch.grow_events);
+    let t_gemm = std::time::Instant::now();
+    let nseg = panel.lsegs.len();
+    let mut s0 = 0usize;
+    while s0 < nseg {
+        let blocked = gemm_uses_blocked_path(panel.lsegs[s0].len as usize, nuc, wk_h);
+        let mut s1 = s0 + 1;
+        while s1 < nseg
+            && gemm_uses_blocked_path(panel.lsegs[s1].len as usize, nuc, wk_h) == blocked
         {
-            // L segment is rows seg.start.. of lpanel (ld = nl)
-            let a = &panel.lpanel[seg.start as usize..];
+            s1 += 1;
+        }
+        let row0 = panel.lsegs[s0].start as usize;
+        let last = &panel.lsegs[s1 - 1];
+        let mrun = (last.start + last.len) as usize - row0;
+        let a = &panel.lpanel[row0..];
+        let c = &mut scratch.temp[row0..];
+        if blocked {
             dgemm_with(
-                mrows,
+                mrun,
                 nuc,
                 wk_h,
                 1.0,
@@ -379,23 +450,50 @@ pub fn update_block_with_panel(
                 &scratch.panel,
                 wk_h,
                 0.0,
-                &mut scratch.temp,
-                mrows,
+                c,
+                nl,
                 &mut scratch.gemm,
             );
+        } else {
+            dgemm_naive(
+                mrun,
+                nuc,
+                wk_h,
+                1.0,
+                a,
+                nl,
+                &scratch.panel,
+                wk_h,
+                0.0,
+                c,
+                nl,
+            );
         }
-        stats.gemm_flops += (2 * mrows * nuc * wk_h) as u64;
+        stats.update_gemm_calls += 1;
+        stats.update_gemm_rows_max = stats.update_gemm_rows_max.max(mrun as u64);
+        s0 = s1;
+    }
+    stats.gemm_flops += (2 * nl * nuc * wk_h) as u64;
+    stats.update_gemm_secs += t_gemm.elapsed().as_secs_f64();
 
-        // scatter-subtract temp into destination block (i, j)
+    // ---- map-driven scatter-subtract, one destination per segment ----
+    let t_scatter = std::time::Instant::now();
+    for (li, seg) in panel.lsegs.iter().enumerate() {
+        let i = seg.iblock as usize;
+        let rows = &panel.lrows[seg.start as usize..(seg.start + seg.len) as usize];
+        let mrows = rows.len();
+        let off = seg.start as usize;
+        let tcol_at = |cpos: usize| off + cpos * nl;
+
         use std::cmp::Ordering::*;
         match i.cmp(&j) {
             Equal => {
                 // destination: diagonal panel of j; dest row = g - lo_j,
-                // dest col = global col - lo_j
+                // dest col = global col - lo_j (contiguous, no map)
                 let cj = &mut m.cols[j];
                 for (cpos, &gc) in u_cols.iter().enumerate() {
                     let dc = gc as usize - lo_j;
-                    let tcol = &scratch.temp[cpos * mrows..(cpos + 1) * mrows];
+                    let tcol = &scratch.temp[tcol_at(cpos)..tcol_at(cpos) + mrows];
                     for (rpos, &g) in rows.iter().enumerate() {
                         let dr = g as usize - lo_j;
                         cj.diag[dr + dc * wj] -= tcol[rpos];
@@ -407,18 +505,29 @@ pub fn update_block_with_panel(
                 // amalgamation, a padded source row may have no slot in
                 // the destination mask — its contribution is provably
                 // exactly zero (padding never turns nonzero), so it is
-                // skipped (and checked in debug builds).
+                // skipped (and checked in debug builds). The precomputed
+                // map holds block-local positions; the destination
+                // segment's start offset lifts them into the packed panel.
+                let map = pattern.scatter_map(k, li, uj);
                 let cj = &mut m.cols[j];
                 let ldd = cj.lrows.len();
-                prep_cap_u32(&mut scratch.rowmap, rows.len(), &mut scratch.grow_events);
-                merge_positions(rows, &cj.lrows, &mut scratch.rowmap);
+                let Ok(ds) = cj.lsegs.binary_search_by_key(&(i as u32), |s| s.iblock) else {
+                    debug_assert!(map.iter().all(|&p| p == u32::MAX));
+                    debug_assert!(
+                        (0..nuc).all(|c| scratch.temp[tcol_at(c)..tcol_at(c) + mrows]
+                            .iter()
+                            .all(|&v| v == 0.0))
+                    );
+                    continue;
+                };
+                let dstart = cj.lsegs[ds].start as usize;
                 for (cpos, &gc) in u_cols.iter().enumerate() {
                     let dc = gc as usize - lo_j;
-                    let tcol = &scratch.temp[cpos * mrows..(cpos + 1) * mrows];
+                    let tcol = &scratch.temp[tcol_at(cpos)..tcol_at(cpos) + mrows];
                     let dcol = &mut cj.lpanel[dc * ldd..(dc + 1) * ldd];
-                    for (rpos, &dp) in scratch.rowmap.iter().enumerate() {
+                    for (rpos, &dp) in map.iter().enumerate() {
                         if dp != u32::MAX {
-                            dcol[dp as usize] -= tcol[rpos];
+                            dcol[dstart + dp as usize] -= tcol[rpos];
                         } else {
                             debug_assert_eq!(tcol[rpos], 0.0, "nonzero into missing L row");
                         }
@@ -429,10 +538,14 @@ pub fn update_block_with_panel(
                 // destination: U block (i, j) — full height, masked cols.
                 // The whole block (or individual columns) may be absent
                 // for pure-padding contributions, which are exactly zero.
+                let map = pattern.scatter_map(k, li, uj);
                 let cj = &mut m.cols[j];
                 let Ok(db) = cj.ublocks.binary_search_by_key(&(i as u32), |u| u.k) else {
+                    debug_assert!(map.iter().all(|&p| p == u32::MAX));
                     debug_assert!(
-                        scratch.temp.iter().all(|&v| v == 0.0),
+                        (0..nuc).all(|c| scratch.temp[tcol_at(c)..tcol_at(c) + mrows]
+                            .iter()
+                            .all(|&v| v == 0.0)),
                         "nonzero update into absent U block ({i},{j})"
                     );
                     continue;
@@ -440,10 +553,8 @@ pub fn update_block_with_panel(
                 let dest = &mut cj.ublocks[db];
                 let ldd = dest.h as usize;
                 let lo_i = dest.lo_k as usize;
-                prep_cap_u32(&mut scratch.colmap, u_cols.len(), &mut scratch.grow_events);
-                merge_positions(&u_cols, &dest.cols, &mut scratch.colmap);
-                for (cpos, &dcp) in scratch.colmap.iter().enumerate() {
-                    let tcol = &scratch.temp[cpos * mrows..(cpos + 1) * mrows];
+                for (cpos, &dcp) in map.iter().enumerate() {
+                    let tcol = &scratch.temp[tcol_at(cpos)..tcol_at(cpos) + mrows];
                     if dcp == u32::MAX {
                         debug_assert!(tcol.iter().all(|&v| v == 0.0), "nonzero into missing U col");
                         continue;
@@ -456,23 +567,7 @@ pub fn update_block_with_panel(
             }
         }
     }
-}
-
-/// For each element of `needles` (sorted), its position in `haystack`
-/// (sorted), or `u32::MAX` if absent. Linear merge.
-pub(crate) fn merge_positions(needles: &[u32], haystack: &[u32], out: &mut Vec<u32>) {
-    let mut p = 0usize;
-    for &g in needles {
-        while p < haystack.len() && haystack[p] < g {
-            p += 1;
-        }
-        if p < haystack.len() && haystack[p] == g {
-            out.push(p as u32);
-            p += 1;
-        } else {
-            out.push(u32::MAX);
-        }
-    }
+    stats.update_scatter_secs += t_scatter.elapsed().as_secs_f64();
 }
 
 #[cfg(test)]

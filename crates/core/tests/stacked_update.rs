@@ -1,0 +1,151 @@
+//! Bitwise-identity suite for the stacked supernodal update path.
+//!
+//! The update stage packs a processor's destination row segments into one
+//! tall GEMM and scatters the product through the `BlockPattern`'s
+//! precomputed maps. That reorganization must not change a single bit of
+//! the factors: every driver (1D, 2D in both synchronization modes, on
+//! every tested grid) is compared entry-for-entry with `f64::to_bits`
+//! against the sequential driver on shrunk instances of the full
+//! synthetic suite. A warmed-refactorization test additionally proves
+//! the path performs zero heap allocations and zero symbolic merges.
+
+use splu_core::par1d::{factor_par1d, Strategy1d};
+use splu_core::par2d::{factor_par2d, Sync2d};
+use splu_core::seq::factor_sequential;
+use splu_core::{BlockMatrix, FactorOptions, FactorScratch, SparseLuSolver};
+use splu_machine::Grid;
+use splu_sparse::suite;
+
+/// Shrunk suite instances: small enough for debug-mode test runs while
+/// still exercising multi-block panels with padded (absent-destination)
+/// segments on every matrix class.
+fn suite_cases() -> Vec<(&'static str, splu_sparse::CscMatrix)> {
+    suite::SMALL
+        .iter()
+        .map(|&name| {
+            let spec = suite::by_name(name).unwrap();
+            (name, spec.build_scaled(0.03))
+        })
+        .collect()
+}
+
+fn assert_bitwise_equal(
+    seq: &BlockMatrix,
+    seq_piv: &[Vec<u32>],
+    other: &BlockMatrix,
+    other_piv: &[Vec<u32>],
+    label: &str,
+) {
+    assert_eq!(seq_piv, other_piv, "{label}: pivot sequences differ");
+    let n = seq.pattern.part.n();
+    for j in 0..n {
+        for i in 0..n {
+            let s = seq.get_entry(i, j);
+            let o = other.get_entry(i, j);
+            assert_eq!(
+                s.to_bits(),
+                o.to_bits(),
+                "{label}: entry ({i},{j}) differs: seq {s:e} vs {o:e}"
+            );
+        }
+    }
+}
+
+/// Every parallel driver reproduces the sequential factors bitwise on
+/// every suite matrix: par1d on 2 processors, par2d on the (1,2), (2,2)
+/// and (3,2) grids in both synchronization modes.
+#[test]
+fn all_drivers_bitwise_identical_across_suite() {
+    for (name, a) in suite_cases() {
+        let solver = SparseLuSolver::analyze(&a, FactorOptions::default());
+        let mut seq = BlockMatrix::from_csc(&solver.permuted, solver.pattern.clone());
+        let (seq_piv, seq_stats) = factor_sequential(&mut seq).unwrap();
+        assert_eq!(
+            seq_stats.scatter_map_reuse_hits, seq_stats.update_tasks as u64,
+            "{name}: sequential update performed a fresh merge"
+        );
+
+        let p1 = factor_par1d(
+            &solver.permuted,
+            solver.pattern.clone(),
+            2,
+            Strategy1d::ComputeAhead,
+        );
+        assert_bitwise_equal(
+            &seq,
+            &seq_piv,
+            &p1.blocks,
+            &p1.pivots,
+            &format!("{name}/par1d"),
+        );
+
+        for (pr, pc) in [(1, 2), (2, 2), (3, 2)] {
+            for mode in [Sync2d::Async, Sync2d::Barrier] {
+                let p2 = factor_par2d(
+                    &solver.permuted,
+                    solver.pattern.clone(),
+                    Grid::new(pr, pc),
+                    mode,
+                );
+                assert_bitwise_equal(
+                    &seq,
+                    &seq_piv,
+                    &p2.blocks,
+                    &p2.pivots,
+                    &format!("{name}/par2d {pr}x{pc} {mode:?}"),
+                );
+            }
+        }
+    }
+}
+
+/// Per-stage retirement keeps the 2D panel caches bounded: the resident
+/// high-water mark must undercut the cumulative inserted volume (what an
+/// evict-never cache would approach), and the caches must drain fully.
+#[test]
+fn par2d_panel_caches_are_bounded_and_drained() {
+    let spec = suite::by_name("sherman5").unwrap();
+    let a = spec.build_scaled(0.06);
+    let solver = SparseLuSolver::analyze(&a, FactorOptions::default());
+    let p2 = factor_par2d(
+        &solver.permuted,
+        solver.pattern.clone(),
+        Grid::new(2, 2),
+        Sync2d::Async,
+    );
+    let peak: u64 = p2.panel_cache_peak_bytes.iter().sum();
+    let inserted: u64 = p2.panel_cache_inserted_bytes.iter().sum();
+    assert!(inserted > 0, "no panels ever crossed the grid");
+    assert!(
+        peak < inserted,
+        "stage retirement never dropped a byte: peak {peak} >= inserted {inserted}"
+    );
+    for (r, (&p, &i)) in p2
+        .panel_cache_peak_bytes
+        .iter()
+        .zip(&p2.panel_cache_inserted_bytes)
+        .enumerate()
+    {
+        assert!(p <= i, "rank {r}: peak {p} exceeds inserted {i}");
+    }
+}
+
+/// Warmed refactorization over a suite matrix: after one warm-up run the
+/// scratch arena never grows, and every update task reads a precomputed
+/// scatter map (zero symbolic merges at numeric time).
+#[test]
+fn warmed_suite_refactor_is_allocation_and_merge_free() {
+    let spec = suite::by_name("jpwh991").unwrap();
+    let a = spec.build_scaled(0.06);
+    let solver = SparseLuSolver::analyze(&a, FactorOptions::default());
+    let mut scratch = FactorScratch::new();
+    let warm = solver.refactor_with(&a, &mut scratch).unwrap();
+    let lu = solver.refactor_with(&a, &mut scratch).unwrap();
+    assert_eq!(lu.stats.scratch_grow_events, 0, "warmed refactor allocated");
+    assert_eq!(lu.stats.scratch_peak_bytes, warm.stats.scratch_peak_bytes);
+    assert!(lu.stats.update_tasks > 0);
+    assert_eq!(
+        lu.stats.scatter_map_reuse_hits, lu.stats.update_tasks as u64,
+        "an update task fell back to a fresh symbolic merge"
+    );
+}

@@ -157,6 +157,21 @@ pub fn dgemm_with(
     record(FlopClass::Blas3, (2 * m * n * k) as u64);
 }
 
+/// Whether [`dgemm_with`] routes shape `(m, n, k)` to the cache-blocked
+/// path (`true`) or to the exact axpy fallback (`false`, same arithmetic
+/// as [`dgemm_naive`]).
+///
+/// Within either path, the value of each `C` element depends only on its
+/// own row of `A`, its own column of `B` and the path's `k`-reduction
+/// order — never on `m`, `lda` or `ldc`. Callers exploit this to *stack*
+/// several row segments into one tall call: splitting the rows at
+/// arbitrary boundaries and issuing one call per maximal run of segments
+/// that agree on this predicate is bitwise identical to one call per
+/// segment (use [`dgemm_naive`] for the runs where it returns `false`).
+pub fn gemm_uses_blocked_path(m: usize, n: usize, k: usize) -> bool {
+    m >= BLOCK_MIN_DIM && n >= BLOCK_MIN_DIM && k >= BLOCK_MIN_DIM
+}
+
 /// The original kernel: `j-k-i` loops, four-way unrolled `k`, innermost
 /// column access contiguous. Kept as the micro-benchmark baseline
 /// (`results/BENCH_kernels.json` reports blocked/naive) and reused verbatim

@@ -111,7 +111,11 @@ pub fn run_summary_json(trace: &Trace, extras: &SummaryExtras) -> String {
         }
     }
     // high-water gauges aggregate by max, not sum
-    for hw in ["parked_bytes_hw"] {
+    for hw in [
+        "parked_bytes_hw",
+        "update_gemm_rows_max",
+        "panel_cache_bytes_hw",
+    ] {
         if counters.contains_key(hw) {
             counters.insert(hw, trace.counter_max(hw));
         }

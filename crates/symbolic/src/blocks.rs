@@ -61,6 +61,102 @@ pub struct BlockPattern {
     /// `u_blocks[k]`: U blocks right of the diagonal in row block `k`,
     /// sorted by column-block id.
     pub u_blocks: Vec<Vec<UBlockPat>>,
+    /// Precomputed scatter maps for every `Update(k, j)` destination pair
+    /// (see [`BlockPattern::scatter_map`]).
+    maps: ScatterMaps,
+}
+
+/// Flat storage of the precomputed `Update` scatter maps.
+///
+/// The map of source pair `(k, li, uj)` — L block `li` and U block `uj`
+/// of stage `k`, both by *position* in their per-stage lists — occupies
+/// `data[offsets[p]..offsets[p + 1]]` with
+/// `p = pair_base[k] + li * u_blocks[k].len() + uj`. The numeric drivers
+/// read these instead of re-merging index lists on every update task of
+/// every (re)factorization; everything here is a function of the static
+/// pattern only.
+#[derive(Debug, Clone, Default)]
+struct ScatterMaps {
+    /// Concatenated position maps (`u32::MAX` = absent destination slot).
+    data: Vec<u32>,
+    /// `offsets[p]..offsets[p + 1]` bounds pair `p`'s map in `data`.
+    offsets: Vec<usize>,
+    /// First pair index of each source stage `k`.
+    pair_base: Vec<usize>,
+}
+
+impl ScatterMaps {
+    fn build(l_blocks: &[Vec<LBlockPat>], u_blocks: &[Vec<UBlockPat>]) -> Self {
+        let nb = l_blocks.len();
+        let mut pair_base = Vec::with_capacity(nb);
+        let mut npairs = 0usize;
+        for k in 0..nb {
+            pair_base.push(npairs);
+            npairs += l_blocks[k].len() * u_blocks[k].len();
+        }
+        let mut offsets = Vec::with_capacity(npairs + 1);
+        offsets.push(0usize);
+        let mut data: Vec<u32> = Vec::new();
+        for k in 0..nb {
+            for l in &l_blocks[k] {
+                let i = l.i as usize;
+                for u in &u_blocks[k] {
+                    let j = u.j as usize;
+                    use std::cmp::Ordering::*;
+                    match i.cmp(&j) {
+                        // Diagonal destination: contiguous, no map needed.
+                        Equal => {}
+                        // Rows of L_ik within the destination L block (i, j).
+                        // An absent destination (pure padding) maps to MAX.
+                        Greater => match find_l(&l_blocks[j], i) {
+                            Some(d) => merge_positions(&l.rows, &d.rows, &mut data),
+                            None => data.extend(l.rows.iter().map(|_| u32::MAX)),
+                        },
+                        // Columns of U_kj within the destination U block (i, j).
+                        Less => match find_u(&u_blocks[i], j) {
+                            Some(d) => merge_positions(&u.cols, &d.cols, &mut data),
+                            None => data.extend(u.cols.iter().map(|_| u32::MAX)),
+                        },
+                    }
+                    offsets.push(data.len());
+                }
+            }
+        }
+        Self {
+            data,
+            offsets,
+            pair_base,
+        }
+    }
+}
+
+fn find_l(v: &[LBlockPat], i: usize) -> Option<&LBlockPat> {
+    v.binary_search_by_key(&(i as u32), |l| l.i)
+        .ok()
+        .map(|p| &v[p])
+}
+
+fn find_u(v: &[UBlockPat], j: usize) -> Option<&UBlockPat> {
+    v.binary_search_by_key(&(j as u32), |u| u.j)
+        .ok()
+        .map(|p| &v[p])
+}
+
+/// For each element of `needles` (sorted), its position in `haystack`
+/// (sorted), or `u32::MAX` if absent. Linear merge.
+fn merge_positions(needles: &[u32], haystack: &[u32], out: &mut Vec<u32>) {
+    let mut p = 0usize;
+    for &g in needles {
+        while p < haystack.len() && haystack[p] < g {
+            p += 1;
+        }
+        if p < haystack.len() && haystack[p] == g {
+            out.push(p as u32);
+            p += 1;
+        } else {
+            out.push(u32::MAX);
+        }
+    }
 }
 
 impl BlockPattern {
@@ -127,10 +223,17 @@ impl BlockPattern {
             u_blocks.push(ub);
         }
 
+        // Second pass: with every block's mask known, precompute the
+        // scatter maps so the numeric update loops never merge index
+        // lists again (the `Arc<BlockPattern>` shared by the solver cache
+        // amortizes this over all refactorizations).
+        let maps = ScatterMaps::build(&l_blocks, &u_blocks);
+
         Self {
             part: part.clone(),
             l_blocks,
             u_blocks,
+            maps,
         }
     }
 
@@ -153,6 +256,35 @@ impl BlockPattern {
         v.binary_search_by_key(&(i as u32), |l| l.i)
             .ok()
             .map(|p| &v[p])
+    }
+
+    /// The precomputed scatter map of source pair `(k, li, uj)`:
+    /// L block `self.l_blocks[k][li]` (destination row block `i`) updating
+    /// U block `self.u_blocks[k][uj]` (destination column block `j`).
+    ///
+    /// * `i > j` — one entry per source row: its position within the
+    ///   destination L block `(i, j)`'s `rows`, or `u32::MAX` if the row
+    ///   is pure padding there (its contribution is exactly zero);
+    /// * `i < j` — one entry per source U column: its position within the
+    ///   destination U block `(i, j)`'s `cols`, likewise MAX-masked;
+    /// * `i == j` — empty: the diagonal panel is indexed directly.
+    pub fn scatter_map(&self, k: usize, li: usize, uj: usize) -> &[u32] {
+        let p = self.maps.pair_base[k] + li * self.u_blocks[k].len() + uj;
+        &self.maps.data[self.maps.offsets[p]..self.maps.offsets[p + 1]]
+    }
+
+    /// Total `u32` entries held by the precomputed scatter maps — the
+    /// memory cost of owning them (reported alongside
+    /// [`BlockPattern::storage_entries`]; multiply by 4 for bytes).
+    pub fn scatter_map_entries(&self) -> usize {
+        self.maps.data.len()
+    }
+
+    /// Resident bytes of the scatter-map storage (entries + offset
+    /// tables).
+    pub fn scatter_map_bytes(&self) -> usize {
+        self.maps.data.len() * std::mem::size_of::<u32>()
+            + (self.maps.offsets.len() + self.maps.pair_base.len()) * std::mem::size_of::<usize>()
     }
 
     /// Column blocks `j > k` with `U_kj ≠ 0` — the targets of
@@ -330,6 +462,92 @@ mod tests {
                 assert!(w[0] < w[1]);
             }
         }
+    }
+
+    /// Oracle: every precomputed scatter map must equal a fresh linear
+    /// merge of the source index list against the destination mask.
+    fn check_maps_match_fresh_merge(bp: &BlockPattern) {
+        for k in 0..bp.nblocks() {
+            for (li, l) in bp.l_blocks[k].iter().enumerate() {
+                let i = l.i as usize;
+                for (uj, u) in bp.u_blocks[k].iter().enumerate() {
+                    let j = u.j as usize;
+                    let map = bp.scatter_map(k, li, uj);
+                    let mut want = Vec::new();
+                    use std::cmp::Ordering::*;
+                    match i.cmp(&j) {
+                        Equal => {}
+                        Greater => {
+                            let empty: &[u32] = &[];
+                            let dest = bp.l_block(i, j).map_or(empty, |d| &d.rows);
+                            merge_positions(&l.rows, dest, &mut want);
+                        }
+                        Less => {
+                            let empty: &[u32] = &[];
+                            let dest = bp.u_block(i, j).map_or(empty, |d| &d.cols);
+                            merge_positions(&u.cols, dest, &mut want);
+                        }
+                    }
+                    assert_eq!(map, &want[..], "map for (k={k}, li={li}, uj={uj})");
+                    // present entries really index the matching row/col
+                    for (s, &pos) in map.iter().enumerate() {
+                        if pos == u32::MAX {
+                            continue;
+                        }
+                        match i.cmp(&j) {
+                            Greater => {
+                                assert_eq!(bp.l_block(i, j).unwrap().rows[pos as usize], l.rows[s])
+                            }
+                            Less => {
+                                assert_eq!(bp.u_block(i, j).unwrap().cols[pos as usize], u.cols[s])
+                            }
+                            Equal => unreachable!(),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_maps_match_fresh_merges() {
+        for (mat, r) in [
+            (gen::grid2d(8, 8, 0.3, ValueModel::default()), 0),
+            (gen::random_sparse(120, 4, 0.5, ValueModel::default()), 4),
+            (gen::dense_random(30, ValueModel::default()), 0),
+        ] {
+            let (_s, bp) = build(&mat, r);
+            check_maps_match_fresh_merge(&bp);
+            assert!(bp.scatter_map_bytes() >= bp.scatter_map_entries() * 4);
+        }
+    }
+
+    #[test]
+    fn scatter_maps_cover_every_update_pair() {
+        // Pre-amalgamation, Corollary 1 guarantees every destination slot
+        // exists: no map entry may be MAX, and lengths match the sources.
+        let a = gen::grid2d(9, 7, 0.4, ValueModel::default());
+        let (_s, bp) = build(&a, 0);
+        let mut entries = 0usize;
+        for k in 0..bp.nblocks() {
+            for (li, l) in bp.l_blocks[k].iter().enumerate() {
+                for (uj, u) in bp.u_blocks[k].iter().enumerate() {
+                    let map = bp.scatter_map(k, li, uj);
+                    let (i, j) = (l.i as usize, u.j as usize);
+                    if i == j {
+                        assert!(map.is_empty());
+                    } else if i > j {
+                        assert_eq!(map.len(), l.rows.len());
+                        assert!(map.iter().all(|&p| p != u32::MAX));
+                    } else {
+                        assert_eq!(map.len(), u.cols.len());
+                        assert!(map.iter().all(|&p| p != u32::MAX));
+                    }
+                    entries += map.len();
+                }
+            }
+        }
+        assert_eq!(entries, bp.scatter_map_entries());
     }
 
     #[test]

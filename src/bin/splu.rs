@@ -34,6 +34,10 @@
 //!   --cache-bytes N    factorization-cache budget (serve only)
 //!   --min-secs S       per-driver measurement time (default 0.2,
 //!                                                 bench-lu only)
+//!   --baseline FILE    previous record to gate against (bench-lu only;
+//!                                                 default: the --out file;
+//!                                                 tolerance from
+//!                                                 SPLU_BENCH_TOL_PCT, %)
 //! ```
 
 use sstar::prelude::*;
@@ -49,7 +53,8 @@ fn usage() -> ExitCode {
          [--block-size N] [--amalgamate R] [--ordering natural|mmd|atpa|rcm] \
          [--refine N] [--procs P] [--rhs file] [--out file] \
          [--stats-json file] [--gantt-width N] [--requests file] \
-         [--workers N] [--queue-cap N] [--cache-bytes N] [--min-secs S]"
+         [--workers N] [--queue-cap N] [--cache-bytes N] [--min-secs S] \
+         [--baseline file]"
     );
     ExitCode::from(2)
 }
@@ -69,6 +74,7 @@ struct Cli {
     queue_cap: usize,
     cache_bytes: Option<usize>,
     min_secs: f64,
+    baseline: Option<String>,
 }
 
 /// The value following `flag`, or an error naming the flag.
@@ -109,6 +115,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
         queue_cap: 8,
         cache_bytes: None,
         min_secs: 0.2,
+        baseline: None,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -156,6 +163,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
             }
             "--cache-bytes" => cli.cache_bytes = Some(flag_parse(&mut args, "--cache-bytes")?),
             "--min-secs" => cli.min_secs = flag_parse(&mut args, "--min-secs")?,
+            "--baseline" => cli.baseline = Some(flag_value(&mut args, "--baseline")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -266,7 +274,7 @@ fn main() -> ExitCode {
         } else {
             cli.out.as_str()
         };
-        return match splu_bench::bench_lu::run(out, cli.min_secs) {
+        return match splu_bench::bench_lu::run_opts(out, cli.min_secs, cli.baseline.as_deref()) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("splu: {e}");
@@ -327,6 +335,11 @@ fn main() -> ExitCode {
             println!(
                 "block storage (padding incl.): {} entries",
                 solver.pattern.storage_entries()
+            );
+            println!(
+                "precomputed scatter maps: {} positions ({} bytes)",
+                solver.pattern.scatter_map_entries(),
+                solver.pattern.scatter_map_bytes()
             );
             println!(
                 "full-block DGEMM share of update flops: {:.1} %",

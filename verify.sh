@@ -27,11 +27,15 @@ grep -q '"deadline_expired": 1' results/BENCH_solver.json
 grep -q '"factorization_failed": 1' results/BENCH_solver.json
 
 # perf record: factor the synthetic suite with the seq/par1d/par2d
-# drivers and gate on the record being well-formed — every driver of
-# every matrix reports a positive GFLOP/s and the warmed sequential
-# arena grew zero buffers (the allocation-free hot-path proof).
-# Absolute rates are informational; no thresholds here.
-cargo run --release -q --bin splu -- bench-lu --out results/BENCH_lu.json
+# drivers. The fresh run is gated against the committed record — a
+# GFLOP/s drop beyond SPLU_BENCH_TOL_PCT percent (default 15) on any
+# driver/matrix fails — and on being well-formed: every driver of every
+# matrix reports a positive GFLOP/s with its update-stage breakdown,
+# and the warmed sequential arena grew zero buffers (the
+# allocation-free hot-path proof).
+cp results/BENCH_lu.json /tmp/BENCH_lu.baseline.json
+cargo run --release -q --bin splu -- bench-lu \
+    --out results/BENCH_lu.json --baseline /tmp/BENCH_lu.baseline.json
 grep -q '"bench": "lu_factor"' results/BENCH_lu.json
 test "$(grep -c '"gflops": ' results/BENCH_lu.json)" -eq 9
 if grep -E '"gflops": (0\.0*[,}]|-)' results/BENCH_lu.json; then
@@ -39,5 +43,7 @@ if grep -E '"gflops": (0\.0*[,}]|-)' results/BENCH_lu.json; then
     exit 1
 fi
 test "$(grep -c '"warmed_grow_events": 0' results/BENCH_lu.json)" -eq 3
+test "$(grep -c '"update": ' results/BENCH_lu.json)" -eq 9
+test "$(grep -c '"speedup_vs_prev": ' results/BENCH_lu.json)" -eq 3
 
 echo "verify: all checks passed"
