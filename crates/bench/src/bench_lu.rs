@@ -19,7 +19,7 @@
 //! file is well-formed and every rate is positive.
 
 use splu_core::par1d::{factor_par1d_opts, Strategy1d};
-use splu_core::par2d::{factor_par2d_opts, Sync2d};
+use splu_core::par2d::{factor_par2d_opts, Sync2d, DEFAULT_LOOKAHEAD};
 use splu_core::seq::factor_sequential_scratched;
 use splu_core::{BlockMatrix, FactorOptions, FactorScratch, FactorStats, SparseLuSolver};
 use splu_machine::Grid;
@@ -35,17 +35,29 @@ pub const MATRICES: [&str; 3] = ["sherman5", "jpwh991", "orsreg1"];
 pub const PAR1D_PROCS: usize = 2;
 /// Simulated processors for the 2D driver (`Grid::for_procs`).
 pub const PAR2D_PROCS: usize = 4;
+/// Lookahead windows swept by the 2D driver (per matrix, alongside the
+/// gated main measurement): `0` is the in-order ablation baseline.
+pub const LOOKAHEAD_SWEEP: [usize; 4] = [0, 1, 2, 4];
 
 /// Update-stage time breakdown of one measured run (the last run of the
 /// measurement budget): seconds inside the stacked GEMM calls, inside
 /// the map-driven scatter loops, and blocked waiting for remote panels,
 /// plus the batched-call counts behind them.
+#[derive(Clone)]
 pub struct UpdateBreakdown {
     pub gemm_secs: f64,
     pub scatter_secs: f64,
     pub wait_secs: f64,
+    /// Blocked-wait seconds on *critical-path* (non-deferred) updates
+    /// only — the stall the 2D lookahead window exists to hide. Zero for
+    /// the drivers without a lookahead executor.
+    pub panel_wait_secs: f64,
     pub gemm_calls: u64,
     pub gemm_rows_max: u64,
+    /// Updates whose remote operands had all arrived by issue time.
+    pub lookahead_hits: u64,
+    /// Updates the executor pushed behind a later panel factorization.
+    pub deferred_updates: u64,
 }
 
 impl UpdateBreakdown {
@@ -54,13 +66,27 @@ impl UpdateBreakdown {
             gemm_secs: stats.update_gemm_secs,
             scatter_secs: stats.update_scatter_secs,
             wait_secs: stats.update_wait_secs,
+            panel_wait_secs: stats.panel_wait_secs,
             gemm_calls: stats.update_gemm_calls,
             gemm_rows_max: stats.update_gemm_rows_max,
+            lookahead_hits: stats.lookahead_hits,
+            deferred_updates: stats.deferred_updates,
         }
     }
 }
 
+/// One point of the 2D lookahead-window sweep.
+pub struct SweepPoint {
+    pub lookahead: usize,
+    pub gflops: f64,
+    pub update_wait_secs: f64,
+    pub panel_wait_secs: f64,
+    pub lookahead_hits: u64,
+    pub deferred_updates: u64,
+}
+
 /// One driver's measurement.
+#[derive(Clone)]
 pub struct DriverResult {
     pub gflops: f64,
     pub scratch_peak_bytes: u64,
@@ -78,6 +104,10 @@ pub struct MatrixResult {
     pub seq_warmed_grow_events: u64,
     pub par1d: DriverResult,
     pub par2d: DriverResult,
+    /// Lookahead window used by the (gated) `par2d` measurement.
+    pub par2d_lookahead: usize,
+    /// Informational `W` sweep of the 2D driver ([`LOOKAHEAD_SWEEP`]).
+    pub par2d_sweep: Vec<SweepPoint>,
 }
 
 fn gflops(stats: &FactorStats, secs: f64) -> f64 {
@@ -112,8 +142,10 @@ fn best_rate(
 }
 
 /// Benchmark one matrix across the three drivers. `min_secs` is the
-/// per-driver measurement budget (best rate over repeated runs).
-pub fn bench_matrix(name: &'static str, min_secs: f64) -> MatrixResult {
+/// per-driver measurement budget (best rate over repeated runs);
+/// `lookahead` is the 2D window of the gated measurement (the `W` sweep
+/// runs regardless).
+pub fn bench_matrix(name: &'static str, min_secs: f64, lookahead: usize) -> MatrixResult {
     let spec = suite::by_name(name).unwrap_or_else(|| panic!("unknown suite matrix `{name}`"));
     let a = spec.build_scaled(1.0);
     let solver = SparseLuSolver::analyze(&a, FactorOptions::default());
@@ -141,7 +173,10 @@ pub fn bench_matrix(name: &'static str, min_secs: f64) -> MatrixResult {
     // parallel drivers: the runtime reports the parallel-section wall
     // time; fresh per-processor arenas each run, so take the best rate
     // over the budget (thread start-up noise dominates single runs).
-    let (par1d, _) = best_rate(min_secs, || {
+    // Like the sequential arena, each thread configuration gets one
+    // untimed warm-up run first — the first run of a configuration
+    // eats the allocator/page-fault cost of its stores.
+    let run_1d = || {
         let r = factor_par1d_opts(
             &solver.permuted,
             solver.pattern.clone(),
@@ -150,17 +185,49 @@ pub fn bench_matrix(name: &'static str, min_secs: f64) -> MatrixResult {
             1.0,
         );
         (r.stats, r.elapsed)
-    });
-    let (par2d, _) = best_rate(min_secs, || {
+    };
+    run_1d();
+    let (par1d, _) = best_rate(min_secs, run_1d);
+    let run_2d = |w: usize| {
         let r = factor_par2d_opts(
             &solver.permuted,
             solver.pattern.clone(),
             grid,
             Sync2d::Async,
             1.0,
+            w,
         );
         (r.stats, r.elapsed)
-    });
+    };
+    run_2d(lookahead);
+    let (mut par2d, _) = best_rate(min_secs, || run_2d(lookahead));
+
+    // window sweep: same measurement budget per point, so the recorded
+    // wait-second trend is comparable across `W`. The `W = lookahead`
+    // point repeats the gated measurement — fold it into the headline's
+    // best-of-repeats so both report the same draw.
+    let par2d_sweep = LOOKAHEAD_SWEEP
+        .iter()
+        .map(|&w| {
+            let (d, stats) = best_rate(min_secs, || run_2d(w));
+            if w == lookahead && d.gflops > par2d.gflops {
+                par2d = d.clone();
+            }
+            let gflops = if w == lookahead {
+                par2d.gflops
+            } else {
+                d.gflops
+            };
+            SweepPoint {
+                lookahead: w,
+                gflops,
+                update_wait_secs: stats.update_wait_secs,
+                panel_wait_secs: stats.panel_wait_secs,
+                lookahead_hits: stats.lookahead_hits,
+                deferred_updates: stats.deferred_updates,
+            }
+        })
+        .collect();
 
     MatrixResult {
         name,
@@ -170,6 +237,8 @@ pub fn bench_matrix(name: &'static str, min_secs: f64) -> MatrixResult {
         seq_warmed_grow_events,
         par1d,
         par2d,
+        par2d_lookahead: lookahead,
+        par2d_sweep,
     }
 }
 
@@ -200,9 +269,39 @@ pub fn parse_rates(text: &str) -> Option<std::collections::HashMap<(String, Stri
 fn breakdown_json(b: &UpdateBreakdown) -> String {
     format!(
         "\"update\": {{\"gemm_secs\": {:.6}, \"scatter_secs\": {:.6}, \
-         \"wait_secs\": {:.6}, \"gemm_calls\": {}, \"gemm_rows_max\": {}}}",
-        b.gemm_secs, b.scatter_secs, b.wait_secs, b.gemm_calls, b.gemm_rows_max
+         \"wait_secs\": {:.6}, \"panel_wait_secs\": {:.6}, \
+         \"gemm_calls\": {}, \"gemm_rows_max\": {}, \
+         \"lookahead_hits\": {}, \"deferred_updates\": {}}}",
+        b.gemm_secs,
+        b.scatter_secs,
+        b.wait_secs,
+        b.panel_wait_secs,
+        b.gemm_calls,
+        b.gemm_rows_max,
+        b.lookahead_hits,
+        b.deferred_updates
     )
+}
+
+fn sweep_json(points: &[SweepPoint]) -> String {
+    let body = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"w\": {}, \"gflops\": {:.4}, \"update_wait_secs\": {:.6}, \
+                 \"panel_wait_secs\": {:.6}, \"lookahead_hits\": {}, \
+                 \"deferred_updates\": {}}}",
+                p.lookahead,
+                p.gflops,
+                p.update_wait_secs,
+                p.panel_wait_secs,
+                p.lookahead_hits,
+                p.deferred_updates
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n      ");
+    format!("\"par2d_lookahead_sweep\": [\n      {body}]")
 }
 
 /// Render the benchmark rows as the `BENCH_lu.json` document. When the
@@ -240,11 +339,14 @@ pub fn render_json(
             breakdown_json(&r.par1d.update)
         ));
         json.push_str(&format!(
-            "     \"par2d\": {{\"gflops\": {:.4}, \"scratch_peak_bytes\": {},\n      {}}}",
+            "     \"par2d\": {{\"gflops\": {:.4}, \"lookahead\": {}, \
+             \"scratch_peak_bytes\": {},\n      {}}},\n",
             r.par2d.gflops,
+            r.par2d_lookahead,
             r.par2d.scratch_peak_bytes,
             breakdown_json(&r.par2d.update)
         ));
+        json.push_str(&format!("     {}", sweep_json(&r.par2d_sweep)));
         if let Some(prev) = prev {
             let ratio = |d: &str, g: f64| {
                 prev.get(&(r.name.to_string(), d.to_string())).map(|&p| {
@@ -324,16 +426,21 @@ pub fn gate_against(
 /// `out`). Returns an error on I/O failure or on a GFLOP/s regression
 /// beyond [`tolerance_pct`] (measurement itself panics on solver bugs —
 /// those should never be reported as a benchmark result).
-pub fn run_opts(out: &str, min_secs: f64, baseline: Option<&str>) -> Result<(), String> {
+pub fn run_opts(
+    out: &str,
+    min_secs: f64,
+    baseline: Option<&str>,
+    lookahead: usize,
+) -> Result<(), String> {
     let prev = std::fs::read_to_string(baseline.unwrap_or(out))
         .ok()
         .and_then(|t| parse_rates(&t));
     let mut rows = Vec::new();
     for name in MATRICES {
-        let r = bench_matrix(name, min_secs);
+        let r = bench_matrix(name, min_secs, lookahead);
         eprintln!(
             "{:<9} n={:<5} seq {:7.4} GFLOP/s (scratch {} B, warmed grow events {})  \
-             par1d {:7.4}  par2d {:7.4}  update gemm/scatter/wait \
+             par1d {:7.4}  par2d {:7.4} (W={})  update gemm/scatter/wait \
              {:.1}/{:.1}/{:.1} ms",
             r.name,
             r.n,
@@ -342,10 +449,23 @@ pub fn run_opts(out: &str, min_secs: f64, baseline: Option<&str>) -> Result<(), 
             r.seq_warmed_grow_events,
             r.par1d.gflops,
             r.par2d.gflops,
+            r.par2d_lookahead,
             r.seq.update.gemm_secs * 1e3,
             r.seq.update.scatter_secs * 1e3,
             r.par2d.update.wait_secs * 1e3,
         );
+        for p in &r.par2d_sweep {
+            eprintln!(
+                "          W={} par2d {:7.4} GFLOP/s  wait {:.1} ms \
+                 (critical-path {:.1} ms, {} hits, {} deferred)",
+                p.lookahead,
+                p.gflops,
+                p.update_wait_secs * 1e3,
+                p.panel_wait_secs * 1e3,
+                p.lookahead_hits,
+                p.deferred_updates,
+            );
+        }
         rows.push(r);
     }
     let json = render_json(&rows, prev.as_ref());
@@ -364,7 +484,7 @@ pub fn run_opts(out: &str, min_secs: f64, baseline: Option<&str>) -> Result<(), 
 }
 
 /// [`run_opts`] with the default baseline (the previous contents of
-/// `out`).
+/// `out`) and the default lookahead window.
 pub fn run(out: &str, min_secs: f64) -> Result<(), String> {
-    run_opts(out, min_secs, None)
+    run_opts(out, min_secs, None, DEFAULT_LOOKAHEAD)
 }

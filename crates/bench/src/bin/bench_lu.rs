@@ -3,7 +3,8 @@
 //! over the synthetic suite. Thin wrapper around [`splu_bench::bench_lu`];
 //! also reachable as `splu bench-lu`.
 //!
-//! Usage: `bench_lu [--out PATH] [--min-secs S] [--baseline PATH]`
+//! Usage: `bench_lu [--out PATH] [--min-secs S] [--baseline PATH]
+//! [--lookahead W]`
 //!
 //! The run is gated against the previous record (`--baseline`, default:
 //! the existing `--out` file): a GFLOP/s drop beyond `SPLU_BENCH_TOL_PCT`
@@ -13,6 +14,7 @@ fn main() {
     let mut out = splu_bench::bench_lu::DEFAULT_OUT.to_string();
     let mut min_secs = 0.2f64;
     let mut baseline: Option<String> = None;
+    let mut lookahead = splu_core::par2d::DEFAULT_LOOKAHEAD;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -24,13 +26,19 @@ fn main() {
                     .expect("--min-secs needs a number")
             }
             "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
+            "--lookahead" => {
+                lookahead = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--lookahead needs a window size")
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
             }
         }
     }
-    if let Err(e) = splu_bench::bench_lu::run_opts(&out, min_secs, baseline.as_deref()) {
+    if let Err(e) = splu_bench::bench_lu::run_opts(&out, min_secs, baseline.as_deref(), lookahead) {
         eprintln!("bench_lu: {e}");
         std::process::exit(1);
     }

@@ -27,7 +27,7 @@
 use crate::scratch::FactorScratch;
 use crate::seq::{factor_block_opts, update_block_with_panel, FactorStats, PanelRef};
 use crate::storage::BlockMatrix;
-use splu_machine::{run_machine, run_machine_traced, Message, ProcCtx};
+use splu_machine::{run_machine, run_machine_jittered, run_machine_traced, Message, ProcCtx};
 use splu_probe::Collector;
 use splu_sched::{ca_schedule, graph_schedule, Schedule, TaskGraph, TaskKind};
 use splu_symbolic::BlockPattern;
@@ -174,7 +174,35 @@ pub fn factor_par1d_traced(
         Strategy1d::ComputeAhead => ca_schedule(&graph, nprocs),
         Strategy1d::GraphScheduled(model) => graph_schedule(&graph, nprocs, &model),
     };
-    factor_with_schedule_impl(a, pattern, &graph, &schedule, threshold, Some(collector))
+    factor_with_schedule_impl(
+        a,
+        pattern,
+        &graph,
+        &schedule,
+        threshold,
+        Some(collector),
+        None,
+    )
+}
+
+/// [`factor_par1d_opts`] under the runtime's delivery-jitter test mode:
+/// message receive interleaving is scrambled by a deterministic stream
+/// seeded with `seed`. Factors must come out bitwise identical — the
+/// pipelined code orders arithmetic by its schedule, not by arrival.
+pub fn factor_par1d_jittered(
+    a: &splu_sparse::CscMatrix,
+    pattern: Arc<BlockPattern>,
+    nprocs: usize,
+    strategy: Strategy1d,
+    threshold: f64,
+    seed: u64,
+) -> Par1dResult {
+    let graph = TaskGraph::build(&pattern);
+    let schedule = match strategy {
+        Strategy1d::ComputeAhead => ca_schedule(&graph, nprocs),
+        Strategy1d::GraphScheduled(model) => graph_schedule(&graph, nprocs, &model),
+    };
+    factor_with_schedule_impl(a, pattern, &graph, &schedule, threshold, None, Some(seed))
 }
 
 /// Execute an explicit (mapping, order) schedule.
@@ -185,7 +213,7 @@ pub fn factor_with_schedule(
     schedule: &Schedule,
     threshold: f64,
 ) -> Par1dResult {
-    factor_with_schedule_impl(a, pattern, graph, schedule, threshold, None)
+    factor_with_schedule_impl(a, pattern, graph, schedule, threshold, None, None)
 }
 
 fn factor_with_schedule_impl(
@@ -195,6 +223,7 @@ fn factor_with_schedule_impl(
     schedule: &Schedule,
     threshold: f64,
     collector: Option<&Collector>,
+    jitter_seed: Option<u64>,
 ) -> Par1dResult {
     schedule.validate(graph);
     let nprocs = schedule.nprocs();
@@ -315,9 +344,10 @@ fn factor_with_schedule_impl(
             .collect();
         (blocks, pivots, stats, ctx.max_pending_bytes, busy)
     };
-    let (outs, comm): (Vec<RankOut>, (u64, u64)) = match collector {
-        Some(c) => run_machine_traced(nprocs, c, spmd),
-        None => run_machine(nprocs, spmd),
+    let (outs, comm): (Vec<RankOut>, (u64, u64)) = match (collector, jitter_seed) {
+        (Some(c), _) => run_machine_traced(nprocs, c, spmd),
+        (None, Some(seed)) => run_machine_jittered(nprocs, seed, spmd),
+        (None, None) => run_machine(nprocs, spmd),
     };
     let elapsed = t0.elapsed().as_secs_f64();
 

@@ -3,39 +3,48 @@
 //! Processors form a `p_r × p_c` grid; block `A_ij` lives on
 //! `P_{i mod p_r, j mod p_c}`. A single `Factor(k)` is parallelized over
 //! the `p_r` processors of one grid column (distributed pivot search with
-//! subrow exchange), and a single update stage over all processors. The
-//! SPMD control flow follows Fig. 12:
+//! subrow exchange), and a single update stage over all processors.
 //!
-//! ```text
-//! if my column owns block 0 { Factor2D(0) }
-//! for k in 0..N {
-//!     ScaleSwap(k)                       // pivseq recv, delayed swaps,
-//!                                        // TRSM U_k,* + column multicast
-//!     if I own column k+1 { Update2D(k, k+1); Factor2D(k+1) }
-//!     for j in k+2.. owned { Update2D(k, j) }
-//! }
-//! ```
+//! Execution is a **critical-path lookahead executor**: every rank of a
+//! grid column replays the deterministic operation list built by
+//! [`splu_sched::lookahead_schedule`] — the paper's Fig. 10/11 priority
+//! policy on the real thread machine. With window `W`, stage `k`'s
+//! updates into the next pivot block column run first, `Factor(k+1)` and
+//! its row/column multicasts issue immediately, and up to `W` stages of
+//! trailing updates drain *behind* the factor frontier. `W = 0`
+//! reproduces the strict in-order Fig. 12 loop (the ablation baseline).
+//! Per-destination-column next-expected-stage counters (`applied`)
+//! double-check at run time that every block still absorbs its update
+//! contributions in ascending stage order, so the factors stay
+//! **bitwise identical** to the sequential code for every window: the
+//! distributed pivot search reproduces the sequential tie-break exactly,
+//! and per-entry arithmetic happens in the same order.
 //!
 //! In [`Sync2d::Async`] mode there is no global synchronization at all:
 //! processors pipeline across elimination stages, bounded by the overlap
-//! degrees of Theorem 2 (`p_c` across the machine, `min(p_r − 1, p_c)`
-//! within a processor column). [`Sync2d::Barrier`] adds the paper's
-//! ablation: a global barrier per stage (Table 7 compares the two).
-//!
-//! The factors are **bitwise identical** to the sequential code: the
-//! distributed pivot search reproduces the sequential tie-break exactly,
-//! and per-entry update contributions accumulate in the same stage order.
+//! degrees of Theorem 2 at `W = 0` (`p_c` across the machine,
+//! `min(p_r − 1, p_c)` within a processor column) and by the
+//! window-generalized `p_c + W` / `min(p_r − 1, p_c) + W` for `W ≥ 1`.
+//! [`Sync2d::Barrier`] adds the paper's ablation: a global barrier per
+//! *retired* stage (Table 7 compares the two) — with `W ≥ 1` the window
+//! still pipelines between consecutive barriers.
 
 use crate::scratch::{prep_cap_f64, prep_zeroed_f64, FactorScratch};
 use crate::seq::FactorStats;
 use crate::storage::BlockMatrix;
 use splu_kernels::{dgemm_naive, dgemm_with, dtrsm_left_lower_unit, gemm_uses_blocked_path};
-use splu_machine::{run_machine, run_machine_traced, Grid, Message, ProcCtx};
+use splu_machine::{run_machine, run_machine_jittered, run_machine_traced, Grid, Message, ProcCtx};
 use splu_probe::Collector;
+use splu_sched::{lookahead_schedule, Op2d, TaskGraph};
 use splu_symbolic::BlockPattern;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
+
+/// Default lookahead window `W` of the 2D executor: one panel
+/// factorization ahead of the drain frontier (Fig. 10's compute-ahead
+/// depth). `0` is the in-order ablation baseline.
+pub const DEFAULT_LOOKAHEAD: usize = 1;
 
 /// Synchronization mode for the 2D code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +108,56 @@ impl Par2dResult {
     pub fn overlap_degree_within_col(&self, col: u32) -> u32 {
         overlap_degree(&self.intervals, Some(col))
     }
+
+    /// *Sustained* pipeline depth: the tick-weighted 95th percentile of
+    /// the number of distinct elimination stages with an update in
+    /// flight. Unlike [`Par2dResult::overlap_degree`], which a single
+    /// straggler pair can inflate to its maximum, this reports the depth
+    /// the executor actually holds for 95% of the busy time.
+    pub fn sustained_depth_p95(&self) -> u32 {
+        // sweep the interval set: each logical tick is unique (a global
+        // counter), so events never tie
+        let mut events: Vec<(u64, u32, i32)> = Vec::new();
+        for iv in &self.intervals {
+            if iv.start < iv.end {
+                events.push((iv.start, iv.stage, 1));
+                events.push((iv.end, iv.stage, -1));
+            }
+        }
+        if events.is_empty() {
+            return 0;
+        }
+        events.sort_unstable_by_key(|e| e.0);
+        let mut active: HashMap<u32, u32> = HashMap::new();
+        let mut samples: Vec<(u32, u64)> = Vec::new(); // (depth, ticks held)
+        let mut prev_tick = events[0].0;
+        for (tick, stage, delta) in events {
+            if tick > prev_tick && !active.is_empty() {
+                samples.push((active.len() as u32, tick - prev_tick));
+            }
+            prev_tick = tick;
+            if delta > 0 {
+                *active.entry(stage).or_insert(0) += 1;
+            } else {
+                let c = active.get_mut(&stage).expect("end without start");
+                *c -= 1;
+                if *c == 0 {
+                    active.remove(&stage);
+                }
+            }
+        }
+        samples.sort_unstable_by_key(|s| s.0);
+        let total: u64 = samples.iter().map(|s| s.1).sum();
+        let mut acc = 0u64;
+        for (depth, ticks) in samples {
+            acc += ticks;
+            // smallest depth covering ≥ 95% of busy ticks
+            if acc * 100 >= total * 95 {
+                return depth;
+            }
+        }
+        0
+    }
 }
 
 fn overlap_degree(iv: &[UpdateInterval], col: Option<u32>) -> u32 {
@@ -122,10 +181,9 @@ fn overlap_degree(iv: &[UpdateInterval], col: Option<u32>) -> u32 {
 // ---- message tags ----
 const K_CAND: u64 = 1;
 const K_PIVROW: u64 = 2;
-const K_PIVSEQ: u64 = 3;
-const K_LPANEL: u64 = 4;
-const K_UROW: u64 = 5;
-const K_SWAP: u64 = 6;
+const K_LPANEL: u64 = 3;
+const K_UROW: u64 = 4;
+const K_SWAP: u64 = 5;
 
 fn tag(kind: u64, k: usize, x: usize, y: usize) -> u64 {
     debug_assert!(k < 1 << 20 && x < 1 << 20 && y < 1 << 20);
@@ -360,20 +418,31 @@ impl Store2d {
     }
 }
 
-/// Caches of received multicast panels: `L_ik` row panels keyed `(k, i)`,
-/// TRSM'd `U_kj` row blocks keyed `(k, j)`, with resident-byte accounting.
+/// A view into a shared multicast payload: `(payload, offset, len)`.
+type PanelSlice = (Arc<Vec<f64>>, usize, usize);
+
+/// Caches of received *batched* multicast payloads.
 ///
-/// Every entry of stage `k` is inserted *and* last consumed within the
-/// spmd loop's iteration `k` (`scale_swap` consumes `(k, k)`; the stage's
-/// update tasks consume the rest), so the loop retires whole stages: a
-/// `U` row is recycled right after its single consuming task and the
-/// surviving `L` panels at stage end. Resident bytes are thereby bounded
-/// by one stage's working set instead of growing monotonically over the
-/// whole factorization (the pre-retirement behavior, still visible as
-/// [`PanelCaches::inserted_bytes`]).
+/// Stage `k`'s row multicast arrives as **one** message per sender (pivot
+/// sequence + diagonal + every `L_ik` segment that sender owns); its
+/// payload is registered here as per-`(k, i)` slices sharing one `Arc`.
+/// TRSM'd `U_kj` row blocks likewise arrive batched — one column
+/// multicast per schedule run, stored whole under `(k, batch_id)` with a
+/// per-`(k, j)` layout map recorded when the run's `Trsm` ops replay.
+///
+/// Every entry of stage `k` is inserted *and* last consumed before the
+/// executor's `Retire(k)`, which retires the whole stage: resident bytes
+/// stay bounded by the in-flight window's working set instead of growing
+/// monotonically over the whole factorization (the pre-retirement
+/// behavior, still visible as [`PanelCaches::inserted_bytes`]).
 struct PanelCaches {
-    lpanels: HashMap<(usize, usize), Message>,
-    urows: HashMap<(usize, usize), Message>,
+    lpanels: HashMap<(usize, usize), PanelSlice>,
+    /// `(k, j)` → `(batch_id, offset, len)` into the batch multicast.
+    urow_layout: HashMap<(usize, usize), (usize, usize, usize)>,
+    /// `(k, batch_id)` → the run's concatenated `U` row blocks.
+    urow_batches: HashMap<(usize, usize), Arc<Vec<f64>>>,
+    /// Bytes accounted to each in-flight stage, repaid at retirement.
+    stage_bytes: HashMap<usize, u64>,
     resident_bytes: u64,
     peak_bytes: u64,
     inserted_bytes: u64,
@@ -383,95 +452,67 @@ impl PanelCaches {
     fn new() -> Self {
         Self {
             lpanels: HashMap::new(),
-            urows: HashMap::new(),
+            urow_layout: HashMap::new(),
+            urow_batches: HashMap::new(),
+            stage_bytes: HashMap::new(),
             resident_bytes: 0,
             peak_bytes: 0,
             inserted_bytes: 0,
         }
     }
 
-    fn account_insert(&mut self, nbytes: u64) {
+    fn account_insert(&mut self, k: usize, nbytes: u64) {
         self.inserted_bytes += nbytes;
         self.resident_bytes += nbytes;
+        *self.stage_bytes.entry(k).or_default() += nbytes;
         self.peak_bytes = self.peak_bytes.max(self.resident_bytes);
     }
 
-    /// The cached `L` panel `(k, i)`, receiving it first if absent.
-    fn lpanel(&mut self, key: (usize, usize), recv: impl FnOnce() -> Message) -> &Message {
-        if !self.lpanels.contains_key(&key) {
-            let m = recv();
-            self.account_insert(m.nbytes());
-            self.lpanels.insert(key, m);
-        }
-        &self.lpanels[&key]
+    fn insert_urow_batch(&mut self, k: usize, batch_id: usize, m: &Message) {
+        debug_assert!(!self.urow_batches.contains_key(&(k, batch_id)));
+        self.account_insert(k, m.nbytes());
+        self.urow_batches.insert((k, batch_id), m.floats.clone());
     }
 
-    /// The cached `U` row `(k, j)`, receiving it first if absent.
-    fn urow(&mut self, key: (usize, usize), recv: impl FnOnce() -> Message) -> &Message {
-        if !self.urows.contains_key(&key) {
-            let m = recv();
-            self.account_insert(m.nbytes());
-            self.urows.insert(key, m);
+    /// Retire every stage-`k` entry (its last consumer has completed).
+    /// Payload `Arc`s drop here; a sole-holder drop frees the buffer.
+    fn retire_stage(&mut self, k: usize) {
+        self.lpanels.retain(|key, _| key.0 != k);
+        self.urow_layout.retain(|key, _| key.0 != k);
+        self.urow_batches.retain(|key, _| key.0 != k);
+        if let Some(b) = self.stage_bytes.remove(&k) {
+            self.resident_bytes -= b;
         }
-        &self.urows[&key]
-    }
-
-    /// Remove the `U` row `(k, j)` — it has exactly one consuming task
-    /// per processor, which has just run.
-    fn take_urow(&mut self, key: (usize, usize)) -> Option<Message> {
-        let m = self.urows.remove(&key);
-        if let Some(m) = &m {
-            self.resident_bytes -= m.nbytes();
-        }
-        m
-    }
-
-    /// Retire every stage-`k` entry (its last consumer has completed),
-    /// recycling the payloads into the runtime's pool.
-    fn retire_stage(&mut self, k: usize, ctx: &mut ProcCtx) {
-        retire_from(&mut self.lpanels, k, &mut self.resident_bytes, ctx);
-        retire_from(&mut self.urows, k, &mut self.resident_bytes, ctx);
     }
 
     fn is_empty(&self) -> bool {
-        self.lpanels.is_empty() && self.urows.is_empty()
-    }
-}
-
-fn retire_from(
-    map: &mut HashMap<(usize, usize), Message>,
-    k: usize,
-    resident: &mut u64,
-    ctx: &mut ProcCtx,
-) {
-    while let Some(key) = map.keys().find(|key| key.0 == k).copied() {
-        let m = map.remove(&key).unwrap();
-        *resident -= m.nbytes();
-        ctx.recycle(m);
+        self.lpanels.is_empty() && self.urow_layout.is_empty() && self.urow_batches.is_empty()
     }
 }
 
 /// Factor `a` (already preprocessed) on a `grid` of thread-processors
-/// with classic partial pivoting.
+/// with classic partial pivoting and the default lookahead window.
 pub fn factor_par2d(
     a: &splu_sparse::CscMatrix,
     pattern: Arc<BlockPattern>,
     grid: Grid,
     mode: Sync2d,
 ) -> Par2dResult {
-    factor_par2d_opts(a, pattern, grid, mode, 1.0)
+    factor_par2d_opts(a, pattern, grid, mode, 1.0, DEFAULT_LOOKAHEAD)
 }
 
 /// 2D factorization with threshold pivoting (`threshold = 1.0` is classic
-/// partial pivoting; see [`crate::seq::factor_sequential_opts`]).
+/// partial pivoting; see [`crate::seq::factor_sequential_opts`]) and an
+/// explicit lookahead window (`lookahead = 0` is the in-order schedule).
 pub fn factor_par2d_opts(
     a: &splu_sparse::CscMatrix,
     pattern: Arc<BlockPattern>,
     grid: Grid,
     mode: Sync2d,
     threshold: f64,
+    lookahead: usize,
 ) -> Par2dResult {
-    factor_par2d_impl(a, pattern, grid, mode, threshold, None)
+    factor_par2d_impl(a, pattern, grid, mode, threshold, lookahead, None, None)
 }
 
 /// Panic-free [`factor_par2d_opts`]: a numerically singular input
@@ -484,37 +525,90 @@ pub fn factor_par2d_checked(
     grid: Grid,
     mode: Sync2d,
     threshold: f64,
+    lookahead: usize,
 ) -> Result<Par2dResult, crate::error::SolverError> {
-    crate::error::catch_solver_panic(|| factor_par2d_opts(a, pattern, grid, mode, threshold))
+    crate::error::catch_solver_panic(|| {
+        factor_par2d_opts(a, pattern, grid, mode, threshold, lookahead)
+    })
 }
 
 /// Like [`factor_par2d_opts`], but every simulated processor records a
 /// flight-recorder timeline into `collector`: one span per paper-named
 /// stage (`panel-factor`, `scale-swap` with nested `row-swap`, `update`),
-/// pivot-search/fill counters, and the runtime's communication marks.
+/// pivot-search/fill/lookahead counters, and the runtime's communication
+/// marks.
 pub fn factor_par2d_traced(
     a: &splu_sparse::CscMatrix,
     pattern: Arc<BlockPattern>,
     grid: Grid,
     mode: Sync2d,
     threshold: f64,
+    lookahead: usize,
     collector: &Collector,
 ) -> Par2dResult {
-    factor_par2d_impl(a, pattern, grid, mode, threshold, Some(collector))
+    factor_par2d_impl(
+        a,
+        pattern,
+        grid,
+        mode,
+        threshold,
+        lookahead,
+        Some(collector),
+        None,
+    )
 }
 
+/// [`factor_par2d_opts`] under the runtime's delivery-jitter test mode:
+/// message receive interleaving is scrambled by a deterministic stream
+/// seeded with `seed`. The factors must still come out bitwise identical
+/// — the executor orders arithmetic by its schedule, never by arrival.
+pub fn factor_par2d_jittered(
+    a: &splu_sparse::CscMatrix,
+    pattern: Arc<BlockPattern>,
+    grid: Grid,
+    mode: Sync2d,
+    threshold: f64,
+    lookahead: usize,
+    seed: u64,
+) -> Par2dResult {
+    factor_par2d_impl(
+        a,
+        pattern,
+        grid,
+        mode,
+        threshold,
+        lookahead,
+        None,
+        Some(seed),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
 fn factor_par2d_impl(
     a: &splu_sparse::CscMatrix,
     pattern: Arc<BlockPattern>,
     grid: Grid,
     mode: Sync2d,
     threshold: f64,
+    lookahead: usize,
     collector: Option<&Collector>,
+    jitter_seed: Option<u64>,
 ) -> Par2dResult {
     assert!(threshold > 0.0 && threshold <= 1.0);
     let nb = pattern.nblocks();
     let clock = AtomicU64::new(0);
     let barrier = Barrier::new(grid.nprocs());
+
+    // One deterministic lookahead operation list per grid column, shared
+    // by the column's p_r ranks (identical replay is what keeps the
+    // intra-column blocking exchanges deadlock-free).
+    let graph = TaskGraph::build(&pattern);
+    let schedules: Vec<Arc<Vec<Op2d>>> = (0..grid.pc)
+        .map(|c| Arc::new(lookahead_schedule(&graph, grid.pc, c, lookahead)))
+        .collect();
+    // At most `W + 1` stages ever have live TRSM work, so `W + 1` staging
+    // slots are collision-free (capped by the stage count for absurd `W`)
+    let stage_slots = lookahead.min(nb.saturating_sub(1)) + 1;
 
     let t0 = std::time::Instant::now();
     type RankOut = (
@@ -544,60 +638,110 @@ fn factor_par2d_impl(
             );
         }
 
-        if nb > 0 && cno == 0 {
-            let piv = factor2d(&mut ctx, &mut st, 0, threshold, &mut stats, &mut scratch);
-            pivseqs[0] = Some(Arc::new(piv));
-        }
-        for k in 0..nb {
-            scale_swap(
-                &mut ctx,
-                &mut st,
-                k,
-                &mut pivseqs,
-                &mut caches,
-                &mut stats,
-                &mut scratch,
-            );
-            let next = k + 1;
-            if next < nb && next % grid.pc == cno {
-                if pattern.u_block(k, next).is_some() {
-                    update2d(
+        // ---- the lookahead executor: replay this grid column's op list ----
+        scratch.ensure_stage_slots(stage_slots);
+        // defense-in-depth next-expected-stage counters: column `j` must
+        // absorb its update sources in ascending stage order for the
+        // factors to be bitwise identical to the sequential driver
+        let mut applied: Vec<u32> = vec![0; nb];
+        let mut max_depth = 0u32;
+        let ops = schedules[cno].as_slice();
+        let mut swap_js: Vec<usize> = Vec::new();
+        let mut trsm_js: Vec<usize> = Vec::new();
+        let mut i = 0usize;
+        while i < ops.len() {
+            match ops[i] {
+                Op2d::Factor { k, nsrcs } => {
+                    let k = k as usize;
+                    debug_assert_eq!(applied[k], nsrcs, "Factor({k}) before its sources");
+                    let piv = factor2d(&mut ctx, &mut st, k, threshold, &mut stats, &mut scratch);
+                    pivseqs[k] = Some(Arc::new(piv));
+                }
+                Op2d::Swap { k, .. } => {
+                    // coalesce the maximal run of stage-`k` swaps (the
+                    // schedule emits a draining stage's swaps
+                    // back-to-back) into one batched exchange
+                    swap_js.clear();
+                    while let Some(Op2d::Swap { k: k2, j, seq }) = ops.get(i).copied() {
+                        if k2 != k {
+                            break;
+                        }
+                        debug_assert_eq!(applied[j as usize], seq, "Swap({k},{j}) out of order");
+                        swap_js.push(j as usize);
+                        i += 1;
+                    }
+                    let k = k as usize;
+                    ensure_stage_row(&mut ctx, &st, &mut caches, &mut pivseqs, k, false);
+                    let piv = pivseqs[k].clone().unwrap();
+                    swap_columns(&mut ctx, &mut st, k, &swap_js, &piv, &mut scratch);
+                    continue; // `i` already advanced past the run
+                }
+                Op2d::Trsm { k, .. } => {
+                    // coalesce the run of stage-`k` TRSMs the same way:
+                    // the owner row computes them all and multicasts ONE
+                    // concatenated payload per run; every other rank
+                    // records the batch layout for its update tasks
+                    trsm_js.clear();
+                    while let Some(Op2d::Trsm { k: k2, j }) = ops.get(i).copied() {
+                        if k2 != k {
+                            break;
+                        }
+                        trsm_js.push(j as usize);
+                        i += 1;
+                    }
+                    trsm_columns(
                         &mut ctx,
                         &mut st,
-                        k,
-                        next,
+                        k as usize,
+                        &trsm_js,
                         &mut caches,
+                        &mut pivseqs,
                         &mut stats,
                         &mut scratch,
-                        &clock,
-                        &mut intervals,
                     );
+                    continue; // `i` already advanced past the run
                 }
-                let piv = factor2d(&mut ctx, &mut st, next, threshold, &mut stats, &mut scratch);
-                pivseqs[next] = Some(Arc::new(piv));
-            }
-            for u in &pattern.u_blocks[k] {
-                let j = u.j as usize;
-                if j >= k + 2 && j % grid.pc == cno {
+                Op2d::Update {
+                    k,
+                    j,
+                    seq,
+                    deferred,
+                    depth,
+                } => {
+                    let (k, j) = (k as usize, j as usize);
+                    debug_assert_eq!(applied[j], seq, "Update({k},{j}) out of stage order");
+                    max_depth = max_depth.max(depth);
                     update2d(
                         &mut ctx,
                         &mut st,
                         k,
                         j,
+                        deferred,
                         &mut caches,
+                        &mut pivseqs,
                         &mut stats,
                         &mut scratch,
                         &clock,
                         &mut intervals,
                     );
+                    applied[j] += 1;
+                }
+                Op2d::Retire { k } => {
+                    let k = k as usize;
+                    // a rank with no stage-k swaps still received the
+                    // stage-row multicast: consume it here so the
+                    // pending map drains stage by stage
+                    ensure_stage_row(&mut ctx, &st, &mut caches, &mut pivseqs, k, false);
+                    // stage k's last consumer has run on this rank: drop
+                    // its cached panels so resident bytes never span more
+                    // than the in-flight window
+                    caches.retire_stage(k);
+                    if mode == Sync2d::Barrier {
+                        barrier.wait();
+                    }
                 }
             }
-            // stage k's last consumer has run on this rank: drop its
-            // cached panels so resident bytes never span stages
-            caches.retire_stage(k, &mut ctx);
-            if mode == Sync2d::Barrier {
-                barrier.wait();
-            }
+            i += 1;
         }
         debug_assert!(caches.is_empty(), "panel caches must drain by the end");
         stats.scratch_grow_events = scratch.grow_events();
@@ -606,6 +750,7 @@ fn factor_par2d_impl(
             .count("scratch_grow_events", stats.scratch_grow_events);
         ctx.probe()
             .gauge_max("panel_cache_bytes_hw", caches.peak_bytes);
+        ctx.probe().gauge_max("pipeline_depth_hw", max_depth as u64);
         stats.emit_update_probe(ctx.probe());
 
         let blocks: Vec<((u32, u32), Vec<f64>)> = st.blocks.into_iter().collect();
@@ -624,9 +769,10 @@ fn factor_par2d_impl(
             cache_bytes,
         )
     };
-    let (outs, comm): (Vec<RankOut>, _) = match collector {
-        Some(c) => run_machine_traced(grid.nprocs(), c, spmd),
-        None => run_machine(grid.nprocs(), spmd),
+    let (outs, comm): (Vec<RankOut>, _) = match (collector, jitter_seed) {
+        (Some(c), _) => run_machine_traced(grid.nprocs(), c, spmd),
+        (None, Some(seed)) => run_machine_jittered(grid.nprocs(), seed, spmd),
+        (None, None) => run_machine(grid.nprocs(), spmd),
     };
     let elapsed = t0.elapsed().as_secs_f64();
 
@@ -927,30 +1073,23 @@ fn factor2d(
         }
     }
 
-    // ---- multicast pivot sequence + owned L blocks along my grid row ----
-    // payload buffers come from the runtime's recycling pool
-    let row_dests: Vec<usize> = grid.my_row(ctx.rank).collect();
+    // ---- ONE row multicast per stage: pivot sequence + diagonal +
+    // every owned L block, concatenated. The receivers (same block
+    // rows, other grid columns) recover the layout from the shared
+    // pattern, so no per-segment messages — and no per-segment
+    // message-passing overhead — are needed (`ensure_stage_row`).
     {
         let mut ints = ctx.ints_buf();
         ints.extend_from_slice(&piv_seq);
-        let floats = ctx.floats_buf();
-        let msg = Message::new(tag(K_PIVSEQ, k, 0, 0), ints, floats);
-        ctx.multicast(row_dests.iter().copied(), msg);
-    }
-    if i_am_diag {
         let mut p = ctx.floats_buf();
-        p.extend_from_slice(&st.blocks[&(k as u32, k as u32)]);
-        let ints = ctx.ints_buf();
-        let msg = Message::new(tag(K_LPANEL, k, k, 0), ints, p);
-        ctx.multicast(row_dests.iter().copied(), msg);
-    }
-    for &i in &my_lblocks {
-        let i = i as usize;
-        let mut p = ctx.floats_buf();
-        p.extend_from_slice(&st.blocks[&(i as u32, k as u32)]);
-        let ints = ctx.ints_buf();
-        let msg = Message::new(tag(K_LPANEL, k, i, 0), ints, p);
-        ctx.multicast(row_dests.iter().copied(), msg);
+        if i_am_diag {
+            p.extend_from_slice(&st.blocks[&(k as u32, k as u32)]);
+        }
+        for &i in &my_lblocks {
+            p.extend_from_slice(&st.blocks[&(i, k as u32)]);
+        }
+        let msg = Message::new(tag(K_LPANEL, k, 0, 0), ints, p);
+        ctx.multicast(grid.my_row(ctx.rank), msg);
     }
     scratch.idx = my_lblocks;
     ctx.probe().count("pivot_search_rows", searched_rows);
@@ -958,171 +1097,240 @@ fn factor2d(
     piv_seq
 }
 
-/// `ScaleSwap(k)` (Fig. 14): receive the pivot sequence, apply the delayed
-/// row interchanges to owned trailing blocks, TRSM the owned `U_k,*`
-/// blocks and multicast them down the grid columns.
-fn scale_swap(
+/// Consume stage `k`'s row multicast if this rank has not yet: ranks of
+/// the factoring grid column produced everything locally in [`factor2d`]
+/// (the `pivseqs[k]` guard); every other rank receives ONE message from
+/// the factoring rank of its grid row carrying the pivot sequence plus
+/// the concatenated diagonal / `L` segment panels, whose layout both
+/// sides derive from the shared pattern. The slices are registered in
+/// `caches` under the same `(k, i)` keys the update tasks look up. The
+/// executor calls this lazily at the first `Swap(k, ·)`, [`update2d`]
+/// try-first (`try_first` reports whether the wait blocked), and
+/// `Retire(k)` force-consumes so the pending map drains stage by stage.
+fn ensure_stage_row(
+    ctx: &mut ProcCtx,
+    st: &Store2d,
+    caches: &mut PanelCaches,
+    pivseqs: &mut [Option<Arc<Vec<u32>>>],
+    k: usize,
+    try_first: bool,
+) -> bool {
+    if pivseqs[k].is_some() {
+        return false;
+    }
+    let t = tag(K_LPANEL, k, 0, 0);
+    let mut blocked = !try_first;
+    let m = if try_first {
+        ctx.try_recv(t).unwrap_or_else(|| {
+            blocked = true;
+            ctx.recv(t)
+        })
+    } else {
+        ctx.recv(t)
+    };
+    pivseqs[k] = Some(m.ints.clone());
+    caches.account_insert(k, m.nbytes());
+    let fl = m.floats.clone();
+    let grid = st.grid;
+    let wk = st.width(k);
+    let mut off = 0usize;
+    if st.rno == k % grid.pr {
+        caches.lpanels.insert((k, k), (fl.clone(), off, wk * wk));
+        off += wk * wk;
+    }
+    for l in &st.pattern.l_blocks[k] {
+        if (l.i as usize) % grid.pr == st.rno {
+            let len = l.rows.len() * wk;
+            caches
+                .lpanels
+                .insert((k, l.i as usize), (fl.clone(), off, len));
+            off += len;
+        }
+    }
+    debug_assert_eq!(off, fl.len(), "stage-row payload layout mismatch");
+    ctx.recycle(m);
+    blocked
+}
+
+/// Stage-`k` delayed row interchanges across a batch of owned column
+/// blocks (Fig. 14's ScaleSwap, stage-batched): every rank of the grid
+/// column walks the same `(t)` order; an interchange whose two rows live
+/// on different block-row owners exchanges **one** message covering
+/// every column of the batch rather than one per column — the schedule
+/// emits a draining stage's swaps back-to-back exactly so they coalesce
+/// here, collapsing the per-column lockstep points into one per pivot.
+/// Both sides pack/unpack in batch-column order with existence flags
+/// computed from the shared pattern, so the layouts agree by
+/// construction.
+fn swap_columns(
     ctx: &mut ProcCtx,
     st: &mut Store2d,
     k: usize,
-    pivseqs: &mut [Option<Arc<Vec<u32>>>],
-    caches: &mut PanelCaches,
-    stats: &mut FactorStats,
+    js: &[usize],
+    piv: &Arc<Vec<u32>>,
     scratch: &mut FactorScratch,
 ) {
     let grid = st.grid;
     let (rno, cno) = (st.rno, st.cno);
+    debug_assert!(js.iter().all(|&j| j % grid.pc == cno));
     let lo = st.lo(k);
-    let w = st.width(k);
-    let span_start = ctx.probe().now();
-
-    // (02) pivot sequence
-    if pivseqs[k].is_none() {
-        let m = ctx.recv(tag(K_PIVSEQ, k, 0, 0));
-        pivseqs[k] = Some(m.ints.clone());
-        ctx.recycle(m);
-    }
-    let piv = pivseqs[k].clone().unwrap();
-
-    // (03-06) delayed interchanges on owned trailing column blocks j > k
-    // in my processor column; lexicographic (j, t) order on all procs.
-    // The id list is staged in the arena's index buffer.
-    let mut my_js = std::mem::take(&mut scratch.idx);
-    {
-        let cap0 = my_js.capacity();
-        my_js.clear();
-        my_js.extend(
-            st.pattern.u_blocks[k]
-                .iter()
-                .map(|u| u.j)
-                .filter(|&j| j as usize % grid.pc == cno),
-        );
-        if my_js.capacity() > cap0 {
-            scratch.grow_events += 1;
-        }
-    }
     let swap_start = ctx.probe().now();
-    for &j in &my_js {
-        let j = j as usize;
-        for (t, &pg) in piv.iter().enumerate() {
-            let row_m = lo + t;
-            let pg = pg as usize;
-            if pg == row_m {
-                continue;
+    // the batch's first column disambiguates the message tag: a column
+    // belongs to exactly one stage-`k` batch, and every rank of the grid
+    // column replays the same schedule, so both sides derive the same id
+    let batch_id = js[0];
+    for (t, &pg) in piv.iter().enumerate() {
+        let row_m = lo + t;
+        let pg = pg as usize;
+        if pg == row_m {
+            continue;
+        }
+        let ib_m = k; // row m lives in row block k
+        let ib_r = st.block_of[pg] as usize;
+        let own_m = ib_m % grid.pr == rno;
+        let own_r = ib_r % grid.pr == rno;
+        if own_m && own_r {
+            for &j in js {
+                let wj = st.width(j);
+                let m_exists = st.block_exists(ib_m, j);
+                let r_exists = st.block_exists(ib_r, j);
+                // local swap via full-width rows staged in the arena
+                prep_zeroed_f64(&mut scratch.rowbuf, wj, &mut scratch.grow_events);
+                if m_exists {
+                    st.read_row_into(ib_m, j, row_m, &mut scratch.rowbuf);
+                }
+                prep_zeroed_f64(&mut scratch.rowbuf2, wj, &mut scratch.grow_events);
+                if r_exists {
+                    st.read_row_into(ib_r, j, pg, &mut scratch.rowbuf2);
+                }
+                if m_exists {
+                    st.write_row_full(j, row_m, &scratch.rowbuf2);
+                } else {
+                    debug_assert!(scratch.rowbuf2.iter().all(|&v| v == 0.0));
+                }
+                if r_exists {
+                    st.write_row_full(j, pg, &scratch.rowbuf);
+                } else {
+                    debug_assert!(scratch.rowbuf.iter().all(|&v| v == 0.0));
+                }
             }
-            let ib_m = k; // row m lives in row block k
-            let ib_r = st.block_of[pg] as usize;
-            let own_m = ib_m % grid.pr == rno;
-            let own_r = ib_r % grid.pr == rno;
-            let m_exists = st.block_exists(ib_m, j);
-            let r_exists = st.block_exists(ib_r, j);
-            let wj = st.width(j);
-            match (own_m, own_r) {
-                (true, true) => {
-                    // local swap via full-width rows staged in the arena
+            continue;
+        }
+        if !own_m && !own_r {
+            continue;
+        }
+        // one side of a pairwise exchange: I hold exactly one of the rows
+        let (my_ib, my_row, peer_ib) = if own_m {
+            (ib_m, row_m, ib_r)
+        } else {
+            (ib_r, pg, ib_m)
+        };
+        let partner = grid.rank_of(peer_ib % grid.pr, cno);
+        if js.iter().any(|&j| st.block_exists(my_ib, j)) {
+            // pack my row's pieces for every batch column that has it
+            let mut buf = ctx.floats_buf();
+            for &j in js {
+                if st.block_exists(my_ib, j) {
+                    let wj = st.width(j);
                     prep_zeroed_f64(&mut scratch.rowbuf, wj, &mut scratch.grow_events);
-                    if m_exists {
-                        st.read_row_into(ib_m, j, row_m, &mut scratch.rowbuf);
-                    }
-                    prep_zeroed_f64(&mut scratch.rowbuf2, wj, &mut scratch.grow_events);
-                    if r_exists {
-                        st.read_row_into(ib_r, j, pg, &mut scratch.rowbuf2);
-                    }
-                    if m_exists {
-                        st.write_row_full(j, row_m, &scratch.rowbuf2);
-                    } else {
-                        debug_assert!(scratch.rowbuf2.iter().all(|&v| v == 0.0));
-                    }
-                    if r_exists {
-                        st.write_row_full(j, pg, &scratch.rowbuf);
-                    } else {
-                        debug_assert!(scratch.rowbuf.iter().all(|&v| v == 0.0));
-                    }
+                    st.read_row_into(my_ib, j, my_row, &mut scratch.rowbuf);
+                    buf.extend_from_slice(&scratch.rowbuf);
                 }
-                (true, false) => {
-                    let partner = grid.rank_of(ib_r % grid.pr, cno);
-                    if m_exists {
-                        let mut a = ctx.floats_buf();
-                        a.resize(wj, 0.0);
-                        st.read_row_into(ib_m, j, row_m, &mut a);
-                        let ints = ctx.ints_buf();
-                        let msg = Message::new(tag(K_SWAP, k, t, j), ints, a);
-                        ctx.send(partner, msg);
-                    }
-                    if r_exists {
-                        let m = ctx.recv(tag(K_SWAP, k, t, j));
-                        if m_exists {
-                            st.write_row_full(j, row_m, &m.floats);
-                        } else {
-                            debug_assert!(m.floats.iter().all(|&v| v == 0.0));
-                        }
-                        ctx.recycle(m);
-                    } else if m_exists {
-                        // partner has nothing; my row must be zero
-                        prep_zeroed_f64(&mut scratch.rowbuf, wj, &mut scratch.grow_events);
-                        st.read_row_into(ib_m, j, row_m, &mut scratch.rowbuf);
-                        debug_assert!(scratch.rowbuf.iter().all(|&v| v == 0.0));
-                    }
+            }
+            let ints = ctx.ints_buf();
+            ctx.send(
+                partner,
+                Message::new(tag(K_SWAP, k, t, batch_id), ints, buf),
+            );
+        }
+        if js.iter().any(|&j| st.block_exists(peer_ib, j)) {
+            let m = ctx.recv(tag(K_SWAP, k, t, batch_id));
+            let mut off = 0usize;
+            for &j in js {
+                if !st.block_exists(peer_ib, j) {
+                    continue;
                 }
-                (false, true) => {
-                    let partner = grid.rank_of(ib_m % grid.pr, cno);
-                    if r_exists {
-                        let mut b = ctx.floats_buf();
-                        b.resize(wj, 0.0);
-                        st.read_row_into(ib_r, j, pg, &mut b);
-                        let ints = ctx.ints_buf();
-                        let msg = Message::new(tag(K_SWAP, k, t, j), ints, b);
-                        ctx.send(partner, msg);
-                    }
-                    if m_exists {
-                        let m = ctx.recv(tag(K_SWAP, k, t, j));
-                        if r_exists {
-                            st.write_row_full(j, pg, &m.floats);
-                        } else {
-                            debug_assert!(m.floats.iter().all(|&v| v == 0.0));
-                        }
-                        ctx.recycle(m);
-                    } else if r_exists {
-                        prep_zeroed_f64(&mut scratch.rowbuf, wj, &mut scratch.grow_events);
-                        st.read_row_into(ib_r, j, pg, &mut scratch.rowbuf);
-                        debug_assert!(scratch.rowbuf.iter().all(|&v| v == 0.0));
-                    }
+                let wj = st.width(j);
+                let piece = &m.floats[off..off + wj];
+                if st.block_exists(my_ib, j) {
+                    st.write_row_full(j, my_row, piece);
+                } else {
+                    debug_assert!(piece.iter().all(|&v| v == 0.0));
                 }
-                (false, false) => {}
+                off += wj;
+            }
+            debug_assert_eq!(off, m.floats.len(), "swap batch layout mismatch");
+            ctx.recycle(m);
+        }
+        // a column where only my row exists: the peer holds nothing, so
+        // the interchange must be a no-op — my row is structurally zero
+        #[cfg(debug_assertions)]
+        for &j in js {
+            if st.block_exists(my_ib, j) && !st.block_exists(peer_ib, j) {
+                prep_zeroed_f64(&mut scratch.rowbuf, st.width(j), &mut scratch.grow_events);
+                st.read_row_into(my_ib, j, my_row, &mut scratch.rowbuf);
+                debug_assert!(scratch.rowbuf.iter().all(|&v| v == 0.0));
             }
         }
     }
     ctx.probe().span_at("row-swap", k as u32, swap_start);
+}
 
-    // (07-10) TRSM owned U_kj blocks with L_kk, multicast down the column
-    if rno == k % grid.pr && !my_js.is_empty() {
-        // need L_kk — staged in the arena's panel buffer (it stays live
-        // across the per-j `get_mut` borrows below)
-        let diag_key = (k as u32, k as u32);
-        prep_cap_f64(&mut scratch.panel, w * w, &mut scratch.grow_events);
-        if st.blocks.contains_key(&diag_key) {
-            scratch.panel.extend_from_slice(&st.blocks[&diag_key]);
-        } else {
-            let m = caches.lpanel((k, k), || ctx.recv(tag(K_LPANEL, k, k, 0)));
-            scratch.panel.extend_from_slice(&m.floats);
+/// TRSM `U_kj ← L_kk⁻¹ U_kj` over a schedule run of columns, plus ONE
+/// column multicast of the run's concatenated results (the batched
+/// scale phase of Fig. 14). The rank owning block row `k` computes and
+/// sends; every other rank records where each `(k, j)` lands in the
+/// batch payload — both sides replay the same schedule, so the run
+/// membership, its order, and the derived `batch_id` (the run's first
+/// column) agree by construction. `L_kk` is staged once per stage into
+/// the arena's per-in-flight-stage slot, so chains of several
+/// interleaved stages don't clobber each other's diagonal panel.
+#[allow(clippy::too_many_arguments)]
+fn trsm_columns(
+    ctx: &mut ProcCtx,
+    st: &mut Store2d,
+    k: usize,
+    js: &[usize],
+    caches: &mut PanelCaches,
+    pivseqs: &mut [Option<Arc<Vec<u32>>>],
+    stats: &mut FactorStats,
+    scratch: &mut FactorScratch,
+) {
+    let grid = st.grid;
+    let w = st.width(k);
+    let batch_id = js[0];
+    if st.rno != k % grid.pr {
+        let mut off = 0usize;
+        for &j in js {
+            let len = w * st.u_cols(k, j).len();
+            caches.urow_layout.insert((k, j), (batch_id, off, len));
+            off += len;
         }
-        for &j in &my_js {
-            let j = j as usize;
-            let ncols = st.u_cols(k, j).len();
-            {
-                let p = st.blocks.get_mut(&(k as u32, j as u32)).unwrap();
-                dtrsm_left_lower_unit(w, ncols, &scratch.panel, w, p, w);
-            }
-            stats.other_flops += (w * w * ncols) as u64;
-            // multicast down my grid column (pooled payload)
-            let mut fl = ctx.floats_buf();
-            fl.extend_from_slice(&st.blocks[&(k as u32, j as u32)]);
-            let ints = ctx.ints_buf();
-            let msg = Message::new(tag(K_UROW, k, j, 0), ints, fl);
-            ctx.multicast(grid.my_col(ctx.rank), msg);
-        }
+        return;
     }
-    scratch.idx = my_js;
+    let span_start = ctx.probe().now();
+    let diag_key = (k as u32, k as u32);
+    let lkk: &[f64] = if st.blocks.contains_key(&diag_key) {
+        let blocks = &st.blocks;
+        scratch.stage_panel(k, w * w, |buf| buf.extend_from_slice(&blocks[&diag_key]))
+    } else {
+        // my diagonal copy rides my stage-row multicast (offset 0)
+        ensure_stage_row(ctx, st, caches, pivseqs, k, false);
+        let (fl, off, len) = &caches.lpanels[&(k, k)];
+        let (fl, off, len) = (fl.clone(), *off, *len);
+        scratch.stage_panel(k, w * w, |buf| buf.extend_from_slice(&fl[off..off + len]))
+    };
+    let mut fl = ctx.floats_buf();
+    for &j in js {
+        let ncols = st.u_cols(k, j).len();
+        let p = st.blocks.get_mut(&(k as u32, j as u32)).unwrap();
+        dtrsm_left_lower_unit(w, ncols, lkk, w, p, w);
+        stats.other_flops += (w * w * ncols) as u64;
+        fl.extend_from_slice(p);
+    }
+    let ints = ctx.ints_buf();
+    let msg = Message::new(tag(K_UROW, k, batch_id, 0), ints, fl);
+    ctx.multicast(grid.my_col(ctx.rank), msg);
     ctx.probe().span_at("scale-swap", k as u32, span_start);
 }
 
@@ -1131,13 +1339,22 @@ fn scale_swap(
 /// destination segments are packed into one stacked `L` panel so the
 /// per-block GEMM loop collapses into one tall call per kernel-dispatch
 /// run, followed by a scatter driven by the pattern's precomputed maps.
+///
+/// `deferred` marks updates the lookahead executor pushed behind a later
+/// panel factorization (depth > 1). Operand acquisition is try-first:
+/// when every remote operand already sits in the mailbox the task counts
+/// as a `lookahead_hit`; a blocking wait on a *critical-path* (non-
+/// deferred) update is charged to `panel_wait_secs`, the stall the
+/// lookahead window exists to hide.
 #[allow(clippy::too_many_arguments)]
 fn update2d(
     ctx: &mut ProcCtx,
     st: &mut Store2d,
     k: usize,
     j: usize,
+    deferred: bool,
     caches: &mut PanelCaches,
+    pivseqs: &mut [Option<Arc<Vec<u32>>>],
     stats: &mut FactorStats,
     scratch: &mut FactorScratch,
     clock: &AtomicU64,
@@ -1175,24 +1392,43 @@ fn update2d(
     // the stages simultaneously *in processing*, so the recorded interval
     // must cover the update's compute, not the blocking waits for its
     // operands (which would stretch it across arbitrarily many ticks on
-    // an oversubscribed host)
+    // an oversubscribed host). Try-first so a fully-arrived operand set
+    // counts as a lookahead hit rather than a stall.
     let t_wait = std::time::Instant::now();
+    let mut blocked = false;
     if rno != k % grid.pr {
-        caches.urow((k, j), || ctx.recv(tag(K_UROW, k, j, 0)));
-    }
-    if cno != k % grid.pc {
-        for (_, l) in my_segs() {
-            let i = l.i as usize;
-            caches.lpanel((k, i), || ctx.recv(tag(K_LPANEL, k, i, 0)));
+        // the layout entry was recorded when the run's Trsm ops replayed
+        let (bid, _, _) = caches.urow_layout[&(k, j)];
+        if !caches.urow_batches.contains_key(&(k, bid)) {
+            let t = tag(K_UROW, k, bid, 0);
+            let m = ctx.try_recv(t).unwrap_or_else(|| {
+                blocked = true;
+                ctx.recv(t)
+            });
+            caches.insert_urow_batch(k, bid, &m);
+            ctx.recycle(m);
         }
     }
-    stats.update_wait_secs += t_wait.elapsed().as_secs_f64();
+    if cno != k % grid.pc {
+        blocked |= ensure_stage_row(ctx, st, caches, pivseqs, k, true);
+    }
+    let waited = t_wait.elapsed().as_secs_f64();
+    stats.update_wait_secs += waited;
+    if blocked {
+        if !deferred {
+            stats.panel_wait_secs += waited;
+        }
+    } else {
+        stats.lookahead_hits += 1;
+    }
+    if deferred {
+        stats.deferred_updates += 1;
+    }
     let span_start = ctx.probe().now();
     let start = clock.fetch_add(1, Ordering::Relaxed);
 
-    // U_kj: local if I own it, else column multicast from (k mod pr, cno).
-    // Staged in the arena's panel buffer so it stays live across the
-    // destination `get_mut` borrows (no per-task clone).
+    // U_kj: local if I own it, else a slice of the batched column
+    // multicast from (k mod pr, cno) — read in place, no per-task copy.
     let wk = st.width(k);
     let uj = pattern.u_blocks[k]
         .binary_search_by_key(&(j as u32), |u| u.j)
@@ -1200,20 +1436,15 @@ fn update2d(
     let u_cols = &pattern.u_blocks[k][uj].cols;
     let nuc = u_cols.len();
     stats.scatter_map_reuse_hits += 1;
-    {
-        let src: &[f64] = if rno == k % grid.pr {
-            &st.blocks[&(k as u32, j as u32)]
-        } else {
-            &caches.urows[&(k, j)].floats
-        };
-        prep_cap_f64(&mut scratch.panel, src.len(), &mut scratch.grow_events);
-        scratch.panel.extend_from_slice(src);
-    }
-    // the staged copy outlives the cache entry, and each U row has
-    // exactly one consuming task per processor: retire it immediately
-    if let Some(m) = caches.take_urow((k, j)) {
-        ctx.recycle(m);
-    }
+    let u_batch; // keeps the batch payload alive through the GEMM loop
+    let usrc: &[f64] = if rno == k % grid.pr {
+        &st.blocks[&(k as u32, j as u32)]
+    } else {
+        // zero-copy: GEMM reads straight out of the batch multicast
+        let (bid, off, len) = caches.urow_layout[&(k, j)];
+        u_batch = caches.urow_batches[&(k, bid)].clone();
+        &u_batch[off..off + len]
+    };
 
     let lo_j = st.lo(j);
     let wj = st.width(j);
@@ -1245,7 +1476,8 @@ fn update2d(
             let src: &[f64] = if cno == k % grid.pc {
                 &st.blocks[&(i as u32, k as u32)]
             } else {
-                &caches.lpanels[&(k, i)].floats
+                let (fl, off, len) = &caches.lpanels[&(k, i)];
+                &fl[*off..*off + *len]
             };
             for c in 0..wk {
                 scratch.panel2[off + c * mtot..off + c * mtot + mrows]
@@ -1281,7 +1513,7 @@ fn update2d(
                 1.0,
                 a,
                 mtot,
-                &scratch.panel,
+                usrc,
                 wk,
                 0.0,
                 c,
@@ -1289,19 +1521,7 @@ fn update2d(
                 &mut scratch.gemm,
             );
         } else {
-            dgemm_naive(
-                mrun,
-                nuc,
-                wk,
-                1.0,
-                a,
-                mtot,
-                &scratch.panel,
-                wk,
-                0.0,
-                c,
-                mtot,
-            );
+            dgemm_naive(mrun, nuc, wk, 1.0, a, mtot, usrc, wk, 0.0, c, mtot);
         }
         stats.update_gemm_calls += 1;
         stats.update_gemm_rows_max = stats.update_gemm_rows_max.max(mrun as u64);
@@ -1474,10 +1694,11 @@ mod tests {
 
     #[test]
     fn overlap_degree_respects_theorem2_bound() {
+        // the paper's bound holds for the in-order schedule (W = 0)
         let a = gen::grid2d(9, 9, 0.4, ValueModel::default());
         let pattern = pattern_for(&a, 4, 4);
         let grid = Grid::new(2, 3);
-        let par = factor_par2d(&a, pattern, grid, Sync2d::Async);
+        let par = factor_par2d_opts(&a, pattern, grid, Sync2d::Async, 1.0, 0);
         let d = par.overlap_degree();
         assert!(
             d as usize <= grid.pc,
@@ -1487,11 +1708,60 @@ mod tests {
     }
 
     #[test]
+    fn overlap_degree_respects_window_generalized_bound() {
+        // with lookahead the Theorem 2 bound relaxes to p_c + W: the
+        // window admits at most W extra unretired stages per column
+        let a = gen::grid2d(9, 9, 0.4, ValueModel::default());
+        let grid = Grid::new(2, 3);
+        for w in [1usize, 2, 4] {
+            let pattern = pattern_for(&a, 4, 4);
+            let par = factor_par2d_opts(&a, pattern, grid, Sync2d::Async, 1.0, w);
+            let d = par.overlap_degree();
+            assert!(
+                d as usize <= grid.pc + w,
+                "overlap degree {d} exceeds generalized bound p_c + W = {}",
+                grid.pc + w
+            );
+        }
+    }
+
+    #[test]
     fn barrier_mode_has_zero_stage_overlap() {
+        // W = 0 barrier mode: a barrier after every stage ⇒ no overlap
         let a = gen::grid2d(8, 8, 0.4, ValueModel::default());
         let pattern = pattern_for(&a, 4, 4);
-        let par = factor_par2d(&a, pattern, Grid::new(2, 2), Sync2d::Barrier);
+        let par = factor_par2d_opts(&a, pattern, Grid::new(2, 2), Sync2d::Barrier, 1.0, 0);
         assert_eq!(par.overlap_degree(), 0);
+    }
+
+    #[test]
+    fn barrier_mode_overlap_bounded_by_window() {
+        // the per-retired-stage barrier lets at most W stages overlap
+        let a = gen::grid2d(8, 8, 0.4, ValueModel::default());
+        for w in [1usize, 2, 4] {
+            let pattern = pattern_for(&a, 4, 4);
+            let par = factor_par2d_opts(&a, pattern, Grid::new(2, 2), Sync2d::Barrier, 1.0, w);
+            let d = par.overlap_degree();
+            assert!(
+                d as usize <= w,
+                "barrier-mode overlap degree {d} exceeds window {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn sustained_depth_never_exceeds_max_overlap() {
+        let a = gen::grid2d(9, 9, 0.4, ValueModel::default());
+        let pattern = pattern_for(&a, 4, 4);
+        let par = factor_par2d_opts(&a, pattern, Grid::new(2, 2), Sync2d::Async, 1.0, 2);
+        let p95 = par.sustained_depth_p95();
+        assert!(p95 >= 1, "a busy run has at least one in-flight stage");
+        // d concurrent distinct stages span a stage range of ≥ d − 1
+        assert!(
+            p95 <= par.overlap_degree() + 1,
+            "p95 depth {p95} exceeds max concurrent stages {}",
+            par.overlap_degree() + 1
+        );
     }
 
     #[test]

@@ -44,6 +44,11 @@ pub struct FactorOptions {
     /// factorization. Improves pivoting behaviour on badly scaled
     /// systems; solutions are automatically unscaled.
     pub equilibrate: bool,
+    /// Lookahead window `W` of the 2D executor: stage `k + 1`'s panel
+    /// factorization may start while up to `W` earlier stages still have
+    /// trailing updates in flight. `0` reproduces the strictly in-order
+    /// schedule of Fig. 12; factors are bitwise identical for every `W`.
+    pub lookahead: usize,
 }
 
 impl Default for FactorOptions {
@@ -54,6 +59,7 @@ impl Default for FactorOptions {
             ordering: ColumnOrdering::MinDegreeAtA,
             pivot_threshold: 1.0,
             equilibrate: false,
+            lookahead: crate::par2d::DEFAULT_LOOKAHEAD,
         }
     }
 }

@@ -41,6 +41,15 @@ pub struct FactorScratch {
     pub(crate) panel2: Vec<f64>,
     /// Generic index list (update targets, owned block ids, …).
     pub(crate) idx: Vec<u32>,
+    /// Per-in-flight-stage `L_kk` staging slots of the 2D lookahead
+    /// executor: slot `k mod slots` holds stage `k`'s diagonal panel
+    /// across that stage's whole TRSM chain ([`stage_ids`](Self) tags the
+    /// occupant so the panel is staged once per stage, not once per
+    /// block). With a window of `W`, at most `W + 1` stages have live
+    /// TRSM work, so `W + 1` slots suffice and reuse is collision-free.
+    pub(crate) stage_panels: Vec<Vec<f64>>,
+    /// Stage currently staged in each slot (`u64::MAX` = empty).
+    pub(crate) stage_ids: Vec<u64>,
     /// Placeholder column block for the `update_block` borrow dance
     /// (swapping it in and out of the matrix allocates nothing).
     pub(crate) dummy: crate::storage::ColBlock,
@@ -71,9 +80,48 @@ impl FactorScratch {
             + self.rowbuf.capacity()
             + self.rowbuf2.capacity()
             + self.panel.capacity()
-            + self.panel2.capacity();
+            + self.panel2.capacity()
+            + self
+                .stage_panels
+                .iter()
+                .map(|p| p.capacity())
+                .sum::<usize>();
         let u32s = self.idx.capacity();
         (f64s * 8 + u32s * 4 + self.gemm.peak_bytes()) as u64
+    }
+
+    /// Ensure `n` stage-panel slots exist and mark them all empty (stage
+    /// identities must not leak across runs). Growing the slot table
+    /// counts one grow event; a warmed arena re-run with the same window
+    /// allocates nothing here.
+    pub(crate) fn ensure_stage_slots(&mut self, n: usize) {
+        if self.stage_panels.len() < n {
+            self.grow_events += 1;
+            self.stage_panels.resize_with(n, Vec::new);
+            self.stage_ids.resize(n, u64::MAX);
+        }
+        for id in &mut self.stage_ids {
+            *id = u64::MAX;
+        }
+    }
+
+    /// Stage stage `k`'s `L_kk` panel (produced by `fill`) into its slot
+    /// unless already resident, returning the staged slice.
+    pub(crate) fn stage_panel(
+        &mut self,
+        k: usize,
+        len: usize,
+        fill: impl FnOnce(&mut Vec<f64>),
+    ) -> &[f64] {
+        let slot = k % self.stage_panels.len();
+        if self.stage_ids[slot] != k as u64 {
+            self.stage_ids[slot] = k as u64;
+            let buf = &mut self.stage_panels[slot];
+            prep_cap_f64(buf, len, &mut self.grow_events);
+            fill(buf);
+            debug_assert_eq!(buf.len(), len);
+        }
+        &self.stage_panels[slot]
     }
 }
 
@@ -110,5 +158,31 @@ mod tests {
         prep_zeroed_f64(&mut s.temp, 1000, &mut s.grow_events);
         assert_eq!(s.grow_events(), 2);
         assert!(s.peak_bytes() >= 8000);
+    }
+
+    #[test]
+    fn stage_slots_warm_up_then_stop_growing() {
+        let mut s = FactorScratch::new();
+        s.ensure_stage_slots(3);
+        assert_eq!(s.grow_events(), 1, "slot table growth counts once");
+        // three in-flight stages land in distinct slots
+        for k in [5usize, 6, 7] {
+            let p = s.stage_panel(k, 4, |b| b.resize(4, k as f64));
+            assert_eq!(p, [k as f64; 4]);
+        }
+        let grown = s.grow_events();
+        // re-staging a resident stage is free and does not re-fill
+        let p = s.stage_panel(6, 4, |_| panic!("stage 6 already staged"));
+        assert_eq!(p, [6.0; 4]);
+        // slot reuse by a retired stage's successor re-fills in place
+        let p = s.stage_panel(8, 4, |b| b.resize(4, 8.0));
+        assert_eq!(p, [8.0; 4]);
+        assert_eq!(s.grow_events(), grown, "warmed slots must not grow");
+        // a warmed arena re-run with the same window allocates nothing
+        s.ensure_stage_slots(3);
+        assert!(s.stage_ids.iter().all(|&id| id == u64::MAX));
+        s.stage_panel(5, 4, |b| b.resize(4, 0.0));
+        assert_eq!(s.grow_events(), grown);
+        assert!(s.peak_bytes() >= 3 * 4 * 8);
     }
 }

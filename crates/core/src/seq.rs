@@ -58,6 +58,16 @@ pub struct FactorStats {
     /// Wall seconds blocked receiving update operands (parallel drivers;
     /// zero for the sequential code).
     pub update_wait_secs: f64,
+    /// Wall seconds *critical-path* (non-deferred) update tasks spent
+    /// blocked on panel operands in the 2D lookahead executor — the wait
+    /// the lookahead window exists to hide (zero elsewhere).
+    pub panel_wait_secs: f64,
+    /// 2D update tasks whose operands were already delivered when the
+    /// task ran (no blocking receive) — the lookahead executor's hits.
+    pub lookahead_hits: u64,
+    /// 2D update tasks deferred behind at least one later panel
+    /// factorization by the lookahead window (zero at `W = 0`).
+    pub deferred_updates: u64,
 }
 
 impl FactorStats {
@@ -78,6 +88,9 @@ impl FactorStats {
         self.update_gemm_secs += other.update_gemm_secs;
         self.update_scatter_secs += other.update_scatter_secs;
         self.update_wait_secs += other.update_wait_secs;
+        self.panel_wait_secs += other.panel_wait_secs;
+        self.lookahead_hits += other.lookahead_hits;
+        self.deferred_updates += other.deferred_updates;
     }
 
     /// Emit the update-stage telemetry counters into `probe` (called once
@@ -86,6 +99,8 @@ impl FactorStats {
         probe.count("update_gemm_calls", self.update_gemm_calls);
         probe.gauge_max("update_gemm_rows_max", self.update_gemm_rows_max);
         probe.count("scatter_map_reuse_hits", self.scatter_map_reuse_hits);
+        probe.count("lookahead_hits", self.lookahead_hits);
+        probe.count("deferred_updates", self.deferred_updates);
     }
 
     /// Fraction of update flops performed by DGEMM (the paper's `r`).

@@ -1,0 +1,90 @@
+//! Adversarial message-ordering suite: both parallel drivers must
+//! produce bitwise-identical factors when the runtime's delivery-jitter
+//! test mode scrambles receive interleaving (`run_machine_jittered`).
+//!
+//! The drivers' correctness argument is that arithmetic order is fixed
+//! by the schedule (1D: the per-processor pipelined order; 2D: the
+//! lookahead executor's per-destination ascending-stage chains), never
+//! by message arrival. Jitter attacks exactly that assumption: it
+//! shuffles each drained mailbox batch and pops a random message among
+//! same-tag duplicates, all from a seeded deterministic stream, so a
+//! violation reproduces instead of flaking.
+
+use splu_core::par1d::{factor_par1d_jittered, Strategy1d};
+use splu_core::par2d::{factor_par2d_jittered, Sync2d};
+use splu_core::seq::factor_sequential;
+use splu_core::{BlockMatrix, FactorOptions, SparseLuSolver};
+use splu_machine::Grid;
+use splu_sparse::suite;
+
+fn assert_bitwise_equal(
+    seq: &BlockMatrix,
+    seq_piv: &[Vec<u32>],
+    other: &BlockMatrix,
+    other_piv: &[Vec<u32>],
+    label: &str,
+) {
+    assert_eq!(seq_piv, other_piv, "{label}: pivot sequences differ");
+    let n = seq.pattern.part.n();
+    for j in 0..n {
+        for i in 0..n {
+            let s = seq.get_entry(i, j);
+            let o = other.get_entry(i, j);
+            assert_eq!(
+                s.to_bits(),
+                o.to_bits(),
+                "{label}: entry ({i},{j}) differs: seq {s:e} vs {o:e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn factors_bitwise_identical_under_delivery_jitter() {
+    let spec = suite::by_name("sherman5").unwrap();
+    let a = spec.build_scaled(0.05);
+    let solver = SparseLuSolver::analyze(&a, FactorOptions::default());
+    let mut seq = BlockMatrix::from_csc(&solver.permuted, solver.pattern.clone());
+    let (seq_piv, _) = factor_sequential(&mut seq).unwrap();
+
+    for seed in [1u64, 0xDEAD_BEEF] {
+        let p1 = factor_par1d_jittered(
+            &solver.permuted,
+            solver.pattern.clone(),
+            3,
+            Strategy1d::ComputeAhead,
+            1.0,
+            seed,
+        );
+        assert_bitwise_equal(
+            &seq,
+            &seq_piv,
+            &p1.blocks,
+            &p1.pivots,
+            &format!("par1d seed={seed:#x}"),
+        );
+
+        for (pr, pc) in [(2, 2), (3, 2)] {
+            for mode in [Sync2d::Async, Sync2d::Barrier] {
+                for w in [0usize, 1, 2] {
+                    let p2 = factor_par2d_jittered(
+                        &solver.permuted,
+                        solver.pattern.clone(),
+                        Grid::new(pr, pc),
+                        mode,
+                        1.0,
+                        w,
+                        seed,
+                    );
+                    assert_bitwise_equal(
+                        &seq,
+                        &seq_piv,
+                        &p2.blocks,
+                        &p2.pivots,
+                        &format!("par2d {pr}x{pc} {mode:?} W={w} seed={seed:#x}"),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -10,7 +10,7 @@
 //! the path performs zero heap allocations and zero symbolic merges.
 
 use splu_core::par1d::{factor_par1d, Strategy1d};
-use splu_core::par2d::{factor_par2d, Sync2d};
+use splu_core::par2d::{factor_par2d, factor_par2d_opts, Sync2d};
 use splu_core::seq::factor_sequential;
 use splu_core::{BlockMatrix, FactorOptions, FactorScratch, SparseLuSolver};
 use splu_machine::Grid;
@@ -53,7 +53,11 @@ fn assert_bitwise_equal(
 
 /// Every parallel driver reproduces the sequential factors bitwise on
 /// every suite matrix: par1d on 2 processors, par2d on the (1,2), (2,2)
-/// and (3,2) grids in both synchronization modes.
+/// and (3,2) grids in both synchronization modes and across the whole
+/// lookahead-window range `W ∈ {0, 1, 2, 4}` (0 is the in-order
+/// schedule; larger windows must only reorder *independent* work — the
+/// per-destination ascending-stage order, and with it every bit of the
+/// factors, is invariant).
 #[test]
 fn all_drivers_bitwise_identical_across_suite() {
     for (name, a) in suite_cases() {
@@ -81,19 +85,23 @@ fn all_drivers_bitwise_identical_across_suite() {
 
         for (pr, pc) in [(1, 2), (2, 2), (3, 2)] {
             for mode in [Sync2d::Async, Sync2d::Barrier] {
-                let p2 = factor_par2d(
-                    &solver.permuted,
-                    solver.pattern.clone(),
-                    Grid::new(pr, pc),
-                    mode,
-                );
-                assert_bitwise_equal(
-                    &seq,
-                    &seq_piv,
-                    &p2.blocks,
-                    &p2.pivots,
-                    &format!("{name}/par2d {pr}x{pc} {mode:?}"),
-                );
+                for w in [0usize, 1, 2, 4] {
+                    let p2 = factor_par2d_opts(
+                        &solver.permuted,
+                        solver.pattern.clone(),
+                        Grid::new(pr, pc),
+                        mode,
+                        1.0,
+                        w,
+                    );
+                    assert_bitwise_equal(
+                        &seq,
+                        &seq_piv,
+                        &p2.blocks,
+                        &p2.pivots,
+                        &format!("{name}/par2d {pr}x{pc} {mode:?} W={w}"),
+                    );
+                }
             }
         }
     }

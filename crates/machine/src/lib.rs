@@ -27,4 +27,6 @@ pub mod runtime;
 
 pub use grid::Grid;
 pub use model::{MachineModel, T3D, T3E};
-pub use runtime::{run_machine, run_machine_traced, CommStats, Message, ProcCtx};
+pub use runtime::{
+    run_machine, run_machine_jittered, run_machine_traced, CommStats, Message, ProcCtx,
+};

@@ -6,6 +6,15 @@
 //! Out-of-order arrivals park in a per-processor pending map, which is
 //! what permits the 2D code's multi-stage pipelining (different update
 //! stages in flight concurrently, Theorem 2).
+//!
+//! [`run_machine_jittered`] is the delivery-jitter test mode: a seeded
+//! rng scrambles the order in which arrived messages are parked and, for
+//! tags with several queued messages, which one a receive takes first.
+//! Protocols that are correct under tag matching alone (none of ours
+//! relies on cross-sender arrival order) must produce bitwise-identical
+//! results under any jitter seed — the integration tests assert exactly
+//! that for the 1D and 2D factorization drivers. Without jitter the
+//! runtime keeps strict FIFO order within a tag.
 
 use crate::chan::{unbounded, Receiver, Sender};
 use splu_probe::{Collector, Probe};
@@ -84,6 +93,23 @@ pub struct ProcCtx {
     probe: Probe,
     pool_ints: Vec<Vec<u32>>,
     pool_floats: Vec<Vec<f64>>,
+    /// Delivery-jitter rng (`run_machine_jittered`); `None` keeps the
+    /// strict FIFO-within-tag delivery order.
+    jitter: Option<JitterRng>,
+}
+
+/// Hand-rolled SplitMix64: the deterministic seed stream behind the
+/// delivery-jitter test mode (no external rng dependency).
+struct JitterRng(u64);
+
+impl JitterRng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
 }
 
 /// Recycled buffers kept per kind in [`ProcCtx`]'s payload pool; beyond
@@ -128,11 +154,52 @@ impl ProcCtx {
         }
     }
 
+    /// Scramble the jitter decision for a pending-queue take: with jitter
+    /// on and several same-tag messages parked, take a random one instead
+    /// of the oldest (adversarial cross-sender interleaving).
+    fn pop_pending(pending: &mut VecDeque<Message>, jitter: &mut Option<JitterRng>) -> Message {
+        match jitter {
+            Some(rng) if pending.len() > 1 => {
+                let i = (rng.next() % pending.len() as u64) as usize;
+                pending.remove(i).unwrap()
+            }
+            _ => pending.pop_front().expect("pop from empty pending queue"),
+        }
+    }
+
+    /// Jitter mode: drain everything that has arrived and park it in a
+    /// seeded-random order, so subsequent receives observe an adversarial
+    /// delivery interleaving rather than channel FIFO.
+    fn jitter_scramble(&mut self) {
+        if self.jitter.is_none() {
+            return;
+        }
+        let mut batch: Vec<Message> = Vec::new();
+        while let Ok(m) = self.receiver.try_recv() {
+            if m.tag == POISON_TAG {
+                self.probe.mark("poison", 0);
+                std::panic::panic_any(PEER_FAILED_MSG);
+            }
+            batch.push(m);
+        }
+        let rng = self.jitter.as_mut().unwrap();
+        // Fisher–Yates over the drained batch
+        for i in (1..batch.len()).rev() {
+            let j = (rng.next() % (i as u64 + 1)) as usize;
+            batch.swap(i, j);
+        }
+        for m in batch {
+            self.park(m);
+        }
+    }
+
     /// Blocking tag-matched receive. Messages with other tags are parked
     /// until their own `recv` call.
     pub fn recv(&mut self, tag: u64) -> Message {
+        self.jitter_scramble();
         if let Entry::Occupied(mut e) = self.pending.entry(tag) {
-            if let Some(m) = e.get_mut().pop_front() {
+            if !e.get().is_empty() {
+                let m = Self::pop_pending(e.get_mut(), &mut self.jitter);
                 if e.get().is_empty() {
                     e.remove();
                 }
@@ -162,17 +229,25 @@ impl ProcCtx {
 
     /// Non-blocking probe: take a message with `tag` if one has arrived.
     pub fn try_recv(&mut self, tag: u64) -> Option<Message> {
-        // drain the channel into pending first
-        while let Ok(m) = self.receiver.try_recv() {
-            if m.tag == POISON_TAG {
-                self.probe.mark("poison", 0);
-                std::panic::panic_any(PEER_FAILED_MSG);
+        if self.jitter.is_some() {
+            self.jitter_scramble();
+        } else {
+            // drain the channel into pending first
+            while let Ok(m) = self.receiver.try_recv() {
+                if m.tag == POISON_TAG {
+                    self.probe.mark("poison", 0);
+                    std::panic::panic_any(PEER_FAILED_MSG);
+                }
+                self.park(m);
             }
-            self.park(m);
         }
         match self.pending.entry(tag) {
             Entry::Occupied(mut e) => {
-                let m = e.get_mut().pop_front();
+                let m = if e.get().is_empty() {
+                    None
+                } else {
+                    Some(Self::pop_pending(e.get_mut(), &mut self.jitter))
+                };
                 if e.get().is_empty() {
                     e.remove();
                 }
@@ -282,7 +357,19 @@ where
     F: Fn(ProcCtx) -> R + Sync,
     R: Send,
 {
-    run_machine_impl(nprocs, &|_| Probe::disabled(), f)
+    run_machine_impl(nprocs, &|_| Probe::disabled(), None, f)
+}
+
+/// Like [`run_machine`], but with the delivery-jitter test mode on:
+/// every processor scrambles its receive interleaving with a
+/// deterministic per-rank stream derived from `seed`. Use this to assert
+/// that a protocol's results do not depend on message arrival order.
+pub fn run_machine_jittered<F, R>(nprocs: usize, seed: u64, f: F) -> (Vec<R>, (u64, u64))
+where
+    F: Fn(ProcCtx) -> R + Sync,
+    R: Send,
+{
+    run_machine_impl(nprocs, &|_| Probe::disabled(), Some(seed), f)
 }
 
 /// Like [`run_machine`], but every processor records into `collector`:
@@ -295,12 +382,13 @@ where
     F: Fn(ProcCtx) -> R + Sync,
     R: Send,
 {
-    run_machine_impl(nprocs, &|rank| collector.probe(rank), f)
+    run_machine_impl(nprocs, &|rank| collector.probe(rank), None, f)
 }
 
 fn run_machine_impl<F, R>(
     nprocs: usize,
     mk_probe: &(dyn Fn(usize) -> Probe + Sync),
+    jitter_seed: Option<u64>,
     f: F,
 ) -> (Vec<R>, (u64, u64))
 where
@@ -340,6 +428,9 @@ where
                 probe: Probe::disabled(),
                 pool_ints: Vec::new(),
                 pool_floats: Vec::new(),
+                // decorrelate the ranks' jitter streams
+                jitter: jitter_seed
+                    .map(|s| JitterRng(s ^ (rank as u64).wrapping_mul(0xA076_1D64_78BD_642F))),
             };
             let f = &f;
             let poison_senders = senders.clone();
@@ -624,6 +715,36 @@ mod tests {
             assert_eq!(f3.capacity(), 0, "shared payload must not be pooled");
             drop(m2);
         });
+    }
+
+    /// Self-sends land in the rank's own channel, so after `recv(done)`
+    /// every earlier message is already parked — a fully deterministic
+    /// way to exercise the jitter scramble.
+    fn jittered_take_order(seed: u64) -> Vec<u32> {
+        let (mut res, _) = run_machine_jittered(1, seed, |mut ctx| {
+            for i in 0..16u32 {
+                ctx.send(0, Message::new(3, vec![i], vec![]));
+            }
+            ctx.send(0, Message::new(4, vec![], vec![]));
+            ctx.recv(4);
+            (0..16).map(|_| ctx.recv(3).ints[0]).collect::<Vec<u32>>()
+        });
+        res.pop().unwrap()
+    }
+
+    #[test]
+    fn jitter_scrambles_within_tag_but_loses_nothing() {
+        let order = jittered_take_order(42);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<u32>>(), "no loss, no dup");
+        assert_ne!(order, sorted, "seed 42 must actually reorder");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_in_the_seed() {
+        assert_eq!(jittered_take_order(7), jittered_take_order(7));
+        assert_ne!(jittered_take_order(7), jittered_take_order(8));
     }
 
     #[test]

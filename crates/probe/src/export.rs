@@ -33,6 +33,10 @@ pub struct SummaryExtras {
     pub bytes: u64,
     /// Peak receive-buffer occupancy in bytes (§5.2 buffer bound).
     pub peak_buffer_bytes: u64,
+    /// Sustained pipeline depth: the 95th percentile (tick-weighted) of
+    /// concurrently in-flight stages measured by the 2D lookahead
+    /// executor (`Par2dResult::sustained_depth_p95`).
+    pub pipeline_depth_p95: u32,
 }
 
 /// Serialize the trace in Chrome trace-event format ("JSON Object
@@ -115,6 +119,7 @@ pub fn run_summary_json(trace: &Trace, extras: &SummaryExtras) -> String {
         "parked_bytes_hw",
         "update_gemm_rows_max",
         "panel_cache_bytes_hw",
+        "pipeline_depth_hw",
     ] {
         if counters.contains_key(hw) {
             counters.insert(hw, trace.counter_max(hw));
@@ -135,6 +140,11 @@ pub fn run_summary_json(trace: &Trace, extras: &SummaryExtras) -> String {
         out,
         "  \"peak_buffer_bytes\": {},",
         extras.peak_buffer_bytes
+    );
+    let _ = writeln!(
+        out,
+        "  \"pipeline_depth_p95\": {},",
+        extras.pipeline_depth_p95
     );
     let _ = writeln!(out, "  \"load_imbalance\": {:.4},", trace.load_imbalance());
     let _ = writeln!(
@@ -320,9 +330,11 @@ mod tests {
             messages: 3,
             bytes: 1024,
             peak_buffer_bytes: 128,
+            pipeline_depth_p95: 2,
         };
         let v = json::parse(&run_summary_json(&t, &extras)).unwrap();
         assert_eq!(v.get("matrix").unwrap().as_str(), Some("test.mtx"));
+        assert_eq!(v.get("pipeline_depth_p95").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("procs").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("messages").unwrap().as_u64(), Some(3));
         let stages = v.get("stages").unwrap();

@@ -25,11 +25,13 @@ pub mod gantt;
 pub mod graph2d;
 pub mod graph_sched;
 pub mod load_balance;
+pub mod lookahead;
 pub mod sim;
 pub mod taskgraph;
 
 pub use ca::ca_schedule;
 pub use graph2d::{build_2d_model, Mode2d, Model2d};
 pub use graph_sched::{graph_schedule, graph_schedule_with, MappingPolicy};
+pub use lookahead::{lookahead_schedule, Op2d};
 pub use sim::{simulate, Schedule, SimResult};
 pub use taskgraph::{TaskGraph, TaskKind};

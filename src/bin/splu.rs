@@ -23,7 +23,10 @@
 //!   --amalgamate R     amalgamation factor        (default 4)
 //!   --ordering X       natural | mmd | atpa | rcm (default mmd)
 //!   --refine N         iterative refinement steps (default 1, solve only)
-//!   --procs P          processor count    (default 16 project, 4 trace)
+//!   --lookahead W      2D executor lookahead window (default 1; 0 = the
+//!                                                 strictly in-order schedule)
+//!   --procs P          processor count    (default 16 project, 4 trace;
+//!                                          factor: run the 2D driver)
 //!   --out FILE         Chrome trace-event JSON    (default trace.json)
 //!   --stats-json FILE  run-summary JSON           (trace/serve)
 //!   --gantt-width N    ASCII Gantt width, 0 = off (default 64, trace only)
@@ -51,7 +54,7 @@ fn usage() -> ExitCode {
         "usage: splu <info|factor|solve|serve|project|trace|bench-lu> \
          <matrix.mtx|requests.txt> \
          [--block-size N] [--amalgamate R] [--ordering natural|mmd|atpa|rcm] \
-         [--refine N] [--procs P] [--rhs file] [--out file] \
+         [--refine N] [--lookahead W] [--procs P] [--rhs file] [--out file] \
          [--stats-json file] [--gantt-width N] [--requests file] \
          [--workers N] [--queue-cap N] [--cache-bytes N] [--min-secs S] \
          [--baseline file]"
@@ -137,6 +140,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
                 }
             }
             "--refine" => cli.refine_steps = flag_parse(&mut args, "--refine")?,
+            "--lookahead" => cli.options.lookahead = flag_parse(&mut args, "--lookahead")?,
             "--procs" => {
                 let p: usize = flag_parse(&mut args, "--procs")?;
                 if p == 0 {
@@ -274,7 +278,12 @@ fn main() -> ExitCode {
         } else {
             cli.out.as_str()
         };
-        return match splu_bench::bench_lu::run_opts(out, cli.min_secs, cli.baseline.as_deref()) {
+        return match splu_bench::bench_lu::run_opts(
+            out,
+            cli.min_secs,
+            cli.baseline.as_deref(),
+            cli.options.lookahead,
+        ) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("splu: {e}");
@@ -351,6 +360,47 @@ fn main() -> ExitCode {
             let t0 = std::time::Instant::now();
             let solver = SparseLuSolver::analyze(&a, cli.options);
             let t_an = t0.elapsed();
+            // with --procs the numeric phase runs on the 2D grid driver
+            // (lookahead executor); without it, sequentially.
+            if let Some(p) = cli.procs {
+                use sstar::core::par2d::{factor_par2d_checked, Sync2d};
+                let grid = Grid::for_procs(p);
+                let t0 = std::time::Instant::now();
+                return match factor_par2d_checked(
+                    &solver.permuted,
+                    solver.pattern.clone(),
+                    grid,
+                    Sync2d::Async,
+                    cli.options.pivot_threshold,
+                    cli.options.lookahead,
+                ) {
+                    Ok(r) => {
+                        println!("analyze: {t_an:?}");
+                        println!(
+                            "factor:  {:?} ({}×{} grid, lookahead {})",
+                            t0.elapsed(),
+                            grid.pr,
+                            grid.pc,
+                            cli.options.lookahead
+                        );
+                        println!(
+                            "BLAS-3 fraction: {:.1} %, row interchanges: {}",
+                            100.0 * r.stats.blas3_fraction(),
+                            r.stats.row_interchanges
+                        );
+                        println!(
+                            "overlap degree: {} (sustained p95 {})",
+                            r.overlap_degree(),
+                            r.sustained_depth_p95()
+                        );
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("splu: {e}");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
             let t0 = std::time::Instant::now();
             match solver.factor() {
                 Ok(lu) => {
@@ -464,6 +514,7 @@ fn main() -> ExitCode {
                 grid,
                 Sync2d::Async,
                 cli.options.pivot_threshold,
+                cli.options.lookahead,
                 &collector,
             );
             let trace = collector.finish();
@@ -476,16 +527,18 @@ fn main() -> ExitCode {
                 messages: r.comm.0,
                 bytes: r.comm.1,
                 peak_buffer_bytes: r.peak_buffer_bytes.iter().copied().max().unwrap_or(0),
+                pipeline_depth_p95: r.sustained_depth_p95(),
             };
             println!(
                 "factored on {}×{} grid in {:.3} ms ({} messages, {} bytes, \
-                 overlap degree {})",
+                 overlap degree {}, sustained depth p95 {})",
                 grid.pr,
                 grid.pc,
                 1e3 * r.elapsed,
                 r.comm.0,
                 r.comm.1,
                 r.overlap_degree(),
+                r.sustained_depth_p95(),
             );
             if let Err(e) = std::fs::write(&cli.out, chrome_trace_json(&trace)) {
                 eprintln!("splu: cannot write {}: {e}", cli.out);

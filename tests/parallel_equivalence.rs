@@ -6,7 +6,7 @@
 //! updates) implement exactly the same arithmetic as the specification.
 
 use sstar::core::par1d::{factor_par1d, Strategy1d};
-use sstar::core::par2d::{factor_par2d, Sync2d};
+use sstar::core::par2d::{factor_par2d, factor_par2d_opts, Sync2d};
 use sstar::core::seq::factor_sequential;
 use sstar::core::BlockMatrix;
 use sstar::prelude::*;
@@ -101,14 +101,17 @@ fn parallel_factors_solve_correctly() {
 
 #[test]
 fn theorem2_overlap_bounds_hold_on_thread_backend() {
+    // the paper's bounds apply to the in-order schedule (lookahead 0)
     let a = gen::grid2d(10, 10, 0.4, ValueModel::default());
     let solver = SparseLuSolver::analyze(&a, FactorOptions::default());
     for (pr, pc) in [(2usize, 2usize), (2, 3), (3, 2)] {
-        let r = factor_par2d(
+        let r = factor_par2d_opts(
             &solver.permuted,
             solver.pattern.clone(),
             Grid::new(pr, pc),
             Sync2d::Async,
+            1.0,
+            0,
         );
         assert!(
             r.overlap_degree() as usize <= pc,
@@ -121,6 +124,39 @@ fn theorem2_overlap_bounds_hold_on_thread_backend() {
                 r.overlap_degree_within_col(c) as usize <= (pr - 1).min(pc),
                 "in-column overlap bound violated on {pr}x{pc}"
             );
+        }
+    }
+}
+
+#[test]
+fn window_generalized_overlap_bounds_hold_with_lookahead() {
+    // a window of W admits at most W extra unretired stages, relaxing
+    // Theorem 2's bounds to p_c + W machine-wide and
+    // min(p_r − 1, p_c) + W within a grid column
+    let a = gen::grid2d(10, 10, 0.4, ValueModel::default());
+    let solver = SparseLuSolver::analyze(&a, FactorOptions::default());
+    for (pr, pc) in [(2usize, 2usize), (2, 3), (3, 2)] {
+        for w in [1usize, 2, 4] {
+            let r = factor_par2d_opts(
+                &solver.permuted,
+                solver.pattern.clone(),
+                Grid::new(pr, pc),
+                Sync2d::Async,
+                1.0,
+                w,
+            );
+            assert!(
+                r.overlap_degree() as usize <= pc + w,
+                "overlap {} > p_c + W = {} on {pr}x{pc}",
+                r.overlap_degree(),
+                pc + w
+            );
+            for c in 0..pc as u32 {
+                assert!(
+                    r.overlap_degree_within_col(c) as usize <= (pr - 1).min(pc) + w,
+                    "in-column generalized overlap bound violated on {pr}x{pc} W={w}"
+                );
+            }
         }
     }
 }

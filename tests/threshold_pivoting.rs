@@ -90,6 +90,7 @@ fn backends_bitwise_identical_at_threshold() {
         Grid::new(2, 2),
         Sync2d::Async,
         threshold,
+        1,
     );
     assert_eq!(r2.pivots, piv, "2D pivot sequences differ");
 

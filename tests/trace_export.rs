@@ -21,6 +21,7 @@ fn traced_run(grid: Grid) -> (sstar::core::par2d::Par2dResult, sstar::probe::Tra
         grid,
         Sync2d::Async,
         1.0,
+        1,
         &collector,
     );
     (r, collector.finish())
@@ -99,8 +100,13 @@ fn run_summary_reports_comm_and_stage_totals() {
         messages: r.comm.0,
         bytes: r.comm.1,
         peak_buffer_bytes: r.peak_buffer_bytes.iter().copied().max().unwrap_or(0),
+        pipeline_depth_p95: r.sustained_depth_p95(),
     };
     let doc = parse(&run_summary_json(&trace, &extras)).unwrap();
+    assert_eq!(
+        doc.get("pipeline_depth_p95").and_then(Value::as_u64),
+        Some(r.sustained_depth_p95() as u64)
+    );
     assert_eq!(doc.get("messages").and_then(Value::as_u64), Some(r.comm.0));
     assert_eq!(doc.get("bytes").and_then(Value::as_u64), Some(r.comm.1));
     assert_eq!(doc.get("procs").and_then(Value::as_u64), Some(4));

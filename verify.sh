@@ -11,6 +11,12 @@ cargo test -q
 cargo test -q --workspace
 cargo test -q --workspace --no-default-features
 
+# the bitwise-identity suites (every grid × sync mode × lookahead
+# window, plus adversarial delivery jitter) in both feature configs
+cargo test -q -p splu-core --test stacked_update --test delivery_jitter
+cargo test -q -p splu-core --test stacked_update --test delivery_jitter \
+    --no-default-features
+
 # lint + formatting
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy --workspace --all-targets --no-default-features -- -D warnings
@@ -34,16 +40,23 @@ grep -q '"factorization_failed": 1' results/BENCH_solver.json
 # and the warmed sequential arena grew zero buffers (the
 # allocation-free hot-path proof).
 cp results/BENCH_lu.json /tmp/BENCH_lu.baseline.json
-cargo run --release -q --bin splu -- bench-lu \
-    --out results/BENCH_lu.json --baseline /tmp/BENCH_lu.baseline.json
+if ! cargo run --release -q --bin splu -- bench-lu \
+    --out results/BENCH_lu.json --baseline /tmp/BENCH_lu.baseline.json; then
+    echo "verify: bench gate tripped; offending BENCH_lu.json diff:" >&2
+    diff -u /tmp/BENCH_lu.baseline.json results/BENCH_lu.json >&2 || true
+    exit 1
+fi
 grep -q '"bench": "lu_factor"' results/BENCH_lu.json
-test "$(grep -c '"gflops": ' results/BENCH_lu.json)" -eq 9
+# 3 matrices × (seq + par1d + par2d + 4 lookahead-sweep points)
+test "$(grep -c '"gflops": ' results/BENCH_lu.json)" -eq 21
 if grep -E '"gflops": (0\.0*[,}]|-)' results/BENCH_lu.json; then
     echo "verify: nonpositive GFLOP/s in BENCH_lu.json" >&2
     exit 1
 fi
 test "$(grep -c '"warmed_grow_events": 0' results/BENCH_lu.json)" -eq 3
 test "$(grep -c '"update": ' results/BENCH_lu.json)" -eq 9
+test "$(grep -c '"panel_wait_secs": ' results/BENCH_lu.json)" -eq 21
+test "$(grep -c '"par2d_lookahead_sweep": ' results/BENCH_lu.json)" -eq 3
 test "$(grep -c '"speedup_vs_prev": ' results/BENCH_lu.json)" -eq 3
 
 echo "verify: all checks passed"
