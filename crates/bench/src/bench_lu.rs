@@ -93,6 +93,44 @@ pub struct DriverResult {
     pub update: UpdateBreakdown,
 }
 
+/// Wall-time attribution of one traced (untimed) 2D run, aggregated
+/// over ranks — the `splu analyze` categories folded into the record so
+/// the gate can catch *wait-time* regressions, not just rate drops.
+/// `None` when the build has the `probe` feature off (nothing recorded).
+#[derive(Clone)]
+pub struct AttributionSummary {
+    /// Wall seconds of the traced run.
+    pub wall_secs: f64,
+    /// Seconds per category, summed over ranks, in
+    /// [`splu_probe::analyze::CATEGORIES`] order.
+    pub category_secs: [f64; 6],
+    /// Critical-path seconds through the reconstructed op DAG.
+    pub critical_path_secs: f64,
+    /// Total work / critical path.
+    pub speedup_ceiling: f64,
+    /// Executor-measured sustained pipeline depth (p95).
+    pub depth_p95: u32,
+    /// Theorem 2 bound `p_c + W`.
+    pub depth_bound: u32,
+}
+
+impl AttributionSummary {
+    /// Pivot-wait share of total per-rank wall time (0.0 when the trace
+    /// was empty) — the gated wait statistic.
+    pub fn pivot_wait_share(&self) -> f64 {
+        let total: f64 = self.category_secs.iter().sum();
+        if total <= 0.0 {
+            0.0
+        } else {
+            let idx = splu_probe::analyze::CATEGORIES
+                .iter()
+                .position(|&c| c == "pivot_wait")
+                .expect("pivot_wait category");
+            self.category_secs[idx] / total
+        }
+    }
+}
+
 /// One matrix row of the benchmark.
 pub struct MatrixResult {
     pub name: &'static str,
@@ -108,6 +146,8 @@ pub struct MatrixResult {
     pub par2d_lookahead: usize,
     /// Informational `W` sweep of the 2D driver ([`LOOKAHEAD_SWEEP`]).
     pub par2d_sweep: Vec<SweepPoint>,
+    /// Attribution of one traced 2D run (`None` with `probe` off).
+    pub par2d_attribution: Option<AttributionSummary>,
 }
 
 fn gflops(stats: &FactorStats, secs: f64) -> f64 {
@@ -229,6 +269,40 @@ pub fn bench_matrix(name: &'static str, min_secs: f64, lookahead: usize) -> Matr
         })
         .collect();
 
+    // one traced (untimed) 2D run feeds the wall-time attribution
+    let par2d_attribution = if splu_probe::ENABLED {
+        use splu_core::par2d::factor_par2d_traced;
+        use splu_probe::Collector;
+        let collector = Collector::new();
+        let r = factor_par2d_traced(
+            &solver.permuted,
+            solver.pattern.clone(),
+            grid,
+            Sync2d::Async,
+            1.0,
+            lookahead,
+            &collector,
+        );
+        let trace = collector.finish();
+        let a = splu_probe::analyze::attribute(&trace);
+        let mut category_secs = [0.0f64; 6];
+        for rank in &a.ranks {
+            for (s, &ns) in category_secs.iter_mut().zip(&rank.category_ns) {
+                *s += ns as f64 / 1e9;
+            }
+        }
+        Some(AttributionSummary {
+            wall_secs: a.wall_ns as f64 / 1e9,
+            category_secs,
+            critical_path_secs: a.critical_path_ns as f64 / 1e9,
+            speedup_ceiling: a.speedup_ceiling,
+            depth_p95: r.sustained_depth_p95(),
+            depth_bound: (grid.pc + lookahead) as u32,
+        })
+    } else {
+        None
+    };
+
     MatrixResult {
         name,
         n: a.ncols(),
@@ -239,6 +313,7 @@ pub fn bench_matrix(name: &'static str, min_secs: f64, lookahead: usize) -> Matr
         par2d,
         par2d_lookahead: lookahead,
         par2d_sweep,
+        par2d_attribution,
     }
 }
 
@@ -266,6 +341,61 @@ pub fn parse_rates(text: &str) -> Option<std::collections::HashMap<(String, Stri
     Some(map)
 }
 
+/// Previous-record pivot-wait shares: `matrix → pivot_wait_share`,
+/// parsed from an earlier `BENCH_lu.json`. Matrices recorded before the
+/// attribution block (or with `probe` off) are simply absent.
+pub fn parse_pivot_wait_shares(text: &str) -> Option<std::collections::HashMap<String, f64>> {
+    let v = splu_probe::json::parse(text).ok()?;
+    if v.get("bench")?.as_str()? != "lu_factor" {
+        return None;
+    }
+    let mut map = std::collections::HashMap::new();
+    for m in v.get("matrices")?.items()? {
+        let name = m.get("name")?.as_str()?;
+        if let Some(share) = m
+            .get("par2d_attribution")
+            .and_then(|a| a.get("pivot_wait_share"))
+            .and_then(|s| s.as_f64())
+        {
+            map.insert(name.to_string(), share);
+        }
+    }
+    Some(map)
+}
+
+/// Gate the fresh attribution against a previous record: the pivot-wait
+/// share of any matrix may grow at most `tol_pct / 100` in absolute
+/// terms (additive slack — shares are small and noisy, so a relative
+/// bound would flap near zero).
+pub fn gate_attribution_against(
+    rows: &[MatrixResult],
+    prev: &std::collections::HashMap<String, f64>,
+    tol_pct: f64,
+) -> Result<(), String> {
+    let mut failures = Vec::new();
+    for r in rows {
+        let (Some(at), Some(&p)) = (&r.par2d_attribution, prev.get(r.name)) else {
+            continue;
+        };
+        let share = at.pivot_wait_share();
+        if share > p + tol_pct / 100.0 {
+            failures.push(format!(
+                "{}/par2d: pivot-wait share {share:.4} exceeds the recorded \
+                 {p:.4} by more than {tol_pct}/100",
+                r.name
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "wait-time regression:\n  {}",
+            failures.join("\n  ")
+        ))
+    }
+}
+
 fn breakdown_json(b: &UpdateBreakdown) -> String {
     format!(
         "\"update\": {{\"gemm_secs\": {:.6}, \"scatter_secs\": {:.6}, \
@@ -281,6 +411,26 @@ fn breakdown_json(b: &UpdateBreakdown) -> String {
         b.lookahead_hits,
         b.deferred_updates
     )
+}
+
+fn attribution_json(at: &AttributionSummary) -> String {
+    let mut body = format!("\"wall_secs\": {:.6}", at.wall_secs);
+    for (name, secs) in splu_probe::analyze::CATEGORIES
+        .iter()
+        .zip(&at.category_secs)
+    {
+        body.push_str(&format!(", \"{name}_secs\": {secs:.6}"));
+    }
+    body.push_str(&format!(
+        ", \"pivot_wait_share\": {:.6}, \"critical_path_secs\": {:.6}, \
+         \"speedup_ceiling\": {:.4}, \"depth_p95\": {}, \"depth_bound\": {}",
+        at.pivot_wait_share(),
+        at.critical_path_secs,
+        at.speedup_ceiling,
+        at.depth_p95,
+        at.depth_bound
+    ));
+    format!("\"par2d_attribution\": {{{body}}}")
 }
 
 fn sweep_json(points: &[SweepPoint]) -> String {
@@ -347,6 +497,9 @@ pub fn render_json(
             breakdown_json(&r.par2d.update)
         ));
         json.push_str(&format!("     {}", sweep_json(&r.par2d_sweep)));
+        if let Some(at) = &r.par2d_attribution {
+            json.push_str(&format!(",\n     {}", attribution_json(at)));
+        }
         if let Some(prev) = prev {
             let ratio = |d: &str, g: f64| {
                 prev.get(&(r.name.to_string(), d.to_string())).map(|&p| {
@@ -432,9 +585,9 @@ pub fn run_opts(
     baseline: Option<&str>,
     lookahead: usize,
 ) -> Result<(), String> {
-    let prev = std::fs::read_to_string(baseline.unwrap_or(out))
-        .ok()
-        .and_then(|t| parse_rates(&t));
+    let baseline_text = std::fs::read_to_string(baseline.unwrap_or(out)).ok();
+    let prev = baseline_text.as_deref().and_then(parse_rates);
+    let prev_shares = baseline_text.as_deref().and_then(parse_pivot_wait_shares);
     let mut rows = Vec::new();
     for name in MATRICES {
         let r = bench_matrix(name, min_secs, lookahead);
@@ -474,6 +627,9 @@ pub fn run_opts(
     }
     std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
     println!("wrote {out}");
+    if let Some(shares) = &prev_shares {
+        gate_attribution_against(&rows, shares, tolerance_pct())?;
+    }
     match &prev {
         Some(prev) => gate_against(&rows, prev, tolerance_pct()),
         None => {

@@ -17,6 +17,7 @@
 //! runtime keeps strict FIFO order within a tag.
 
 use crate::chan::{unbounded, Receiver, Sender};
+use splu_probe::metrics::{self, Counter, Histogram};
 use splu_probe::{Collector, Probe};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
@@ -91,6 +92,7 @@ pub struct ProcCtx {
     pub max_pending_bytes: u64,
     stats: Arc<CommStats>,
     probe: Probe,
+    metrics: RankMetrics,
     pool_ints: Vec<Vec<u32>>,
     pool_floats: Vec<Vec<f64>>,
     /// Delivery-jitter rng (`run_machine_jittered`); `None` keeps the
@@ -116,6 +118,29 @@ impl JitterRng {
 /// this the returned buffers are simply dropped (bounds pool memory).
 const POOL_CAP: usize = 32;
 
+/// Always-on per-rank production metrics (the [`metrics::global`]
+/// registry): message/byte counts and time spent blocked in `recv`
+/// waiting for a message that had not arrived ("park time"). Handles
+/// are resolved once per run; updates are relaxed atomics.
+struct RankMetrics {
+    messages: Arc<Counter>,
+    send_bytes: Arc<Counter>,
+    park_us: Arc<Counter>,
+    park_hist: Arc<Histogram>,
+}
+
+impl RankMetrics {
+    fn for_rank(rank: usize) -> Self {
+        let g = metrics::global();
+        Self {
+            messages: g.counter(&format!("splu_machine_messages_total{{rank=\"{rank}\"}}")),
+            send_bytes: g.counter(&format!("splu_machine_send_bytes_total{{rank=\"{rank}\"}}")),
+            park_us: g.counter(&format!("splu_machine_park_us_total{{rank=\"{rank}\"}}")),
+            park_hist: g.histogram("splu_machine_park_us"),
+        }
+    }
+}
+
 impl ProcCtx {
     fn park(&mut self, m: Message) {
         self.pending_bytes += m.nbytes();
@@ -139,6 +164,8 @@ impl ProcCtx {
         self.probe.mark("send", msg.nbytes());
         self.probe.count("sends", 1);
         self.probe.count("send_bytes", msg.nbytes());
+        self.metrics.messages.inc();
+        self.metrics.send_bytes.add(msg.nbytes());
         self.senders[dest]
             .send(msg)
             .expect("receiver hung up — a processor panicked");
@@ -209,6 +236,13 @@ impl ProcCtx {
                 return m;
             }
         }
+        // The wanted message has not arrived: this receive blocks. Time
+        // the blocked stretch — it is the runtime's "park time" (pivot/
+        // panel wait in the 2D protocol) — and report it both to the
+        // always-on metrics registry and, as a `recv-wait` mark whose
+        // detail is the waited nanoseconds, to the flight recorder for
+        // `splu analyze`'s pivot-wait attribution.
+        let blocked_at = std::time::Instant::now();
         loop {
             let m = self
                 .receiver
@@ -219,6 +253,12 @@ impl ProcCtx {
                 std::panic::panic_any(PEER_FAILED_MSG);
             }
             if m.tag == tag {
+                let waited = blocked_at.elapsed();
+                let wait_us = waited.as_micros() as u64;
+                self.metrics.park_us.add(wait_us);
+                self.metrics.park_hist.record(wait_us);
+                self.probe.mark("recv-wait", waited.as_nanos() as u64);
+                self.probe.count("recv_wait_ns", waited.as_nanos() as u64);
                 self.probe.mark("recv", m.nbytes());
                 self.probe.count("recvs", 1);
                 return m;
@@ -426,6 +466,7 @@ where
                 max_pending_bytes: 0,
                 stats: stats.clone(),
                 probe: Probe::disabled(),
+                metrics: RankMetrics::for_rank(rank),
                 pool_ints: Vec::new(),
                 pool_floats: Vec::new(),
                 // decorrelate the ranks' jitter streams
@@ -677,6 +718,72 @@ mod tests {
         assert_eq!(t.counter_max("parked_bytes_hw"), 100);
         assert_eq!(t.counter_total("parks"), 1);
         assert_eq!(t.counter_total("unparks"), 1);
+    }
+
+    #[test]
+    fn blocked_recv_reports_park_time_metrics() {
+        // rank 1 blocks on a message rank 0 sends after a delay: park
+        // time must land in the global metrics registry for that rank.
+        let before = metrics::global().counter_value("splu_machine_park_us_total{rank=\"1\"}");
+        let hist_before = metrics::global()
+            .histogram_summary("splu_machine_park_us")
+            .count;
+        run_machine(2, |mut ctx| {
+            if ctx.rank == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                ctx.send(1, Message::new(1, vec![1], vec![]));
+            } else {
+                ctx.recv(1);
+            }
+        });
+        let after = metrics::global().counter_value("splu_machine_park_us_total{rank=\"1\"}");
+        assert!(after >= before + 3_000, "≥3 ms of park time recorded");
+        let hist_after = metrics::global()
+            .histogram_summary("splu_machine_park_us")
+            .count;
+        assert!(hist_after > hist_before);
+    }
+
+    #[test]
+    fn per_rank_message_metrics_accumulate() {
+        let before = metrics::global().counter_value("splu_machine_messages_total{rank=\"0\"}");
+        let bytes_before =
+            metrics::global().counter_value("splu_machine_send_bytes_total{rank=\"0\"}");
+        run_machine(2, |mut ctx| {
+            if ctx.rank == 0 {
+                ctx.send(1, Message::new(1, vec![0; 3], vec![]));
+            } else {
+                ctx.recv(1);
+            }
+        });
+        let after = metrics::global().counter_value("splu_machine_messages_total{rank=\"0\"}");
+        let bytes_after =
+            metrics::global().counter_value("splu_machine_send_bytes_total{rank=\"0\"}");
+        assert_eq!(after, before + 1);
+        assert_eq!(bytes_after, bytes_before + 12);
+    }
+
+    #[test]
+    #[cfg(feature = "probe")]
+    fn blocked_recv_emits_recv_wait_mark() {
+        let c = Collector::new();
+        run_machine_traced(2, &c, |mut ctx| {
+            if ctx.rank == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                ctx.send(1, Message::new(1, vec![], vec![]));
+            } else {
+                ctx.recv(1);
+            }
+        });
+        let t = c.finish();
+        let p1 = t.procs.iter().find(|p| p.rank == 1).unwrap();
+        let wait = p1.marks.iter().find(|m| m.name == "recv-wait").unwrap();
+        assert!(
+            wait.detail >= 1_000_000,
+            "waited ≥1 ms, got {} ns",
+            wait.detail
+        );
+        assert!(t.counter_total("recv_wait_ns") >= 1_000_000);
     }
 
     #[test]

@@ -35,10 +35,12 @@
 //! package turns the feature on by default. [`ENABLED`] reports which
 //! way this build went.
 
+pub mod analyze;
 pub mod export;
 pub mod flops;
 pub mod gantt;
 pub mod json;
+pub mod metrics;
 mod record;
 
 pub use record::{collect, Collector, Probe, SpanGuard};

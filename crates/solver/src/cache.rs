@@ -69,6 +69,20 @@ impl CacheStats {
         probe.count("solver_cache_refactor", self.refactors);
         probe.count("solver_cache_eviction", self.evictions);
     }
+
+    /// Fraction of lookups that reused cached work — either a full
+    /// factor hit or a cached analysis (numeric refactor only). 0.0 when
+    /// no lookups happened. The headline reuse statistic the
+    /// `splu serve` regression gate tracks.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.analysis_hits + self.factor_hits;
+        let lookups = hits + self.analysis_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        }
+    }
 }
 
 struct Entry {

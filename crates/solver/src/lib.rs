@@ -25,17 +25,24 @@
 //!   deadline rejection;
 //! * [`requests`] — a small text workload format plus the batch driver
 //!   behind `splu serve --requests <file>`, reporting per-request
-//!   outcomes and a `BENCH_solver.json`-compatible summary.
+//!   outcomes and a `BENCH_solver.json`-compatible summary with
+//!   p50/p95/p99 latency percentiles from `splu-probe`'s always-on
+//!   metrics registry;
+//! * [`gate`] — the `SPLU_BENCH_TOL_PCT` regression gate over a recorded
+//!   `BENCH_solver.json` baseline (p95 end-to-end latency, cache hit
+//!   rate), run by `splu serve --baseline`.
 //!
 //! Everything is hand-rolled on `std` only (no crates.io access in the
 //! build environment), matching the rest of the workspace.
 
 pub mod cache;
+pub mod gate;
 pub mod queue;
 pub mod requests;
 pub mod service;
 
 pub use cache::{CacheConfig, CacheStats, FactorCache};
+pub use gate::SolverRecord;
 pub use queue::{JobReport, JobStatus, QueueStats, SolveJob, WorkerPool};
 pub use requests::{run_batch, BatchConfig, BatchReport, RequestOutcome, Workload};
 pub use service::{Reuse, ServiceConfig, SolverService};

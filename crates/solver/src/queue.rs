@@ -19,6 +19,7 @@
 
 use crate::Factorization;
 use splu_core::{SolveWorkspace, SolverError};
+use splu_probe::metrics::Registry;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
@@ -224,6 +225,10 @@ struct PoolShared {
     queue: BoundedQueue<SolveJob>,
     reports: Mutex<Vec<JobReport>>,
     stats: Mutex<QueueStats>,
+    /// Per-pool metrics registry (wait/solve histograms, worker busy
+    /// counters, queue high-water). Pool-local rather than process-global
+    /// so each batch reports its own deterministic snapshot.
+    metrics: Arc<Registry>,
 }
 
 /// Fixed-size pool of solve workers over a [`BoundedQueue`].
@@ -239,6 +244,7 @@ impl WorkerPool {
             queue: BoundedQueue::new(queue_cap),
             reports: Mutex::new(Vec::new()),
             stats: Mutex::new(QueueStats::default()),
+            metrics: Arc::new(Registry::new()),
         });
         let handles = (0..workers.max(1))
             .map(|w| {
@@ -252,11 +258,22 @@ impl WorkerPool {
         Self { shared, handles }
     }
 
+    /// The pool's metrics registry: `splu_solve_wait_us` /
+    /// `splu_solve_us` histograms, `splu_worker_busy_us{worker=…}`
+    /// counters, `splu_deadline_expired_total` /
+    /// `splu_queue_rejected_total` counters and the
+    /// `splu_queue_depth_highwater` gauge. Valid to read at any time;
+    /// callers that outlive the pool keep the `Arc`.
+    pub fn metrics(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.metrics)
+    }
+
     /// Blocking submit with back-pressure. `Err(job)` only if the pool
     /// has been shut down.
     pub fn submit(&self, job: SolveJob) -> Result<(), SolveJob> {
         self.shared.queue.push(job)?;
         self.shared.stats.lock().unwrap().accepted += 1;
+        self.note_depth();
         Ok(())
     }
 
@@ -266,13 +283,25 @@ impl WorkerPool {
         match self.shared.queue.try_push(job) {
             Ok(()) => {
                 self.shared.stats.lock().unwrap().accepted += 1;
+                self.note_depth();
                 Ok(())
             }
             Err(job) => {
                 self.shared.stats.lock().unwrap().rejected_full += 1;
+                self.shared
+                    .metrics
+                    .counter("splu_queue_rejected_total")
+                    .inc();
                 Err(job)
             }
         }
+    }
+
+    fn note_depth(&self) {
+        self.shared
+            .metrics
+            .gauge("splu_queue_depth_highwater")
+            .raise(self.shared.queue.len() as f64);
     }
 
     /// Snapshot of the queue counters.
@@ -297,12 +326,21 @@ impl WorkerPool {
 fn worker_loop(worker: usize, shared: &PoolShared) {
     let mut ws = SolveWorkspace::default();
     let mut x: Vec<f64> = Vec::new();
+    // Resolve metric handles once; updates afterwards are lock-free.
+    let wait_hist = shared.metrics.histogram("splu_solve_wait_us");
+    let solve_hist = shared.metrics.histogram("splu_solve_us");
+    let expired_total = shared.metrics.counter("splu_deadline_expired_total");
+    let busy_us = shared
+        .metrics
+        .counter(&format!("splu_worker_busy_us{{worker=\"{worker}\"}}"));
     while let Some(job) = shared.queue.pop() {
         let dequeued = Instant::now();
         let wait_us = dequeued.duration_since(job.submitted).as_micros() as u64;
+        wait_hist.record(wait_us);
 
         let report = if job.deadline.is_some_and(|d| dequeued >= d) {
             shared.stats.lock().unwrap().expired += 1;
+            expired_total.inc();
             JobReport {
                 id: job.id,
                 status: JobStatus::DeadlineExpired,
@@ -319,6 +357,8 @@ fn worker_loop(worker: usize, shared: &PoolShared) {
                 .factor
                 .solve_many_with(&job.b, job.nrhs, &mut x, &mut ws);
             let solve_us = t0.elapsed().as_micros() as u64;
+            solve_hist.record(solve_us);
+            busy_us.add(solve_us);
             match res {
                 Ok(()) => {
                     shared.stats.lock().unwrap().solved += 1;
@@ -420,6 +460,34 @@ mod tests {
         assert_eq!(reports[1].status, JobStatus::Solved);
         assert_eq!(stats.expired, 1);
         assert_eq!(stats.solved, 1);
+        let _ = a;
+    }
+
+    #[test]
+    fn pool_metrics_capture_latency_and_expiry() {
+        let (a, f) = factor_of(6, 6);
+        let n = a.ncols();
+        let pool = WorkerPool::new(2, 4);
+        let metrics = pool.metrics();
+        for id in 0..4 {
+            pool.submit(SolveJob::new(id, f.clone(), vec![1.0; n], 1, None))
+                .unwrap();
+        }
+        pool.submit(SolveJob::new(4, f, vec![1.0; n], 1, Some(0)))
+            .unwrap();
+        let (_, stats) = pool.finish();
+        assert_eq!(stats.solved, 4);
+        // every dequeued job records a wait sample; only solved jobs
+        // record a solve sample
+        assert_eq!(metrics.histogram_summary("splu_solve_wait_us").count, 5);
+        let solve = metrics.histogram_summary("splu_solve_us");
+        assert_eq!(solve.count, 4);
+        assert_eq!(metrics.counter_value("splu_deadline_expired_total"), 1);
+        // worker busy counters partition the total solve time exactly
+        let busy: u64 = (0..2)
+            .map(|w| metrics.counter_value(&format!("splu_worker_busy_us{{worker=\"{w}\"}}")))
+            .sum();
+        assert_eq!(busy, solve.sum);
         let _ = a;
     }
 

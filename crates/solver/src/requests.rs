@@ -29,9 +29,12 @@
 use crate::queue::{JobStatus, SolveJob, WorkerPool};
 use crate::service::{Reuse, ServiceConfig, SolverService};
 use crate::{CacheConfig, CacheStats, FactorOptions, QueueStats};
+use splu_probe::metrics::Registry;
 use splu_sparse::gen::{self, ValueModel};
 use splu_sparse::CscMatrix;
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// One declared matrix: name plus how to build it.
 #[derive(Debug, Clone, PartialEq)]
@@ -252,6 +255,8 @@ pub struct RequestOutcome {
     pub wait_us: u64,
     /// Solve time in microseconds (solved requests).
     pub solve_us: u64,
+    /// Driver-side factorization (or cache-lookup) time in microseconds.
+    pub factor_us: u64,
 }
 
 /// Everything `splu serve` reports: per-request outcomes plus cache and
@@ -266,6 +271,12 @@ pub struct BatchReport {
     pub queue: QueueStats,
     /// Resident cache bytes at the end of the batch.
     pub cache_resident_bytes: usize,
+    /// Batch metrics registry: `splu_request_us` (end-to-end per
+    /// request), `splu_factor_us`, `splu_solve_us`, `splu_solve_wait_us`
+    /// histograms plus queue/worker/cache counters — the source of the
+    /// p50/p95/p99 fields in [`BatchReport::to_json`] and of
+    /// `splu serve --metrics-out`.
+    pub metrics: Arc<Registry>,
 }
 
 impl BatchReport {
@@ -299,6 +310,28 @@ impl BatchReport {
         out.push_str(&format!("  \"max_err\": {:e},\n", self.max_err()));
         let total_solve_us: u64 = self.outcomes.iter().map(|o| o.solve_us).sum();
         out.push_str(&format!("  \"total_solve_us\": {total_solve_us},\n"));
+        out.push_str("  \"latency_us\": {\n");
+        let phases = [
+            ("e2e", "splu_request_us"),
+            ("solve", "splu_solve_us"),
+            ("wait", "splu_solve_wait_us"),
+        ];
+        for (i, (key, hist)) in phases.iter().enumerate() {
+            let s = self.metrics.histogram_summary(hist);
+            out.push_str(&format!(
+                "    \"{key}\": {{\"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}{}\n",
+                s.count,
+                s.p50,
+                s.p95,
+                s.p99,
+                if i + 1 < phases.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  },\n");
+        out.push_str(&format!(
+            "  \"cache_hit_rate\": {:.6},\n",
+            self.cache.hit_rate()
+        ));
         out.push_str(&format!(
             "  \"cache\": {{\"analysis_hits\": {}, \"analysis_misses\": {}, \
              \"factor_hits\": {}, \"refactors\": {}, \"evictions\": {}, \
@@ -376,6 +409,8 @@ pub fn run_batch(workload: &Workload, config: &BatchConfig) -> BatchReport {
         options: config.options,
     });
     let pool = WorkerPool::new(config.workers, config.queue_cap);
+    let metrics = pool.metrics();
+    let factor_hist = metrics.histogram("splu_factor_us");
 
     struct Pending {
         x_true: Vec<f64>,
@@ -396,8 +431,13 @@ pub fn run_batch(workload: &Workload, config: &BatchConfig) -> BatchReport {
             max_err: None,
             wait_us: 0,
             solve_us: 0,
+            factor_us: 0,
         };
-        match service.factorization(a) {
+        let t_factor = Instant::now();
+        let factorized = service.factorization(a);
+        outcome.factor_us = t_factor.elapsed().as_micros() as u64;
+        factor_hist.record(outcome.factor_us);
+        match factorized {
             Err(e) => {
                 outcome.status = "factorization_failed".into();
                 outcome.error = Some(e.to_string());
@@ -421,12 +461,16 @@ pub fn run_batch(workload: &Workload, config: &BatchConfig) -> BatchReport {
     }
 
     let (reports, queue_stats) = pool.finish();
+    let request_hist = metrics.histogram("splu_request_us");
     for r in reports {
         let p = &pending[&r.id];
         let o = &mut outcomes[r.id];
         o.wait_us = r.wait_us;
         o.solve_us = r.solve_us;
         o.status = r.status.label().into();
+        // End-to-end latency the client saw: driver-side factorization
+        // (or cache lookup) + queue wait + solve.
+        request_hist.record(o.factor_us + o.wait_us + o.solve_us);
         match r.status {
             JobStatus::Solved => {
                 let x = r.x.as_ref().expect("solved job carries a solution");
@@ -441,11 +485,29 @@ pub fn run_batch(workload: &Workload, config: &BatchConfig) -> BatchReport {
         }
     }
 
+    let cache = service.cache_stats();
+    metrics
+        .counter("splu_cache_analysis_hits_total")
+        .add(cache.analysis_hits);
+    metrics
+        .counter("splu_cache_analysis_misses_total")
+        .add(cache.analysis_misses);
+    metrics
+        .counter("splu_cache_factor_hits_total")
+        .add(cache.factor_hits);
+    metrics
+        .counter("splu_cache_refactors_total")
+        .add(cache.refactors);
+    metrics
+        .counter("splu_cache_evictions_total")
+        .add(cache.evictions);
+
     BatchReport {
         outcomes,
-        cache: service.cache_stats(),
+        cache,
         queue: queue_stats,
         cache_resident_bytes: service.cache_resident_bytes(),
+        metrics,
     }
 }
 
@@ -530,5 +592,30 @@ solve g2
         assert!(json.contains("\"solved\": 6"));
         assert!(json.contains("\"deadline_expired\": 1"));
         assert!(json.contains("\"factorization_failed\": 1"));
+        // …and the new percentile block.
+        assert!(json.contains("\"latency_us\""));
+        assert!(json.contains("\"p50\""));
+        assert!(json.contains("\"p95\""));
+        assert!(json.contains("\"p99\""));
+        assert!(json.contains("\"cache_hit_rate\": 0.750000"));
+
+        // The batch registry saw every request that reached the pool
+        // (8 requests minus the failed factorization).
+        let e2e = report.metrics.histogram_summary("splu_request_us");
+        assert_eq!(e2e.count, 7);
+        assert!(e2e.p99 > 0, "cold factorizations dominate the tail");
+        assert_eq!(
+            report
+                .metrics
+                .counter_value("splu_cache_analysis_misses_total"),
+            2
+        );
+        assert_eq!(
+            report.metrics.counter_value("splu_deadline_expired_total"),
+            1
+        );
+        // the metrics snapshot exporters render without panicking
+        assert!(report.metrics.prometheus_text().contains("splu_request_us"));
+        assert!(report.metrics.json_snapshot().contains("splu_solve_us"));
     }
 }

@@ -13,34 +13,52 @@
 //! splu trace  <matrix.mtx> [opts]       factor on P thread-processors with
 //!                                       the flight recorder on; write a
 //!                                       Perfetto-loadable Chrome trace
+//! splu analyze <matrix|suite> [opts]    factor in-process (or load a
+//!                                       recorded trace with --from-trace)
+//!                                       and attribute wall time per rank
+//!                                       into panel/trsm/gemm/swap/
+//!                                       pivot-wait/idle; report the
+//!                                       critical path, pipeline depth vs
+//!                                       the Theorem 2 bound, and message
+//!                                       volume vs the 2D cost model
 //! splu bench-lu [opts]                  factor the synthetic suite with the
 //!                                       seq/par1d/par2d drivers; write the
 //!                                       GFLOP/s + scratch-footprint record
 //!                                       (default results/BENCH_lu.json)
 //!
-//! options:
+//! options (each subcommand accepts its own subset; an unknown flag
+//! error names the flag and lists the valid ones):
 //!   --block-size N     max supernode width        (default 25)
 //!   --amalgamate R     amalgamation factor        (default 4)
 //!   --ordering X       natural | mmd | atpa | rcm (default mmd)
 //!   --refine N         iterative refinement steps (default 1, solve only)
 //!   --lookahead W      2D executor lookahead window (default 1; 0 = the
 //!                                                 strictly in-order schedule)
-//!   --procs P          processor count    (default 16 project, 4 trace;
-//!                                          factor: run the 2D driver)
-//!   --out FILE         Chrome trace-event JSON    (default trace.json)
+//!   --procs P          processor count    (default 16 project, 4
+//!                                          trace/analyze; factor: run the
+//!                                          2D driver)
+//!   --out FILE         Chrome trace-event JSON    (default trace.json;
+//!                                                 analyze: report JSON,
+//!                                                 default analyze.json)
 //!   --stats-json FILE  run-summary JSON           (trace/serve)
 //!   --gantt-width N    ASCII Gantt width, 0 = off (default 64, trace only)
+//!   --from-trace FILE  analyze a recorded Chrome trace instead of
+//!                                                 running in-process
 //!   --requests FILE    workload file              (serve; alias for the
 //!                                                 positional argument)
 //!   --workers N        solve worker threads       (default 2, serve only)
 //!   --queue-cap N      work-queue capacity        (default 8, serve only)
 //!   --cache-bytes N    factorization-cache budget (serve only)
+//!   --metrics-out FILE metrics snapshot           (serve only; `.json` =
+//!                                                 JSON snapshot, anything
+//!                                                 else Prometheus text)
 //!   --min-secs S       per-driver measurement time (default 0.2,
 //!                                                 bench-lu only)
-//!   --baseline FILE    previous record to gate against (bench-lu only;
-//!                                                 default: the --out file;
-//!                                                 tolerance from
-//!                                                 SPLU_BENCH_TOL_PCT, %)
+//!   --baseline FILE    previous record to gate against (bench-lu/serve;
+//!                                                 bench-lu default: the
+//!                                                 --out file; tolerance
+//!                                                 from SPLU_BENCH_TOL_PCT,
+//!                                                 %)
 //! ```
 
 use sstar::prelude::*;
@@ -51,15 +69,53 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: splu <info|factor|solve|serve|project|trace|bench-lu> \
-         <matrix.mtx|requests.txt> \
+        "usage: splu <info|factor|solve|serve|project|trace|analyze|bench-lu> \
+         <matrix.mtx|requests.txt|suite-name> \
          [--block-size N] [--amalgamate R] [--ordering natural|mmd|atpa|rcm] \
          [--refine N] [--lookahead W] [--procs P] [--rhs file] [--out file] \
-         [--stats-json file] [--gantt-width N] [--requests file] \
-         [--workers N] [--queue-cap N] [--cache-bytes N] [--min-secs S] \
-         [--baseline file]"
+         [--stats-json file] [--gantt-width N] [--from-trace file] \
+         [--requests file] [--workers N] [--queue-cap N] [--cache-bytes N] \
+         [--metrics-out file] [--min-secs S] [--baseline file]"
     );
     ExitCode::from(2)
+}
+
+/// The named flags each subcommand accepts — the shared parser rejects
+/// anything outside the subcommand's set, naming the flag and listing
+/// the valid ones.
+fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
+    const OPTS: [&str; 3] = ["--block-size", "--amalgamate", "--ordering"];
+    macro_rules! flags {
+        ($($extra:literal),*) => {{
+            const F: &[&str] = &[OPTS[0], OPTS[1], OPTS[2] $(, $extra)*];
+            Some(F)
+        }};
+    }
+    match cmd {
+        "info" => flags!(),
+        "factor" => flags!("--procs", "--lookahead"),
+        "solve" => flags!("--refine", "--rhs"),
+        "serve" => flags!(
+            "--requests",
+            "--workers",
+            "--queue-cap",
+            "--cache-bytes",
+            "--stats-json",
+            "--metrics-out",
+            "--baseline"
+        ),
+        "project" => flags!("--procs"),
+        "trace" => flags!(
+            "--procs",
+            "--lookahead",
+            "--out",
+            "--stats-json",
+            "--gantt-width"
+        ),
+        "analyze" => flags!("--procs", "--lookahead", "--out", "--from-trace"),
+        "bench-lu" => Some(&["--out", "--min-secs", "--baseline", "--lookahead"]),
+        _ => None,
+    }
 }
 
 struct Cli {
@@ -78,6 +134,8 @@ struct Cli {
     cache_bytes: Option<usize>,
     min_secs: f64,
     baseline: Option<String>,
+    metrics_out: Option<String>,
+    from_trace: Option<String>,
 }
 
 /// The value following `flag`, or an error naming the flag.
@@ -119,8 +177,24 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
         cache_bytes: None,
         min_secs: 0.2,
         baseline: None,
+        metrics_out: None,
+        from_trace: None,
     };
+    let valid = allowed_flags(&cli.cmd).ok_or_else(|| {
+        format!(
+            "unknown command `{}` (expected \
+             info|factor|solve|serve|project|trace|analyze|bench-lu)",
+            cli.cmd
+        )
+    })?;
     while let Some(flag) = args.next() {
+        if !valid.contains(&flag.as_str()) {
+            return Err(format!(
+                "unknown flag `{flag}` for `splu {}` (valid flags: {})",
+                cli.cmd,
+                valid.join(", ")
+            ));
+        }
         match flag.as_str() {
             "--block-size" => cli.options.block_size = flag_parse(&mut args, "--block-size")?,
             "--amalgamate" => cli.options.amalgamation = flag_parse(&mut args, "--amalgamate")?,
@@ -168,11 +242,16 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
             "--cache-bytes" => cli.cache_bytes = Some(flag_parse(&mut args, "--cache-bytes")?),
             "--min-secs" => cli.min_secs = flag_parse(&mut args, "--min-secs")?,
             "--baseline" => cli.baseline = Some(flag_value(&mut args, "--baseline")?),
-            other => return Err(format!("unknown flag `{other}`")),
+            "--metrics-out" => cli.metrics_out = Some(flag_value(&mut args, "--metrics-out")?),
+            "--from-trace" => cli.from_trace = Some(flag_value(&mut args, "--from-trace")?),
+            other => unreachable!("flag `{other}` passed the allow-list but has no handler"),
         }
     }
-    // `bench-lu` runs the built-in suite and takes no input file.
-    if cli.matrix.is_empty() && cli.cmd != "bench-lu" {
+    // `bench-lu` runs the built-in suite and takes no input file;
+    // `analyze --from-trace` reads a recorded trace instead of a matrix.
+    let input_optional =
+        cli.cmd == "bench-lu" || (cli.cmd == "analyze" && cli.from_trace.is_some());
+    if cli.matrix.is_empty() && !input_optional {
         return Err(if cli.cmd == "serve" {
             "missing <requests> argument (positional or --requests)".to_string()
         } else {
@@ -256,6 +335,176 @@ fn cmd_serve(cli: &Cli) -> ExitCode {
         }
         println!("wrote {path}");
     }
+    if let Some(path) = &cli.metrics_out {
+        // `.json` gets the JSON snapshot; anything else the Prometheus
+        // text exposition.
+        let body = if path.ends_with(".json") {
+            report.metrics.json_snapshot()
+        } else {
+            report.metrics.prometheus_text()
+        };
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("splu: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if let Some(base) = &cli.baseline {
+        use sstar::solver::gate::{gate_against, tolerance_pct, SolverRecord};
+        let current = match SolverRecord::parse(&report.to_json()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("splu: fresh solver record unparseable: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // A missing or pre-percentile baseline records nothing to gate
+        // against (mirrors the bench-lu gate's behaviour on first runs).
+        let baseline = std::fs::read_to_string(base)
+            .ok()
+            .and_then(|t| SolverRecord::parse(&t).ok());
+        match baseline {
+            None => println!("gate: no usable baseline at {base}; skipping"),
+            Some(b) => {
+                let tol = tolerance_pct();
+                if let Err(e) = gate_against(&current, &b, tol) {
+                    eprintln!("splu: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "gate: ok vs {base} (p95 e2e {} us vs {} us, hit rate {:.3} vs {:.3}, \
+                     tolerance {tol}%)",
+                    current.p95_e2e_us, b.p95_e2e_us, current.cache_hit_rate, b.cache_hit_rate
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Read a matrix by extension: `.mtx` = Matrix Market, `.rua`/`.rsa`/
+/// `.pua`/`.psa`/`.hb` = Harwell–Boeing.
+fn load_matrix(path: &str) -> Result<CscMatrix, String> {
+    let lower = path.to_lowercase();
+    let is_hb = [".rua", ".rsa", ".pua", ".psa", ".hb"]
+        .iter()
+        .any(|ext| lower.ends_with(ext));
+    let a = if is_hb {
+        read_harwell_boeing_file(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    } else {
+        read_matrix_market_file(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    };
+    if a.nrows() != a.ncols() {
+        return Err(format!(
+            "matrix must be square ({}×{})",
+            a.nrows(),
+            a.ncols()
+        ));
+    }
+    Ok(a)
+}
+
+/// `splu analyze`: attribute wall time from a recorded trace, or from an
+/// in-process traced 2D factorization of a matrix file / suite matrix.
+fn cmd_analyze(cli: &Cli) -> ExitCode {
+    use sstar::core::par2d::{factor_par2d_traced, Sync2d};
+    use sstar::probe::analyze::{
+        attribute, report_json, report_text, trace_from_chrome_json, CommModel, ReportExtras,
+    };
+    use sstar::probe::Collector;
+
+    let out = if cli.out == "trace.json" {
+        "analyze.json"
+    } else {
+        cli.out.as_str()
+    };
+
+    let (trace, extras) = if let Some(path) = &cli.from_trace {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("splu: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let trace = match trace_from_chrome_json(&text) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("splu: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let grid = Grid::for_procs(cli.procs.unwrap_or_else(|| trace.procs.len().max(1)));
+        let extras = ReportExtras {
+            matrix: if cli.matrix.is_empty() {
+                path.clone()
+            } else {
+                cli.matrix.clone()
+            },
+            pr: grid.pr,
+            pc: grid.pc,
+            lookahead: cli.options.lookahead,
+            executor_depth_p95: None,
+            model: None,
+        };
+        (trace, extras)
+    } else {
+        if !sstar::probe::ENABLED {
+            eprintln!(
+                "splu: this binary was built without the `probe` feature; \
+                 `splu analyze` can only consume recorded traces \
+                 (--from-trace) in such a build (rebuild with default \
+                 features)"
+            );
+            return ExitCode::FAILURE;
+        }
+        // the input is a suite matrix name (sherman5, …) or a file
+        let a = match sstar::sparse::suite::by_name(&cli.matrix) {
+            Some(spec) => spec.build(),
+            None => match load_matrix(&cli.matrix) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("splu: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
+        let grid = Grid::for_procs(cli.procs.unwrap_or(4));
+        let solver = SparseLuSolver::analyze(&a, cli.options);
+        let collector = Collector::new();
+        let r = factor_par2d_traced(
+            &solver.permuted,
+            solver.pattern.clone(),
+            grid,
+            Sync2d::Async,
+            cli.options.pivot_threshold,
+            cli.options.lookahead,
+            &collector,
+        );
+        let trace = collector.finish();
+        let extras = ReportExtras {
+            matrix: cli.matrix.clone(),
+            pr: grid.pr,
+            pc: grid.pc,
+            lookahead: cli.options.lookahead,
+            executor_depth_p95: Some(r.sustained_depth_p95()),
+            model: Some(CommModel {
+                pr: grid.pr,
+                pc: grid.pc,
+                stages: solver.pattern.nblocks(),
+                factor_entries: solver.static_factor_nnz() as u64,
+            }),
+        };
+        (trace, extras)
+    };
+
+    let attribution = attribute(&trace);
+    print!("{}", report_text(&attribution, &extras));
+    if let Err(e) = std::fs::write(out, report_json(&attribution, &extras)) {
+        eprintln!("splu: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
     ExitCode::SUCCESS
 }
 
@@ -291,33 +540,18 @@ fn main() -> ExitCode {
             }
         };
     }
-    // pick the reader by extension: .mtx = Matrix Market, .rua/.rsa/.pua/
-    // .psa/.hb = Harwell–Boeing
-    let lower = cli.matrix.to_lowercase();
-    let is_hb = [".rua", ".rsa", ".pua", ".psa", ".hb"]
-        .iter()
-        .any(|ext| lower.ends_with(ext));
-    let a = if is_hb {
-        match read_harwell_boeing_file(&cli.matrix) {
-            Ok(a) => a,
-            Err(e) => {
-                eprintln!("splu: cannot read {}: {e}", cli.matrix);
-                return ExitCode::FAILURE;
-            }
-        }
-    } else {
-        match read_matrix_market_file(&cli.matrix) {
-            Ok(a) => a,
-            Err(e) => {
-                eprintln!("splu: cannot read {}: {e}", cli.matrix);
-                return ExitCode::FAILURE;
-            }
+    // `analyze` takes a matrix file, a suite-matrix name, or a recorded
+    // trace (--from-trace).
+    if cli.cmd == "analyze" {
+        return cmd_analyze(&cli);
+    }
+    let a = match load_matrix(&cli.matrix) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("splu: {e}");
+            return ExitCode::FAILURE;
         }
     };
-    if a.nrows() != a.ncols() {
-        eprintln!("splu: matrix must be square ({}×{})", a.nrows(), a.ncols());
-        return ExitCode::FAILURE;
-    }
     println!(
         "matrix: {} ({}×{}, {} nonzeros, symmetry {:.2})",
         cli.matrix,

@@ -24,13 +24,40 @@ cargo fmt --check
 
 # solver-service smoke: run the mixed two-pattern workload through the
 # batch driver and keep the BENCH_solver.json summary (cache hit/miss
-# counters, per-request outcomes, solve throughput).
+# counters, per-request outcomes, solve throughput, request-latency
+# percentiles). The fresh run is gated against the committed record —
+# p95 e2e latency and cache hit rate, same SPLU_BENCH_TOL_PCT knob as
+# the factorization gate — and the metrics-registry snapshot must show
+# the latency histograms populated (counts are deterministic for this
+# workload: 8 completed requests, 7 solves).
 mkdir -p results
+cp results/BENCH_solver.json /tmp/BENCH_solver.baseline.json
 cargo run --release -q --bin splu -- serve examples/serve_workload.txt \
-    --workers 3 --queue-cap 8 --stats-json results/BENCH_solver.json
+    --workers 3 --queue-cap 8 --stats-json results/BENCH_solver.json \
+    --metrics-out results/METRICS_solver.json \
+    --baseline /tmp/BENCH_solver.baseline.json
 grep -q '"bench": "solver_serve"' results/BENCH_solver.json
 grep -q '"deadline_expired": 1' results/BENCH_solver.json
 grep -q '"factorization_failed": 1' results/BENCH_solver.json
+grep -q '"latency_us"' results/BENCH_solver.json
+grep -qF '"e2e": {"count": 8, "p50": ' results/BENCH_solver.json
+grep -qF '"solve": {"count": 7, "p50": ' results/BENCH_solver.json
+grep -q '"p95": ' results/BENCH_solver.json
+grep -q '"p99": ' results/BENCH_solver.json
+grep -q '"cache_hit_rate": 0.777778' results/BENCH_solver.json
+grep -qF '"splu_request_us": {"count": 8' results/METRICS_solver.json
+grep -qF '"splu_solve_us": {"count": 7' results/METRICS_solver.json
+grep -qF '"splu_worker_busy_us{worker=' results/METRICS_solver.json
+
+# critical-path attribution: trace sherman5 on the 2×2 grid and write
+# the example analyze report (JSON + ASCII). The sustained pipeline
+# depth must respect the Theorem 2 p_c + W bound.
+cargo run --release -q --bin splu -- analyze sherman5 --procs 4 \
+    --out results/ANALYZE_sherman5_2x2.json \
+    >results/ANALYZE_sherman5_2x2.txt
+grep -q '"report": "splu_analyze"' results/ANALYZE_sherman5_2x2.json
+grep -q '"pipeline_depth_ok": true' results/ANALYZE_sherman5_2x2.json
+grep -q 'bound p_c + W = 3' results/ANALYZE_sherman5_2x2.txt
 
 # perf record: factor the synthetic suite with the seq/par1d/par2d
 # drivers. The fresh run is gated against the committed record — a
@@ -58,5 +85,6 @@ test "$(grep -c '"update": ' results/BENCH_lu.json)" -eq 9
 test "$(grep -c '"panel_wait_secs": ' results/BENCH_lu.json)" -eq 21
 test "$(grep -c '"par2d_lookahead_sweep": ' results/BENCH_lu.json)" -eq 3
 test "$(grep -c '"speedup_vs_prev": ' results/BENCH_lu.json)" -eq 3
+test "$(grep -c '"pivot_wait_share": ' results/BENCH_lu.json)" -eq 3
 
 echo "verify: all checks passed"
