@@ -1,0 +1,29 @@
+//! `splu-load` — load generation and serving benchmarks for the S\*
+//! solver service.
+//!
+//! The ROADMAP north star is a solver **service** under heavy traffic,
+//! not a one-shot factorization; this crate supplies the traffic. It
+//! has two halves:
+//!
+//! * [`workload`] — a seeded synthetic workload generator: a
+//!   population of tenants mixing cold-start (fresh large patterns),
+//!   value-churn (Newton-style same-pattern matrix sequences with
+//!   deadline-bound solve bursts) and pattern-reuse traffic, laid out
+//!   on an open-loop arrival schedule. Fully deterministic per seed.
+//! * [`driver`] — replays a schedule against the concurrent solver
+//!   service ([`splu_solver::concurrent`]), pacing submissions by wall
+//!   clock, sampling solutions for accuracy, and reporting goodput,
+//!   p50/p95/p99 latency, cache + refactor-ahead hit rates and
+//!   per-shard contention as a `BENCH_solver.json`-compatible record
+//!   (consumed by `splu loadgen` and the `--baseline` gate).
+//!
+//! Everything is hand-rolled on `std` only, like the rest of the
+//! workspace.
+
+pub mod driver;
+pub mod workload;
+
+pub use driver::{run_load, run_schedule, LoadReport, SAMPLE_EVERY};
+pub use workload::{
+    generate, tenant_matrix, Event, EventKind, LoadConfig, Schedule, Tenant, TenantClass,
+};

@@ -1,0 +1,443 @@
+//! Seeded synthetic multi-tenant workload generation.
+//!
+//! Models the traffic mix a production factorization service sees
+//! (HYLU-style circuit simulation, Newton/time-stepping clients):
+//!
+//! * **value-churn tenants** (the bulk) — one fixed sparsity pattern
+//!   per tenant; each *session* delivers a new value set (a Newton
+//!   step) followed by a burst of dependent solves under tight
+//!   deadlines. This is the analyze-once/factorize-many regime the
+//!   paper's static symbolic factorization is built for, and the
+//!   target of the service's speculative refactor-ahead.
+//! * **pattern-reuse tenants** — fixed pattern *and* values; solves
+//!   only. Pure cache traffic.
+//! * **cold-start tenants** — every session brings a brand-new (and
+//!   much larger) pattern: the full symbolic + numeric pipeline runs.
+//!   These are the head-of-line blockers that serialize a
+//!   single-factor-worker service.
+//!
+//! [`generate`] lays sessions on an **open-loop** arrival schedule
+//! (event times are drawn up front over `span_us` and do not react to
+//! service backlog — the standard way to measure a service under load
+//! rather than measure the load generator). Everything is derived from
+//! one seed: the same `LoadConfig` always produces the identical event
+//! sequence and the identical matrices.
+
+use splu_sparse::gen::{self, ValueModel};
+use splu_sparse::rng::SmallRng;
+use splu_sparse::CscMatrix;
+
+/// Traffic class of one tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantClass {
+    /// New large pattern every session (full symbolic + numeric).
+    ColdStart,
+    /// Fixed pattern, new values per session + solve burst (Newton).
+    ValueChurn,
+    /// Fixed pattern and values; solves only.
+    PatternReuse,
+}
+
+impl TenantClass {
+    /// Stable lowercase label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TenantClass::ColdStart => "cold_start",
+            TenantClass::ValueChurn => "value_churn",
+            TenantClass::PatternReuse => "pattern_reuse",
+        }
+    }
+}
+
+/// One tenant of the synthetic population.
+#[derive(Debug, Clone, Copy)]
+pub struct Tenant {
+    /// Tenant index.
+    pub id: usize,
+    /// Traffic class.
+    pub class: TenantClass,
+    /// Per-tenant derivation seed (pattern shape, value streams).
+    pub seed: u64,
+}
+
+/// What happens at one schedule point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A new matrix (values, and for cold tenants a new pattern)
+    /// arrives for the tenant. The serving driver reacts by starting a
+    /// speculative refactor-ahead.
+    NewValues {
+        /// Owning tenant.
+        tenant: usize,
+        /// Monotonic per-tenant version (0 = initial).
+        version: u64,
+    },
+    /// A solve request against the tenant's current matrix.
+    Solve {
+        /// Owning tenant.
+        tenant: usize,
+        /// Right-hand-side columns.
+        nrhs: usize,
+        /// Deadline in µs from submission (`None` = none).
+        deadline_us: Option<u64>,
+    },
+}
+
+/// One schedule entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Arrival offset from replay start, µs.
+    pub at_us: u64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+/// Workload shape knobs. Every field is deterministic given `seed`.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Minimum number of solve requests to generate (sessions are
+    /// whole, so the schedule may slightly overshoot).
+    pub requests: usize,
+    /// Tenant population size (min 3, one per class).
+    pub tenants: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Open-loop arrival window, µs.
+    pub span_us: u64,
+    /// Grid dimension range for cold-start patterns (inclusive). The
+    /// default (70–87) gives orders ≈ 4900–7600: ≈ 100–200 ms per cold
+    /// factorization — long enough that a single factor worker visibly
+    /// serializes deadline-bound churn refactors behind them.
+    pub cold_dim: (usize, usize),
+    /// Grid dimension range for churn/reuse grid patterns (inclusive);
+    /// default 10–16 (orders ≈ 100–256, sub-ms refactors).
+    pub churn_dim: (usize, usize),
+    /// Order range for churn/reuse power-law circuit patterns.
+    pub circuit_n: (usize, usize),
+    /// Solves per value-churn session (inclusive range) — the Newton
+    /// burst length.
+    pub newton_burst: (usize, usize),
+    /// Deadline range for churn/reuse solves, µs (inclusive).
+    pub deadline_us: (u64, u64),
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            requests: 100_000,
+            tenants: 48,
+            seed: 0x10AD_F00D,
+            span_us: 10_000_000,
+            cold_dim: (70, 87),
+            churn_dim: (10, 16),
+            circuit_n: (120, 240),
+            newton_burst: (6, 10),
+            deadline_us: (25_000, 60_000),
+        }
+    }
+}
+
+/// A generated schedule: the tenant population plus time-ordered
+/// events.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// The tenant population.
+    pub tenants: Vec<Tenant>,
+    /// Events sorted by `at_us` (ties keep generation order, so a
+    /// tenant's `NewValues` always precedes its dependent solves).
+    pub events: Vec<Event>,
+    /// Number of `Solve` events (≥ `LoadConfig::requests`).
+    pub solve_count: usize,
+}
+
+fn class_of(i: usize) -> TenantClass {
+    // per 16 tenants: 1 cold-start, 2 pattern-reuse, 13 value-churn —
+    // cold solves end up a few percent of traffic, churn ≈ 80–85 %,
+    // and cold factorizations arrive often enough to keep a serial
+    // service blockaded for a large share of the span.
+    match i % 16 {
+        0 => TenantClass::ColdStart,
+        1 | 2 => TenantClass::PatternReuse,
+        _ => TenantClass::ValueChurn,
+    }
+}
+
+/// Generate the tenant population and the open-loop event schedule.
+pub fn generate(cfg: &LoadConfig) -> Schedule {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let n_tenants = cfg.tenants.max(3);
+    let tenants: Vec<Tenant> = (0..n_tenants)
+        .map(|id| Tenant {
+            id,
+            class: class_of(id),
+            seed: cfg.seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        })
+        .collect();
+    let span = cfg.span_us.max(1) as usize;
+    let mut events: Vec<Event> = Vec::with_capacity(cfg.requests * 2);
+    // Every tenant's initial matrix arrives at t = 0, before any
+    // session, so a solve never races its tenant's first NewValues.
+    let mut versions = vec![0u64; n_tenants];
+    for t in &tenants {
+        events.push(Event {
+            at_us: 0,
+            kind: EventKind::NewValues {
+                tenant: t.id,
+                version: 0,
+            },
+        });
+    }
+    let mut solve_count = 0usize;
+    while solve_count < cfg.requests {
+        let ti = rng.gen_range(0..n_tenants);
+        let t = tenants[ti];
+        let at = rng.gen_range(0..span) as u64;
+        match t.class {
+            TenantClass::ValueChurn => {
+                versions[ti] += 1;
+                events.push(Event {
+                    at_us: at,
+                    kind: EventKind::NewValues {
+                        tenant: t.id,
+                        version: versions[ti],
+                    },
+                });
+                let burst = rng.gen_range(cfg.newton_burst.0..=cfg.newton_burst.1.max(1));
+                for k in 0..burst {
+                    // solves trail the value arrival by a growing lag
+                    // (downstream assembly work between Newton solves)
+                    let dt = 150 * (k as u64 + 1) + rng.gen_range(0..120usize) as u64;
+                    let deadline =
+                        rng.gen_range(cfg.deadline_us.0 as usize..=cfg.deadline_us.1 as usize);
+                    events.push(Event {
+                        at_us: at + dt,
+                        kind: EventKind::Solve {
+                            tenant: t.id,
+                            nrhs: 1,
+                            deadline_us: Some(deadline as u64),
+                        },
+                    });
+                    solve_count += 1;
+                }
+            }
+            TenantClass::PatternReuse => {
+                let burst = rng.gen_range(1..=3usize);
+                for k in 0..burst {
+                    let dt = 100 * k as u64 + rng.gen_range(0..90usize) as u64;
+                    let deadline =
+                        rng.gen_range(cfg.deadline_us.0 as usize..=cfg.deadline_us.1 as usize);
+                    events.push(Event {
+                        at_us: at + dt,
+                        kind: EventKind::Solve {
+                            tenant: t.id,
+                            nrhs: rng.gen_range(1..=2usize),
+                            deadline_us: Some(deadline as u64),
+                        },
+                    });
+                    solve_count += 1;
+                }
+            }
+            TenantClass::ColdStart => {
+                versions[ti] += 1;
+                events.push(Event {
+                    at_us: at,
+                    kind: EventKind::NewValues {
+                        tenant: t.id,
+                        version: versions[ti],
+                    },
+                });
+                let burst = rng.gen_range(2..=4usize);
+                for k in 0..burst {
+                    let dt = 2_000 * (k as u64 + 1) + rng.gen_range(0..500usize) as u64;
+                    events.push(Event {
+                        at_us: at + dt,
+                        kind: EventKind::Solve {
+                            tenant: t.id,
+                            nrhs: 1,
+                            deadline_us: None,
+                        },
+                    });
+                    solve_count += 1;
+                }
+            }
+        }
+    }
+    // Stable by arrival time: equal times keep generation order, so the
+    // t = 0 initial NewValues stay ahead of any t = 0 session.
+    events.sort_by_key(|e| e.at_us);
+    Schedule {
+        tenants,
+        events,
+        solve_count,
+    }
+}
+
+/// Build the matrix a tenant serves at `version`. Deterministic in
+/// `(tenant.seed, version, cfg)`; the driver caches the current
+/// version per tenant, so this runs once per `NewValues` event.
+pub fn tenant_matrix(t: &Tenant, version: u64, cfg: &LoadConfig) -> CscMatrix {
+    match t.class {
+        TenantClass::ColdStart => {
+            // a fresh pattern every session: order ≈ cold_dim²
+            let mut r =
+                SmallRng::seed_from_u64(t.seed ^ version.wrapping_mul(0xA076_1D64_78BD_642F));
+            let dx = r.gen_range(cfg.cold_dim.0..=cfg.cold_dim.1);
+            let dy = r.gen_range(cfg.cold_dim.0..=cfg.cold_dim.1);
+            gen::grid2d(
+                dx,
+                dy,
+                0.4,
+                ValueModel {
+                    diag_scale: 1.0,
+                    seed: t.seed ^ version,
+                },
+            )
+        }
+        TenantClass::ValueChurn | TenantClass::PatternReuse => {
+            let mut r = SmallRng::seed_from_u64(t.seed);
+            let vm = ValueModel {
+                diag_scale: 1.0,
+                seed: t.seed,
+            };
+            let base = match r.gen_range(0..3usize) {
+                0 => {
+                    let dx = r.gen_range(cfg.churn_dim.0..=cfg.churn_dim.1);
+                    let dy = r.gen_range(cfg.churn_dim.0..=cfg.churn_dim.1);
+                    gen::grid2d(dx, dy, 0.4, vm)
+                }
+                1 => {
+                    let n = r.gen_range(cfg.circuit_n.0..=cfg.circuit_n.1);
+                    gen::power_law_circuit(n, 4, 0.9, vm)
+                }
+                _ => {
+                    let n = r.gen_range(cfg.circuit_n.0..=cfg.circuit_n.1);
+                    gen::random_sparse(n, 4, 0.6, vm)
+                }
+            };
+            // reuse tenants pin version 0; churn tenants re-value
+            if version == 0 || t.class == TenantClass::PatternReuse {
+                base
+            } else {
+                gen::perturb_values(&base, version)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> LoadConfig {
+        LoadConfig {
+            requests: 200,
+            tenants: 16,
+            span_us: 50_000,
+            cold_dim: (10, 12),
+            churn_dim: (6, 9),
+            circuit_n: (40, 80),
+            ..LoadConfig::default()
+        }
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_seed_sensitive() {
+        let cfg = small_cfg();
+        let s1 = generate(&cfg);
+        let s2 = generate(&cfg);
+        assert_eq!(s1.events, s2.events);
+        assert_eq!(s1.solve_count, s2.solve_count);
+        let other = generate(&LoadConfig {
+            seed: cfg.seed ^ 1,
+            ..cfg
+        });
+        assert_ne!(s1.events, other.events);
+    }
+
+    #[test]
+    fn schedule_covers_all_classes_and_meets_request_floor() {
+        let s = generate(&small_cfg());
+        assert!(s.solve_count >= 200);
+        let n_solves = s
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Solve { .. }))
+            .count();
+        assert_eq!(n_solves, s.solve_count);
+        for class in [
+            TenantClass::ColdStart,
+            TenantClass::ValueChurn,
+            TenantClass::PatternReuse,
+        ] {
+            assert!(
+                s.tenants.iter().any(|t| t.class == class),
+                "missing {class:?}"
+            );
+        }
+        // churn solves carry deadlines; cold ones don't
+        let churn_ids: Vec<usize> = s
+            .tenants
+            .iter()
+            .filter(|t| t.class == TenantClass::ValueChurn)
+            .map(|t| t.id)
+            .collect();
+        assert!(s.events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::Solve { tenant, deadline_us: Some(_), .. } if churn_ids.contains(&tenant)
+        )));
+    }
+
+    #[test]
+    fn every_solve_follows_its_tenants_new_values() {
+        let s = generate(&small_cfg());
+        let mut seen = vec![false; s.tenants.len()];
+        for e in &s.events {
+            match e.kind {
+                EventKind::NewValues { tenant, .. } => seen[tenant] = true,
+                EventKind::Solve { tenant, .. } => {
+                    assert!(seen[tenant], "solve before NewValues for tenant {tenant}");
+                }
+            }
+        }
+        // arrival times are sorted
+        assert!(s.events.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+    }
+
+    #[test]
+    fn tenant_matrices_are_deterministic_and_version_aware() {
+        let cfg = small_cfg();
+        let s = generate(&cfg);
+        let churn = *s
+            .tenants
+            .iter()
+            .find(|t| t.class == TenantClass::ValueChurn)
+            .unwrap();
+        let m0 = tenant_matrix(&churn, 0, &cfg);
+        let m0b = tenant_matrix(&churn, 0, &cfg);
+        assert_eq!(m0, m0b);
+        let m1 = tenant_matrix(&churn, 1, &cfg);
+        // same pattern, new values
+        assert_eq!(m0.pattern_fingerprint(), m1.pattern_fingerprint());
+        assert_ne!(m0.value_fingerprint(), m1.value_fingerprint());
+        // reuse tenants pin their values across versions
+        let reuse = *s
+            .tenants
+            .iter()
+            .find(|t| t.class == TenantClass::PatternReuse)
+            .unwrap();
+        assert_eq!(
+            tenant_matrix(&reuse, 0, &cfg).value_fingerprint(),
+            tenant_matrix(&reuse, 3, &cfg).value_fingerprint()
+        );
+        // cold tenants change pattern per version
+        let cold = *s
+            .tenants
+            .iter()
+            .find(|t| t.class == TenantClass::ColdStart)
+            .unwrap();
+        assert_ne!(
+            tenant_matrix(&cold, 1, &cfg).pattern_fingerprint(),
+            tenant_matrix(&cold, 2, &cfg).pattern_fingerprint()
+        );
+    }
+}

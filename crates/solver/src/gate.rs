@@ -29,6 +29,9 @@ pub struct SolverRecord {
     pub p95_e2e_us: u64,
     /// Analysis-cache hit rate (`cache_hit_rate`), 0..=1.
     pub cache_hit_rate: f64,
+    /// Goodput in requests/second (`req_per_sec`). Present only on
+    /// loadgen records; gated only when both records carry it.
+    pub req_per_sec: Option<f64>,
 }
 
 impl SolverRecord {
@@ -48,9 +51,11 @@ impl SolverRecord {
             .get("cache_hit_rate")
             .and_then(Value::as_f64)
             .ok_or("solver record missing cache_hit_rate")?;
+        let req_per_sec = v.get("req_per_sec").and_then(Value::as_f64);
         Ok(Self {
             p95_e2e_us,
             cache_hit_rate,
+            req_per_sec,
         })
     }
 }
@@ -96,6 +101,17 @@ pub fn gate_against(
             current.cache_hit_rate, baseline.cache_hit_rate
         ));
     }
+    // Throughput (loadgen goodput) is gated only when both records
+    // carry it, so serve records stay comparable to old baselines.
+    if let (Some(cur), Some(base)) = (current.req_per_sec, baseline.req_per_sec) {
+        let floor = base * (1.0 - tol_pct / 100.0);
+        if cur < floor {
+            failures.push(format!(
+                "goodput {cur:.1} req/s fell more than {tol_pct}% below the \
+                 recorded {base:.1} req/s"
+            ));
+        }
+    }
     if failures.is_empty() {
         Ok(())
     } else {
@@ -123,6 +139,35 @@ mod tests {
         let r = SolverRecord::parse(&record(2047, 0.75)).unwrap();
         assert_eq!(r.p95_e2e_us, 2047);
         assert_eq!(r.cache_hit_rate, 0.75);
+        assert_eq!(r.req_per_sec, None, "serve records carry no goodput");
+    }
+
+    #[test]
+    fn goodput_is_parsed_and_gated_when_both_sides_carry_it() {
+        let with_rps = |rps: f64| {
+            let mut r = SolverRecord::parse(&record(4000, 0.75)).unwrap();
+            r.req_per_sec = Some(rps);
+            r
+        };
+        let loadgen = record(4000, 0.75).replace(
+            "\"cache_hit_rate\"",
+            "\"req_per_sec\": 5200.5, \"cache_hit_rate\"",
+        );
+        assert_eq!(
+            SolverRecord::parse(&loadgen).unwrap().req_per_sec,
+            Some(5200.5)
+        );
+        let base = with_rps(5000.0);
+        // within 15%: ok
+        assert!(gate_against(&with_rps(4300.0), &base, 15.0).is_ok());
+        // beyond 15% drop: named failure
+        let err = gate_against(&with_rps(4000.0), &base, 15.0).unwrap_err();
+        assert!(err.contains("goodput"), "{err}");
+        // asymmetric presence (old serve baseline): throughput not gated
+        let mut no_rps = base;
+        no_rps.req_per_sec = None;
+        assert!(gate_against(&with_rps(1.0), &no_rps, 15.0).is_ok());
+        assert!(gate_against(&no_rps, &base, 15.0).is_ok());
     }
 
     #[test]
@@ -141,6 +186,7 @@ mod tests {
         let cur = SolverRecord {
             p95_e2e_us: 5100,
             cache_hit_rate: 0.75,
+            req_per_sec: None,
         };
         assert!(gate_against(&cur, &base, 15.0).is_ok());
         // a one-bucket quantization flip (8191 -> 16383: the sample
@@ -149,20 +195,24 @@ mod tests {
         let boundary_base = SolverRecord {
             p95_e2e_us: 8191,
             cache_hit_rate: 0.75,
+            req_per_sec: None,
         };
         let next_bucket = SolverRecord {
             p95_e2e_us: 16383,
             cache_hit_rate: 0.75,
+            req_per_sec: None,
         };
         assert!(gate_against(&next_bucket, &boundary_base, 15.0).is_ok());
         // tiny baselines are protected by the absolute slack
         let small_base = SolverRecord {
             p95_e2e_us: 3,
             cache_hit_rate: 0.75,
+            req_per_sec: None,
         };
         let small_cur = SolverRecord {
             p95_e2e_us: 400,
             cache_hit_rate: 0.75,
+            req_per_sec: None,
         };
         assert!(gate_against(&small_cur, &small_base, 15.0).is_ok());
     }
@@ -172,18 +222,21 @@ mod tests {
         let base = SolverRecord {
             p95_e2e_us: 4000,
             cache_hit_rate: 0.75,
+            req_per_sec: None,
         };
         // more than one bucket above the recorded 4000us (allowance:
         // max(4600, 8001) + 500 = 8501us)
         let slow = SolverRecord {
             p95_e2e_us: 9000,
             cache_hit_rate: 0.75,
+            req_per_sec: None,
         };
         let err = gate_against(&slow, &base, 15.0).unwrap_err();
         assert!(err.contains("p95 e2e latency"), "{err}");
         let cold = SolverRecord {
             p95_e2e_us: 4000,
             cache_hit_rate: 0.5,
+            req_per_sec: None,
         };
         let err = gate_against(&cold, &base, 15.0).unwrap_err();
         assert!(err.contains("cache hit rate"), "{err}");
@@ -191,6 +244,7 @@ mod tests {
         let both = SolverRecord {
             p95_e2e_us: 9000,
             cache_hit_rate: 0.1,
+            req_per_sec: None,
         };
         let err = gate_against(&both, &base, 15.0).unwrap_err();
         assert!(err.contains("p95 e2e latency") && err.contains("cache hit rate"));

@@ -23,6 +23,11 @@
 //! * [`queue`] — a bounded work queue and worker pool dispatching solve
 //!   jobs over cached factorizations, with admission limits and per-job
 //!   deadline rejection;
+//! * [`concurrent`] — the production-scale serving layer:
+//!   factorizations on their own worker pool (independent matrices
+//!   factor concurrently), cache + solve queues sharded by pattern
+//!   fingerprint, speculative refactor-ahead on value arrival, and
+//!   single-flight dedup of concurrent same-key factorizations;
 //! * [`requests`] — a small text workload format plus the batch driver
 //!   behind `splu serve --requests <file>`, reporting per-request
 //!   outcomes and a `BENCH_solver.json`-compatible summary with
@@ -36,12 +41,16 @@
 //! build environment), matching the rest of the workspace.
 
 pub mod cache;
+pub mod concurrent;
 pub mod gate;
 pub mod queue;
 pub mod requests;
 pub mod service;
 
 pub use cache::{CacheConfig, CacheStats, FactorCache};
+pub use concurrent::{
+    AheadStats, ConcurrentConfig, ConcurrentReport, ConcurrentService, ShardSnapshot, ShardedCache,
+};
 pub use gate::SolverRecord;
 pub use queue::{JobReport, JobStatus, QueueStats, SolveJob, WorkerPool};
 pub use requests::{run_batch, BatchConfig, BatchReport, RequestOutcome, Workload};

@@ -16,6 +16,31 @@
 //! Workers reuse one [`SolveWorkspace`] and one solution buffer each, so
 //! the steady state allocates only for reports. A numerically failed
 //! solve is reported per-job — it never takes down the pool.
+//!
+//! # Deadline semantics
+//!
+//! A job's deadline is an *absolute instant*; expiry is checked exactly
+//! once, when a worker dequeues the job (`dequeued >= deadline`). Three
+//! consequences are load-bearing and must survive refactors:
+//!
+//! * **`deadline_us = Some(0)` is deterministically expired.** The
+//!   deadline is the submission instant itself, and `Instant::now()` at
+//!   dequeue can never be *before* submission, so the job is always
+//!   reported [`JobStatus::DeadlineExpired`] — regardless of queue
+//!   depth, worker count or scheduler luck. The serve smoke test and
+//!   the workload file format rely on this as the way to exercise the
+//!   expiry path reproducibly (`zero_deadline_is_deterministically_expired`).
+//! * **Expiry uses `>=`, not `>`.** With `>` the zero-deadline job
+//!   would race the clock: a dequeue in the same tick as submission
+//!   would solve it, making the path untestable.
+//! * **A solve already started is never aborted.** Deadlines gate
+//!   admission to the solve, not its completion; a job that passes the
+//!   check runs to its terminal `Solved`/`Failed` state.
+//!
+//! Jobs built through [`SolveJob::with_timing`] carry a submission
+//! timestamp from an upstream admission point (e.g. the concurrent
+//! service's factor flight), so `wait_us` spans the *whole* queueing
+//! time the client observed, not just this pool's queue.
 
 use crate::Factorization;
 use splu_core::{SolveWorkspace, SolverError};
@@ -38,6 +63,11 @@ pub struct SolveJob {
     /// If set, a worker that picks the job up at or after this instant
     /// rejects it without solving.
     pub deadline: Option<Instant>,
+    /// Don't keep the solution vector in the report (`x` stays `None`
+    /// even on success). Load benchmarks set this so a 100k-request run
+    /// doesn't retain 100k solution vectors; correctness-sampled
+    /// requests leave it `false`.
+    pub drop_solution: bool,
     /// Submission timestamp (set by the pool, used for wait accounting).
     submitted: Instant,
 }
@@ -72,8 +102,37 @@ impl SolveJob {
             b,
             nrhs,
             deadline: deadline_us.map(|us| now + std::time::Duration::from_micros(us)),
+            drop_solution: false,
             submitted: now,
         }
+    }
+
+    /// New job with explicit timing, for upstream admission points that
+    /// accepted the request earlier (e.g. while its factorization was
+    /// still in flight): `wait_us` is measured from `submitted`, and
+    /// `deadline` is the absolute instant fixed at admission.
+    pub fn with_timing(
+        id: usize,
+        factor: Factorization,
+        b: Vec<f64>,
+        nrhs: usize,
+        submitted: Instant,
+        deadline: Option<Instant>,
+    ) -> Self {
+        Self {
+            id,
+            factor,
+            b,
+            nrhs,
+            deadline,
+            drop_solution: false,
+            submitted,
+        }
+    }
+
+    /// The submission timestamp `wait_us` is measured from.
+    pub fn submitted(&self) -> Instant {
+        self.submitted
     }
 }
 
@@ -240,18 +299,33 @@ pub struct WorkerPool {
 impl WorkerPool {
     /// Spawn `workers` threads draining a queue of capacity `queue_cap`.
     pub fn new(workers: usize, queue_cap: usize) -> Self {
+        Self::with_registry(workers, queue_cap, Arc::new(Registry::new()), 0)
+    }
+
+    /// Like [`WorkerPool::new`], but recording into a caller-provided
+    /// registry. Sharded services pass one shared registry to every
+    /// shard's pool so the latency histograms aggregate naturally;
+    /// `worker_offset` keeps the `splu_worker_busy_us{worker=…}` labels
+    /// globally unique (shard `s` of width `w` passes `s * w`).
+    pub fn with_registry(
+        workers: usize,
+        queue_cap: usize,
+        metrics: Arc<Registry>,
+        worker_offset: usize,
+    ) -> Self {
         let shared = Arc::new(PoolShared {
             queue: BoundedQueue::new(queue_cap),
             reports: Mutex::new(Vec::new()),
             stats: Mutex::new(QueueStats::default()),
-            metrics: Arc::new(Registry::new()),
+            metrics,
         });
         let handles = (0..workers.max(1))
             .map(|w| {
                 let shared = Arc::clone(&shared);
+                let label = worker_offset + w;
                 std::thread::Builder::new()
-                    .name(format!("splu-solve-{w}"))
-                    .spawn(move || worker_loop(w, &shared))
+                    .name(format!("splu-solve-{label}"))
+                    .spawn(move || worker_loop(label, &shared))
                     .expect("spawn solve worker")
             })
             .collect();
@@ -365,7 +439,7 @@ fn worker_loop(worker: usize, shared: &PoolShared) {
                     JobReport {
                         id: job.id,
                         status: JobStatus::Solved,
-                        x: Some(x.clone()),
+                        x: (!job.drop_solution).then(|| x.clone()),
                         wait_us,
                         solve_us,
                         worker,
@@ -460,6 +534,85 @@ mod tests {
         assert_eq!(reports[1].status, JobStatus::Solved);
         assert_eq!(stats.expired, 1);
         assert_eq!(stats.solved, 1);
+        let _ = a;
+    }
+
+    #[test]
+    fn with_timing_measures_wait_from_upstream_admission() {
+        let (a, f) = factor_of(5, 5);
+        let n = a.ncols();
+        let pool = WorkerPool::new(1, 2);
+        // admission happened 5ms ago upstream (e.g. waiting on a factor
+        // flight); the report's wait must include that time
+        let submitted = Instant::now() - std::time::Duration::from_millis(5);
+        pool.submit(SolveJob::with_timing(
+            0,
+            f,
+            vec![1.0; n],
+            1,
+            submitted,
+            None,
+        ))
+        .unwrap();
+        let (reports, _) = pool.finish();
+        assert_eq!(reports[0].status, JobStatus::Solved);
+        assert!(reports[0].wait_us >= 5_000, "wait {}", reports[0].wait_us);
+        let _ = a;
+    }
+
+    #[test]
+    fn with_timing_deadline_at_submission_expires() {
+        // boundary: deadline == submission instant (the absolute-time
+        // analogue of deadline_us = Some(0)) must expire deterministically
+        let (a, f) = factor_of(5, 5);
+        let n = a.ncols();
+        let pool = WorkerPool::new(1, 2);
+        let now = Instant::now();
+        pool.submit(SolveJob::with_timing(0, f, vec![1.0; n], 1, now, Some(now)))
+            .unwrap();
+        let (reports, stats) = pool.finish();
+        assert_eq!(reports[0].status, JobStatus::DeadlineExpired);
+        assert_eq!(stats.expired, 1);
+        let _ = a;
+    }
+
+    #[test]
+    fn drop_solution_reports_solved_without_x() {
+        let (a, f) = factor_of(5, 5);
+        let n = a.ncols();
+        let pool = WorkerPool::new(1, 2);
+        let mut job = SolveJob::new(0, f, vec![1.0; n], 1, None);
+        job.drop_solution = true;
+        pool.submit(job).unwrap();
+        let (reports, stats) = pool.finish();
+        assert_eq!(reports[0].status, JobStatus::Solved);
+        assert!(reports[0].x.is_none());
+        assert_eq!(stats.solved, 1);
+        let _ = a;
+    }
+
+    #[test]
+    fn shared_registry_pools_aggregate_and_label_uniquely() {
+        let (a, f) = factor_of(5, 5);
+        let n = a.ncols();
+        let reg = Arc::new(Registry::new());
+        let p0 = WorkerPool::with_registry(2, 2, Arc::clone(&reg), 0);
+        let p1 = WorkerPool::with_registry(2, 2, Arc::clone(&reg), 2);
+        for id in 0..3 {
+            p0.submit(SolveJob::new(id, f.clone(), vec![1.0; n], 1, None))
+                .unwrap();
+            p1.submit(SolveJob::new(id, f.clone(), vec![1.0; n], 1, None))
+                .unwrap();
+        }
+        p0.finish();
+        p1.finish();
+        // both shards' samples land in one histogram…
+        assert_eq!(reg.histogram_summary("splu_solve_us").count, 6);
+        // …and the offset keeps per-worker busy labels distinct
+        let busy: u64 = (0..4)
+            .map(|w| reg.counter_value(&format!("splu_worker_busy_us{{worker=\"{w}\"}}")))
+            .sum();
+        assert_eq!(busy, reg.histogram_summary("splu_solve_us").sum);
         let _ = a;
     }
 

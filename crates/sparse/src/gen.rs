@@ -261,6 +261,87 @@ pub fn dense_random(n: usize, vm: ValueModel) -> CscMatrix {
     coo.to_csc()
 }
 
+/// Power-law "circuit netlist" pattern via preferential attachment — the
+/// post-layout circuit-simulation class (HYLU-style workloads): most
+/// nodes touch a handful of neighbours, while a few hub nodes (ground /
+/// supply rails, clock trees) accumulate degrees far above the mean, so
+/// column counts follow a heavy-tailed (power-law) distribution instead
+/// of the bounded stencil degrees of `grid2d`/`grid3d`.
+///
+/// Construction: nodes join one at a time; node `j` attaches `~avg_deg`
+/// edges to earlier nodes sampled proportionally to their current degree
+/// (Barabási–Albert preferential attachment, implemented by sampling
+/// from the flat edge-endpoint list). Each attachment stamps `A[j, t]`
+/// and, with probability `sym_frac`, the mirrored `A[t, j]` — circuit
+/// conductance stamps are structurally symmetric, so `sym_frac` close to
+/// 1 matches netlist matrices (`jpwh991` has symmetry ≈ 1). The diagonal
+/// is always present (zero-free) and scaled up with node degree, the way
+/// a node's self-conductance grows with its incident branches.
+///
+/// Deterministic in `vm.seed`; used by the serving-workload generator
+/// (`splu-load`) and the benchmark suite (`circuit20k`).
+pub fn power_law_circuit(n: usize, avg_deg: usize, sym_frac: f64, vm: ValueModel) -> CscMatrix {
+    assert!(n >= 2, "power_law_circuit needs n >= 2");
+    let avg_deg = avg_deg.max(1);
+    let mut rng = vm.rng();
+    let mut coo = CooMatrix::with_capacity(n, n, n * (avg_deg + 1) * 2);
+    // Flat endpoint list: each stamped edge pushes both endpoints, so a
+    // uniform draw from it is a degree-proportional draw over nodes.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(n * avg_deg * 2);
+    let mut degree: Vec<u32> = vec![0; n];
+    // Small seed chain so the first draws have endpoints to sample.
+    let m0 = (avg_deg + 1).min(n);
+    for j in 1..m0 {
+        endpoints.push(j as u32 - 1);
+        endpoints.push(j as u32);
+        degree[j - 1] += 1;
+        degree[j] += 1;
+        coo.push(j, j - 1, offdiag(&mut rng));
+        if rng.gen_bool(sym_frac) {
+            coo.push(j - 1, j, offdiag(&mut rng));
+        }
+    }
+    let mut targets: Vec<usize> = Vec::with_capacity(avg_deg + 2);
+    for j in m0..n {
+        let k = rng
+            .gen_range(avg_deg.saturating_sub(1)..=avg_deg + 1)
+            .max(1);
+        targets.clear();
+        // A couple of retries per slot keep the expected attachment
+        // count at k without risking long duplicate-rejection loops on
+        // hub-heavy endpoint lists.
+        let mut tries = 4 * k;
+        while targets.len() < k && tries > 0 {
+            tries -= 1;
+            let t = endpoints[rng.gen_range(0..endpoints.len())] as usize;
+            if t != j && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            endpoints.push(j as u32);
+            endpoints.push(t as u32);
+            degree[j] += 1;
+            degree[t] += 1;
+            coo.push(j, t, offdiag(&mut rng));
+            if rng.gen_bool(sym_frac) {
+                coo.push(t, j, offdiag(&mut rng));
+            }
+        }
+    }
+    // Degree-scaled diagonal: hubs get self-conductance proportional to
+    // their incident branch count, keeping pivoting realistic.
+    for j in 0..n {
+        let d = diagval(&mut rng, &vm);
+        coo.push(
+            j,
+            j,
+            d + d.signum() * vm.diag_scale * (1.0 + degree[j] as f64).sqrt(),
+        );
+    }
+    coo.to_csc()
+}
+
 /// Same sparsity pattern, fresh values: every entry of `a` is scaled by a
 /// deterministic pseudo-random factor in `[0.5, 1.5]` drawn from `seed`.
 /// Models the refactorization workloads of the solver service (Newton
@@ -389,6 +470,53 @@ mod tests {
     fn dense_random_is_dense() {
         let a = dense_random(12, ValueModel::default());
         assert_eq!(a.nnz(), 144);
+    }
+
+    #[test]
+    fn power_law_circuit_has_hubs_and_zero_free_diagonal() {
+        let a = power_law_circuit(1200, 4, 0.9, ValueModel::default());
+        assert_eq!(a.nrows(), 1200);
+        assert!(a.has_zero_free_diagonal());
+        // average column degree stays near the requested one...
+        let avg = a.nnz() as f64 / a.ncols() as f64;
+        assert!(
+            (3.0..12.0).contains(&avg),
+            "avg entries/col {avg:.1} out of range"
+        );
+        // ...but preferential attachment concentrates degree: the
+        // largest column is far above the mean (a hub), unlike the
+        // bounded-degree stencil generators.
+        let max_col = (0..a.ncols())
+            .map(|j| a.col_ptr()[j + 1] - a.col_ptr()[j])
+            .max()
+            .unwrap();
+        assert!(
+            max_col as f64 > 5.0 * avg,
+            "max column degree {max_col} vs avg {avg:.1}: no hub formed"
+        );
+        // high sym_frac keeps the pattern mostly symmetric (circuit
+        // stamps): nnz(A ∪ Aᵀ)/nnz(A) stays near 1
+        assert!(structural_symmetry(&a) < 1.2);
+    }
+
+    #[test]
+    fn power_law_circuit_is_deterministic_and_seed_sensitive() {
+        let vm = ValueModel {
+            diag_scale: 1.0,
+            seed: 42,
+        };
+        assert_eq!(
+            power_law_circuit(400, 3, 0.8, vm),
+            power_law_circuit(400, 3, 0.8, vm)
+        );
+        let other = ValueModel {
+            diag_scale: 1.0,
+            seed: 43,
+        };
+        assert_ne!(
+            power_law_circuit(400, 3, 0.8, vm),
+            power_law_circuit(400, 3, 0.8, other)
+        );
     }
 
     #[test]

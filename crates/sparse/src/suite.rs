@@ -27,6 +27,10 @@ pub enum MatrixKind {
     Banded(usize, usize, f64),
     /// Dense (`n`).
     Dense(usize),
+    /// Power-law circuit netlist (`n`, avg degree, mirror fraction) —
+    /// preferential-attachment pattern with hub columns (see
+    /// [`gen::power_law_circuit`]).
+    Circuit(usize, usize, f64),
 }
 
 /// A named suite matrix: the paper's identifier plus the synthetic spec.
@@ -77,6 +81,9 @@ impl MatrixSpec {
             }
             MatrixKind::Banded(n, bw, d) => gen::banded(sdim(n, scale), bw, d, vm),
             MatrixKind::Dense(n) => gen::dense_random(sdim(n, scale), vm),
+            MatrixKind::Circuit(n, deg, sym) => {
+                gen::power_law_circuit(sdim(n, scale), deg, sym, vm)
+            }
         }
     }
 }
@@ -213,6 +220,17 @@ pub fn all() -> Vec<MatrixSpec> {
             kind: MatrixKind::Dense(1000),
             seed: 16,
         },
+        // Workspace extension (not a Table 1 matrix): a power-law
+        // circuit netlist at post-layout scale, the structural class of
+        // the serving workload's circuit-simulation tenants and the
+        // first step toward the large-matrix suite (ROADMAP item 1).
+        MatrixSpec {
+            name: "circuit20k",
+            paper_n: 20000,
+            paper_nnz: 110000,
+            kind: MatrixKind::Circuit(20000, 4, 0.9),
+            seed: 17,
+        },
     ]
 }
 
@@ -280,6 +298,21 @@ mod tests {
     fn dense1000_is_dense() {
         let a = by_name("dense1000").unwrap().build_scaled(0.05);
         assert_eq!(a.nnz(), a.nrows() * a.ncols());
+    }
+
+    #[test]
+    fn circuit_extension_builds_scaled() {
+        let spec = by_name("circuit20k").unwrap();
+        let a = spec.build_scaled(0.05);
+        assert!(a.nrows() >= 900 && a.nrows() <= 1100);
+        assert!(a.has_zero_free_diagonal());
+        // hub columns survive scaling
+        let avg = a.nnz() as f64 / a.ncols() as f64;
+        let max_col = (0..a.ncols())
+            .map(|j| a.col_ptr()[j + 1] - a.col_ptr()[j])
+            .max()
+            .unwrap();
+        assert!(max_col as f64 > 4.0 * avg, "no hub: {max_col} vs {avg:.1}");
     }
 
     #[test]

@@ -25,6 +25,13 @@
 //!                                       seq/par1d/par2d drivers; write the
 //!                                       GFLOP/s + scratch-footprint record
 //!                                       (default results/BENCH_lu.json)
+//! splu loadgen [opts]                   multi-tenant load benchmark: generate
+//!                                       a seeded open-loop schedule (cold-
+//!                                       start / value-churn / pattern-reuse
+//!                                       traffic) and replay it against the
+//!                                       concurrent solver service; write the
+//!                                       goodput + latency record (default
+//!                                       results/BENCH_solver.json)
 //!
 //! options (each subcommand accepts its own subset; an unknown flag
 //! error names the flag and lists the valid ones):
@@ -44,14 +51,24 @@
 //!   --gantt-width N    ASCII Gantt width, 0 = off (default 64, trace only)
 //!   --from-trace FILE  analyze a recorded Chrome trace instead of
 //!                                                 running in-process
-//!   --requests FILE    workload file              (serve; alias for the
-//!                                                 positional argument)
-//!   --workers N        solve worker threads       (default 2, serve only)
-//!   --queue-cap N      work-queue capacity        (default 8, serve only)
-//!   --cache-bytes N    factorization-cache budget (serve only)
-//!   --metrics-out FILE metrics snapshot           (serve only; `.json` =
-//!                                                 JSON snapshot, anything
+//!   --requests X       serve: workload file (alias for the positional);
+//!                      loadgen: solve-request count  (default 100000)
+//!   --workers N        solve worker threads       (default 2 serve,
+//!                                                 4 loadgen)
+//!   --queue-cap N      work-queue capacity        (default 8 serve,
+//!                                                 256 loadgen)
+//!   --cache-bytes N    factorization-cache budget (serve/loadgen)
+//!   --metrics-out FILE metrics snapshot           (serve/loadgen; `.json`
+//!                                                 = JSON snapshot, anything
 //!                                                 else Prometheus text)
+//!   --tenants N        tenant population           (default 48, loadgen)
+//!   --seed N           workload seed               (loadgen only)
+//!   --span-ms MS       open-loop arrival window    (default 1 ms per
+//!                                                 request, loadgen only)
+//!   --factor-workers N factorization worker threads (default 4, loadgen)
+//!   --shards N         cache + solve-queue shards  (default 4, loadgen)
+//!   --compare-single   replay the same schedule with one factor worker
+//!                      first and record the goodput speedup (loadgen)
 //!   --min-secs S       per-driver measurement time (default 0.2,
 //!                                                 bench-lu only)
 //!   --baseline FILE    previous record to gate against (bench-lu/serve;
@@ -69,13 +86,15 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: splu <info|factor|solve|serve|project|trace|analyze|bench-lu> \
+        "usage: splu <info|factor|solve|serve|project|trace|analyze|bench-lu|loadgen> \
          <matrix.mtx|requests.txt|suite-name> \
          [--block-size N] [--amalgamate R] [--ordering natural|mmd|atpa|rcm] \
          [--refine N] [--lookahead W] [--procs P] [--rhs file] [--out file] \
          [--stats-json file] [--gantt-width N] [--from-trace file] \
-         [--requests file] [--workers N] [--queue-cap N] [--cache-bytes N] \
-         [--metrics-out file] [--min-secs S] [--baseline file]"
+         [--requests file|N] [--workers N] [--queue-cap N] [--cache-bytes N] \
+         [--metrics-out file] [--min-secs S] [--baseline file] [--tenants N] \
+         [--seed N] [--span-ms MS] [--factor-workers N] [--shards N] \
+         [--compare-single]"
     );
     ExitCode::from(2)
 }
@@ -114,6 +133,21 @@ fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
         ),
         "analyze" => flags!("--procs", "--lookahead", "--out", "--from-trace"),
         "bench-lu" => Some(&["--out", "--min-secs", "--baseline", "--lookahead"]),
+        "loadgen" => flags!(
+            "--requests",
+            "--tenants",
+            "--seed",
+            "--span-ms",
+            "--factor-workers",
+            "--workers",
+            "--shards",
+            "--queue-cap",
+            "--cache-bytes",
+            "--stats-json",
+            "--metrics-out",
+            "--baseline",
+            "--compare-single"
+        ),
         _ => None,
     }
 }
@@ -129,13 +163,24 @@ struct Cli {
     out: String,
     stats_json: Option<String>,
     gantt_width: usize,
-    workers: usize,
-    queue_cap: usize,
+    /// Solve worker threads; the default depends on the subcommand
+    /// (2 for `serve`, 4 for `loadgen`).
+    workers: Option<usize>,
+    /// Work-queue capacity; default 8 for `serve`, 256 for `loadgen`.
+    queue_cap: Option<usize>,
     cache_bytes: Option<usize>,
     min_secs: f64,
     baseline: Option<String>,
     metrics_out: Option<String>,
     from_trace: Option<String>,
+    // loadgen-only knobs
+    load_requests: usize,
+    tenants: usize,
+    seed: Option<u64>,
+    span_ms: Option<u64>,
+    factor_workers: usize,
+    shards: usize,
+    compare_single: bool,
 }
 
 /// The value following `flag`, or an error naming the flag.
@@ -172,18 +217,25 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
         out: "trace.json".to_string(),
         stats_json: None,
         gantt_width: 64,
-        workers: 2,
-        queue_cap: 8,
+        workers: None,
+        queue_cap: None,
         cache_bytes: None,
         min_secs: 0.2,
         baseline: None,
         metrics_out: None,
         from_trace: None,
+        load_requests: 100_000,
+        tenants: 48,
+        seed: None,
+        span_ms: None,
+        factor_workers: 4,
+        shards: 4,
+        compare_single: false,
     };
     let valid = allowed_flags(&cli.cmd).ok_or_else(|| {
         format!(
             "unknown command `{}` (expected \
-             info|factor|solve|serve|project|trace|analyze|bench-lu)",
+             info|factor|solve|serve|project|trace|analyze|bench-lu|loadgen)",
             cli.cmd
         )
     })?;
@@ -226,31 +278,71 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
             "--out" => cli.out = flag_value(&mut args, "--out")?,
             "--stats-json" => cli.stats_json = Some(flag_value(&mut args, "--stats-json")?),
             "--gantt-width" => cli.gantt_width = flag_parse(&mut args, "--gantt-width")?,
-            "--requests" => cli.matrix = flag_value(&mut args, "--requests")?,
-            "--workers" => {
-                cli.workers = flag_parse(&mut args, "--workers")?;
-                if cli.workers == 0 {
-                    return Err("--workers: invalid value `0` (must be ≥ 1)".to_string());
+            // `--requests` is a workload file for `serve`, a request
+            // count for `loadgen`.
+            "--requests" if cli.cmd == "loadgen" => {
+                cli.load_requests = flag_parse(&mut args, "--requests")?;
+                if cli.load_requests == 0 {
+                    return Err("--requests: invalid value `0` (must be ≥ 1)".to_string());
                 }
             }
+            "--requests" => cli.matrix = flag_value(&mut args, "--requests")?,
+            "--workers" => {
+                let w: usize = flag_parse(&mut args, "--workers")?;
+                if w == 0 {
+                    return Err("--workers: invalid value `0` (must be ≥ 1)".to_string());
+                }
+                cli.workers = Some(w);
+            }
             "--queue-cap" => {
-                cli.queue_cap = flag_parse(&mut args, "--queue-cap")?;
-                if cli.queue_cap == 0 {
+                let c: usize = flag_parse(&mut args, "--queue-cap")?;
+                if c == 0 {
                     return Err("--queue-cap: invalid value `0` (must be ≥ 1)".to_string());
                 }
+                cli.queue_cap = Some(c);
             }
             "--cache-bytes" => cli.cache_bytes = Some(flag_parse(&mut args, "--cache-bytes")?),
             "--min-secs" => cli.min_secs = flag_parse(&mut args, "--min-secs")?,
             "--baseline" => cli.baseline = Some(flag_value(&mut args, "--baseline")?),
             "--metrics-out" => cli.metrics_out = Some(flag_value(&mut args, "--metrics-out")?),
             "--from-trace" => cli.from_trace = Some(flag_value(&mut args, "--from-trace")?),
+            "--tenants" => {
+                cli.tenants = flag_parse(&mut args, "--tenants")?;
+                if cli.tenants == 0 {
+                    return Err("--tenants: invalid value `0` (must be ≥ 1)".to_string());
+                }
+            }
+            "--seed" => cli.seed = Some(flag_parse(&mut args, "--seed")?),
+            "--span-ms" => cli.span_ms = Some(flag_parse(&mut args, "--span-ms")?),
+            "--factor-workers" => {
+                cli.factor_workers = flag_parse(&mut args, "--factor-workers")?;
+                if cli.factor_workers == 0 {
+                    return Err("--factor-workers: invalid value `0` (must be ≥ 1)".to_string());
+                }
+            }
+            "--shards" => {
+                cli.shards = flag_parse(&mut args, "--shards")?;
+                if cli.shards == 0 {
+                    return Err("--shards: invalid value `0` (must be ≥ 1)".to_string());
+                }
+            }
+            "--compare-single" => cli.compare_single = true,
             other => unreachable!("flag `{other}` passed the allow-list but has no handler"),
         }
     }
-    // `bench-lu` runs the built-in suite and takes no input file;
-    // `analyze --from-trace` reads a recorded trace instead of a matrix.
-    let input_optional =
-        cli.cmd == "bench-lu" || (cli.cmd == "analyze" && cli.from_trace.is_some());
+    // `bench-lu` and `loadgen` run built-in workloads and take no input
+    // file; `analyze --from-trace` reads a recorded trace instead of a
+    // matrix.
+    if cli.cmd == "loadgen" && !cli.matrix.is_empty() {
+        return Err(format!(
+            "`splu loadgen` takes no positional input (got `{}`); the \
+             workload is synthesized from --requests/--tenants/--seed",
+            cli.matrix
+        ));
+    }
+    let input_optional = cli.cmd == "bench-lu"
+        || cli.cmd == "loadgen"
+        || (cli.cmd == "analyze" && cli.from_trace.is_some());
     if cli.matrix.is_empty() && !input_optional {
         return Err(if cli.cmd == "serve" {
             "missing <requests> argument (positional or --requests)".to_string()
@@ -279,8 +371,8 @@ fn cmd_serve(cli: &Cli) -> ExitCode {
         }
     };
     let config = BatchConfig {
-        workers: cli.workers,
-        queue_cap: cli.queue_cap,
+        workers: cli.workers.unwrap_or(2),
+        queue_cap: cli.queue_cap.unwrap_or(8),
         cache_bytes: cli
             .cache_bytes
             .unwrap_or(CacheConfig::default().capacity_bytes),
@@ -375,6 +467,174 @@ fn cmd_serve(cli: &Cli) -> ExitCode {
                     "gate: ok vs {base} (p95 e2e {} us vs {} us, hit rate {:.3} vs {:.3}, \
                      tolerance {tol}%)",
                     current.p95_e2e_us, b.p95_e2e_us, current.cache_hit_rate, b.cache_hit_rate
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `splu loadgen`: synthesize a multi-tenant open-loop workload and
+/// replay it against the concurrent solver service.
+fn cmd_loadgen(cli: &Cli) -> ExitCode {
+    use sstar::load::{generate, run_schedule, LoadConfig};
+    use sstar::solver::ConcurrentConfig;
+    let base_load = LoadConfig::default();
+    let load_cfg = LoadConfig {
+        requests: cli.load_requests,
+        tenants: cli.tenants,
+        seed: cli.seed.unwrap_or(base_load.seed),
+        // default pacing: 1 ms per request (1000 offered req/s — about
+        // 2× the single-core service capacity, the overload regime
+        // where factor-pool head-of-line blocking shows)
+        span_us: cli
+            .span_ms
+            .map_or(cli.load_requests as u64 * 1_000, |ms| ms * 1_000),
+        ..base_load
+    };
+    let mut service_cfg = ConcurrentConfig {
+        factor_workers: cli.factor_workers,
+        solve_workers: cli.workers.unwrap_or(4),
+        shards: cli.shards,
+        options: cli.options,
+        ..ConcurrentConfig::default()
+    };
+    if let Some(cap) = cli.queue_cap {
+        service_cfg.factor_queue_cap = cap;
+        service_cfg.solve_queue_cap = cap;
+    }
+    if let Some(bytes) = cli.cache_bytes {
+        service_cfg.cache_bytes = bytes;
+    }
+    let schedule = generate(&load_cfg);
+    println!(
+        "loadgen: {} solve request(s) over {} tenant(s), span {} ms, seed {:#x}",
+        schedule.solve_count,
+        load_cfg.tenants,
+        load_cfg.span_us / 1_000,
+        load_cfg.seed
+    );
+    println!(
+        "loadgen: {} factor worker(s), {} solve worker(s), {} shard(s), \
+         queue capacity {}",
+        service_cfg.factor_workers,
+        service_cfg.solve_workers,
+        service_cfg.shards,
+        service_cfg.solve_queue_cap
+    );
+    let single = if cli.compare_single {
+        println!("loadgen: single-factor-worker comparison run …");
+        let s = run_schedule(
+            &load_cfg,
+            &schedule,
+            ConcurrentConfig {
+                factor_workers: 1,
+                ..service_cfg
+            },
+        );
+        println!(
+            "  single: goodput {:.1} req/s ({} solved, {} expired, {} failed)",
+            s.req_per_sec, s.solved, s.expired, s.failed
+        );
+        Some(s)
+    } else {
+        None
+    };
+    let report = run_schedule(&load_cfg, &schedule, service_cfg);
+    let e2e = report.metrics.histogram_summary("splu_request_us");
+    let solve = report.metrics.histogram_summary("splu_solve_us");
+    println!(
+        "replayed {} request(s) in {:.3} s (offered {:.1} req/s, max lag {} µs)",
+        report.requests,
+        report.wall_us as f64 / 1e6,
+        report.offered_per_sec,
+        report.sched_lag_max_us
+    );
+    println!(
+        "goodput: {:.1} req/s ({} solved, {} expired, {} failed)",
+        report.req_per_sec, report.solved, report.expired, report.failed
+    );
+    println!(
+        "latency: e2e p50/p95/p99 {}/{}/{} µs, solve p95 {} µs",
+        e2e.p50, e2e.p95, e2e.p99, solve.p95
+    );
+    println!(
+        "cache: hit rate {:.3}, {} refactor(s), {} eviction(s); \
+         refactor-ahead hit rate {:.3} ({} ready, {} in-flight, {} demand)",
+        report.cache.hit_rate(),
+        report.cache.refactors,
+        report.cache.evictions,
+        report.ahead.hit_rate(),
+        report.ahead.hits_ready,
+        report.ahead.hits_inflight,
+        report.ahead.demand_flights
+    );
+    println!(
+        "accuracy: max forward error {:.3e} over {} sampled solve(s)",
+        report.max_err, report.samples_checked
+    );
+    if let Some(s) = &single {
+        let speedup = if s.req_per_sec > 0.0 {
+            report.req_per_sec / s.req_per_sec
+        } else {
+            f64::INFINITY
+        };
+        println!("speedup vs single factor worker: {speedup:.2}×");
+    }
+    let json = report.to_json(single.as_ref());
+    let path = cli
+        .stats_json
+        .clone()
+        .unwrap_or_else(|| "results/BENCH_solver.json".to_string());
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("splu: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {path}");
+    if let Some(path) = &cli.metrics_out {
+        let body = if path.ends_with(".json") {
+            report.metrics.json_snapshot()
+        } else {
+            report.metrics.prometheus_text()
+        };
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("splu: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if let Some(base) = &cli.baseline {
+        use sstar::solver::gate::{gate_against, tolerance_pct, SolverRecord};
+        let current = match SolverRecord::parse(&json) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("splu: fresh loadgen record unparseable: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = std::fs::read_to_string(base)
+            .ok()
+            .and_then(|t| SolverRecord::parse(&t).ok());
+        match baseline {
+            None => println!("gate: no usable baseline at {base}; skipping"),
+            Some(b) => {
+                let tol = tolerance_pct();
+                if let Err(e) = gate_against(&current, &b, tol) {
+                    eprintln!("splu: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "gate: ok vs {base} (p95 e2e {} us vs {} us, goodput {:.1} vs {:.1} req/s, \
+                     tolerance {tol}%)",
+                    current.p95_e2e_us,
+                    b.p95_e2e_us,
+                    current.req_per_sec.unwrap_or(0.0),
+                    b.req_per_sec.unwrap_or(0.0)
                 );
             }
         }
@@ -519,6 +779,10 @@ fn main() -> ExitCode {
     // `serve` takes a workload file, not a matrix.
     if cli.cmd == "serve" {
         return cmd_serve(&cli);
+    }
+    // `loadgen` synthesizes its workload, no input file.
+    if cli.cmd == "loadgen" {
+        return cmd_loadgen(&cli);
     }
     // `bench-lu` runs the built-in synthetic suite, no input file.
     if cli.cmd == "bench-lu" {

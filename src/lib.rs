@@ -46,13 +46,15 @@
 //! | [`probe`] | `splu-probe` | flight-recorder tracing: spans/counters, Chrome-trace & summary-JSON export |
 //! | [`sched`] | `splu-sched` | task DAG, CA & graph schedules, discrete-event simulator, Gantt, load balance |
 //! | [`core`] | `splu-core` | S\* numeric factorization: sequential, 1D (CA / RAPID-style), 2D (async / barrier), solvers |
-//! | [`solver`] | `splu-solver` | analyze/factorize/solve service: staged handles, pattern-keyed factorization cache, bounded solve work queue, batch driver |
+//! | [`solver`] | `splu-solver` | analyze/factorize/solve service: staged handles, pattern-keyed factorization cache, bounded solve work queue, concurrent serving layer (factor pool, sharded cache, refactor-ahead), batch driver |
+//! | [`load`] | `splu-load` | seeded multi-tenant workload generator and open-loop load driver (`splu loadgen`) |
 //!
 //! See `DESIGN.md` for the paper↔module inventory and `EXPERIMENTS.md` for
 //! the reproduced tables and figures.
 
 pub use splu_core as core;
 pub use splu_kernels as kernels;
+pub use splu_load as load;
 pub use splu_machine as machine;
 pub use splu_order as order;
 pub use splu_probe as probe;
