@@ -39,6 +39,36 @@ pub const PAR2D_PROCS: usize = 4;
 /// gated main measurement): `0` is the in-order ablation baseline.
 pub const LOOKAHEAD_SWEEP: [usize; 4] = [0, 1, 2, 4];
 
+/// Which suite one `bench-lu` invocation measures. Sections it does not
+/// measure are carried forward verbatim from the baseline record, so
+/// `BENCH_lu.json` keeps both the measured small-suite record and the
+/// modeled large-suite record across alternating runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteSel {
+    /// The wall-clock small suite ([`MATRICES`]): seq/par1d/par2d.
+    Small,
+    /// The n = 50k–500k extension tier ([`suite::XLARGE`]), through the
+    /// T3E machine model.
+    Large,
+    /// Single shrunk large-tier instance ([`suite::XLARGE_SMOKE`]) for
+    /// CI smoke runs.
+    LargeSmoke,
+}
+
+impl SuiteSel {
+    /// Parse a `--suite` flag value.
+    pub fn parse(v: &str) -> Result<Self, String> {
+        match v {
+            "small" => Ok(Self::Small),
+            "large" => Ok(Self::Large),
+            "large-smoke" => Ok(Self::LargeSmoke),
+            other => Err(format!(
+                "--suite: unknown value `{other}` (expected small|large|large-smoke)"
+            )),
+        }
+    }
+}
+
 /// Update-stage time breakdown of one measured run (the last run of the
 /// measurement budget): seconds inside the stacked GEMM calls, inside
 /// the map-driven scatter loops, and blocked waiting for remote panels,
@@ -317,6 +347,115 @@ pub fn bench_matrix(name: &'static str, min_secs: f64, lookahead: usize) -> Matr
     }
 }
 
+/// One matrix of the large-tier record: symbolic-pipeline statistics
+/// plus the three modeled times (T3E machine model; the matrices are
+/// orders of magnitude past what thread-simulated wall-clock runs can
+/// measure on this host).
+pub struct LargeMatrixResult {
+    pub name: &'static str,
+    pub n: usize,
+    pub nnz: usize,
+    /// Entries of the static (S\*) factor.
+    pub factor_nnz: usize,
+    pub nblocks: usize,
+    pub ntasks: usize,
+    /// Independent subtree tasks of the elimination-tree cut.
+    pub nsubtrees: usize,
+    /// Fraction of modeled flops inside proportional-mapped subtrees.
+    pub subtree_work_ppm: u32,
+    pub steal_attempts: u64,
+    pub steal_hits: u64,
+    /// Wall seconds of the symbolic pipeline (order → S\* → partition →
+    /// structure → task graph → plan) — real, not modeled.
+    pub analyze_secs: f64,
+    /// Modeled 1-processor time (total work under the machine model —
+    /// provably the 1-proc simulator makespan, without the event loop).
+    pub seq_secs: f64,
+    /// Modeled makespan of the all-cyclic stage pipeline (the "before"
+    /// engine expressed in plan form) on the 2D grid.
+    pub cyclic_secs: f64,
+    /// Modeled makespan of the elimination-tree task-DAG plan.
+    pub taskdag_secs: f64,
+}
+
+impl LargeMatrixResult {
+    pub fn cyclic_speedup(&self) -> f64 {
+        self.seq_secs / self.cyclic_secs.max(1e-12)
+    }
+    pub fn taskdag_speedup(&self) -> f64 {
+        self.seq_secs / self.taskdag_secs.max(1e-12)
+    }
+}
+
+/// Geometric mean (1.0 on an empty slice — the neutral headline).
+pub fn geomean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0f64, 0u32);
+    for x in xs {
+        sum += x.max(1e-12).ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+/// Model one large-tier matrix: natural ordering (the hierarchical
+/// generators emit subdomains-then-border directly; min-degree both
+/// scrambles that and costs minutes at this scale), S\* symbolic
+/// factorization, supernode partition, structure-only block pattern (no
+/// scatter maps — those are for numeric runs), then the task graph
+/// simulated under T3E on the [`PAR2D_PROCS`] grid with the cyclic and
+/// task-DAG plans.
+pub fn bench_large_matrix(name: &'static str) -> LargeMatrixResult {
+    use splu_sched::{plan_taskdag, taskdag_sim_schedule, TaskDagPlan, TaskGraph};
+    use splu_symbolic::{
+        amalgamate, block_etree, partition_supernodes, static_symbolic_factorization, BlockPattern,
+    };
+    use std::sync::Arc;
+
+    let spec = suite::by_name(name).unwrap_or_else(|| panic!("unknown suite matrix `{name}`"));
+    let a = spec.build();
+    let opts = FactorOptions::default();
+    let t0 = Instant::now();
+    let (permuted, _, _) = splu_order::preprocess(&a, splu_order::ColumnOrdering::Natural);
+    let s = static_symbolic_factorization(&permuted);
+    let base = partition_supernodes(&s, opts.block_size);
+    let part = amalgamate(&s, &base, opts.amalgamation, opts.block_size);
+    let bp = Arc::new(BlockPattern::build_structural(&s, &part));
+    let g = TaskGraph::build(&bp);
+    let parent = block_etree(&bp);
+    let grid = Grid::for_procs(PAR2D_PROCS);
+    let plan = plan_taskdag(&g, &parent, grid.nprocs());
+    let analyze_secs = t0.elapsed().as_secs_f64();
+
+    let model = splu_machine::T3E;
+    let seq_secs = g.total_work(&model);
+    let dag = taskdag_sim_schedule(&g, &plan, grid.pr, grid.pc);
+    let taskdag_secs = splu_sched::sim::simulate(&g, &dag, &model).makespan;
+    let cyc_plan = TaskDagPlan::cyclic(bp.nblocks(), grid.nprocs());
+    let cyc = taskdag_sim_schedule(&g, &cyc_plan, grid.pr, grid.pc);
+    let cyclic_secs = splu_sched::sim::simulate(&g, &cyc, &model).makespan;
+
+    LargeMatrixResult {
+        name,
+        n: a.ncols(),
+        nnz: a.nnz(),
+        factor_nnz: s.factor_nnz(),
+        nblocks: bp.nblocks(),
+        ntasks: g.len(),
+        nsubtrees: plan.nsubtrees,
+        subtree_work_ppm: plan.subtree_work_ppm,
+        steal_attempts: plan.steal_attempts,
+        steal_hits: plan.steal_hits,
+        analyze_secs,
+        seq_secs,
+        cyclic_secs,
+        taskdag_secs,
+    }
+}
+
 /// Previous-record rates: `(matrix, driver) → GFLOP/s`, parsed from an
 /// earlier `BENCH_lu.json`. `None` when the text is not a benchmark
 /// record (missing file contents, different bench, parse failure).
@@ -361,6 +500,111 @@ pub fn parse_pivot_wait_shares(text: &str) -> Option<std::collections::HashMap<S
         }
     }
     Some(map)
+}
+
+/// Previous-record large-tier task-DAG speedups: `matrix →
+/// speedup_vs_seq.par2d_taskdag`. Absent for records written before the
+/// large tier existed.
+pub fn parse_large_speedups(text: &str) -> Option<std::collections::HashMap<String, f64>> {
+    let v = splu_probe::json::parse(text).ok()?;
+    if v.get("bench")?.as_str()? != "lu_factor" {
+        return None;
+    }
+    let mut map = std::collections::HashMap::new();
+    for c in v.get("large_suite")?.get("cases")?.items()? {
+        let name = c.get("name")?.as_str()?;
+        if let Some(s) = c
+            .get("speedup_vs_seq")
+            .and_then(|s| s.get("par2d_taskdag"))
+            .and_then(|s| s.as_f64())
+        {
+            map.insert(name.to_string(), s);
+        }
+    }
+    Some(map)
+}
+
+/// Previous-record small-suite headline: `(par1d, par2d)` geomean
+/// speedups vs seq. Absent for records written before the headline.
+pub fn parse_headline(text: &str) -> Option<(f64, f64)> {
+    let v = splu_probe::json::parse(text).ok()?;
+    let h = v.get("headline")?.get("geomean_speedup_vs_seq")?;
+    Some((h.get("par1d")?.as_f64()?, h.get("par2d")?.as_f64()?))
+}
+
+/// Gate the fresh large-tier record. Two conditions:
+///
+/// * **Acceptance floor**: the task-DAG geomean `speedup_vs_seq` must
+///   exceed 1.0 — the parallel engine must beat the sequential driver
+///   under the machine model, or the whole tier is pointless. The model
+///   is deterministic, so the smoke tier holds the floor too.
+/// * **Regression**: any matrix's task-DAG speedup more than `tol_pct`
+///   percent below its recorded value fails (the model is deterministic;
+///   the tolerance absorbs deliberate planner changes, not noise).
+pub fn gate_large(
+    rows: &[LargeMatrixResult],
+    prev: Option<&std::collections::HashMap<String, f64>>,
+    tol_pct: f64,
+    require_floor: bool,
+) -> Result<(), String> {
+    let mut failures = Vec::new();
+    let gm = geomean(rows.iter().map(|r| r.taskdag_speedup()));
+    if require_floor && gm <= 1.0 {
+        failures.push(format!(
+            "large suite: par2d_taskdag geomean speedup_vs_seq {gm:.4} \
+             does not beat sequential (> 1.0 required)"
+        ));
+    }
+    if let Some(prev) = prev {
+        for r in rows {
+            if let Some(&p) = prev.get(r.name) {
+                let s = r.taskdag_speedup();
+                if s < p * (1.0 - tol_pct / 100.0) {
+                    failures.push(format!(
+                        "{}/par2d_taskdag: modeled speedup {s:.4} is more than \
+                         {tol_pct}% below the recorded {p:.4}",
+                        r.name
+                    ));
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "large-suite regression:\n  {}",
+            failures.join("\n  ")
+        ))
+    }
+}
+
+/// Gate the fresh small-suite headline against the recorded one: either
+/// driver's geomean speedup-vs-seq more than `tol_pct` percent below the
+/// record fails.
+pub fn gate_headline(
+    rows: &[MatrixResult],
+    prev: Option<(f64, f64)>,
+    tol_pct: f64,
+) -> Result<(), String> {
+    let Some((p1_prev, p2_prev)) = prev else {
+        return Ok(());
+    };
+    let (p1, p2) = headline_speedups(rows);
+    let mut failures = Vec::new();
+    for (d, g, p) in [("par1d", p1, p1_prev), ("par2d", p2, p2_prev)] {
+        if g < p * (1.0 - tol_pct / 100.0) {
+            failures.push(format!(
+                "headline/{d}: geomean speedup_vs_seq {g:.4} is more than \
+                 {tol_pct}% below the recorded {p:.4}"
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("headline regression:\n  {}", failures.join("\n  ")))
+    }
 }
 
 /// Gate the fresh attribution against a previous record: the pivot-wait
@@ -454,21 +698,16 @@ fn sweep_json(points: &[SweepPoint]) -> String {
     format!("\"par2d_lookahead_sweep\": [\n      {body}]")
 }
 
-/// Render the benchmark rows as the `BENCH_lu.json` document. When the
-/// previous record is supplied, each matrix row carries its per-driver
-/// `speedup_vs_prev` ratios (new rate / recorded rate).
-pub fn render_json(
+/// Render the measured small-suite rows as the `"matrices"` array value
+/// (`[...]`). When the previous record is supplied, each matrix row
+/// carries its per-driver `speedup_vs_prev` ratios (new rate / recorded
+/// rate).
+fn matrices_json(
     rows: &[MatrixResult],
     prev: Option<&std::collections::HashMap<(String, String), f64>>,
 ) -> String {
-    let grid = Grid::for_procs(PAR2D_PROCS);
     let mut json = String::new();
-    json.push_str("{\n  \"bench\": \"lu_factor\",\n");
-    json.push_str(&format!(
-        "  \"drivers\": {{\"seq\": 1, \"par1d\": {PAR1D_PROCS}, \"par2d\": [{}, {}]}},\n",
-        grid.pr, grid.pc
-    ));
-    json.push_str("  \"matrices\": [\n");
+    json.push_str("[\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"n\": {}, \"nnz\": {},\n",
@@ -526,8 +765,145 @@ pub fn render_json(
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ]");
     json
+}
+
+/// The per-driver geomean `speedup_vs_seq` headline of the small suite:
+/// each parallel driver's rate over the sequential rate of the same
+/// matrix (identical flop counts, so the rate ratio is the time ratio),
+/// aggregated with a geometric mean across the suite.
+fn headline_json(rows: &[MatrixResult]) -> String {
+    let (p1, p2) = headline_speedups(rows);
+    format!(
+        "{{\"geomean_speedup_vs_seq\": {{\"par1d\": {p1:.4}, \"par2d\": {p2:.4}}}, \
+         \"note\": \"thread-simulated processors on this host; trajectory metric, \
+         see large_suite for the modeled parallel wins\"}}"
+    )
+}
+
+/// `(par1d, par2d)` geomean speedups vs the sequential driver.
+pub fn headline_speedups(rows: &[MatrixResult]) -> (f64, f64) {
+    let ratio = |g: f64, s: f64| g / s.max(1e-12);
+    (
+        geomean(rows.iter().map(|r| ratio(r.par1d.gflops, r.seq.gflops))),
+        geomean(rows.iter().map(|r| ratio(r.par2d.gflops, r.seq.gflops))),
+    )
+}
+
+/// Render the large-tier record as the `"large_suite"` object value.
+fn large_json(rows: &[LargeMatrixResult]) -> String {
+    let grid = Grid::for_procs(PAR2D_PROCS);
+    let cases = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"name\": \"{}\", \"n\": {}, \"nnz\": {}, \"factor_nnz\": {}, \
+                 \"nblocks\": {}, \"ntasks\": {},\n      \
+                 \"nsubtrees\": {}, \"subtree_work_pct\": {:.1}, \
+                 \"steal_attempts\": {}, \"steal_hits\": {}, \
+                 \"analyze_secs\": {:.3},\n      \
+                 \"model_secs\": {{\"seq\": {:.6}, \"par2d_cyclic\": {:.6}, \
+                 \"par2d_taskdag\": {:.6}}},\n      \
+                 \"speedup_vs_seq\": {{\"par2d_cyclic\": {:.4}, \
+                 \"par2d_taskdag\": {:.4}}}}}",
+                r.name,
+                r.n,
+                r.nnz,
+                r.factor_nnz,
+                r.nblocks,
+                r.ntasks,
+                r.nsubtrees,
+                r.subtree_work_ppm as f64 / 10_000.0,
+                r.steal_attempts,
+                r.steal_hits,
+                r.analyze_secs,
+                r.seq_secs,
+                r.cyclic_secs,
+                r.taskdag_secs,
+                r.cyclic_speedup(),
+                r.taskdag_speedup(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n     ");
+    format!(
+        "{{\"procs\": {}, \"grid\": [{}, {}], \"machine\": \"t3e\", \
+         \"ordering\": \"natural\",\n    \"cases\": [\n     {cases}],\n    \
+         \"geomean_speedup_vs_seq\": {{\"par2d_cyclic\": {:.4}, \
+         \"par2d_taskdag\": {:.4}}}}}",
+        grid.nprocs(),
+        grid.pr,
+        grid.pc,
+        geomean(rows.iter().map(|r| r.cyclic_speedup())),
+        geomean(rows.iter().map(|r| r.taskdag_speedup())),
+    )
+}
+
+/// Assemble the `BENCH_lu.json` document from section texts. A section
+/// the current invocation did not measure is passed through verbatim
+/// from the previous record (see [`extract_section`]); a missing
+/// `matrices` section renders as an empty array so the document stays
+/// parseable.
+fn render_document(matrices: Option<&str>, headline: Option<&str>, large: Option<&str>) -> String {
+    let grid = Grid::for_procs(PAR2D_PROCS);
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"lu_factor\",\n");
+    json.push_str(&format!(
+        "  \"drivers\": {{\"seq\": 1, \"par1d\": {PAR1D_PROCS}, \"par2d\": [{}, {}]}},\n",
+        grid.pr, grid.pc
+    ));
+    json.push_str(&format!("  \"matrices\": {}", matrices.unwrap_or("[]")));
+    if let Some(h) = headline {
+        json.push_str(&format!(",\n  \"headline\": {h}"));
+    }
+    if let Some(l) = large {
+        json.push_str(&format!(",\n  \"large_suite\": {l}"));
+    }
+    json.push_str("\n}\n");
+    json
+}
+
+/// Render the measured small-suite benchmark as a full document (no
+/// large-tier section) — the historical `BENCH_lu.json` shape plus the
+/// geomean headline.
+pub fn render_json(
+    rows: &[MatrixResult],
+    prev: Option<&std::collections::HashMap<(String, String), f64>>,
+) -> String {
+    render_document(
+        Some(&matrices_json(rows, prev)),
+        Some(&headline_json(rows)),
+        None,
+    )
+}
+
+/// Extract the verbatim text of a top-level section's value (`[...]` or
+/// `{...}`) from a previously rendered document, by balanced-delimiter
+/// scan from the first occurrence of `"key": `. Sound here because the
+/// renderer never puts brackets inside strings and emits `matrices`
+/// before any nested object that repeats a key. `None` when the key is
+/// absent (older records).
+fn extract_section<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let at = text.find(&format!("\"{key}\":"))?;
+    let rest = &text[at..];
+    let open = rest.find(['[', '{'])?;
+    let (oc, cc) = match rest.as_bytes()[open] {
+        b'[' => (b'[', b']'),
+        _ => (b'{', b'}'),
+    };
+    let mut depth = 0usize;
+    for (i, &b) in rest.as_bytes()[open..].iter().enumerate() {
+        if b == oc {
+            depth += 1;
+        } else if b == cc {
+            depth -= 1;
+            if depth == 0 {
+                return Some(&rest[open..open + i + 1]);
+            }
+        }
+    }
+    None
 }
 
 /// Regression tolerance in percent, from `SPLU_BENCH_TOL_PCT` (default
@@ -574,69 +950,143 @@ pub fn gate_against(
     }
 }
 
-/// Run the full benchmark and write `out`, comparing against the
+/// Run the selected suite and write `out`, comparing against the
 /// previous record at `baseline` (default: the existing contents of
-/// `out`). Returns an error on I/O failure or on a GFLOP/s regression
-/// beyond [`tolerance_pct`] (measurement itself panics on solver bugs —
-/// those should never be reported as a benchmark result).
+/// `out`). The section the invocation does not measure is carried
+/// forward verbatim from the baseline, so alternating small/large runs
+/// keep one complete record. Returns an error on I/O failure or on a
+/// regression beyond [`tolerance_pct`] (measurement itself panics on
+/// solver bugs — those should never be reported as a benchmark result).
+pub fn run_suite(
+    out: &str,
+    min_secs: f64,
+    baseline: Option<&str>,
+    lookahead: usize,
+    sel: SuiteSel,
+) -> Result<(), String> {
+    let baseline_text = std::fs::read_to_string(baseline.unwrap_or(out)).ok();
+    let bt = baseline_text.as_deref();
+    let json;
+    let gate: Box<dyn FnOnce() -> Result<(), String>>;
+    match sel {
+        SuiteSel::Small => {
+            let prev = bt.and_then(parse_rates);
+            let prev_shares = bt.and_then(parse_pivot_wait_shares);
+            let prev_headline = bt.and_then(parse_headline);
+            let mut rows = Vec::new();
+            for name in MATRICES {
+                let r = bench_matrix(name, min_secs, lookahead);
+                eprintln!(
+                    "{:<9} n={:<5} seq {:7.4} GFLOP/s (scratch {} B, warmed grow events {})  \
+                     par1d {:7.4}  par2d {:7.4} (W={})  update gemm/scatter/wait \
+                     {:.1}/{:.1}/{:.1} ms",
+                    r.name,
+                    r.n,
+                    r.seq.gflops,
+                    r.seq.scratch_peak_bytes,
+                    r.seq_warmed_grow_events,
+                    r.par1d.gflops,
+                    r.par2d.gflops,
+                    r.par2d_lookahead,
+                    r.seq.update.gemm_secs * 1e3,
+                    r.seq.update.scatter_secs * 1e3,
+                    r.par2d.update.wait_secs * 1e3,
+                );
+                for p in &r.par2d_sweep {
+                    eprintln!(
+                        "          W={} par2d {:7.4} GFLOP/s  wait {:.1} ms \
+                         (critical-path {:.1} ms, {} hits, {} deferred)",
+                        p.lookahead,
+                        p.gflops,
+                        p.update_wait_secs * 1e3,
+                        p.panel_wait_secs * 1e3,
+                        p.lookahead_hits,
+                        p.deferred_updates,
+                    );
+                }
+                rows.push(r);
+            }
+            let (h1, h2) = headline_speedups(&rows);
+            eprintln!("headline geomean speedup_vs_seq: par1d {h1:.4}  par2d {h2:.4}");
+            json = render_document(
+                Some(&matrices_json(&rows, prev.as_ref())),
+                Some(&headline_json(&rows)),
+                bt.and_then(|t| extract_section(t, "large_suite")),
+            );
+            gate = Box::new(move || {
+                if let Some(shares) = &prev_shares {
+                    gate_attribution_against(&rows, shares, tolerance_pct())?;
+                }
+                gate_headline(&rows, prev_headline, tolerance_pct())?;
+                match &prev {
+                    Some(prev) => gate_against(&rows, prev, tolerance_pct()),
+                    None => {
+                        println!("no previous record to gate against");
+                        Ok(())
+                    }
+                }
+            });
+        }
+        SuiteSel::Large | SuiteSel::LargeSmoke => {
+            let names = if sel == SuiteSel::Large {
+                suite::XLARGE
+            } else {
+                suite::XLARGE_SMOKE
+            };
+            let prev_large = bt.and_then(parse_large_speedups);
+            let mut rows = Vec::new();
+            for &name in names {
+                let r = bench_large_matrix(name);
+                eprintln!(
+                    "{:<11} n={:<6} factor_nnz={:<9} blocks={:<5} subtrees={:<3} \
+                     subtree work {:4.1}%  analyze {:6.2}s  modeled seq {:8.4}s  \
+                     cyclic {:8.4}s ({:4.2}x)  taskdag {:8.4}s ({:4.2}x)",
+                    r.name,
+                    r.n,
+                    r.factor_nnz,
+                    r.nblocks,
+                    r.nsubtrees,
+                    r.subtree_work_ppm as f64 / 10_000.0,
+                    r.analyze_secs,
+                    r.seq_secs,
+                    r.cyclic_secs,
+                    r.cyclic_speedup(),
+                    r.taskdag_secs,
+                    r.taskdag_speedup(),
+                );
+                rows.push(r);
+            }
+            eprintln!(
+                "large-suite geomean speedup_vs_seq: par2d_cyclic {:.4}  par2d_taskdag {:.4}",
+                geomean(rows.iter().map(|r| r.cyclic_speedup())),
+                geomean(rows.iter().map(|r| r.taskdag_speedup())),
+            );
+            json = render_document(
+                bt.and_then(|t| extract_section(t, "matrices")),
+                bt.and_then(|t| extract_section(t, "headline")),
+                Some(&large_json(&rows)),
+            );
+            // the model is deterministic, so even the smoke tier can
+            // hold the > 1.0 acceptance floor without flakiness
+            gate = Box::new(move || gate_large(&rows, prev_large.as_ref(), tolerance_pct(), true));
+        }
+    }
+    if let Some(dir) = std::path::Path::new(out).parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    }
+    std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
+    gate()
+}
+
+/// [`run_suite`] on the small (measured) suite.
 pub fn run_opts(
     out: &str,
     min_secs: f64,
     baseline: Option<&str>,
     lookahead: usize,
 ) -> Result<(), String> {
-    let baseline_text = std::fs::read_to_string(baseline.unwrap_or(out)).ok();
-    let prev = baseline_text.as_deref().and_then(parse_rates);
-    let prev_shares = baseline_text.as_deref().and_then(parse_pivot_wait_shares);
-    let mut rows = Vec::new();
-    for name in MATRICES {
-        let r = bench_matrix(name, min_secs, lookahead);
-        eprintln!(
-            "{:<9} n={:<5} seq {:7.4} GFLOP/s (scratch {} B, warmed grow events {})  \
-             par1d {:7.4}  par2d {:7.4} (W={})  update gemm/scatter/wait \
-             {:.1}/{:.1}/{:.1} ms",
-            r.name,
-            r.n,
-            r.seq.gflops,
-            r.seq.scratch_peak_bytes,
-            r.seq_warmed_grow_events,
-            r.par1d.gflops,
-            r.par2d.gflops,
-            r.par2d_lookahead,
-            r.seq.update.gemm_secs * 1e3,
-            r.seq.update.scatter_secs * 1e3,
-            r.par2d.update.wait_secs * 1e3,
-        );
-        for p in &r.par2d_sweep {
-            eprintln!(
-                "          W={} par2d {:7.4} GFLOP/s  wait {:.1} ms \
-                 (critical-path {:.1} ms, {} hits, {} deferred)",
-                p.lookahead,
-                p.gflops,
-                p.update_wait_secs * 1e3,
-                p.panel_wait_secs * 1e3,
-                p.lookahead_hits,
-                p.deferred_updates,
-            );
-        }
-        rows.push(r);
-    }
-    let json = render_json(&rows, prev.as_ref());
-    if let Some(dir) = std::path::Path::new(out).parent() {
-        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
-    }
-    std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
-    println!("wrote {out}");
-    if let Some(shares) = &prev_shares {
-        gate_attribution_against(&rows, shares, tolerance_pct())?;
-    }
-    match &prev {
-        Some(prev) => gate_against(&rows, prev, tolerance_pct()),
-        None => {
-            println!("no previous record to gate against");
-            Ok(())
-        }
-    }
+    run_suite(out, min_secs, baseline, lookahead, SuiteSel::Small)
 }
 
 /// [`run_opts`] with the default baseline (the previous contents of

@@ -4,7 +4,7 @@
 //! also reachable as `splu bench-lu`.
 //!
 //! Usage: `bench_lu [--out PATH] [--min-secs S] [--baseline PATH]
-//! [--lookahead W]`
+//! [--lookahead W] [--suite small|large|large-smoke]`
 //!
 //! The run is gated against the previous record (`--baseline`, default:
 //! the existing `--out` file): a GFLOP/s drop beyond `SPLU_BENCH_TOL_PCT`
@@ -15,9 +15,16 @@ fn main() {
     let mut min_secs = 0.2f64;
     let mut baseline: Option<String> = None;
     let mut lookahead = splu_core::par2d::DEFAULT_LOOKAHEAD;
+    let mut suite = splu_bench::bench_lu::SuiteSel::Small;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--suite" => {
+                suite = splu_bench::bench_lu::SuiteSel::parse(
+                    &args.next().expect("--suite needs a value"),
+                )
+                .unwrap_or_else(|e| panic!("{e}"))
+            }
             "--out" => out = args.next().expect("--out needs a path"),
             "--min-secs" => {
                 min_secs = args
@@ -38,7 +45,9 @@ fn main() {
             }
         }
     }
-    if let Err(e) = splu_bench::bench_lu::run_opts(&out, min_secs, baseline.as_deref(), lookahead) {
+    if let Err(e) =
+        splu_bench::bench_lu::run_suite(&out, min_secs, baseline.as_deref(), lookahead, suite)
+    {
         eprintln!("bench_lu: {e}");
         std::process::exit(1);
     }

@@ -35,8 +35,10 @@ use crate::storage::BlockMatrix;
 use splu_kernels::{dgemm_naive, dgemm_with, dtrsm_left_lower_unit, gemm_uses_blocked_path};
 use splu_machine::{run_machine, run_machine_jittered, run_machine_traced, Grid, Message, ProcCtx};
 use splu_probe::Collector;
-use splu_sched::{lookahead_schedule, Op2d, TaskGraph};
-use splu_symbolic::BlockPattern;
+use splu_sched::{
+    lookahead_schedule, plan_taskdag, taskdag_schedule, Op2d, TaskDagPlan, TaskGraph,
+};
+use splu_symbolic::{block_etree, BlockPattern};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
@@ -45,6 +47,26 @@ use std::sync::{Arc, Barrier};
 /// factorization ahead of the drain frontier (Fig. 10's compute-ahead
 /// depth). `0` is the in-order ablation baseline.
 pub const DEFAULT_LOOKAHEAD: usize = 1;
+
+/// Which deterministic operation schedule drives the 2D executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sched2d {
+    /// The stage-pipelined lookahead schedule
+    /// ([`splu_sched::lookahead_schedule`]) under an all-cyclic block
+    /// mapping — the paper's Fig. 12–15 protocol with window `W`.
+    Stages {
+        /// Lookahead window `W` (`0` = strict in-order schedule).
+        window: usize,
+    },
+    /// The elimination-tree task-DAG schedule
+    /// ([`splu_sched::taskdag_schedule`]): proportional-mapped etree
+    /// subtrees execute fully locally on their owning processor with
+    /// zero messages, while separator panels fall back to the
+    /// block-cyclic batched-multicast protocol. Subtree → processor
+    /// placement is balanced by [`splu_sched::plan_taskdag`]'s
+    /// deterministic work-stealing pass.
+    TaskDag,
+}
 
 /// Synchronization mode for the 2D code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -193,11 +215,26 @@ fn tag(kind: u64, k: usize, x: usize, y: usize) -> u64 {
 const NONE_ROW: u32 = u32::MAX;
 
 /// Per-processor block storage for the 2D mapping.
+///
+/// Ownership is **plan-aware**: a block `(i, j)` of a proportional-mapped
+/// subtree column `j` lives wholly on the subtree's owning processor
+/// (column-granular ownership — the whole panel column, diagonal, `L`
+/// segments *and* `U` blocks above the diagonal), so subtree stages run
+/// without any communication. Every other (separator) column keeps the
+/// classic 2D block-cyclic map `(i mod p_r, j mod p_c)`. Under the
+/// all-cyclic [`TaskDagPlan::cyclic`] plan this reduces exactly to the
+/// seed's mapping.
 struct Store2d {
     pattern: Arc<BlockPattern>,
     grid: Grid,
+    rank: usize,
     rno: usize,
     cno: usize,
+    plan: Arc<TaskDagPlan>,
+    /// Per-stage bitmask of processor-grid columns holding separator
+    /// destinations of a subtree stage — the stage-row multicast group
+    /// (all-zero under a cyclic plan).
+    sep_dest_cols: Arc<Vec<u64>>,
     /// Global index → block id (cached; rebuilding it per access is O(n)).
     block_of: Vec<u32>,
     /// Owned blocks: `(i, j) → column-major panel`. Diagonal blocks are
@@ -211,42 +248,44 @@ impl Store2d {
         pattern: Arc<BlockPattern>,
         grid: Grid,
         rank: usize,
+        plan: Arc<TaskDagPlan>,
+        sep_dest_cols: Arc<Vec<u64>>,
     ) -> Self {
         let (rno, cno) = grid.coords_of(rank);
         let block_of = pattern.part.block_of_index();
         let mut st = Self {
             pattern,
             grid,
+            rank,
             rno,
             cno,
+            plan,
+            sep_dest_cols,
             block_of,
             blocks: HashMap::new(),
         };
         let nb = st.pattern.nblocks();
-        // allocate owned blocks
+        // allocate owned blocks (plan-aware: subtree columns are owned
+        // whole; separator columns block-cyclically). A local Arc handle
+        // keeps the pattern borrow off `st` while `blocks` is mutated.
+        let pattern = st.pattern.clone();
         for j in 0..nb {
-            if j % grid.pc != cno {
-                continue;
-            }
-            if j % grid.pr == rno {
-                let w = st.pattern.part.width(j);
+            if st.owns_block(j, j) {
+                let w = pattern.part.width(j);
                 st.blocks.insert((j as u32, j as u32), vec![0.0; w * w]);
             }
-            for l in &st.pattern.l_blocks[j] {
-                if (l.i as usize) % grid.pr == rno {
-                    let w = st.pattern.part.width(j);
+            for l in &pattern.l_blocks[j] {
+                if st.owns_block(l.i as usize, j) {
+                    let w = pattern.part.width(j);
                     st.blocks
                         .insert((l.i, j as u32), vec![0.0; l.rows.len() * w]);
                 }
             }
         }
         for k in 0..nb {
-            if k % grid.pr != rno {
-                continue;
-            }
-            let h = st.pattern.part.width(k);
-            for u in &st.pattern.u_blocks[k] {
-                if (u.j as usize) % grid.pc == cno {
+            let h = pattern.part.width(k);
+            for u in &pattern.u_blocks[k] {
+                if st.owns_block(k, u.j as usize) {
                     st.blocks
                         .insert((k as u32, u.j), vec![0.0; h * u.cols.len()]);
                 }
@@ -255,12 +294,39 @@ impl Store2d {
         // scatter owned entries of A
         for (i, j, v) in a.iter() {
             let (ib, jb) = (st.block_of[i] as usize, st.block_of[j] as usize);
-            if jb % grid.pc != cno || ib % grid.pr != rno {
+            if !st.owns_block(ib, jb) {
                 continue;
             }
             st.write_entry(ib, jb, i, j, v);
         }
         st
+    }
+
+    /// Whether this processor owns block `(i, j)`: the subtree owner for
+    /// a subtree column, the cyclic `(i mod p_r, j mod p_c)` processor
+    /// otherwise.
+    fn owns_block(&self, i: usize, j: usize) -> bool {
+        if self.plan.is_subtree(j) {
+            self.plan.col_owner[j] as usize == self.rank
+        } else {
+            i % self.grid.pr == self.rno && j % self.grid.pc == self.cno
+        }
+    }
+
+    /// Whether this processor holds column `k`'s panel (diagonal + `L`
+    /// segments) locally: the subtree owner, or any rank of the factoring
+    /// grid column under the cyclic map.
+    fn owns_col_panel(&self, k: usize) -> bool {
+        if self.plan.is_subtree(k) {
+            self.plan.col_owner[k] as usize == self.rank
+        } else {
+            k % self.grid.pc == self.cno
+        }
+    }
+
+    /// The processor-grid column that executes column `j`'s operations.
+    fn grid_col(&self, j: usize) -> usize {
+        self.plan.grid_col(j, self.grid.pc)
     }
 
     fn lo(&self, b: usize) -> usize {
@@ -402,7 +468,7 @@ impl Store2d {
     /// block `j` (i.e. owns block `(block_of(g), j)` and it exists).
     fn owns_row(&self, j: usize, g: usize) -> Option<usize> {
         let ib = self.block_of[g] as usize;
-        if ib % self.grid.pr != self.rno || j % self.grid.pc != self.cno {
+        if !self.owns_block(ib, j) {
             return None;
         }
         Some(ib)
@@ -491,19 +557,23 @@ impl PanelCaches {
 }
 
 /// Factor `a` (already preprocessed) on a `grid` of thread-processors
-/// with classic partial pivoting and the default lookahead window.
+/// with classic partial pivoting under the default **task-DAG** engine:
+/// elimination-tree subtrees run fully locally on their proportional
+/// owners; separator panels use the batched-multicast cyclic protocol.
 pub fn factor_par2d(
     a: &splu_sparse::CscMatrix,
     pattern: Arc<BlockPattern>,
     grid: Grid,
     mode: Sync2d,
 ) -> Par2dResult {
-    factor_par2d_opts(a, pattern, grid, mode, 1.0, DEFAULT_LOOKAHEAD)
+    factor_par2d_sched(a, pattern, grid, mode, 1.0, Sched2d::TaskDag)
 }
 
 /// 2D factorization with threshold pivoting (`threshold = 1.0` is classic
 /// partial pivoting; see [`crate::seq::factor_sequential_opts`]) and an
 /// explicit lookahead window (`lookahead = 0` is the in-order schedule).
+/// This always runs the stage-pipelined [`Sched2d::Stages`] engine — the
+/// window sweep and Theorem 2 instrumentation live here.
 pub fn factor_par2d_opts(
     a: &splu_sparse::CscMatrix,
     pattern: Arc<BlockPattern>,
@@ -512,7 +582,26 @@ pub fn factor_par2d_opts(
     threshold: f64,
     lookahead: usize,
 ) -> Par2dResult {
-    factor_par2d_impl(a, pattern, grid, mode, threshold, lookahead, None, None)
+    factor_par2d_sched(
+        a,
+        pattern,
+        grid,
+        mode,
+        threshold,
+        Sched2d::Stages { window: lookahead },
+    )
+}
+
+/// 2D factorization under an explicit execution engine ([`Sched2d`]).
+pub fn factor_par2d_sched(
+    a: &splu_sparse::CscMatrix,
+    pattern: Arc<BlockPattern>,
+    grid: Grid,
+    mode: Sync2d,
+    threshold: f64,
+    sched: Sched2d,
+) -> Par2dResult {
+    factor_par2d_impl(a, pattern, grid, mode, threshold, sched, None, None)
 }
 
 /// Panic-free [`factor_par2d_opts`]: a numerically singular input
@@ -530,6 +619,21 @@ pub fn factor_par2d_checked(
     crate::error::catch_solver_panic(|| {
         factor_par2d_opts(a, pattern, grid, mode, threshold, lookahead)
     })
+}
+
+/// [`factor_par2d_sched`] under the runtime's delivery-jitter test mode
+/// (see [`factor_par2d_jittered`]); the task-DAG engine must also come
+/// out bitwise identical under scrambled message delivery.
+pub fn factor_par2d_sched_jittered(
+    a: &splu_sparse::CscMatrix,
+    pattern: Arc<BlockPattern>,
+    grid: Grid,
+    mode: Sync2d,
+    threshold: f64,
+    sched: Sched2d,
+    seed: u64,
+) -> Par2dResult {
+    factor_par2d_impl(a, pattern, grid, mode, threshold, sched, None, Some(seed))
 }
 
 /// Like [`factor_par2d_opts`], but every simulated processor records a
@@ -552,7 +656,7 @@ pub fn factor_par2d_traced(
         grid,
         mode,
         threshold,
-        lookahead,
+        Sched2d::Stages { window: lookahead },
         Some(collector),
         None,
     )
@@ -577,7 +681,7 @@ pub fn factor_par2d_jittered(
         grid,
         mode,
         threshold,
-        lookahead,
+        Sched2d::Stages { window: lookahead },
         None,
         Some(seed),
     )
@@ -590,7 +694,7 @@ fn factor_par2d_impl(
     grid: Grid,
     mode: Sync2d,
     threshold: f64,
-    lookahead: usize,
+    sched: Sched2d,
     collector: Option<&Collector>,
     jitter_seed: Option<u64>,
 ) -> Par2dResult {
@@ -599,16 +703,49 @@ fn factor_par2d_impl(
     let clock = AtomicU64::new(0);
     let barrier = Barrier::new(grid.nprocs());
 
-    // One deterministic lookahead operation list per grid column, shared
-    // by the column's p_r ranks (identical replay is what keeps the
-    // intra-column blocking exchanges deadlock-free).
+    // One deterministic operation list per grid column, shared by the
+    // column's p_r ranks (identical replay is what keeps the intra-column
+    // blocking exchanges deadlock-free).
     let graph = TaskGraph::build(&pattern);
-    let schedules: Vec<Arc<Vec<Op2d>>> = (0..grid.pc)
-        .map(|c| Arc::new(lookahead_schedule(&graph, grid.pc, c, lookahead)))
-        .collect();
-    // At most `W + 1` stages ever have live TRSM work, so `W + 1` staging
-    // slots are collision-free (capped by the stage count for absurd `W`)
-    let stage_slots = lookahead.min(nb.saturating_sub(1)) + 1;
+    let (plan, schedules, sep_dest_cols, stage_slots) = match sched {
+        Sched2d::Stages { window } => {
+            let plan = Arc::new(TaskDagPlan::cyclic(nb, grid.nprocs()));
+            let schedules: Vec<Arc<Vec<Op2d>>> = (0..grid.pc)
+                .map(|c| Arc::new(lookahead_schedule(&graph, grid.pc, c, window)))
+                .collect();
+            // At most `W + 1` stages ever have live TRSM work, so `W + 1`
+            // staging slots are collision-free (capped by the stage count
+            // for absurd `W`)
+            let slots = window.min(nb.saturating_sub(1)) + 1;
+            (plan, schedules, Arc::new(vec![0u64; nb]), slots)
+        }
+        Sched2d::TaskDag => {
+            let parent = block_etree(&pattern);
+            let plan = Arc::new(plan_taskdag(&graph, &parent, grid.nprocs()));
+            assert!(
+                grid.pc <= 64,
+                "subtree multicast masks hold at most 64 grid columns"
+            );
+            // stage-row multicast groups of subtree stages: the grid
+            // columns holding their separator destinations
+            let mut mask = vec![0u64; nb];
+            for (t, task) in graph.tasks.iter().enumerate() {
+                if let splu_sched::TaskKind::Update(k, j) = *task {
+                    let (k, j) = (k as usize, j as usize);
+                    debug_assert_eq!(graph.owner_block[t] as usize, j);
+                    if plan.is_subtree(k) && !plan.is_subtree(j) {
+                        mask[k] |= 1 << (j % grid.pc);
+                    }
+                }
+            }
+            let schedules: Vec<Arc<Vec<Op2d>>> = (0..grid.pc)
+                .map(|c| Arc::new(taskdag_schedule(&graph, &plan, grid.pc, c)))
+                .collect();
+            // the destination-driven schedule interleaves stages freely,
+            // so give every stage its own collision-free staging slot
+            (plan, schedules, Arc::new(mask), nb.max(1))
+        }
+    };
 
     let t0 = std::time::Instant::now();
     type RankOut = (
@@ -620,7 +757,14 @@ fn factor_par2d_impl(
         (u64, u64),
     );
     let spmd = |mut ctx: ProcCtx| {
-        let mut st = Store2d::new(a, pattern.clone(), grid, ctx.rank);
+        let mut st = Store2d::new(
+            a,
+            pattern.clone(),
+            grid,
+            ctx.rank,
+            plan.clone(),
+            sep_dest_cols.clone(),
+        );
         let (_rno, cno) = (st.rno, st.cno);
         let mut stats = FactorStats::default();
         let mut pivseqs: Vec<Option<Arc<Vec<u32>>>> = vec![None; nb];
@@ -636,10 +780,41 @@ fn factor_par2d_impl(
                 "fill_entries",
                 (pattern.storage_entries() as u64).saturating_sub(a.nnz() as u64),
             );
+            // placement-balancing steal statistics are a property of the
+            // plan (identical on every rank): record them once
+            ctx.probe().count("steal_attempts", plan.steal_attempts);
+            ctx.probe().count("steal_hits", plan.steal_hits);
         }
 
-        // ---- the lookahead executor: replay this grid column's op list ----
+        // ---- the schedule executor: replay this grid column's op list ----
         scratch.ensure_stage_slots(stage_slots);
+        // a subtree column's operations sit in its owner's grid-column
+        // list but execute on the owner alone; the column's other ranks
+        // skip them (separator columns involve every rank as before)
+        let my_rank = ctx.rank;
+        let plan_ref = st.plan.clone();
+        let participates =
+            move |j: usize| !plan_ref.is_subtree(j) || plan_ref.col_owner[j] as usize == my_rank;
+        // steal-aware idle accounting: once the last of this rank's
+        // subtree-local tasks retires, its blocked receives are steal
+        // idle — time it would spend stealing if any subtree had work
+        // left — and the runtime attributes them separately
+        let my_subtree_tasks: u64 = match sched {
+            Sched2d::TaskDag => graph
+                .tasks
+                .iter()
+                .map(|t| match *t {
+                    splu_sched::TaskKind::Factor(k) => k as usize,
+                    splu_sched::TaskKind::Update(_, j) => j as usize,
+                })
+                .filter(|&b| plan.is_subtree(b) && plan.col_owner[b] as usize == my_rank)
+                .count() as u64,
+            // the stage engine has no subtree phase: never flips
+            Sched2d::Stages { .. } => u64::MAX,
+        };
+        if my_subtree_tasks == 0 {
+            ctx.set_steal_phase(true);
+        }
         // defense-in-depth next-expected-stage counters: column `j` must
         // absorb its update sources in ascending stage order for the
         // factors to be bitwise identical to the sequential driver
@@ -653,22 +828,45 @@ fn factor_par2d_impl(
             match ops[i] {
                 Op2d::Factor { k, nsrcs } => {
                     let k = k as usize;
+                    if !participates(k) {
+                        i += 1;
+                        continue;
+                    }
                     debug_assert_eq!(applied[k], nsrcs, "Factor({k}) before its sources");
                     let piv = factor2d(&mut ctx, &mut st, k, threshold, &mut stats, &mut scratch);
                     pivseqs[k] = Some(Arc::new(piv));
+                    if stats.subtree_local_tasks >= my_subtree_tasks {
+                        ctx.set_steal_phase(true);
+                    }
                 }
                 Op2d::Swap { k, .. } => {
                     // coalesce the maximal run of stage-`k` swaps (the
                     // schedule emits a draining stage's swaps
-                    // back-to-back) into one batched exchange
+                    // back-to-back) into one batched exchange. Every rank
+                    // of the grid column derives the identical run before
+                    // the participation check, so batch ids agree.
                     swap_js.clear();
                     while let Some(Op2d::Swap { k: k2, j, seq }) = ops.get(i).copied() {
                         if k2 != k {
                             break;
                         }
-                        debug_assert_eq!(applied[j as usize], seq, "Swap({k},{j}) out of order");
+                        if participates(j as usize) {
+                            debug_assert_eq!(
+                                applied[j as usize], seq,
+                                "Swap({k},{j}) out of order"
+                            );
+                        }
                         swap_js.push(j as usize);
                         i += 1;
+                    }
+                    // a run never mixes subtree and separator destinations
+                    // (task-DAG runs are single-destination; stage runs are
+                    // all-cyclic), so participation is per-run
+                    debug_assert!(swap_js
+                        .iter()
+                        .all(|&j| participates(j) == participates(swap_js[0])));
+                    if !participates(swap_js[0]) {
+                        continue;
                     }
                     let k = k as usize;
                     ensure_stage_row(&mut ctx, &st, &mut caches, &mut pivseqs, k, false);
@@ -688,6 +886,12 @@ fn factor_par2d_impl(
                         }
                         trsm_js.push(j as usize);
                         i += 1;
+                    }
+                    debug_assert!(trsm_js
+                        .iter()
+                        .all(|&j| participates(j) == participates(trsm_js[0])));
+                    if !participates(trsm_js[0]) {
+                        continue;
                     }
                     trsm_columns(
                         &mut ctx,
@@ -709,6 +913,10 @@ fn factor_par2d_impl(
                     depth,
                 } => {
                     let (k, j) = (k as usize, j as usize);
+                    if !participates(j) {
+                        i += 1;
+                        continue;
+                    }
                     debug_assert_eq!(applied[j], seq, "Update({k},{j}) out of stage order");
                     max_depth = max_depth.max(depth);
                     update2d(
@@ -725,13 +933,20 @@ fn factor_par2d_impl(
                         &mut intervals,
                     );
                     applied[j] += 1;
+                    if stats.subtree_local_tasks >= my_subtree_tasks {
+                        ctx.set_steal_phase(true);
+                    }
                 }
                 Op2d::Retire { k } => {
                     let k = k as usize;
                     // a rank with no stage-k swaps still received the
                     // stage-row multicast: consume it here so the
-                    // pending map drains stage by stage
-                    ensure_stage_row(&mut ctx, &st, &mut caches, &mut pivseqs, k, false);
+                    // pending map drains stage by stage. Under the
+                    // task-DAG plan only the stage's multicast group
+                    // receives one (subtree stages message no one else).
+                    if expects_stage_row(&st, &pivseqs, k) {
+                        ensure_stage_row(&mut ctx, &st, &mut caches, &mut pivseqs, k, false);
+                    }
                     // stage k's last consumer has run on this rank: drop
                     // its cached panels so resident bytes never span more
                     // than the in-flight window
@@ -834,6 +1049,9 @@ fn factor_par2d_impl(
         cache_inserted.push(cins);
         all_intervals.extend(ivs);
     }
+    // steal statistics live on the (rank-shared) plan, not per rank
+    merged.steal_attempts = plan.steal_attempts;
+    merged.steal_hits = plan.steal_hits;
     Par2dResult {
         blocks,
         pivots,
@@ -860,17 +1078,30 @@ fn factor2d(
 ) -> Vec<u32> {
     let grid = st.grid;
     let (rno, cno) = (st.rno, st.cno);
-    debug_assert_eq!(cno, k % grid.pc);
+    // a subtree stage factors entirely on its owner — every candidate row
+    // of the panel column is local, so the search degenerates to the
+    // sequential one (bitwise-identical tie-breaks included) and the only
+    // communication is the optional stage-row multicast to the grid
+    // columns holding separator destinations
+    let local = st.plan.is_subtree(k);
+    debug_assert!(if local {
+        st.plan.col_owner[k] as usize == ctx.rank
+    } else {
+        cno == k % grid.pc
+    });
     let span_start = ctx.probe().now();
     // statistics are counted once per task, on the diagonal owner, so the
     // merged numbers match the sequential code
-    if rno == k % grid.pr {
+    if local || rno == k % grid.pr {
         stats.factor_tasks += 1;
+    }
+    if local {
+        stats.subtree_local_tasks += 1;
     }
     let w = st.width(k);
     let lo = st.lo(k);
     let diag_rno = k % grid.pr;
-    let i_am_diag = rno == diag_rno;
+    let i_am_diag = local || rno == diag_rno;
     let mut piv_seq: Vec<u32> = Vec::with_capacity(w);
     let mut searched_rows: u64 = 0;
 
@@ -883,7 +1114,7 @@ fn factor2d(
         my_lblocks.extend(
             st.pattern.l_blocks[k]
                 .iter()
-                .filter(|l| (l.i as usize) % grid.pr == rno)
+                .filter(|l| local || (l.i as usize) % grid.pr == rno)
                 .map(|l| l.i),
         );
         if my_lblocks.capacity() > cap0 {
@@ -932,7 +1163,8 @@ fn factor2d(
             let mut best_abs = cand_abs.max(0.0);
             let mut best_diag = cand_diag;
             let mut best_msg: Option<Message> = None;
-            for _ in 0..grid.pr - 1 {
+            let peers = if local { 0 } else { grid.pr - 1 };
+            for _ in 0..peers {
                 let m = ctx.recv(tag(K_CAND, k, t, 0));
                 let row = m.ints[0];
                 if row == NONE_ROW {
@@ -984,16 +1216,18 @@ fn factor2d(
             if let Some(m) = best_msg.take() {
                 ctx.recycle(m);
             }
-            // broadcast pivot decision + both subrows down the column
-            let mut floats = ctx.floats_buf();
-            floats.extend_from_slice(&scratch.rowbuf2);
-            floats.extend_from_slice(&scratch.rowbuf);
-            let mut ints = ctx.ints_buf();
-            ints.push(best_row);
-            ctx.multicast(
-                grid.my_col(ctx.rank),
-                Message::new(tag(K_PIVROW, k, t, 0), ints, floats),
-            );
+            if !local {
+                // broadcast pivot decision + both subrows down the column
+                let mut floats = ctx.floats_buf();
+                floats.extend_from_slice(&scratch.rowbuf2);
+                floats.extend_from_slice(&scratch.rowbuf);
+                let mut ints = ctx.ints_buf();
+                ints.push(best_row);
+                ctx.multicast(
+                    grid.my_col(ctx.rank),
+                    Message::new(tag(K_PIVROW, k, t, 0), ints, floats),
+                );
+            }
             best_row as usize
         } else {
             // ship local candidate subrow to the diag owner
@@ -1075,10 +1309,12 @@ fn factor2d(
 
     // ---- ONE row multicast per stage: pivot sequence + diagonal +
     // every owned L block, concatenated. The receivers (same block
-    // rows, other grid columns) recover the layout from the shared
+    // rows, other grid columns; for a subtree stage, the grid columns
+    // of its separator destinations) recover the layout from the shared
     // pattern, so no per-segment messages — and no per-segment
     // message-passing overhead — are needed (`ensure_stage_row`).
-    {
+    let bcast_mask = if local { st.sep_dest_cols[k] } else { 0 };
+    if !local || bcast_mask != 0 {
         let mut ints = ctx.ints_buf();
         ints.extend_from_slice(&piv_seq);
         let mut p = ctx.floats_buf();
@@ -1089,7 +1325,20 @@ fn factor2d(
             p.extend_from_slice(&st.blocks[&(i, k as u32)]);
         }
         let msg = Message::new(tag(K_LPANEL, k, 0, 0), ints, p);
-        ctx.multicast(grid.my_row(ctx.rank), msg);
+        if local {
+            // an interior subtree stage sends nothing at all; a border
+            // stage multicasts once to every rank of the separator
+            // destinations' grid columns
+            let me = ctx.rank;
+            let dests: Vec<usize> = (0..grid.pc)
+                .filter(|&c| (bcast_mask >> c) & 1 == 1)
+                .flat_map(|c| (0..grid.pr).map(move |r| grid.rank_of(r, c)))
+                .filter(|&r| r != me)
+                .collect();
+            ctx.multicast(dests, msg);
+        } else {
+            ctx.multicast(grid.my_row(ctx.rank), msg);
+        }
     }
     scratch.idx = my_lblocks;
     ctx.probe().count("pivot_search_rows", searched_rows);
@@ -1134,22 +1383,55 @@ fn ensure_stage_row(
     let grid = st.grid;
     let wk = st.width(k);
     let mut off = 0usize;
-    if st.rno == k % grid.pr {
+    if st.plan.is_subtree(k) {
+        // a subtree stage's owner held the whole panel column, so its one
+        // multicast carries the diagonal plus EVERY `L` segment
         caches.lpanels.insert((k, k), (fl.clone(), off, wk * wk));
         off += wk * wk;
-    }
-    for l in &st.pattern.l_blocks[k] {
-        if (l.i as usize) % grid.pr == st.rno {
+        for l in &st.pattern.l_blocks[k] {
             let len = l.rows.len() * wk;
             caches
                 .lpanels
                 .insert((k, l.i as usize), (fl.clone(), off, len));
             off += len;
         }
+    } else {
+        // cyclic stage: the sender shares this rank's grid row, so the
+        // payload holds exactly this row's diagonal / `L` segments
+        if st.rno == k % grid.pr {
+            caches.lpanels.insert((k, k), (fl.clone(), off, wk * wk));
+            off += wk * wk;
+        }
+        for l in &st.pattern.l_blocks[k] {
+            if (l.i as usize) % grid.pr == st.rno {
+                let len = l.rows.len() * wk;
+                caches
+                    .lpanels
+                    .insert((k, l.i as usize), (fl.clone(), off, len));
+                off += len;
+            }
+        }
     }
     debug_assert_eq!(off, fl.len(), "stage-row payload layout mismatch");
     ctx.recycle(m);
     blocked
+}
+
+/// Whether this rank receives (or already produced) stage `k`'s row
+/// multicast. Cyclic stages reach every rank: the factoring grid column
+/// produces locally and every other column receives one message per grid
+/// row. A subtree stage's owner multicasts only to the grid columns of
+/// its separator destinations (none at all for an interior subtree
+/// stage), so every other rank must not block waiting for one.
+fn expects_stage_row(st: &Store2d, pivseqs: &[Option<Arc<Vec<u32>>>], k: usize) -> bool {
+    if pivseqs[k].is_some() {
+        return true; // produced locally — ensure_stage_row is a no-op
+    }
+    if st.plan.is_subtree(k) {
+        (st.sep_dest_cols[k] >> st.cno) & 1 == 1
+    } else {
+        true
+    }
 }
 
 /// Stage-`k` delayed row interchanges across a batch of owned column
@@ -1171,8 +1453,8 @@ fn swap_columns(
     scratch: &mut FactorScratch,
 ) {
     let grid = st.grid;
-    let (rno, cno) = (st.rno, st.cno);
-    debug_assert!(js.iter().all(|&j| j % grid.pc == cno));
+    let cno = st.cno;
+    debug_assert!(js.iter().all(|&j| st.grid_col(j) == cno));
     let lo = st.lo(k);
     let swap_start = ctx.probe().now();
     // the batch's first column disambiguates the message tag: a column
@@ -1187,8 +1469,10 @@ fn swap_columns(
         }
         let ib_m = k; // row m lives in row block k
         let ib_r = st.block_of[pg] as usize;
-        let own_m = ib_m % grid.pr == rno;
-        let own_r = ib_r % grid.pr == rno;
+        // block ownership is uniform across the batch: a run never mixes
+        // subtree and separator destination columns
+        let own_m = st.owns_block(ib_m, js[0]);
+        let own_r = st.owns_block(ib_r, js[0]);
         if own_m && own_r {
             for &j in js {
                 let wj = st.width(j);
@@ -1299,7 +1583,9 @@ fn trsm_columns(
     let grid = st.grid;
     let w = st.width(k);
     let batch_id = js[0];
-    if st.rno != k % grid.pr {
+    // ownership of `(k, j)` is uniform across the batch (runs never mix
+    // subtree and separator destinations)
+    if !st.owns_block(k, js[0]) {
         let mut off = 0usize;
         for &j in js {
             let len = w * st.u_cols(k, j).len();
@@ -1320,17 +1606,28 @@ fn trsm_columns(
         let (fl, off, len) = (fl.clone(), *off, *len);
         scratch.stage_panel(k, w * w, |buf| buf.extend_from_slice(&fl[off..off + len]))
     };
-    let mut fl = ctx.floats_buf();
+    // a subtree destination's updates all run on this owner: the TRSM'd
+    // row block stays local and no column multicast is sent
+    let publish = !st.plan.is_subtree(js[0]);
+    let mut fl = if publish {
+        ctx.floats_buf()
+    } else {
+        Vec::new()
+    };
     for &j in js {
         let ncols = st.u_cols(k, j).len();
         let p = st.blocks.get_mut(&(k as u32, j as u32)).unwrap();
         dtrsm_left_lower_unit(w, ncols, lkk, w, p, w);
         stats.other_flops += (w * w * ncols) as u64;
-        fl.extend_from_slice(p);
+        if publish {
+            fl.extend_from_slice(p);
+        }
     }
-    let ints = ctx.ints_buf();
-    let msg = Message::new(tag(K_UROW, k, batch_id, 0), ints, fl);
-    ctx.multicast(grid.my_col(ctx.rank), msg);
+    if publish {
+        let ints = ctx.ints_buf();
+        let msg = Message::new(tag(K_UROW, k, batch_id, 0), ints, fl);
+        ctx.multicast(grid.my_col(ctx.rank), msg);
+    }
     ctx.probe().span_at("scale-swap", k as u32, span_start);
 }
 
@@ -1362,19 +1659,29 @@ fn update2d(
 ) {
     let grid = st.grid;
     let (rno, cno) = (st.rno, st.cno);
-    debug_assert_eq!(cno, j % grid.pc);
+    debug_assert_eq!(cno, st.grid_col(j));
     stats.update_tasks += 1;
+    // a subtree destination's update runs wholly on the subtree owner —
+    // and, when the source stage is from the same subtree (always true:
+    // updates into a subtree column never cross subtrees), without any
+    // messages at all
+    let sub_j = st.plan.is_subtree(j);
+    if sub_j {
+        stats.subtree_local_tasks += 1;
+    }
 
-    // my destination row blocks: L rows of column k in row blocks ≡ rno.
-    // The segment metadata is borrowed straight from the shared pattern
-    // (via a local Arc handle), so no per-task copies are made; `li` is
-    // the segment's position in `l_blocks[k]`, the scatter-map key.
+    // my destination row blocks: L rows of column k in row blocks ≡ rno
+    // (every row block, for a subtree destination — this rank owns the
+    // whole panel column). The segment metadata is borrowed straight from
+    // the shared pattern (via a local Arc handle), so no per-task copies
+    // are made; `li` is the segment's position in `l_blocks[k]`, the
+    // scatter-map key.
     let pattern = st.pattern.clone();
     let my_segs = || {
         pattern.l_blocks[k]
             .iter()
             .enumerate()
-            .filter(|(_, l)| (l.i as usize) % grid.pr == rno)
+            .filter(|(_, l)| sub_j || (l.i as usize) % grid.pr == rno)
     };
     if my_segs().next().is_none() {
         let start = clock.fetch_add(1, Ordering::Relaxed);
@@ -1396,7 +1703,7 @@ fn update2d(
     // counts as a lookahead hit rather than a stall.
     let t_wait = std::time::Instant::now();
     let mut blocked = false;
-    if rno != k % grid.pr {
+    if !st.owns_block(k, j) {
         // the layout entry was recorded when the run's Trsm ops replayed
         let (bid, _, _) = caches.urow_layout[&(k, j)];
         if !caches.urow_batches.contains_key(&(k, bid)) {
@@ -1409,7 +1716,7 @@ fn update2d(
             ctx.recycle(m);
         }
     }
-    if cno != k % grid.pc {
+    if !st.owns_col_panel(k) {
         blocked |= ensure_stage_row(ctx, st, caches, pivseqs, k, true);
     }
     let waited = t_wait.elapsed().as_secs_f64();
@@ -1437,7 +1744,7 @@ fn update2d(
     let nuc = u_cols.len();
     stats.scatter_map_reuse_hits += 1;
     let u_batch; // keeps the batch payload alive through the GEMM loop
-    let usrc: &[f64] = if rno == k % grid.pr {
+    let usrc: &[f64] = if st.owns_block(k, j) {
         &st.blocks[&(k as u32, j as u32)]
     } else {
         // zero-copy: GEMM reads straight out of the batch multicast
@@ -1473,7 +1780,7 @@ fn update2d(
         for &li in &segids {
             let i = pattern.l_blocks[k][li as usize].i as usize;
             let mrows = seg_len(li);
-            let src: &[f64] = if cno == k % grid.pc {
+            let src: &[f64] = if st.owns_col_panel(k) {
                 &st.blocks[&(i as u32, k as u32)]
             } else {
                 let (fl, off, len) = &caches.lpanels[&(k, i)];

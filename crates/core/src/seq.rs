@@ -68,6 +68,15 @@ pub struct FactorStats {
     /// 2D update tasks deferred behind at least one later panel
     /// factorization by the lookahead window (zero at `W = 0`).
     pub deferred_updates: u64,
+    /// Tasks (`Factor` + `Update`) executed entirely inside a
+    /// proportional-mapped elimination-tree subtree by its owning
+    /// processor — zero messages (task-DAG schedule only).
+    pub subtree_local_tasks: u64,
+    /// Steal attempts made while balancing the subtree → processor
+    /// mapping (the plan's deterministic work-stealing pass).
+    pub steal_attempts: u64,
+    /// Steal attempts that found a victim with surplus subtrees.
+    pub steal_hits: u64,
 }
 
 impl FactorStats {
@@ -91,6 +100,9 @@ impl FactorStats {
         self.panel_wait_secs += other.panel_wait_secs;
         self.lookahead_hits += other.lookahead_hits;
         self.deferred_updates += other.deferred_updates;
+        self.subtree_local_tasks += other.subtree_local_tasks;
+        self.steal_attempts += other.steal_attempts;
+        self.steal_hits += other.steal_hits;
     }
 
     /// Emit the update-stage telemetry counters into `probe` (called once
@@ -101,6 +113,7 @@ impl FactorStats {
         probe.count("scatter_map_reuse_hits", self.scatter_map_reuse_hits);
         probe.count("lookahead_hits", self.lookahead_hits);
         probe.count("deferred_updates", self.deferred_updates);
+        probe.count("subtree_local_tasks", self.subtree_local_tasks);
     }
 
     /// Fraction of update flops performed by DGEMM (the paper's `r`).

@@ -11,7 +11,7 @@
 //! violation reproduces instead of flaking.
 
 use splu_core::par1d::{factor_par1d_jittered, Strategy1d};
-use splu_core::par2d::{factor_par2d_jittered, Sync2d};
+use splu_core::par2d::{factor_par2d_jittered, factor_par2d_sched_jittered, Sched2d, Sync2d};
 use splu_core::seq::factor_sequential;
 use splu_core::{BlockMatrix, FactorOptions, SparseLuSolver};
 use splu_machine::Grid;
@@ -84,6 +84,27 @@ fn factors_bitwise_identical_under_delivery_jitter() {
                         &format!("par2d {pr}x{pc} {mode:?} W={w} seed={seed:#x}"),
                     );
                 }
+
+                // Task-DAG engine under the same jitter stream: subtree
+                // columns run owner-locally (no messages to scramble)
+                // but the subtree→separator border multicasts and the
+                // cyclic separator stages are fully exposed to jitter.
+                let p2 = factor_par2d_sched_jittered(
+                    &solver.permuted,
+                    solver.pattern.clone(),
+                    Grid::new(pr, pc),
+                    mode,
+                    1.0,
+                    Sched2d::TaskDag,
+                    seed,
+                );
+                assert_bitwise_equal(
+                    &seq,
+                    &seq_piv,
+                    &p2.blocks,
+                    &p2.pivots,
+                    &format!("par2d-taskdag {pr}x{pc} {mode:?} seed={seed:#x}"),
+                );
             }
         }
     }

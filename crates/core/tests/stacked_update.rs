@@ -10,7 +10,7 @@
 //! the path performs zero heap allocations and zero symbolic merges.
 
 use splu_core::par1d::{factor_par1d, Strategy1d};
-use splu_core::par2d::{factor_par2d, factor_par2d_opts, Sync2d};
+use splu_core::par2d::{factor_par2d, factor_par2d_opts, factor_par2d_sched, Sched2d, Sync2d};
 use splu_core::seq::factor_sequential;
 use splu_core::{BlockMatrix, FactorOptions, FactorScratch, SparseLuSolver};
 use splu_machine::Grid;
@@ -102,6 +102,30 @@ fn all_drivers_bitwise_identical_across_suite() {
                         &format!("{name}/par2d {pr}x{pc} {mode:?} W={w}"),
                     );
                 }
+            }
+        }
+
+        // Task-DAG engine: subtree columns execute entirely on their
+        // owner rank while separator columns fall back to the cyclic
+        // lookahead protocol — the factors must still match sequential
+        // bit-for-bit on every grid and in both synchronization modes.
+        for (pr, pc) in [(2, 2), (3, 2)] {
+            for mode in [Sync2d::Async, Sync2d::Barrier] {
+                let p2 = factor_par2d_sched(
+                    &solver.permuted,
+                    solver.pattern.clone(),
+                    Grid::new(pr, pc),
+                    mode,
+                    1.0,
+                    Sched2d::TaskDag,
+                );
+                assert_bitwise_equal(
+                    &seq,
+                    &seq_piv,
+                    &p2.blocks,
+                    &p2.pivots,
+                    &format!("{name}/par2d-taskdag {pr}x{pc} {mode:?}"),
+                );
             }
         }
     }

@@ -395,6 +395,35 @@ impl CommModel {
     }
 }
 
+/// Task-DAG engine attribution: how much of the factorization ran as
+/// zero-message subtree-local work versus on the block-cyclic separator
+/// (counted by the runtime's `subtree_local_tasks` / `steal_*` stats).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TaskDagSummary {
+    /// Factor + update tasks whose destination column lives in a
+    /// proportional-mapped subtree (executed owner-locally, no messages).
+    pub subtree_local_tasks: u64,
+    /// All factor + update tasks of the run.
+    pub total_tasks: u64,
+    /// Independent subtree tasks of the elimination-tree cut.
+    pub nsubtrees: u64,
+    /// Steal attempts of the plan's deterministic balancing pass.
+    pub steal_attempts: u64,
+    /// Attempts that found a victim with spare subtrees.
+    pub steal_hits: u64,
+}
+
+impl TaskDagSummary {
+    /// Share of tasks that ran subtree-local (0.0 on an empty run).
+    pub fn subtree_share(&self) -> f64 {
+        if self.total_tasks == 0 {
+            0.0
+        } else {
+            self.subtree_local_tasks as f64 / self.total_tasks as f64
+        }
+    }
+}
+
 /// Run facts the caller supplies alongside the trace for reporting.
 #[derive(Debug, Clone, Default)]
 pub struct ReportExtras {
@@ -412,6 +441,9 @@ pub struct ReportExtras {
     pub executor_depth_p95: Option<u32>,
     /// Cost model for the message-volume comparison (`None` omits it).
     pub model: Option<CommModel>,
+    /// Subtree-vs-separator attribution of a task-DAG run of the same
+    /// matrix (`None` omits the section, e.g. for loaded traces).
+    pub taskdag: Option<TaskDagSummary>,
 }
 
 impl ReportExtras {
@@ -460,6 +492,20 @@ pub fn report_json(a: &Attribution, x: &ReportExtras) -> String {
     if let Some(m) = &x.model {
         let _ = writeln!(out, "  \"model_messages\": {},", m.predicted_messages());
         let _ = writeln!(out, "  \"model_bytes\": {},", m.predicted_bytes());
+    }
+    if let Some(t) = &x.taskdag {
+        let _ = writeln!(
+            out,
+            "  \"taskdag\": {{\"subtree_local_tasks\": {}, \"separator_tasks\": {}, \
+             \"subtree_task_share\": {:.4}, \"nsubtrees\": {}, \
+             \"steal_attempts\": {}, \"steal_hits\": {}}},",
+            t.subtree_local_tasks,
+            t.total_tasks.saturating_sub(t.subtree_local_tasks),
+            t.subtree_share(),
+            t.nsubtrees,
+            t.steal_attempts,
+            t.steal_hits
+        );
     }
     out.push_str("  \"attribution\": {");
     let mut first = true;
@@ -535,6 +581,19 @@ pub fn report_text(a: &Attribution, x: &ReportExtras) -> String {
         None => {
             let _ = writeln!(out, "messages: {}   bytes: {}", a.messages, a.bytes);
         }
+    }
+    if let Some(t) = &x.taskdag {
+        let _ = writeln!(
+            out,
+            "task-DAG: {}/{} tasks subtree-local ({:.1}%) across {} subtrees   \
+             steals {}/{}",
+            t.subtree_local_tasks,
+            t.total_tasks,
+            100.0 * t.subtree_share(),
+            t.nsubtrees,
+            t.steal_hits,
+            t.steal_attempts
+        );
     }
     let _ = writeln!(
         out,
@@ -831,6 +890,13 @@ mod tests {
                 pc: 1,
                 stages: 1,
                 factor_entries: 10,
+            }),
+            taskdag: Some(TaskDagSummary {
+                subtree_local_tasks: 3,
+                total_tasks: 4,
+                nsubtrees: 2,
+                steal_attempts: 4,
+                steal_hits: 1,
             }),
         };
         let j = report_json(&a, &x);

@@ -342,6 +342,124 @@ pub fn power_law_circuit(n: usize, avg_deg: usize, sym_frac: f64, vm: ValueModel
     coo.to_csc()
 }
 
+/// Hierarchical circuit: `nsub` independent power-law subcircuits (see
+/// [`power_law_circuit`]) plus a small border of `border` global-rail
+/// columns each subcircuit feeds into — the bordered block-diagonal form
+/// large circuit matrices take after hierarchical partitioning, and the
+/// structural class where elimination-subtree parallelism is real.
+///
+/// The rail coupling is one-directional: a tapped node *row* carries an
+/// entry in the rail *column* (the node equation senses the rail), but
+/// rail rows stay confined to the border. That keeps the candidate-pivot
+/// row sets of distinct subcircuits disjoint, so the static (S\*)
+/// structure — which must cover every pivot sequence — remains exactly
+/// block-separable: the block elimination tree has one independent
+/// subtree per subcircuit under the rail separator, no matter how rows
+/// are interchanged inside a block. Two-way taps would let one rail row
+/// union every subcircuit's structure together and collapse the tree to
+/// a chain (and the predicted fill to near-dense).
+pub fn hier_circuit(
+    nsub: usize,
+    sub_n: usize,
+    border: usize,
+    avg_deg: usize,
+    sym_frac: f64,
+    vm: ValueModel,
+) -> CscMatrix {
+    bordered_block_diagonal(nsub, sub_n, border, avg_deg + 2, vm, |sub_vm| {
+        power_law_circuit(sub_n, avg_deg, sym_frac, sub_vm)
+    })
+}
+
+/// Hierarchical 3D mesh: `nsub` independent `nx × ny × nz` 7-point
+/// convection-diffusion subdomains (see [`grid3d`]) feeding the same
+/// one-directional global-rail border as [`hier_circuit`] — the
+/// domain-decomposed form of a large 3D PDE problem (each subdomain is
+/// one processor's mesh chunk, the rails are interface aggregates).
+///
+/// A *monolithic* 3D grid is the worst case for the static S\* structure
+/// (its nested-dissection separators union into near-dense trailing
+/// blocks once candidate pivot rows are folded in), so the n≥50k tier
+/// uses this bordered form: the S\* structure stays block-separable and
+/// the block elimination tree keeps one independent subtree per
+/// subdomain, exactly as in `hier_circuit` — while each subtree retains
+/// genuine 3D 7-point interior structure.
+pub fn hier_grid3d(
+    nsub: usize,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    border: usize,
+    convection: f64,
+    vm: ValueModel,
+) -> CscMatrix {
+    bordered_block_diagonal(nsub, nx * ny * nz, border, 9, vm, |sub_vm| {
+        grid3d(nx, ny, nz, convection, sub_vm)
+    })
+}
+
+/// Shared bordered block-diagonal assembly: embed `nsub` independently
+/// generated `sub_n × sub_n` blocks on the diagonal, tap each block into
+/// `border` trailing global-rail columns (row = block node, column =
+/// rail — one-directional, see [`hier_circuit`] for why), then close the
+/// border with a bidirectional rail chain and strong diagonals. Block
+/// `b` is generated from a per-block seed derived from `vm.seed`, so the
+/// whole matrix is deterministic.
+fn bordered_block_diagonal(
+    nsub: usize,
+    sub_n: usize,
+    border: usize,
+    cap_per_row: usize,
+    vm: ValueModel,
+    mut make_block: impl FnMut(ValueModel) -> CscMatrix,
+) -> CscMatrix {
+    assert!(nsub >= 1 && sub_n >= 2);
+    let n = nsub * sub_n + border;
+    let mut rng = vm.rng();
+    let mut coo = CooMatrix::with_capacity(n, n, n * cap_per_row);
+    for b in 0..nsub {
+        let off = b * sub_n;
+        let sub_vm = ValueModel {
+            diag_scale: vm.diag_scale,
+            seed: vm.seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(b as u64 + 1),
+        };
+        let sub = make_block(sub_vm);
+        for j in 0..sub_n {
+            for p in sub.col_ptr()[j]..sub.col_ptr()[j + 1] {
+                coo.push(
+                    sub.row_indices()[p] as usize + off,
+                    j + off,
+                    sub.values()[p],
+                );
+            }
+        }
+        // Each rail taps one or two nodes of this block (row = node,
+        // column = rail): duplicates sum harmlessly in `to_csc`.
+        for r in 0..border {
+            let rail = nsub * sub_n + r;
+            for _ in 0..(1 + rng.gen_range(0..2usize)) {
+                coo.push(off + rng.gen_range(0..sub_n), rail, offdiag(&mut rng));
+            }
+        }
+    }
+    // The border itself: a rail chain plus strong diagonals (a rail's
+    // self-conductance aggregates every block tap).
+    let b0 = nsub * sub_n;
+    for r in 0..border {
+        if r > 0 {
+            coo.push(b0 + r - 1, b0 + r, offdiag(&mut rng));
+            coo.push(b0 + r, b0 + r - 1, offdiag(&mut rng));
+        }
+        let d = diagval(&mut rng, &vm);
+        coo.push(
+            b0 + r,
+            b0 + r,
+            d + d.signum() * vm.diag_scale * (1.0 + nsub as f64).sqrt(),
+        );
+    }
+    coo.to_csc()
+}
+
 /// Same sparsity pattern, fresh values: every entry of `a` is scaled by a
 /// deterministic pseudo-random factor in `[0.5, 1.5]` drawn from `seed`.
 /// Models the refactorization workloads of the solver service (Newton
@@ -517,6 +635,57 @@ mod tests {
             power_law_circuit(400, 3, 0.8, vm),
             power_law_circuit(400, 3, 0.8, other)
         );
+    }
+
+    #[test]
+    fn hier_generators_are_block_separable() {
+        // For any column inside subdomain b, every row index must stay
+        // inside subdomain b: the one-directional rail taps are the only
+        // cross-block coupling, and they live in the border columns.
+        // This is the structural invariant that keeps the S* block
+        // elimination tree one-subtree-per-subdomain.
+        let vm = ValueModel {
+            diag_scale: 1.0,
+            seed: 7,
+        };
+        let cases = [
+            (hier_circuit(6, 90, 8, 3, 0.9, vm), 6usize, 90usize, 8usize),
+            (hier_grid3d(5, 4, 4, 3, 6, 0.5, vm), 5, 48, 6),
+        ];
+        for (a, nsub, sub_n, border) in cases {
+            assert_eq!(a.ncols(), nsub * sub_n + border);
+            assert!(a.has_zero_free_diagonal());
+            for j in 0..nsub * sub_n {
+                let b = j / sub_n;
+                for p in a.col_ptr()[j]..a.col_ptr()[j + 1] {
+                    let i = a.row_indices()[p] as usize;
+                    assert!(
+                        i / sub_n == b && i < nsub * sub_n,
+                        "column {j} (subdomain {b}) has row {i} outside its block"
+                    );
+                }
+            }
+            // every subdomain taps at least one rail
+            for b in 0..nsub {
+                let tapped = (nsub * sub_n..a.ncols()).any(|j| {
+                    (a.col_ptr()[j]..a.col_ptr()[j + 1])
+                        .any(|p| (a.row_indices()[p] as usize) / sub_n == b)
+                });
+                assert!(tapped, "subdomain {b} never taps the border");
+            }
+        }
+    }
+
+    #[test]
+    fn hier_grid3d_interior_is_a_7_point_stencil() {
+        let vm = ValueModel {
+            diag_scale: 1.0,
+            seed: 7,
+        };
+        let a = hier_grid3d(3, 5, 5, 5, 4, 0.0, vm);
+        // an interior node of subdomain 0: 6 neighbours + diagonal
+        let j = 2 * 25 + 2 * 5 + 2;
+        assert_eq!(a.col_ptr()[j + 1] - a.col_ptr()[j], 7);
     }
 
     #[test]

@@ -31,6 +31,14 @@ pub enum MatrixKind {
     /// preferential-attachment pattern with hub columns (see
     /// [`gen::power_law_circuit`]).
     Circuit(usize, usize, f64),
+    /// Hierarchical circuit (`nsub`, `sub_n`, `border`, avg degree,
+    /// mirror fraction): bordered block-diagonal power-law subcircuits
+    /// feeding global rails (see [`gen::hier_circuit`]).
+    HierCircuit(usize, usize, usize, usize, f64),
+    /// Hierarchical 3D mesh (`nsub`, `nx`, `ny`, `nz`, `border`,
+    /// convection): bordered block-diagonal 7-point subdomains feeding
+    /// global rails (see [`gen::hier_grid3d`]).
+    HierGrid3d(usize, usize, usize, usize, usize, f64),
 }
 
 /// A named suite matrix: the paper's identifier plus the synthetic spec.
@@ -84,6 +92,26 @@ impl MatrixSpec {
             MatrixKind::Circuit(n, deg, sym) => {
                 gen::power_law_circuit(sdim(n, scale), deg, sym, vm)
             }
+            // The hierarchical kinds shrink by dropping whole subdomains
+            // (keeping each subdomain's interior structure intact) and
+            // scale the shared border like a separator (∝ √scale).
+            MatrixKind::HierCircuit(nsub, sub_n, border, deg, sym) => gen::hier_circuit(
+                sdim(nsub, scale),
+                sub_n,
+                sdim(border, scale.sqrt()),
+                deg,
+                sym,
+                vm,
+            ),
+            MatrixKind::HierGrid3d(nsub, nx, ny, nz, border, c) => gen::hier_grid3d(
+                sdim(nsub, scale),
+                nx,
+                ny,
+                nz,
+                sdim(border, scale.sqrt()),
+                c,
+                vm,
+            ),
         }
     }
 }
@@ -97,6 +125,21 @@ pub const SMALL: &[&str] = &[
 pub const LARGE: &[&str] = &[
     "goodwin", "e40r0100", "ex11", "raefsky4", "inaccura", "af23560", "vavasis3",
 ];
+
+/// The n = 50k–500k extension tier (beyond anything in Table 1): the
+/// bordered hierarchical matrices — power-law circuits and 3D 7-point
+/// meshes — where elimination-subtree parallelism is structural, not
+/// incidental. Benchmarked by `splu bench-lu --suite large` through the
+/// machine model (the matrices are far too large for wall-clock
+/// thread-simulated runs on a 1-core host). Built with the *natural*
+/// ordering: the generators emit subdomains-then-border directly, which
+/// min-degree would only scramble (and its quotient-graph pass costs
+/// minutes at n = 200k+).
+pub const XLARGE: &[&str] = &["hier50k", "hiergrid50k", "hier200k", "hier500k"];
+
+/// Single shrunk instance of the extension tier for CI smoke runs
+/// (`splu bench-lu --suite large-smoke`).
+pub const XLARGE_SMOKE: &[&str] = &["hier20k"];
 
 /// The full suite, in Table 1 order, plus the two extra matrices of
 /// Table 2 (`b33_5600`, `dense1000`).
@@ -231,6 +274,47 @@ pub fn all() -> Vec<MatrixSpec> {
             kind: MatrixKind::Circuit(20000, 4, 0.9),
             seed: 17,
         },
+        // The n = 50k–500k extension tier ([`XLARGE`]): hierarchical
+        // (bordered block-diagonal) matrices whose block elimination
+        // trees have dozens-to-hundreds of independent subtrees — the
+        // structural class the task-DAG runtime exists for. `paper_n` /
+        // `paper_nnz` record the generated order and nnz (there is no
+        // paper counterpart).
+        MatrixSpec {
+            name: "hier20k",
+            paper_n: 19888,
+            paper_nnz: 172320,
+            kind: MatrixKind::HierCircuit(32, 620, 48, 4, 0.9),
+            seed: 42,
+        },
+        MatrixSpec {
+            name: "hier50k",
+            paper_n: 49800,
+            paper_nnz: 432800,
+            kind: MatrixKind::HierCircuit(64, 777, 72, 4, 0.9),
+            seed: 42,
+        },
+        MatrixSpec {
+            name: "hiergrid50k",
+            paper_n: 49224,
+            paper_nnz: 318467,
+            kind: MatrixKind::HierGrid3d(64, 12, 8, 8, 72, 0.5),
+            seed: 42,
+        },
+        MatrixSpec {
+            name: "hier200k",
+            paper_n: 199008,
+            paper_nnz: 1739773,
+            kind: MatrixKind::HierCircuit(256, 777, 96, 4, 0.9),
+            seed: 42,
+        },
+        MatrixSpec {
+            name: "hier500k",
+            paper_n: 499840,
+            paper_nnz: 4379600,
+            kind: MatrixKind::HierCircuit(512, 976, 128, 4, 0.9),
+            seed: 42,
+        },
     ]
 }
 
@@ -313,6 +397,22 @@ mod tests {
             .max()
             .unwrap();
         assert!(max_col as f64 > 4.0 * avg, "no hub: {max_col} vs {avg:.1}");
+    }
+
+    #[test]
+    fn xlarge_tier_listed_and_orders_recorded() {
+        for name in XLARGE_SMOKE.iter().chain(XLARGE) {
+            assert!(by_name(name).is_some(), "{name} missing from suite");
+        }
+        // build the two cheap representatives and check the recorded
+        // order/nnz are the generated ones (the rest share generators)
+        for name in ["hier20k", "hiergrid50k"] {
+            let spec = by_name(name).unwrap();
+            let a = spec.build();
+            assert_eq!(a.ncols(), spec.paper_n, "{name} order");
+            assert_eq!(a.nnz(), spec.paper_nnz, "{name} nnz");
+            assert!(a.has_zero_free_diagonal(), "{name}");
+        }
     }
 
     #[test]

@@ -167,6 +167,28 @@ impl BlockPattern {
     /// amalgamation the union realizes the "almost dense" structures of
     /// Corollary 3.
     pub fn build(s: &StaticStructure, part: &SupernodePartition) -> Self {
+        let mut bp = Self::build_masks(s, part);
+        // Second pass: with every block's mask known, precompute the
+        // scatter maps so the numeric update loops never merge index
+        // lists again (the `Arc<BlockPattern>` shared by the solver cache
+        // amortizes this over all refactorizations).
+        bp.maps = ScatterMaps::build(&bp.l_blocks, &bp.u_blocks);
+        bp
+    }
+
+    /// Build the block pattern **without** the precomputed scatter maps.
+    ///
+    /// The maps exist purely for the numeric update loops; on large
+    /// modeling-only pipelines (task-graph construction, schedule
+    /// simulation) they dominate both build time and resident memory —
+    /// gigabytes on the n ≥ 50k suite matrices — so the scheduling path
+    /// skips them. Calling [`BlockPattern::scatter_map`] on a pattern
+    /// built this way panics.
+    pub fn build_structural(s: &StaticStructure, part: &SupernodePartition) -> Self {
+        Self::build_masks(s, part)
+    }
+
+    fn build_masks(s: &StaticStructure, part: &SupernodePartition) -> Self {
         let nb = part.nblocks();
         let block_of = part.block_of_index();
         let mut l_blocks: Vec<Vec<LBlockPat>> = Vec::with_capacity(nb);
@@ -176,7 +198,6 @@ impl BlockPattern {
             let lo = part.start(b);
             let hi = part.starts[b + 1];
 
-            // Union of L columns of the supernode, rows below the block.
             let mut rows: Vec<u32> = Vec::new();
             for k in lo..hi {
                 rows.extend(s.lcols[k].iter().copied().filter(|&r| (r as usize) >= hi));
@@ -196,7 +217,6 @@ impl BlockPattern {
             }
             l_blocks.push(lb);
 
-            // Union of U rows of the supernode, columns right of the block.
             let mut cols: Vec<u32> = Vec::new();
             for k in lo..hi {
                 cols.extend(s.urows[k].iter().copied().filter(|&c| (c as usize) >= hi));
@@ -223,17 +243,11 @@ impl BlockPattern {
             u_blocks.push(ub);
         }
 
-        // Second pass: with every block's mask known, precompute the
-        // scatter maps so the numeric update loops never merge index
-        // lists again (the `Arc<BlockPattern>` shared by the solver cache
-        // amortizes this over all refactorizations).
-        let maps = ScatterMaps::build(&l_blocks, &u_blocks);
-
         Self {
             part: part.clone(),
             l_blocks,
             u_blocks,
-            maps,
+            maps: ScatterMaps::default(),
         }
     }
 

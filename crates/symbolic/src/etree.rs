@@ -1,0 +1,229 @@
+//! Block-level column elimination tree of the static factors.
+//!
+//! The task-DAG scheduler needs, for every column block `j`, the smallest
+//! enclosing unit of work that can run without outside data: the subtree
+//! of `j` in the elimination tree of the *block dependency graph*
+//!
+//! ```text
+//!   G = { (k, j) : k < j,  U_kj ≠ 0  or  L_jk ≠ 0 }
+//! ```
+//!
+//! `U_kj ≠ 0` is exactly "stage `k` updates column block `j`"
+//! (`Update(k, j)` exists, and with it the `Swap`/`Trsm` chain), so every
+//! cross-stage dependency of the 2D numeric driver is an edge of `G`. The
+//! tree is computed with Liu's near-linear algorithm (path-compressed
+//! virtual forest); its defining property — established by construction
+//! and re-checked by the tests against a naive elimination oracle — is:
+//!
+//! > for every edge `(k, j)` of `G` with `k < j`, `j` is an **ancestor**
+//! > of `k` in the tree.
+//!
+//! Hence two columns in disjoint subtrees share no dependency path, and a
+//! subtree mapped wholly onto one processor factors with zero messages.
+//! The L edges symmetrize the (generally unsymmetric) S\* structure; they
+//! only coarsen the tree, never break the ancestor property.
+
+use crate::blocks::BlockPattern;
+
+pub use splu_order::etree::{depths, height, postorder, NO_PARENT};
+
+/// Parent array of the block elimination tree (`NO_PARENT` marks roots).
+///
+/// Liu's algorithm over the symmetrized block dependency graph: process
+/// columns in ascending order; for each lower neighbor `k` of `j`, splice
+/// the root of `k`'s current virtual tree under `j`, compressing the
+/// traversed path so later walks are amortized near-constant.
+pub fn block_etree(bp: &BlockPattern) -> Vec<usize> {
+    let nb = bp.nblocks();
+    // Lower adjacency: adj[j] = { k < j : U_kj ≠ 0 or L_jk ≠ 0 }.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); nb];
+    for k in 0..nb {
+        for u in &bp.u_blocks[k] {
+            adj[u.j as usize].push(k as u32);
+        }
+        for l in &bp.l_blocks[k] {
+            adj[l.i as usize].push(k as u32);
+        }
+    }
+
+    let mut parent = vec![NO_PARENT; nb];
+    let mut anc = vec![NO_PARENT; nb];
+    for (j, lower) in adj.iter_mut().enumerate() {
+        lower.sort_unstable();
+        lower.dedup();
+        for &k in lower.iter() {
+            // Walk k's virtual-root path, compressing onto j.
+            let mut r = k as usize;
+            while anc[r] != NO_PARENT && anc[r] != j {
+                let next = anc[r];
+                anc[r] = j;
+                r = next;
+            }
+            if anc[r] == NO_PARENT {
+                anc[r] = j;
+                parent[r] = j;
+            }
+        }
+    }
+    parent
+}
+
+/// `true` iff `a` is an ancestor of `d` (or `a == d`) in `parent`.
+pub fn is_ancestor(parent: &[usize], a: usize, d: usize) -> bool {
+    let mut v = d;
+    loop {
+        if v == a {
+            return true;
+        }
+        if parent[v] == NO_PARENT {
+            return false;
+        }
+        v = parent[v];
+    }
+}
+
+/// Subtree cost of every node: `weight[v] + Σ subtree costs of children`.
+/// `weight` is any per-block work estimate (the scheduler passes task
+/// flops); single upward pass, parents have larger indices than children
+/// only along tree edges so ascending order suffices.
+pub fn subtree_costs(parent: &[usize], weight: &[u64]) -> Vec<u64> {
+    let mut cost = weight.to_vec();
+    for v in 0..parent.len() {
+        if parent[v] != NO_PARENT {
+            // tree edges always point to a higher column block
+            debug_assert!(parent[v] > v);
+            cost[parent[v]] += cost[v];
+        }
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supernode::{amalgamate, partition_supernodes};
+    use crate::symfact::static_symbolic_factorization;
+    use splu_sparse::gen::{self, ValueModel};
+    use std::collections::BTreeSet;
+
+    fn pattern(a: &splu_sparse::CscMatrix, r: usize) -> BlockPattern {
+        let s = static_symbolic_factorization(a);
+        let base = partition_supernodes(&s, 25);
+        let part = amalgamate(&s, &base, r, 25);
+        BlockPattern::build(&s, &part)
+    }
+
+    /// Naive oracle: eliminate block vertices in order on the symmetrized
+    /// dependency graph; the parent of `k` is its smallest surviving
+    /// higher neighbor, and eliminating `k` connects that parent to the
+    /// rest (textbook reachability fill). The etree of the filled graph
+    /// must coincide with Liu's answer.
+    fn naive_reachability_etree(bp: &BlockPattern) -> Vec<usize> {
+        let nb = bp.nblocks();
+        let mut higher: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nb];
+        for k in 0..nb {
+            for u in &bp.u_blocks[k] {
+                higher[k].insert(u.j as usize);
+            }
+            for l in &bp.l_blocks[k] {
+                higher[k].insert(l.i as usize);
+            }
+        }
+        let mut parent = vec![NO_PARENT; nb];
+        for k in 0..nb {
+            if let Some(&p) = higher[k].iter().next() {
+                parent[k] = p;
+                let rest: Vec<usize> = higher[k].iter().copied().skip(1).collect();
+                for x in rest {
+                    higher[p].insert(x);
+                }
+            }
+        }
+        parent
+    }
+
+    #[test]
+    fn liu_matches_naive_reachability_oracle() {
+        for (mat, r) in [
+            (gen::random_sparse(90, 3, 0.6, ValueModel::default()), 0),
+            (gen::random_sparse(140, 4, 0.5, ValueModel::default()), 4),
+            (gen::grid2d(9, 8, 0.4, ValueModel::default()), 4),
+            (
+                gen::power_law_circuit(150, 3, 0.9, ValueModel::default()),
+                4,
+            ),
+        ] {
+            let bp = pattern(&mat, r);
+            assert_eq!(block_etree(&bp), naive_reachability_etree(&bp));
+        }
+    }
+
+    #[test]
+    fn every_dependency_edge_points_to_an_ancestor() {
+        for (mat, r) in [
+            (gen::random_sparse(120, 4, 0.5, ValueModel::default()), 4),
+            (gen::grid2d(10, 10, 0.3, ValueModel::default()), 4),
+            (
+                gen::power_law_circuit(200, 4, 0.9, ValueModel::default()),
+                4,
+            ),
+        ] {
+            let bp = pattern(&mat, r);
+            let parent = block_etree(&bp);
+            for k in 0..bp.nblocks() {
+                for u in &bp.u_blocks[k] {
+                    assert!(
+                        is_ancestor(&parent, u.j as usize, k),
+                        "U edge ({k},{}) not ancestor-directed",
+                        u.j
+                    );
+                }
+                for l in &bp.l_blocks[k] {
+                    assert!(
+                        is_ancestor(&parent, l.i as usize, k),
+                        "L edge ({},{k}) not ancestor-directed",
+                        l.i
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parents_increase_and_postorder_is_a_permutation() {
+        let bp = pattern(&gen::random_sparse(160, 4, 0.5, ValueModel::default()), 4);
+        let parent = block_etree(&bp);
+        for (v, &p) in parent.iter().enumerate() {
+            assert!(p == NO_PARENT || p > v);
+        }
+        let post = postorder(&parent);
+        let mut seen = vec![false; parent.len()];
+        for &v in &post {
+            assert!(!seen[v]);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn subtree_costs_sum_child_weights() {
+        // A hand-built comb: 0→2, 1→2, 2→4, 3→4.
+        let parent = vec![2, 2, 4, 4, NO_PARENT];
+        let w = vec![1, 2, 4, 8, 16];
+        assert_eq!(subtree_costs(&parent, &w), vec![1, 2, 7, 8, 31]);
+    }
+
+    #[test]
+    fn structural_pattern_gives_identical_tree() {
+        let a = gen::random_sparse(130, 4, 0.5, ValueModel::default());
+        let s = static_symbolic_factorization(&a);
+        let base = partition_supernodes(&s, 25);
+        let part = amalgamate(&s, &base, 4, 25);
+        let full = BlockPattern::build(&s, &part);
+        let structural = BlockPattern::build_structural(&s, &part);
+        assert_eq!(structural.l_blocks, full.l_blocks);
+        assert_eq!(structural.u_blocks, full.u_blocks);
+        assert_eq!(structural.scatter_map_entries(), 0);
+        assert_eq!(block_etree(&structural), block_etree(&full));
+    }
+}

@@ -27,9 +27,11 @@
 //! scheduling crates.
 
 pub mod blocks;
+pub mod etree;
 pub mod supernode;
 pub mod symfact;
 
 pub use blocks::{BlockPattern, UBlockKind};
+pub use etree::{block_etree, subtree_costs};
 pub use supernode::{amalgamate, partition_supernodes, SupernodePartition};
 pub use symfact::{static_symbolic_factorization, StaticStructure};

@@ -131,7 +131,10 @@ pub fn amalgamate(
         let boundary = base.starts[b];
         let merged_width = base.starts[b + 1] - cur_start;
         let diff = structure_difference(s, boundary);
-        if diff <= r && merged_width <= max_width {
+        if diff <= r
+            && merged_width <= max_width
+            && etree_child_of_next(s, boundary, base.starts[b + 1])
+        {
             // merge: skip this boundary
             continue;
         }
@@ -142,6 +145,25 @@ pub fn amalgamate(
     let p = SupernodePartition { starts };
     p.validate();
     p
+}
+
+/// Is the supernode ending at `boundary - 1` the elimination-tree child
+/// of the one starting at `boundary`? True iff the first subdiagonal row
+/// of its last static L column lands inside the next supernode's column
+/// span `[boundary, next_end)` — the column-etree parent relation lifted
+/// to supernodes. Amalgamation merges only such pairs: two *structurally
+/// disjoint* neighbours can also score a tiny [`structure_difference`]
+/// (both columns near-empty), but merging them welds independent
+/// elimination subtrees into one block and collapses the subtree
+/// parallelism the task-DAG planner (`splu_sched::plan_taskdag`) lives
+/// on — on a bordered block-diagonal matrix it chains every diagonal
+/// block through the merged boundary blocks.
+fn etree_child_of_next(s: &StaticStructure, boundary: usize, next_end: usize) -> bool {
+    s.lcols[boundary - 1]
+        .iter()
+        .map(|&r| r as usize)
+        .find(|&r| r >= boundary)
+        .is_some_and(|r| r < next_end)
 }
 
 /// Number of rows in `lcols[boundary - 1] \ ({boundary - 1} ∪ lcols[boundary])`:
@@ -280,6 +302,34 @@ mod tests {
             let am = amalgamate(&s, &base, r, 25);
             assert!(am.nblocks() <= prev, "r={r}");
             prev = am.nblocks();
+        }
+    }
+
+    #[test]
+    fn amalgamation_never_merges_independent_blocks() {
+        // Two independent dense 3×3 diagonal blocks. The boundary between
+        // them scores a tiny structure difference (the trailing column of
+        // block 0 has no subdiagonal rows at all), so a difference-only
+        // rule would merge them even at r = 1 — but they are separate
+        // elimination-tree roots, and welding them would destroy the
+        // subtree independence the task-DAG planner relies on.
+        let mut c = CooMatrix::new(6, 6);
+        for b in [0usize, 3] {
+            for i in 0..3 {
+                for j in 0..3 {
+                    c.push(b + i, b + j, if i == j { 4.0 } else { 1.0 });
+                }
+            }
+        }
+        let s = static_symbolic_factorization(&c.to_csc());
+        let base = partition_supernodes(&s, 25);
+        assert_eq!(base.starts, vec![0, 3, 6]);
+        for r in [1usize, 4, 100] {
+            assert_eq!(
+                amalgamate(&s, &base, r, 25).starts,
+                vec![0, 3, 6],
+                "r={r}: independent blocks must never amalgamate"
+            );
         }
     }
 

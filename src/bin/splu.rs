@@ -71,6 +71,10 @@
 //!                      first and record the goodput speedup (loadgen)
 //!   --min-secs S       per-driver measurement time (default 0.2,
 //!                                                 bench-lu only)
+//!   --suite X          bench-lu suite: small (measured seq/par1d/par2d,
+//!                      default) | large (the n = 50k-500k hierarchical
+//!                      tier through the T3E machine model) | large-smoke
+//!                      (one shrunk large-tier instance for CI)
 //!   --baseline FILE    previous record to gate against (bench-lu/serve;
 //!                                                 bench-lu default: the
 //!                                                 --out file; tolerance
@@ -132,7 +136,13 @@ fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
             "--gantt-width"
         ),
         "analyze" => flags!("--procs", "--lookahead", "--out", "--from-trace"),
-        "bench-lu" => Some(&["--out", "--min-secs", "--baseline", "--lookahead"]),
+        "bench-lu" => Some(&[
+            "--out",
+            "--min-secs",
+            "--baseline",
+            "--lookahead",
+            "--suite",
+        ]),
         "loadgen" => flags!(
             "--requests",
             "--tenants",
@@ -173,6 +183,8 @@ struct Cli {
     baseline: Option<String>,
     metrics_out: Option<String>,
     from_trace: Option<String>,
+    /// bench-lu suite selection (small | large | large-smoke).
+    suite: splu_bench::bench_lu::SuiteSel,
     // loadgen-only knobs
     load_requests: usize,
     tenants: usize,
@@ -224,6 +236,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
         baseline: None,
         metrics_out: None,
         from_trace: None,
+        suite: splu_bench::bench_lu::SuiteSel::Small,
         load_requests: 100_000,
         tenants: 48,
         seed: None,
@@ -306,6 +319,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
             "--baseline" => cli.baseline = Some(flag_value(&mut args, "--baseline")?),
             "--metrics-out" => cli.metrics_out = Some(flag_value(&mut args, "--metrics-out")?),
             "--from-trace" => cli.from_trace = Some(flag_value(&mut args, "--from-trace")?),
+            "--suite" => {
+                let v = flag_value(&mut args, "--suite")?;
+                cli.suite = splu_bench::bench_lu::SuiteSel::parse(&v)?;
+            }
             "--tenants" => {
                 cli.tenants = flag_parse(&mut args, "--tenants")?;
                 if cli.tenants == 0 {
@@ -706,6 +723,7 @@ fn cmd_analyze(cli: &Cli) -> ExitCode {
             lookahead: cli.options.lookahead,
             executor_depth_p95: None,
             model: None,
+            taskdag: None,
         };
         (trace, extras)
     } else {
@@ -742,6 +760,33 @@ fn cmd_analyze(cli: &Cli) -> ExitCode {
             &collector,
         );
         let trace = collector.finish();
+        // attribute subtree-local vs separator work under the task-DAG
+        // schedule (an untraced run; the traced one above stays the
+        // wall-clock source so the attribution is not skewed by tracing)
+        let td = {
+            use sstar::core::par2d::{factor_par2d_sched, Sched2d};
+            use sstar::probe::analyze::TaskDagSummary;
+            let plan = sstar::sched::plan_taskdag(
+                &sstar::sched::TaskGraph::build(&solver.pattern),
+                &sstar::symbolic::block_etree(&solver.pattern),
+                grid.nprocs(),
+            );
+            let dag = factor_par2d_sched(
+                &solver.permuted,
+                solver.pattern.clone(),
+                grid,
+                Sync2d::Async,
+                cli.options.pivot_threshold,
+                Sched2d::TaskDag,
+            );
+            TaskDagSummary {
+                subtree_local_tasks: dag.stats.subtree_local_tasks,
+                total_tasks: (dag.stats.factor_tasks + dag.stats.update_tasks) as u64,
+                nsubtrees: plan.nsubtrees as u64,
+                steal_attempts: dag.stats.steal_attempts,
+                steal_hits: dag.stats.steal_hits,
+            }
+        };
         let extras = ReportExtras {
             matrix: cli.matrix.clone(),
             pr: grid.pr,
@@ -754,6 +799,7 @@ fn cmd_analyze(cli: &Cli) -> ExitCode {
                 stages: solver.pattern.nblocks(),
                 factor_entries: solver.static_factor_nnz() as u64,
             }),
+            taskdag: Some(td),
         };
         (trace, extras)
     };
@@ -791,11 +837,12 @@ fn main() -> ExitCode {
         } else {
             cli.out.as_str()
         };
-        return match splu_bench::bench_lu::run_opts(
+        return match splu_bench::bench_lu::run_suite(
             out,
             cli.min_secs,
             cli.baseline.as_deref(),
             cli.options.lookahead,
+            cli.suite,
         ) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {

@@ -6,11 +6,11 @@
 //! report is schema-stable.
 #![cfg(feature = "probe")]
 
-use sstar::core::par2d::{factor_par2d_traced, Sync2d};
+use sstar::core::par2d::{factor_par2d_sched, factor_par2d_traced, Sched2d, Sync2d};
 use sstar::machine::Grid;
 use sstar::prelude::*;
 use sstar::probe::analyze::{
-    attribute, report_json, report_text, CommModel, ReportExtras, CATEGORIES,
+    attribute, report_json, report_text, CommModel, ReportExtras, TaskDagSummary, CATEGORIES,
 };
 use sstar::probe::json::{parse, Value};
 use sstar::probe::Collector;
@@ -39,6 +39,19 @@ fn analyze_sherman5_2x2() -> Analyzed {
     );
     let trace = collector.finish();
     let attribution = attribute(&trace);
+    let plan = sstar::sched::plan_taskdag(
+        &sstar::sched::TaskGraph::build(&solver.pattern),
+        &sstar::symbolic::block_etree(&solver.pattern),
+        grid.nprocs(),
+    );
+    let dag = factor_par2d_sched(
+        &solver.permuted,
+        solver.pattern.clone(),
+        grid,
+        Sync2d::Async,
+        1.0,
+        Sched2d::TaskDag,
+    );
     let extras = ReportExtras {
         matrix: "sherman5".into(),
         pr: grid.pr,
@@ -50,6 +63,13 @@ fn analyze_sherman5_2x2() -> Analyzed {
             pc: grid.pc,
             stages: solver.pattern.nblocks(),
             factor_entries: solver.static_factor_nnz() as u64,
+        }),
+        taskdag: Some(TaskDagSummary {
+            subtree_local_tasks: dag.stats.subtree_local_tasks,
+            total_tasks: (dag.stats.factor_tasks + dag.stats.update_tasks) as u64,
+            nsubtrees: plan.nsubtrees as u64,
+            steal_attempts: dag.stats.steal_attempts,
+            steal_hits: dag.stats.steal_hits,
         }),
     };
     Analyzed {
@@ -131,11 +151,34 @@ fn sherman5_2x2_report_json_is_schema_stable() {
         "bytes",
         "model_messages",
         "model_bytes",
+        "taskdag",
         "attribution",
         "ranks",
     ] {
         assert!(v.get(key).is_some(), "missing key {key}");
     }
+
+    // the task-DAG attribution block is coherent: local + separator tasks
+    // partition the run, the rendered share matches, and the cut found at
+    // least one subtree
+    let td = v.get("taskdag").unwrap();
+    let local = td
+        .get("subtree_local_tasks")
+        .and_then(Value::as_u64)
+        .unwrap();
+    let sep = td.get("separator_tasks").and_then(Value::as_u64).unwrap();
+    let share = td
+        .get("subtree_task_share")
+        .and_then(Value::as_f64)
+        .unwrap();
+    assert!(local + sep > 0, "task-DAG run executed no tasks");
+    assert!((0.0..=1.0).contains(&share));
+    assert!(
+        (share - local as f64 / (local + sep) as f64).abs() < 1e-3,
+        "share {share} inconsistent with {local}/{}",
+        local + sep
+    );
+    assert!(td.get("nsubtrees").and_then(Value::as_u64).unwrap() >= 1);
     assert!(matches!(
         v.get("pipeline_depth_ok"),
         Some(Value::Bool(true))
@@ -179,5 +222,6 @@ fn sherman5_2x2_report_json_is_schema_stable() {
         assert!(txt.contains(&format!("P{p}")), "missing rank {p} row");
     }
     assert!(txt.contains("bound p_c + W = 3"));
+    assert!(txt.contains("task-DAG:"), "missing task-DAG report line");
     assert!(!txt.contains("EXCEEDS"));
 }

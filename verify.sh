@@ -85,6 +85,10 @@ cargo run --release -q --bin splu -- analyze sherman5 --procs 4 \
 grep -q '"report": "splu_analyze"' results/ANALYZE_sherman5_2x2.json
 grep -q '"pipeline_depth_ok": true' results/ANALYZE_sherman5_2x2.json
 grep -q 'bound p_c + W = 3' results/ANALYZE_sherman5_2x2.txt
+# the task-DAG attribution block: subtree-local vs separator task split
+grep -q '"taskdag": ' results/ANALYZE_sherman5_2x2.json
+grep -q '"subtree_task_share": ' results/ANALYZE_sherman5_2x2.json
+grep -q 'task-DAG: ' results/ANALYZE_sherman5_2x2.txt
 
 # perf record: factor the synthetic suite with the seq/par1d/par2d
 # drivers. The fresh run is gated against the committed record — a
@@ -119,5 +123,30 @@ test "$(grep -c '"panel_wait_secs": ' results/BENCH_lu.json)" -eq 21
 test "$(grep -c '"par2d_lookahead_sweep": ' results/BENCH_lu.json)" -eq 3
 test "$(grep -c '"speedup_vs_prev": ' results/BENCH_lu.json)" -eq 3
 test "$(grep -c '"pivot_wait_share": ' results/BENCH_lu.json)" -eq 3
+
+# modeled large-matrix tier (hier50k / hiergrid50k / hier200k /
+# hier500k): the task-DAG engine against the block-cyclic baseline
+# under the deterministic T3E discrete-event model — no wall-clock
+# noise, so the gate (per-matrix regression vs the record, plus the
+# geomean speedup_vs_seq > 1.0 acceptance floor) is exact. The run
+# carries the small-suite record forward from the file written above,
+# keeping results/BENCH_lu.json one complete document. ~70 s: the
+# hier500k symbolic analysis dominates.
+if ! SPLU_BENCH_TOL_PCT="${SPLU_BENCH_TOL_PCT:-40}" \
+    cargo run --release -q --bin splu -- bench-lu --suite large \
+    --out results/BENCH_lu.json; then
+    echo "verify: large-suite gate tripped; offending BENCH_lu.json diff:" >&2
+    diff -u /tmp/BENCH_lu.baseline.json results/BENCH_lu.json >&2 || true
+    exit 1
+fi
+grep -q '"large_suite": ' results/BENCH_lu.json
+# 4 matrices × (model_secs + speedup_vs_seq) + the geomean block
+test "$(grep -c '"par2d_taskdag": ' results/BENCH_lu.json)" -eq 9
+test "$(grep -c '"nsubtrees": ' results/BENCH_lu.json)" -eq 4
+# headline (small) + large_suite
+test "$(grep -c '"geomean_speedup_vs_seq": ' results/BENCH_lu.json)" -eq 2
+# the carry-forward preserved the freshly measured small record
+test "$(grep -c '"gflops": ' results/BENCH_lu.json)" -eq 21
+test "$(grep -c '"panel_wait_secs": ' results/BENCH_lu.json)" -eq 21
 
 echo "verify: all checks passed"
